@@ -1,0 +1,139 @@
+// Package bayeslsh is a Go implementation of BayesLSH and
+// BayesLSH-Lite (Satuluri and Parthasarathy, PVLDB 2012): Bayesian
+// candidate pruning and similarity estimation for all-pairs similarity
+// search (APSS) with locality-sensitive hashing.
+//
+// The package solves the all-pairs problem: given a collection of
+// sparse vectors, a similarity measure (cosine, Jaccard, or binary
+// cosine) and a threshold t, find every pair with similarity at least
+// t. Search pipelines pair a candidate generation algorithm (AllPairs
+// or LSH banding) with a verification algorithm (exact, classical LSH
+// estimation, BayesLSH, or BayesLSH-Lite):
+//
+//	ds := bayeslsh.NewDataset(dim)
+//	for _, doc := range docs {
+//		ds.Add(doc) // map[uint32]float64 feature weights
+//	}
+//	ds = ds.TfIdf().Normalize()
+//	eng, err := bayeslsh.NewEngine(ds, bayeslsh.Cosine, bayeslsh.EngineConfig{Seed: 42})
+//	out, err := eng.Search(bayeslsh.Options{
+//		Algorithm: bayeslsh.LSHBayesLSH,
+//		Threshold: 0.7,
+//	})
+//
+// BayesLSH verification provides the paper's probabilistic guarantees:
+// each candidate pair with posterior probability above ε of meeting
+// the threshold reaches the output, and each reported similarity
+// estimate is within δ of the true similarity with probability at
+// least 1 − γ. BayesLSH-Lite prunes the same way but reports exact
+// similarities.
+package bayeslsh
+
+import "fmt"
+
+// Measure selects the similarity function of the search.
+type Measure int
+
+const (
+	// Cosine is weighted cosine similarity over real-valued vectors
+	// (vectors should be unit-normalized, e.g. via Dataset.Normalize).
+	Cosine Measure = iota
+	// Jaccard is the set Jaccard similarity of the feature index sets.
+	Jaccard
+	// BinaryCosine is cosine similarity over binarized vectors.
+	BinaryCosine
+)
+
+// String implements fmt.Stringer.
+func (m Measure) String() string {
+	switch m {
+	case Cosine:
+		return "cosine"
+	case Jaccard:
+		return "jaccard"
+	case BinaryCosine:
+		return "binary-cosine"
+	default:
+		return fmt.Sprintf("Measure(%d)", int(m))
+	}
+}
+
+// Algorithm selects a full search pipeline (candidate generation +
+// verification), mirroring the eight methods compared in §5.1 of the
+// paper.
+type Algorithm int
+
+const (
+	// BruteForce exactly compares all O(n²) pairs. Ground truth.
+	BruteForce Algorithm = iota
+	// AllPairs is the exact algorithm of Bayardo et al. (WWW'07).
+	AllPairs
+	// AllPairsBayesLSH feeds AllPairs candidates to BayesLSH.
+	AllPairsBayesLSH
+	// AllPairsBayesLSHLite feeds AllPairs candidates to BayesLSH-Lite.
+	AllPairsBayesLSHLite
+	// LSH generates candidates by LSH banding and verifies exactly.
+	LSH
+	// LSHApprox generates candidates by LSH banding and estimates
+	// similarities with the classical fixed-n maximum likelihood
+	// estimator (§3 of the paper).
+	LSHApprox
+	// LSHBayesLSH feeds LSH candidates to BayesLSH.
+	LSHBayesLSH
+	// LSHBayesLSHLite feeds LSH candidates to BayesLSH-Lite.
+	LSHBayesLSHLite
+	// PPJoin is the exact prefix-filtering algorithm of Xiao et al.
+	// (WWW'08); binary measures only.
+	PPJoin
+)
+
+var algorithmNames = map[Algorithm]string{
+	BruteForce:           "BruteForce",
+	AllPairs:             "AllPairs",
+	AllPairsBayesLSH:     "AP+BayesLSH",
+	AllPairsBayesLSHLite: "AP+BayesLSH-Lite",
+	LSH:                  "LSH",
+	LSHApprox:            "LSH Approx",
+	LSHBayesLSH:          "LSH+BayesLSH",
+	LSHBayesLSHLite:      "LSH+BayesLSH-Lite",
+	PPJoin:               "PPJoin",
+}
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	if s, ok := algorithmNames[a]; ok {
+		return s
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Algorithms returns all pipelines applicable to the measure, in the
+// paper's presentation order.
+func Algorithms(m Measure) []Algorithm {
+	as := []Algorithm{
+		AllPairs, AllPairsBayesLSH, AllPairsBayesLSHLite,
+		LSH, LSHApprox, LSHBayesLSH, LSHBayesLSHLite,
+	}
+	if m == Jaccard || m == BinaryCosine {
+		as = append(as, PPJoin)
+	}
+	return as
+}
+
+// UsesBayes reports whether the pipeline includes a BayesLSH or
+// BayesLSH-Lite verification stage.
+func (a Algorithm) UsesBayes() bool {
+	switch a {
+	case AllPairsBayesLSH, AllPairsBayesLSHLite, LSHBayesLSH, LSHBayesLSHLite:
+		return true
+	}
+	return false
+}
+
+// Result is one output pair: the dataset ids of the two vectors and
+// the reported similarity (exact or estimated, depending on the
+// pipeline).
+type Result struct {
+	A, B int
+	Sim  float64
+}

@@ -1,0 +1,131 @@
+// Benchmarks regenerating every table and figure of the paper (one
+// benchmark per artifact, via the experiment harness in quick mode)
+// plus micro-benchmarks of the individual pipelines.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// For the full-size experiment matrices use cmd/experiments instead;
+// the benchmarks here use trimmed matrices so the whole suite
+// completes in minutes.
+package bayeslsh_test
+
+import (
+	"io"
+	"testing"
+
+	"bayeslsh"
+	"bayeslsh/internal/harness"
+)
+
+// benchCfg trims the experiment matrices to a single dataset so each
+// benchmark iteration stays in the seconds range.
+func benchCfg() harness.Config {
+	return harness.Config{Seed: 42, Quick: true, Datasets: []string{"RCV1-sim"}}
+}
+
+func runExperiment(b *testing.B, id string, cfg harness.Config) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := harness.Run(id, io.Discard, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1HashesVsSimilarity regenerates Figure 1 (pure
+// numerics: binomial concentration search).
+func BenchmarkFig1HashesVsSimilarity(b *testing.B) { runExperiment(b, "fig1", benchCfg()) }
+
+// BenchmarkFig2ParamSweep regenerates Figure 2 (γ/δ/ε sweep of
+// LSH+BayesLSH on WikiWords100K-sim at t=0.7).
+func BenchmarkFig2ParamSweep(b *testing.B) { runExperiment(b, "fig2", benchCfg()) }
+
+// BenchmarkFig3Timing regenerates Figure 3 (all pipelines, quick
+// matrix on RCV1-sim, all three measures).
+func BenchmarkFig3Timing(b *testing.B) { runExperiment(b, "fig3", benchCfg()) }
+
+// BenchmarkFig4PruningCurve regenerates Figure 4 (surviving
+// candidates vs hashes examined).
+func BenchmarkFig4PruningCurve(b *testing.B) { runExperiment(b, "fig4", benchCfg()) }
+
+// BenchmarkFig5PriorPosterior regenerates the appendix figure (prior
+// vs posterior convergence).
+func BenchmarkFig5PriorPosterior(b *testing.B) { runExperiment(b, "fig5", benchCfg()) }
+
+// BenchmarkTab1DatasetStats regenerates Table 1 (dataset statistics;
+// dominated by synthetic corpus generation).
+func BenchmarkTab1DatasetStats(b *testing.B) { runExperiment(b, "tab1", benchCfg()) }
+
+// BenchmarkTab2Speedups regenerates Table 2 (fastest BayesLSH variant
+// and speedups over the baselines).
+func BenchmarkTab2Speedups(b *testing.B) { runExperiment(b, "tab2", benchCfg()) }
+
+// BenchmarkTab3Recall regenerates Table 3 (recall of the AP+BayesLSH
+// variants).
+func BenchmarkTab3Recall(b *testing.B) { runExperiment(b, "tab3", benchCfg()) }
+
+// BenchmarkTab4EstimateErrors regenerates Table 4 (estimate error
+// rates of LSH Approx vs LSH+BayesLSH).
+func BenchmarkTab4EstimateErrors(b *testing.B) { runExperiment(b, "tab4", benchCfg()) }
+
+// BenchmarkTab5ParamQuality regenerates Table 5 (output quality while
+// varying γ, δ, ε).
+func BenchmarkTab5ParamQuality(b *testing.B) { runExperiment(b, "tab5", benchCfg()) }
+
+// --- pipeline micro-benchmarks -------------------------------------
+
+// benchEngine builds a ready engine over the RCV1 analogue.
+func benchEngine(b *testing.B, m bayeslsh.Measure) *bayeslsh.Engine {
+	b.Helper()
+	ds, err := bayeslsh.Synthetic("RCV1-sim")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if m == bayeslsh.Cosine {
+		ds = ds.TfIdf().Normalize()
+	} else {
+		ds = ds.Binarize()
+	}
+	eng, err := bayeslsh.NewEngine(ds, m, bayeslsh.EngineConfig{Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng
+}
+
+func benchSearch(b *testing.B, m bayeslsh.Measure, alg bayeslsh.Algorithm, t float64) {
+	b.Helper()
+	eng := benchEngine(b, m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Search(bayeslsh.Options{Algorithm: alg, Threshold: t}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPipelineAllPairsCosine(b *testing.B) {
+	benchSearch(b, bayeslsh.Cosine, bayeslsh.AllPairs, 0.7)
+}
+
+func BenchmarkPipelineAPBayesLSHLiteCosine(b *testing.B) {
+	benchSearch(b, bayeslsh.Cosine, bayeslsh.AllPairsBayesLSHLite, 0.7)
+}
+
+func BenchmarkPipelineLSHBayesLSHCosine(b *testing.B) {
+	benchSearch(b, bayeslsh.Cosine, bayeslsh.LSHBayesLSH, 0.7)
+}
+
+func BenchmarkPipelineLSHExactCosine(b *testing.B) {
+	benchSearch(b, bayeslsh.Cosine, bayeslsh.LSH, 0.7)
+}
+
+func BenchmarkPipelinePPJoinJaccard(b *testing.B) {
+	benchSearch(b, bayeslsh.Jaccard, bayeslsh.PPJoin, 0.5)
+}
+
+func BenchmarkPipelineAPBayesLSHLiteJaccard(b *testing.B) {
+	benchSearch(b, bayeslsh.Jaccard, bayeslsh.AllPairsBayesLSHLite, 0.5)
+}

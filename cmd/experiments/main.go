@@ -1,0 +1,51 @@
+// Command experiments regenerates the tables and figures of the
+// BayesLSH paper (Satuluri & Parthasarathy, PVLDB 2012) on the
+// synthetic analogue datasets.
+//
+// Usage:
+//
+//	experiments -run fig3            # one experiment
+//	experiments -run all -quick      # everything, trimmed matrices
+//	experiments -list                # available experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"bayeslsh/internal/harness"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment id (fig1..fig5, tab1..tab5) or 'all'")
+	quick := flag.Bool("quick", false, "trim datasets and thresholds for a fast run")
+	seed := flag.Uint64("seed", 42, "random seed for all components")
+	datasets := flag.String("datasets", "", "comma-separated dataset names to restrict to")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(harness.Experiments(), "\n"))
+		return
+	}
+	cfg := harness.Config{Seed: *seed, Quick: *quick}
+	if *datasets != "" {
+		cfg.Datasets = strings.Split(*datasets, ",")
+	}
+
+	ids := harness.Experiments()
+	if *run != "all" {
+		ids = strings.Split(*run, ",")
+	}
+	for _, id := range ids {
+		start := time.Now()
+		if err := harness.Run(id, os.Stdout, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("# [%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

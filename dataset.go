@@ -1,0 +1,135 @@
+package bayeslsh
+
+import (
+	"fmt"
+	"io"
+
+	"bayeslsh/internal/dataset"
+	"bayeslsh/internal/exact"
+	"bayeslsh/internal/vector"
+)
+
+// Dataset is a corpus of sparse vectors over a fixed feature space.
+// Build one with NewDataset and Add/AddSet, load one with ReadDataset,
+// or synthesize one with Synthetic.
+type Dataset struct {
+	c *vector.Collection
+}
+
+// NewDataset returns an empty dataset over dim features.
+func NewDataset(dim int) *Dataset {
+	return &Dataset{c: &vector.Collection{Dim: dim}}
+}
+
+// Add appends a vector given as a feature→weight map and returns its
+// id. Zero weights are dropped.
+func (d *Dataset) Add(features map[uint32]float64) int {
+	d.c.Vecs = append(d.c.Vecs, vector.FromMap(features))
+	return len(d.c.Vecs) - 1
+}
+
+// AddSet appends a binary vector given as a set of feature indices
+// and returns its id.
+func (d *Dataset) AddSet(indices []uint32) int {
+	m := make(map[uint32]float64, len(indices))
+	for _, i := range indices {
+		m[i] = 1
+	}
+	return d.Add(m)
+}
+
+// Len returns the number of vectors.
+func (d *Dataset) Len() int { return len(d.c.Vecs) }
+
+// Dim returns the feature-space dimensionality.
+func (d *Dataset) Dim() int { return d.c.Dim }
+
+// VectorLen returns the number of non-zero features of vector id.
+func (d *Dataset) VectorLen(id int) int { return d.c.Vecs[id].Len() }
+
+// TfIdf returns a new dataset re-weighted by tf·idf (idf = ln(N/df);
+// ubiquitous features are dropped), the paper's preprocessing for both
+// text and graph corpora.
+func (d *Dataset) TfIdf() *Dataset { return &Dataset{c: d.c.TfIdf()} }
+
+// Normalize scales every vector to unit Euclidean norm in place and
+// returns d. Required before cosine searches.
+func (d *Dataset) Normalize() *Dataset {
+	d.c.Normalize()
+	return d
+}
+
+// Binarize returns a new dataset with all weights set to 1.
+func (d *Dataset) Binarize() *Dataset { return &Dataset{c: d.c.Binarize()} }
+
+// Similarity computes the exact similarity of vectors i and j under m.
+func (d *Dataset) Similarity(m Measure, i, j int) float64 {
+	return toExactMeasure(m).Sim(d.c.Vecs[i], d.c.Vecs[j])
+}
+
+// Stats summarizes the corpus as in Table 1 of the paper.
+type Stats struct {
+	Vectors int
+	Dim     int
+	AvgLen  float64
+	Nnz     int64
+}
+
+// Stats returns corpus statistics.
+func (d *Dataset) Stats() Stats {
+	s := d.c.Stats()
+	return Stats{Vectors: s.Vectors, Dim: s.Dim, AvgLen: s.AvgLen, Nnz: s.Nnz}
+}
+
+// WriteTo serializes the dataset in a plain-text format readable by
+// ReadDataset.
+func (d *Dataset) WriteTo(w io.Writer) (int64, error) { return d.c.WriteTo(w) }
+
+// ReadDataset parses the format produced by WriteTo.
+func ReadDataset(r io.Reader) (*Dataset, error) {
+	c, err := vector.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{c: c}, nil
+}
+
+// SyntheticNames lists the built-in synthetic corpora, scaled-down
+// analogues of the six datasets in Table 1 of the paper.
+func SyntheticNames() []string {
+	specs := dataset.Standard()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// Synthetic generates one of the built-in corpora by name (see
+// SyntheticNames). The result carries raw term-frequency/adjacency
+// weights; apply TfIdf().Normalize() for weighted cosine experiments
+// or Binarize() for set experiments.
+func Synthetic(name string) (*Dataset, error) {
+	spec, err := dataset.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	c, err := dataset.Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{c: c}, nil
+}
+
+func toExactMeasure(m Measure) exact.Measure {
+	switch m {
+	case Cosine:
+		return exact.Cosine
+	case Jaccard:
+		return exact.Jaccard
+	case BinaryCosine:
+		return exact.BinaryCosine
+	default:
+		panic(fmt.Sprintf("bayeslsh: unknown measure %v", m))
+	}
+}

@@ -1,0 +1,205 @@
+package bayeslsh
+
+import (
+	"fmt"
+	"time"
+
+	"bayeslsh/internal/allpairs"
+	"bayeslsh/internal/core"
+	"bayeslsh/internal/lshindex"
+	"bayeslsh/internal/minhash"
+	"bayeslsh/internal/pair"
+	"bayeslsh/internal/sighash"
+	"bayeslsh/internal/vector"
+)
+
+// EngineConfig controls the hashing substrate shared by an Engine's
+// searches. The zero value selects the paper's settings.
+type EngineConfig struct {
+	// Seed makes all randomized components deterministic.
+	Seed uint64
+	// SignatureBits is the length of cosine bit signatures
+	// (default 2048, the paper's LSH Approx setting).
+	SignatureBits int
+	// MinHashes is the length of Jaccard minhash signatures
+	// (default 512; the paper's LSH Approx uses the first 360).
+	MinHashes int
+	// ExactProjections disables the paper's 2-byte quantized storage
+	// of Gaussian projections (§4.3) in favour of float64 storage.
+	ExactProjections bool
+}
+
+func (c EngineConfig) withDefaults() EngineConfig {
+	if c.SignatureBits == 0 {
+		c.SignatureBits = 2048
+	}
+	if c.MinHashes == 0 {
+		c.MinHashes = 512
+	}
+	return c
+}
+
+// Engine runs search pipelines over one dataset and one measure,
+// computing and caching hash signatures on first use.
+type Engine struct {
+	ds      *Dataset
+	work    *vector.Collection // measure-appropriate view of the data
+	measure Measure
+	cfg     EngineConfig
+
+	bitStore *sighash.Store
+	minStore *minhash.Store
+}
+
+// NewEngine creates an engine for the dataset under the measure. For
+// Cosine the dataset should already be normalized (Dataset.Normalize);
+// for Jaccard and BinaryCosine weights are ignored or binarized
+// internally.
+func NewEngine(ds *Dataset, m Measure, cfg EngineConfig) (*Engine, error) {
+	if ds == nil || ds.Len() == 0 {
+		return nil, fmt.Errorf("bayeslsh: empty dataset")
+	}
+	e := &Engine{ds: ds, measure: m, cfg: cfg.withDefaults()}
+	switch m {
+	case Cosine:
+		e.work = ds.c
+	case Jaccard, BinaryCosine:
+		e.work = ds.c.Binarize().Normalize()
+	default:
+		return nil, fmt.Errorf("bayeslsh: unknown measure %v", m)
+	}
+	return e, nil
+}
+
+// Measure returns the engine's similarity measure.
+func (e *Engine) Measure() Measure { return e.measure }
+
+// bitSigStore lazily constructs the cosine bit-signature store. The
+// store materializes hash blocks per vector only as verification
+// demands them — the paper's "each point is only hashed as many times
+// as is necessary".
+func (e *Engine) bitSigStore() *sighash.Store {
+	if e.bitStore == nil {
+		var opts []sighash.Option
+		if e.cfg.ExactProjections {
+			opts = append(opts, sighash.Exact())
+		}
+		fam := sighash.NewBlockFamily(e.work.Dim, e.cfg.SignatureBits, 128, e.cfg.Seed+1, opts...)
+		e.bitStore = sighash.NewStore(e.work, fam)
+	}
+	return e.bitStore
+}
+
+// minSigStore lazily constructs the minhash signature store.
+func (e *Engine) minSigStore() *minhash.Store {
+	if e.minStore == nil {
+		fam := minhash.NewFamily(e.cfg.MinHashes, e.cfg.Seed+2)
+		e.minStore = minhash.NewStore(e.work, fam, 32)
+	}
+	return e.minStore
+}
+
+// hashElapsed sums the hashing time accumulated by the stores so far.
+func (e *Engine) hashElapsed() time.Duration {
+	var d time.Duration
+	if e.bitStore != nil {
+		d += e.bitStore.Elapsed()
+	}
+	if e.minStore != nil {
+		d += e.minStore.Elapsed()
+	}
+	return d
+}
+
+// exactSim returns the exact similarity of a pair under the engine's
+// measure, evaluated on the original dataset.
+func (e *Engine) exactSim(a, b int32) float64 {
+	return toExactMeasure(e.measure).Sim(e.ds.c.Vecs[a], e.ds.c.Vecs[b])
+}
+
+// collisionProb returns the per-hash collision probability of a pair
+// at exactly the threshold similarity.
+func (e *Engine) collisionProb(t float64) float64 {
+	switch e.measure {
+	case Jaccard:
+		return t
+	default:
+		return sighash.CosineToR(t)
+	}
+}
+
+// lshCandidates generates banded-LSH candidates at the options'
+// threshold. The number of tables follows l = ⌈log ε / log(1−p^k)⌉,
+// clamped to the configured signature budget.
+func (e *Engine) lshCandidates(o Options) ([]pair.Pair, error) {
+	p := e.collisionProb(o.Threshold)
+	l := lshindex.NumTables(p, o.BandK, o.FalseNegativeRate)
+	if e.measure == Jaccard {
+		st := e.minSigStore()
+		if max := st.MaxHashes() / o.BandK; l > max {
+			l = max
+		}
+		st.EnsureAll(o.BandK * l)
+		return lshindex.CandidatesMinhash(st.Sigs(), o.BandK, l)
+	}
+	st := e.bitSigStore()
+	if o.MultiProbe {
+		l = lshindex.NumTablesMultiProbe(p, o.BandK, o.FalseNegativeRate)
+	}
+	if max := st.MaxBits() / o.BandK; l > max {
+		l = max
+	}
+	st.EnsureAll(o.BandK * l)
+	if o.MultiProbe {
+		return lshindex.CandidatesBitsMultiProbe(st.Sigs(), o.BandK, l)
+	}
+	return lshindex.CandidatesBits(st.Sigs(), o.BandK, l)
+}
+
+// allPairsCandidates generates AllPairs candidates at the options'
+// threshold.
+func (e *Engine) allPairsCandidates(o Options) ([]pair.Pair, error) {
+	return allpairs.CandidatesMeasure(e.workInput(), toExactMeasure(e.measure), o.Threshold)
+}
+
+// workInput returns the collection in the representation AllPairs and
+// PPJoin expect for the engine's measure: the raw dataset for Cosine
+// (already normalized by the caller) and the raw dataset for binary
+// measures (they binarize internally).
+func (e *Engine) workInput() *vector.Collection {
+	return e.ds.c
+}
+
+// bayesVerifier constructs the measure-appropriate core verifier.
+func (e *Engine) bayesVerifier(o Options, cands []pair.Pair) (core.Verifier, error) {
+	params := core.Params{
+		Threshold: o.Threshold,
+		Epsilon:   o.Epsilon,
+		Delta:     o.Delta,
+		Gamma:     o.Gamma,
+		K:         o.K,
+		MaxHashes: o.MaxHashes,
+	}
+	if e.measure == Jaccard {
+		st := e.minSigStore()
+		if params.MaxHashes > st.MaxHashes() {
+			params.MaxHashes = st.MaxHashes()
+		}
+		if o.OneBitMinhash {
+			// 1-bit signatures are packed eagerly from the minhash
+			// store (they are 32× smaller, so the packing is cheap).
+			st.EnsureAll(params.MaxHashes)
+			sigs := minhash.PackOneBitAll(st.Sigs())
+			return core.NewOneBitJaccard(sigs, params.MaxHashes, params)
+		}
+		params.Ensure = st.Ensure
+		prior := core.FitJaccardPrior(e.work, cands, o.PriorSample, e.cfg.Seed+3)
+		return core.NewJaccard(st.Sigs(), prior, params)
+	}
+	st := e.bitSigStore()
+	if params.MaxHashes > st.MaxBits() {
+		params.MaxHashes = st.MaxBits()
+	}
+	params.Ensure = st.Ensure
+	return core.NewCosine(st.Sigs(), st.MaxBits(), params)
+}

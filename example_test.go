@@ -1,0 +1,71 @@
+package bayeslsh_test
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"bayeslsh"
+)
+
+// Example demonstrates an end-to-end all-pairs search over a small
+// hand-built corpus with exact verification.
+func Example() {
+	ds := bayeslsh.NewDataset(8)
+	ds.Add(map[uint32]float64{0: 1, 1: 2, 2: 3})    // doc 0
+	ds.Add(map[uint32]float64{0: 1, 1: 2, 2: 3.1})  // doc 1: near-duplicate of 0
+	ds.Add(map[uint32]float64{5: 1, 6: 1})          // doc 2: unrelated
+	ds.Add(map[uint32]float64{0: 10, 1: 20, 2: 30}) // doc 3: scaled copy of 0
+	ds.Normalize()
+
+	eng, err := bayeslsh.NewEngine(ds, bayeslsh.Cosine, bayeslsh.EngineConfig{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := eng.Search(bayeslsh.Options{
+		Algorithm: bayeslsh.AllPairs, // exact baseline
+		Threshold: 0.99,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sort.Slice(out.Results, func(i, j int) bool {
+		a, b := out.Results[i], out.Results[j]
+		if a.A != b.A {
+			return a.A < b.A
+		}
+		return a.B < b.B
+	})
+	for _, r := range out.Results {
+		fmt.Printf("(%d, %d) %.4f\n", r.A, r.B, r.Sim)
+	}
+	// Output:
+	// (0, 1) 0.9999
+	// (0, 3) 1.0000
+	// (1, 3) 0.9999
+}
+
+// ExampleDataset_AddSet shows binary (set) data and Jaccard search.
+func ExampleDataset_AddSet() {
+	ds := bayeslsh.NewDataset(100)
+	ds.AddSet([]uint32{1, 2, 3, 4})
+	ds.AddSet([]uint32{2, 3, 4, 5})
+	ds.AddSet([]uint32{50, 60})
+
+	eng, err := bayeslsh.NewEngine(ds, bayeslsh.Jaccard, bayeslsh.EngineConfig{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := eng.Search(bayeslsh.Options{
+		Algorithm: bayeslsh.PPJoin,
+		Threshold: 0.5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range out.Results {
+		fmt.Printf("(%d, %d) %.2f\n", r.A, r.B, r.Sim)
+	}
+	// Output:
+	// (0, 1) 0.60
+}

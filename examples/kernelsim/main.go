@@ -1,0 +1,90 @@
+// Kernelized similarity search: the §6 future-work item of the
+// BayesLSH paper — BayesLSH-Lite over kernelized LSH (KLSH) for a
+// learned/non-linear similarity, here the Gaussian RBF kernel cosine.
+// The collision law of KLSH hashes is calibrated empirically, pruning
+// runs on hash evidence alone, and only survivors pay exact kernel
+// evaluations.
+//
+// This example uses the internal kernel package directly since
+// kernelized search is an extension beyond the public similarity API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bayeslsh/internal/kernel"
+	"bayeslsh/internal/rng"
+	"bayeslsh/internal/vector"
+)
+
+func main() {
+	const (
+		dim        = 12
+		clusters   = 6
+		perCluster = 30
+		threshold  = 0.8
+	)
+	kern := kernel.RBF{Gamma: 0.05}
+	src := rng.New(77)
+	c := &vector.Collection{Dim: dim}
+	for cl := 0; cl < clusters; cl++ {
+		var center []float64
+		for d := 0; d < dim; d++ {
+			center = append(center, float64(cl*4)+src.NormFloat64())
+		}
+		for i := 0; i < perCluster; i++ {
+			var es []vector.Entry
+			for d := 0; d < dim; d++ {
+				es = append(es, vector.Entry{Ind: uint32(d), Val: center[d] + 0.6*src.NormFloat64()})
+			}
+			c.Vecs = append(c.Vecs, vector.New(es))
+		}
+	}
+	n := len(c.Vecs)
+	fmt.Printf("%d points, RBF kernel cosine threshold %.2f\n", n, threshold)
+
+	// Build KLSH from a random base sample.
+	base := make([]vector.Vector, 100)
+	for i := range base {
+		base[i] = c.Vecs[src.Intn(n)]
+	}
+	h, err := kernel.NewKLSH(kern, base, 1024, 24, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Calibrate the collision law at the threshold and build the
+	// verifier.
+	rt := kernel.Calibrate(kern, h, c, threshold, 6)
+	fmt.Printf("calibrated per-hash collision probability at t=%.2f: %.3f\n", threshold, rt)
+	lite, err := kernel.NewLite(kern, h, h.SignatureAll(c), kernel.LiteParams{
+		Threshold: threshold, RThreshold: rt, Epsilon: 0.02,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var cands [][2]int32
+	for i := int32(0); i < int32(n); i++ {
+		for j := i + 1; j < int32(n); j++ {
+			cands = append(cands, [2]int32{i, j})
+		}
+	}
+	out, pruned, exactCount := lite.Verify(c, cands)
+	fmt.Printf("candidates %d → pruned %d from hash evidence, %d exact kernel verifications, %d pairs found\n",
+		len(cands), pruned, exactCount, len(out))
+
+	// Brute-force comparison: every pair needs an exact kernel cosine.
+	truth := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if kernel.CosineSim(kern, c.Vecs[i], c.Vecs[j]) >= threshold {
+				truth++
+			}
+		}
+	}
+	fmt.Printf("brute force finds %d pairs; recall %.2f%%; exact kernel work reduced %.1fx\n",
+		truth, 100*float64(len(out))/float64(truth),
+		float64(len(cands))/float64(exactCount))
+}

@@ -1,0 +1,61 @@
+// Quickstart: find all pairs of documents with cosine similarity at
+// least 0.7 in a small synthetic corpus, using the LSH+BayesLSH
+// pipeline, and compare against the exact AllPairs baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bayeslsh"
+)
+
+func main() {
+	// 1. Load a corpus. Synthetic gives a scaled-down analogue of the
+	// paper's RCV1 text collection; real applications build datasets
+	// with NewDataset + Add.
+	ds, err := bayeslsh.Synthetic("RCV1-sim")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// 2. Preprocess the way the paper does: Tf-Idf weights, unit norm.
+	ds = ds.TfIdf().Normalize()
+	st := ds.Stats()
+	fmt.Printf("corpus: %d vectors, %d dims, avg length %.0f\n", st.Vectors, st.Dim, st.AvgLen)
+
+	// 3. Build an engine for cosine similarity.
+	eng, err := bayeslsh.NewEngine(ds, bayeslsh.Cosine, bayeslsh.EngineConfig{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Search with BayesLSH verification on LSH candidates. ε, δ, γ
+	// default to the paper's settings (0.03, 0.05, 0.03).
+	out, err := eng.Search(bayeslsh.Options{
+		Algorithm: bayeslsh.LSHBayesLSH,
+		Threshold: 0.7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("LSH+BayesLSH: %d pairs, %d candidates (%d pruned), total %v\n",
+		len(out.Results), out.Candidates, out.Pruned, out.Total.Round(1e6))
+
+	// 5. Sanity-check against the exact baseline.
+	ref, err := eng.Search(bayeslsh.Options{
+		Algorithm: bayeslsh.AllPairs,
+		Threshold: 0.7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("AllPairs (exact): %d pairs, total %v\n", len(ref.Results), ref.Total.Round(1e6))
+
+	// 6. Show the highest-similarity estimates.
+	best := out.Results
+	for i := 0; i < len(best) && i < 5; i++ {
+		r := best[i]
+		fmt.Printf("  pair (%d, %d): estimated %.3f, exact %.3f\n",
+			r.A, r.B, r.Sim, ds.Similarity(bayeslsh.Cosine, r.A, r.B))
+	}
+}

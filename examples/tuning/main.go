@@ -1,0 +1,91 @@
+// Tuning: demonstrate the paper's §5.3 claim that BayesLSH's three
+// parameters trade quality for speed in an intuitive, monotone way —
+// sweep ε (recall), δ and γ (accuracy) one at a time and report the
+// resulting recall, estimation error and running time against exact
+// ground truth.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"bayeslsh"
+)
+
+func main() {
+	ds, err := bayeslsh.Synthetic("WikiWords100K-sim")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds = ds.TfIdf().Normalize()
+	const t = 0.7
+
+	// A fresh engine per run makes every sweep point pay its own
+	// hashing, so the reported times are comparable.
+	newEngine := func() *bayeslsh.Engine {
+		eng, err := bayeslsh.NewEngine(ds, bayeslsh.Cosine, bayeslsh.EngineConfig{Seed: 5})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return eng
+	}
+
+	truth, err := newEngine().Search(bayeslsh.Options{Algorithm: bayeslsh.AllPairs, Threshold: t})
+	if err != nil {
+		log.Fatal(err)
+	}
+	truthSet := map[[2]int]bool{}
+	for _, r := range truth.Results {
+		truthSet[[2]int{r.A, r.B}] = true
+	}
+	fmt.Printf("ground truth at t=%.1f: %d pairs\n\n", t, len(truth.Results))
+
+	run := func(eps, delta, gamma float64) (recall, errFrac float64, out *bayeslsh.Output) {
+		out, err := newEngine().Search(bayeslsh.Options{
+			Algorithm: bayeslsh.LSHBayesLSH, Threshold: t,
+			Epsilon: eps, Delta: delta, Gamma: gamma,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		hit, bad := 0, 0
+		for _, r := range out.Results {
+			a, b := r.A, r.B
+			if a > b {
+				a, b = b, a
+			}
+			if truthSet[[2]int{a, b}] {
+				hit++
+			}
+			if math.Abs(ds.Similarity(bayeslsh.Cosine, r.A, r.B)-r.Sim) > 0.05 {
+				bad++
+			}
+		}
+		recall = float64(hit) / float64(len(truth.Results))
+		if len(out.Results) > 0 {
+			errFrac = float64(bad) / float64(len(out.Results))
+		}
+		return recall, errFrac, out
+	}
+
+	fmt.Println("sweep epsilon (recall knob); delta=gamma=0.05:")
+	for _, eps := range []float64{0.01, 0.05, 0.09} {
+		rec, _, out := run(eps, 0.05, 0.05)
+		fmt.Printf("  eps=%.2f  recall=%.2f%%  verify=%v\n", eps, 100*rec, out.VerifyTime.Round(1e6))
+	}
+	fmt.Println("sweep gamma (estimate-confidence knob); eps=delta=0.05:")
+	for _, gamma := range []float64{0.01, 0.05, 0.09} {
+		_, ef, out := run(0.05, 0.05, gamma)
+		fmt.Printf("  gamma=%.2f  errors>0.05: %.1f%%  verify=%v\n", gamma, 100*ef, out.VerifyTime.Round(1e6))
+	}
+	fmt.Println("sweep delta (estimate-width knob); eps=gamma=0.05:")
+	for _, delta := range []float64{0.02, 0.05, 0.09} {
+		_, _, out := run(0.05, delta, 0.05)
+		fmt.Printf("  delta=%.2f  hashes compared=%d  verify=%v\n",
+			delta, out.HashesCompared, out.VerifyTime.Round(1e6))
+	}
+	fmt.Println("\nsmaller eps -> higher recall; smaller gamma/delta -> more accurate")
+	fmt.Println("estimates at the cost of more hash comparisons — no manual tuning of")
+	fmt.Println("the number of hashes anywhere.")
+}

@@ -1,0 +1,156 @@
+package allpairs
+
+import (
+	"testing"
+
+	"bayeslsh/internal/exact"
+	"bayeslsh/internal/pair"
+	"bayeslsh/internal/testutil"
+	"bayeslsh/internal/vector"
+)
+
+func TestSearchMatchesBruteForceCosine(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		c := testutil.SmallTextCorpus(t, 300, seed)
+		for _, th := range []float64{0.5, 0.7, 0.9} {
+			got, err := Search(c, th)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := exact.Search(c, exact.Cosine, th)
+			testutil.RequireSameResults(t, got, want, 1e-9)
+		}
+	}
+}
+
+func TestSearchMeasureJaccardMatchesBruteForce(t *testing.T) {
+	c := testutil.SmallBinaryCorpus(t, 300, 4)
+	for _, th := range []float64{0.3, 0.5, 0.7} {
+		got, err := SearchMeasure(c, exact.Jaccard, th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := exact.Search(c, exact.Jaccard, th)
+		testutil.RequireSameResults(t, got, want, 1e-9)
+	}
+}
+
+func TestSearchMeasureBinaryCosineMatchesBruteForce(t *testing.T) {
+	c := testutil.SmallBinaryCorpus(t, 300, 5)
+	for _, th := range []float64{0.5, 0.7, 0.9} {
+		got, err := SearchMeasure(c, exact.BinaryCosine, th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := exact.Search(c, exact.BinaryCosine, th)
+		testutil.RequireSameResults(t, got, want, 1e-9)
+	}
+}
+
+func TestCandidatesSupersetOfResults(t *testing.T) {
+	c := testutil.SmallTextCorpus(t, 300, 6)
+	th := 0.6
+	cands, err := Candidates(c, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := testutil.PairKeySet(cands)
+	for _, r := range exact.Search(c, exact.Cosine, th) {
+		if _, ok := ck[r.Pair().Key()]; !ok {
+			t.Fatalf("true positive %d-%d (sim %v) missing from candidates", r.A, r.B, r.Sim)
+		}
+	}
+	// And candidates should be far fewer than all pairs.
+	n := len(c.Vecs)
+	if len(cands) >= n*(n-1)/2 {
+		t.Errorf("candidate set (%d) not smaller than all pairs", len(cands))
+	}
+}
+
+func TestCandidatesMeasureJaccardSuperset(t *testing.T) {
+	c := testutil.SmallBinaryCorpus(t, 300, 7)
+	th := 0.4
+	cands, err := CandidatesMeasure(c, exact.Jaccard, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := testutil.PairKeySet(cands)
+	for _, r := range exact.Search(c, exact.Jaccard, th) {
+		if _, ok := ck[r.Pair().Key()]; !ok {
+			t.Fatalf("true positive %d-%d missing from Jaccard candidates", r.A, r.B)
+		}
+	}
+}
+
+func TestRejectsBadInput(t *testing.T) {
+	c := &vector.Collection{Dim: 3, Vecs: []vector.Vector{
+		vector.New([]vector.Entry{{Ind: 0, Val: 1}, {Ind: 1, Val: -2}}),
+	}}
+	if _, err := Search(c, 0.5); err == nil {
+		t.Error("negative weights accepted")
+	}
+	good := &vector.Collection{Dim: 3, Vecs: []vector.Vector{
+		vector.New([]vector.Entry{{Ind: 0, Val: 1}}),
+	}}
+	if _, err := Search(good, 0); err == nil {
+		t.Error("threshold 0 accepted")
+	}
+	if _, err := Search(good, 1.5); err == nil {
+		t.Error("threshold > 1 accepted")
+	}
+	if _, err := SearchMeasure(good, exact.Measure(42), 0.5); err == nil {
+		t.Error("unknown measure accepted")
+	}
+	unnormalized := &vector.Collection{Dim: 3, Vecs: []vector.Vector{
+		vector.New([]vector.Entry{{Ind: 0, Val: 2}, {Ind: 1, Val: 3}}),
+	}}
+	if _, err := Search(unnormalized, 0.5); err == nil {
+		t.Error("unnormalized input accepted; the pruning bounds would be unsound")
+	}
+}
+
+func TestEmptyAndSingletonCollections(t *testing.T) {
+	empty := &vector.Collection{Dim: 4}
+	if rs, err := Search(empty, 0.5); err != nil || len(rs) != 0 {
+		t.Errorf("empty collection: %v, %v", rs, err)
+	}
+	one := &vector.Collection{Dim: 4, Vecs: []vector.Vector{
+		vector.New([]vector.Entry{{Ind: 1, Val: 1}}),
+	}}
+	if rs, err := Search(one, 0.5); err != nil || len(rs) != 0 {
+		t.Errorf("singleton collection: %v, %v", rs, err)
+	}
+	withEmptyVec := &vector.Collection{Dim: 4, Vecs: []vector.Vector{
+		{},
+		vector.New([]vector.Entry{{Ind: 1, Val: 1}}),
+		vector.New([]vector.Entry{{Ind: 1, Val: 1}}),
+	}}
+	rs, err := Search(withEmptyVec, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].Pair() != pair.Make(1, 2) {
+		t.Errorf("identical pair not found: %v", rs)
+	}
+}
+
+func TestIdenticalVectorsFound(t *testing.T) {
+	v := vector.New([]vector.Entry{{Ind: 0, Val: 0.6}, {Ind: 2, Val: 0.8}})
+	c := &vector.Collection{Dim: 3, Vecs: []vector.Vector{v, v.Clone(), v.Clone()}}
+	rs, err := Search(c, 0.999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Errorf("expected 3 identical pairs, got %v", rs)
+	}
+}
+
+func TestJaccardCosineThreshold(t *testing.T) {
+	if got := JaccardCosineThreshold(1); got != 1 {
+		t.Errorf("map(1) = %v", got)
+	}
+	if got := JaccardCosineThreshold(0.5); got != 2*0.5/1.5 {
+		t.Errorf("map(0.5) = %v", got)
+	}
+}

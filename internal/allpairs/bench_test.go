@@ -1,0 +1,43 @@
+package allpairs
+
+import (
+	"testing"
+
+	"bayeslsh/internal/dataset"
+)
+
+func BenchmarkSearchCosine(b *testing.B) {
+	c, err := dataset.Generate(dataset.Spec{
+		Name: "bench", Kind: dataset.Text,
+		N: 1000, Dim: 5000, AvgLen: 50, ZipfS: 1.05,
+		ClusterFrac: 0.3, ClusterSize: 4, MutationRate: 0.25, Seed: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := c.TfIdf().Normalize()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Search(w, 0.7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCandidatesCosine(b *testing.B) {
+	c, err := dataset.Generate(dataset.Spec{
+		Name: "bench", Kind: dataset.Text,
+		N: 1000, Dim: 5000, AvgLen: 50, ZipfS: 1.05,
+		ClusterFrac: 0.3, ClusterSize: 4, MutationRate: 0.25, Seed: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := c.TfIdf().Normalize()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Candidates(w, 0.7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"fmt"
+
+	"bayeslsh/internal/pair"
+	"bayeslsh/internal/sighash"
+)
+
+// OneBitJaccardVerifier extends BayesLSH to 1-bit minwise hashing
+// (b-bit minhash with b = 1; Li and König, WWW 2010), realizing the
+// paper's §6 claim that the general algorithm adapts to any LSH
+// family. Signatures store only the lowest bit of each minhash, 32×
+// smaller than full minhash signatures, and hash comparison becomes
+// XOR + popcount.
+//
+// For sets with Jaccard similarity J, 1-bit hashes collide with
+// probability r = (1 + J)/2 (large-universe approximation), so all
+// inference runs over r ∈ [1/2, 1] with a uniform prior — exactly the
+// truncated-support machinery of the cosine instantiation with the
+// linear transform J = 2r − 1 in place of r2c.
+type OneBitJaccardVerifier struct {
+	params Params
+	sigs   [][]uint64
+	tr     float64 // threshold mapped to collision-probability space
+	ns     []int
+	minM   []int
+	conc   *concCache
+}
+
+// jToR maps a Jaccard similarity to the 1-bit collision probability.
+func jToR(j float64) float64 {
+	if j < 0 {
+		j = 0
+	}
+	if j > 1 {
+		j = 1
+	}
+	return (1 + j) / 2
+}
+
+// rToJ inverts jToR.
+func rToJ(r float64) float64 { return 2*r - 1 }
+
+// NewOneBitJaccard builds a verifier over packed 1-bit minhash
+// signatures (see minhash.PackOneBitAll) of at least p.MaxHashes bits.
+func NewOneBitJaccard(sigs [][]uint64, sigBits int, p Params) (*OneBitJaccardVerifier, error) {
+	if len(sigs) == 0 {
+		return nil, fmt.Errorf("core: no signatures")
+	}
+	params, err := p.withDefaults(sigBits)
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range sigs {
+		if len(s)*64 < params.MaxHashes {
+			return nil, fmt.Errorf("core: signature %d has %d bits, need %d", i, len(s)*64, params.MaxHashes)
+		}
+	}
+	v := &OneBitJaccardVerifier{
+		params: params,
+		sigs:   sigs,
+		tr:     jToR(params.Threshold),
+		ns:     rounds(params),
+	}
+	v.minM = minMatchesTable(v.ns, func(m, n int) bool {
+		return v.probAboveThreshold(m, n) >= params.Epsilon
+	})
+	v.conc = newConcCache(v.ns, params.K)
+	return v, nil
+}
+
+// Params returns the validated parameters in effect.
+func (v *OneBitJaccardVerifier) Params() Params { return v.params }
+
+// probAboveThreshold computes Pr[J >= t | M(m, n)] as the ratio of
+// posterior upper tails at jToR(t) and at the support floor 1/2.
+func (v *OneBitJaccardVerifier) probAboveThreshold(m, n int) float64 {
+	den := upperTail(0.5, m, n)
+	if den <= 0 {
+		return 0
+	}
+	return upperTail(v.tr, m, n) / den
+}
+
+// Estimate returns the MAP Jaccard estimate after M(m, n):
+// R̂ = m/n clamped to [1/2, 1], transformed by rToJ.
+func (v *OneBitJaccardVerifier) Estimate(m, n int) float64 {
+	r := float64(m) / float64(n)
+	if r < 0.5 {
+		r = 0.5
+	}
+	if r > 1 {
+		r = 1
+	}
+	return rToJ(r)
+}
+
+// concentrated reports whether Pr[|J − Ĵ| < δ | M(m, n)] >= 1 − γ,
+// evaluated in collision-probability space.
+func (v *OneBitJaccardVerifier) concentrated(m, n int) bool {
+	den := upperTail(0.5, m, n)
+	if den <= 0 {
+		return true
+	}
+	est := v.Estimate(m, n)
+	lo := jToR(est - v.params.Delta)
+	hi := jToR(est + v.params.Delta)
+	if lo < 0.5 {
+		lo = 0.5
+	}
+	num := upperTail(lo, m, n) - upperTail(hi, m, n)
+	return num/den >= 1-v.params.Gamma
+}
+
+// Verify runs BayesLSH (Algorithm 1) over the candidate pairs.
+func (v *OneBitJaccardVerifier) Verify(cands []pair.Pair) ([]pair.Result, Stats) {
+	st := Stats{Candidates: len(cands), SurvivorsByRound: make([]int, len(v.ns))}
+	out := make([]pair.Result, 0, len(cands)/8+1)
+	k := v.params.K
+	for _, c := range cands {
+		a, b := v.sigs[c.A], v.sigs[c.B]
+		m := 0
+		pruned := false
+		accepted := false
+		for round, n := range v.ns {
+			if ensure := v.params.Ensure; ensure != nil {
+				ensure(c.A, n)
+				ensure(c.B, n)
+			}
+			m += sighash.MatchCount(a, b, n-k, n)
+			st.HashesCompared += int64(k)
+			if m < v.minM[round] {
+				pruned = true
+				st.Pruned++
+				break
+			}
+			st.SurvivorsByRound[round]++
+			if cached, ok := v.conc.lookup(round, m); ok {
+				st.CacheHits++
+				accepted = cached
+			} else {
+				st.InferenceCalls++
+				cv := v.concentrated(m, n)
+				v.conc.store(round, m, cv)
+				accepted = cv
+			}
+			if accepted {
+				out = append(out, pair.Result{A: c.A, B: c.B, Sim: v.Estimate(m, n)})
+				for r := round + 1; r < len(v.ns); r++ {
+					st.SurvivorsByRound[r]++
+				}
+				break
+			}
+		}
+		if !pruned && !accepted {
+			out = append(out, pair.Result{A: c.A, B: c.B, Sim: v.Estimate(m, v.params.MaxHashes)})
+		}
+	}
+	st.Accepted = len(out)
+	return out, st
+}
+
+// VerifyLite runs BayesLSH-Lite (Algorithm 2) over 1-bit signatures.
+func (v *OneBitJaccardVerifier) VerifyLite(cands []pair.Pair, h int, sim ExactSimFunc) ([]pair.Result, Stats) {
+	nRounds := liteRounds(h, v.params.K, len(v.ns))
+	st := Stats{Candidates: len(cands), SurvivorsByRound: make([]int, nRounds)}
+	var out []pair.Result
+	k := v.params.K
+	for _, c := range cands {
+		a, b := v.sigs[c.A], v.sigs[c.B]
+		m := 0
+		pruned := false
+		for round := 0; round < nRounds; round++ {
+			n := v.ns[round]
+			if ensure := v.params.Ensure; ensure != nil {
+				ensure(c.A, n)
+				ensure(c.B, n)
+			}
+			m += sighash.MatchCount(a, b, n-k, n)
+			st.HashesCompared += int64(k)
+			if m < v.minM[round] {
+				pruned = true
+				st.Pruned++
+				break
+			}
+			st.SurvivorsByRound[round]++
+		}
+		if pruned {
+			continue
+		}
+		st.ExactVerified++
+		if s := sim(c.A, c.B); s >= v.params.Threshold {
+			out = append(out, pair.Result{A: c.A, B: c.B, Sim: s})
+		}
+	}
+	st.Accepted = len(out)
+	return out, st
+}

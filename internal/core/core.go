@@ -1,0 +1,199 @@
+// Package core implements BayesLSH and BayesLSH-Lite, the paper's
+// contribution (§4): Bayesian candidate pruning and similarity
+// estimation over LSH hash comparisons.
+//
+// Given candidate pairs from any generation algorithm, a verifier
+// compares the pairs' hashes k at a time. After each round it knows
+// the event M(m, n) — m of the first n hashes matched — and uses the
+// posterior distribution of the similarity S to decide between three
+// outcomes:
+//
+//   - prune, if Pr[S >= t | M(m, n)] < ε (the pair is very unlikely to
+//     be a true positive);
+//   - accept with the MAP estimate Ŝ, if
+//     Pr[|S − Ŝ| < δ | M(m, n)] >= 1 − γ (the estimate is concentrated
+//     enough) — BayesLSH;
+//   - keep comparing hashes.
+//
+// BayesLSH-Lite replaces the concentration test with a fixed budget of
+// h hashes, after which survivors are verified exactly.
+//
+// Two instantiations are provided: Jaccard (package-level minhash
+// signatures, conjugate Beta prior, §4.1) and Cosine (packed bit
+// signatures from random hyperplanes, uniform prior over the collision
+// probability r ∈ [0.5, 1], §4.2). Both implement the §4.3
+// optimizations: a precomputed minMatches(n) table replacing the
+// pruning inference, and an (m, n)-indexed cache for the concentration
+// inference.
+package core
+
+import (
+	"fmt"
+
+	"bayeslsh/internal/pair"
+)
+
+// Params configures a BayesLSH verifier.
+type Params struct {
+	// Threshold is the similarity threshold t of the search.
+	Threshold float64
+	// Epsilon is the recall parameter ε: pairs whose posterior
+	// probability of meeting the threshold falls below ε are pruned.
+	Epsilon float64
+	// Delta and Gamma are the accuracy parameters: accepted estimates
+	// satisfy Pr[|Ŝ − S| >= δ] < γ. They are ignored by Lite
+	// verification.
+	Delta, Gamma float64
+	// K is the number of hashes compared per round (default 32; the
+	// paper uses one machine word of cosine hashes at a time).
+	K int
+	// MaxHashes caps the number of hashes examined per pair (default:
+	// the full signature length, supplied by the constructor). If a
+	// pair is still unresolved at the cap, it is accepted with the
+	// current MAP estimate.
+	MaxHashes int
+	// Ensure, when non-nil, is called before hashes [0, n) of a
+	// vector's signature are read, so lazily-materialized signature
+	// stores can fill them on demand (the paper's "each point is only
+	// hashed as many times as is necessary").
+	Ensure func(id int32, n int)
+}
+
+// withDefaults validates p against a signature of length sigLen and
+// fills in defaults.
+func (p Params) withDefaults(sigLen int) (Params, error) {
+	if p.Threshold <= 0 || p.Threshold > 1 {
+		return p, fmt.Errorf("core: threshold %v outside (0, 1]", p.Threshold)
+	}
+	if p.Epsilon <= 0 || p.Epsilon >= 1 {
+		return p, fmt.Errorf("core: epsilon %v outside (0, 1)", p.Epsilon)
+	}
+	if p.Delta < 0 || p.Delta >= 1 {
+		return p, fmt.Errorf("core: delta %v outside [0, 1)", p.Delta)
+	}
+	if p.Gamma < 0 || p.Gamma >= 1 {
+		return p, fmt.Errorf("core: gamma %v outside [0, 1)", p.Gamma)
+	}
+	if p.K == 0 {
+		p.K = 32
+	}
+	if p.K < 0 {
+		return p, fmt.Errorf("core: K %d must be positive", p.K)
+	}
+	if p.MaxHashes == 0 {
+		p.MaxHashes = sigLen
+	}
+	if p.MaxHashes > sigLen {
+		return p, fmt.Errorf("core: MaxHashes %d exceeds signature length %d", p.MaxHashes, sigLen)
+	}
+	p.MaxHashes -= p.MaxHashes % p.K
+	if p.MaxHashes < p.K {
+		return p, fmt.Errorf("core: MaxHashes smaller than one round of K=%d hashes", p.K)
+	}
+	return p, nil
+}
+
+// Stats reports what a verification run did. Its counters regenerate
+// Figure 4 of the paper (candidates surviving per hashes examined).
+type Stats struct {
+	// Candidates is the number of input candidate pairs.
+	Candidates int
+	// Pruned counts pairs eliminated by the posterior threshold test.
+	Pruned int
+	// Accepted counts pairs that reached the output set.
+	Accepted int
+	// ExactVerified counts pairs verified by exact similarity (Lite).
+	ExactVerified int
+	// HashesCompared is the total number of hash comparisons.
+	HashesCompared int64
+	// SurvivorsByRound[i] is the number of candidates not yet pruned
+	// after (i+1)*K hashes were examined (accepted pairs count as
+	// survivors; this is Figure 4's y-axis).
+	SurvivorsByRound []int
+	// InferenceCalls counts posterior computations actually performed;
+	// CacheHits counts concentration decisions served from the cache.
+	InferenceCalls int
+	// CacheHits counts concentration queries answered by the cache.
+	CacheHits int
+}
+
+// rounds returns the per-round hash counts for params.
+func rounds(p Params) []int {
+	var ns []int
+	for n := p.K; n <= p.MaxHashes; n += p.K {
+		ns = append(ns, n)
+	}
+	return ns
+}
+
+// minMatchesTable precomputes, for each round's n, the smallest m such
+// that survive(m, n) holds (Pr[S >= t | M(m,n)] >= ε). survive must be
+// monotone non-decreasing in m for fixed n. A value of n+1 means no m
+// survives at that n.
+func minMatchesTable(ns []int, survive func(m, n int) bool) []int {
+	table := make([]int, len(ns))
+	for i, n := range ns {
+		lo, hi := 0, n+1 // invariant: lo-1 fails (or lo==0), hi survives or hi==n+1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if survive(mid, n) {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		table[i] = lo
+	}
+	return table
+}
+
+// concCache memoizes the concentration decision per (round, m). Values:
+// 0 unknown, 1 concentrated, 2 not concentrated.
+type concCache struct {
+	perRound [][]uint8
+	k        int
+}
+
+func newConcCache(ns []int, k int) *concCache {
+	c := &concCache{perRound: make([][]uint8, len(ns)), k: k}
+	for i, n := range ns {
+		c.perRound[i] = make([]uint8, n+1)
+	}
+	return c
+}
+
+// lookup returns the cached decision and whether it was present.
+func (c *concCache) lookup(round, m int) (bool, bool) {
+	switch c.perRound[round][m] {
+	case 1:
+		return true, true
+	case 2:
+		return false, true
+	default:
+		return false, false
+	}
+}
+
+func (c *concCache) store(round, m int, v bool) {
+	if v {
+		c.perRound[round][m] = 1
+	} else {
+		c.perRound[round][m] = 2
+	}
+}
+
+// ExactSimFunc computes the exact similarity of a candidate pair; it
+// is supplied to Lite verification by the caller (which knows the
+// collection and measure).
+type ExactSimFunc func(a, b int32) float64
+
+// Verifier is the common interface of the Jaccard and Cosine
+// instantiations of BayesLSH.
+type Verifier interface {
+	// Verify runs BayesLSH (Algorithm 1): prune and estimate.
+	Verify(cands []pair.Pair) ([]pair.Result, Stats)
+	// VerifyLite runs BayesLSH-Lite (Algorithm 2): prune within the
+	// first h hashes, then verify survivors exactly with sim, keeping
+	// pairs with similarity >= t.
+	VerifyLite(cands []pair.Pair, h int, sim ExactSimFunc) ([]pair.Result, Stats)
+}

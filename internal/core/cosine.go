@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+
+	"bayeslsh/internal/pair"
+	"bayeslsh/internal/sighash"
+	"bayeslsh/internal/stats"
+)
+
+// CosineVerifier is the §4.2 instantiation of BayesLSH: packed
+// random-hyperplane bit signatures and a uniform prior over the
+// collision probability r = 1 − θ/π ∈ [0.5, 1]. All inference happens
+// in r-space — the posterior after M(m, n) is proportional to
+// r^m (1−r)^(n−m) truncated to [0.5, 1] — and results are transformed
+// back to cosine space with r2c(r) = cos(π(1−r)).
+type CosineVerifier struct {
+	params Params
+	sigs   [][]uint64
+	tr     float64 // threshold mapped to r-space
+	ns     []int
+	minM   []int
+	conc   *concCache
+}
+
+// NewCosine builds a verifier over packed bit signatures of at least
+// p.MaxHashes bits (sigBits is the usable signature length in bits).
+func NewCosine(sigs [][]uint64, sigBits int, p Params) (*CosineVerifier, error) {
+	if len(sigs) == 0 {
+		return nil, fmt.Errorf("core: no signatures")
+	}
+	params, err := p.withDefaults(sigBits)
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range sigs {
+		if len(s)*64 < params.MaxHashes {
+			return nil, fmt.Errorf("core: signature %d has %d bits, need %d", i, len(s)*64, params.MaxHashes)
+		}
+	}
+	v := &CosineVerifier{
+		params: params,
+		sigs:   sigs,
+		tr:     sighash.CosineToR(params.Threshold),
+		ns:     rounds(params),
+	}
+	v.minM = minMatchesTable(v.ns, func(m, n int) bool {
+		return v.probAboveThreshold(m, n) >= params.Epsilon
+	})
+	v.conc = newConcCache(v.ns, params.K)
+	return v, nil
+}
+
+// Params returns the validated parameters in effect.
+func (v *CosineVerifier) Params() Params { return v.params }
+
+// upperTail returns Pr[R >= x] under the untruncated Beta(m+1, n−m+1)
+// law, computed as I_{1−x}(n−m+1, m+1) to avoid the cancellation of
+// 1 − I_x(·) when the tail is tiny.
+func upperTail(x float64, m, n int) float64 {
+	return stats.RegIncBeta(1-x, float64(n-m+1), float64(m+1))
+}
+
+// probAboveThreshold computes Pr[S >= t | M(m, n)] (Equation 3 for the
+// cosine instantiation):
+//
+//	(B₁ − B_tr) / (B₁ − B_0.5)  with B_x = B_x(m+1, n−m+1),
+//
+// i.e. the ratio of upper tails at tr and at 0.5 of the truncated
+// posterior.
+func (v *CosineVerifier) probAboveThreshold(m, n int) float64 {
+	den := upperTail(0.5, m, n)
+	if den <= 0 {
+		// The posterior mass on [0.5, 1] has underflowed entirely;
+		// such a pair is nowhere near the threshold.
+		return 0
+	}
+	return upperTail(v.tr, m, n) / den
+}
+
+// Estimate returns the MAP cosine estimate after M(m, n) (Equation 4):
+// R̂ = m/n clamped to the support [0.5, 1], transformed by r2c.
+func (v *CosineVerifier) Estimate(m, n int) float64 {
+	r := float64(m) / float64(n)
+	if r < 0.5 {
+		r = 0.5
+	}
+	if r > 1 {
+		r = 1
+	}
+	return sighash.RToCosine(r)
+}
+
+// concentrated reports whether Pr[|S − Ŝ| < δ | M(m, n)] >= 1 − γ
+// (Equation 6 for the cosine instantiation), evaluated in r-space as
+// (B_{c2r(Ŝ+δ)} − B_{c2r(Ŝ−δ)}) / (B₁ − B_0.5).
+func (v *CosineVerifier) concentrated(m, n int) bool {
+	den := upperTail(0.5, m, n)
+	if den <= 0 {
+		return true // degenerate; the pair will have been pruned
+	}
+	est := v.Estimate(m, n)
+	lo := sighash.CosineToR(est - v.params.Delta)
+	hi := sighash.CosineToR(est + v.params.Delta)
+	if lo < 0.5 {
+		lo = 0.5
+	}
+	num := upperTail(lo, m, n) - upperTail(hi, m, n)
+	return num/den >= 1-v.params.Gamma
+}
+
+// Verify runs BayesLSH (Algorithm 1) over the candidate pairs.
+func (v *CosineVerifier) Verify(cands []pair.Pair) ([]pair.Result, Stats) {
+	st := Stats{Candidates: len(cands), SurvivorsByRound: make([]int, len(v.ns))}
+	out := make([]pair.Result, 0, len(cands)/8+1)
+	k := v.params.K
+	for _, c := range cands {
+		a, b := v.sigs[c.A], v.sigs[c.B]
+		m := 0
+		pruned := false
+		accepted := false
+		for round, n := range v.ns {
+			if ensure := v.params.Ensure; ensure != nil {
+				ensure(c.A, n)
+				ensure(c.B, n)
+			}
+			m += sighash.MatchCount(a, b, n-k, n)
+			st.HashesCompared += int64(k)
+			if m < v.minM[round] {
+				pruned = true
+				st.Pruned++
+				break
+			}
+			st.SurvivorsByRound[round]++
+			if cached, ok := v.conc.lookup(round, m); ok {
+				st.CacheHits++
+				accepted = cached
+			} else {
+				st.InferenceCalls++
+				cv := v.concentrated(m, n)
+				v.conc.store(round, m, cv)
+				accepted = cv
+			}
+			if accepted {
+				out = append(out, pair.Result{A: c.A, B: c.B, Sim: v.Estimate(m, n)})
+				for r := round + 1; r < len(v.ns); r++ {
+					st.SurvivorsByRound[r]++
+				}
+				break
+			}
+		}
+		if !pruned && !accepted {
+			out = append(out, pair.Result{A: c.A, B: c.B, Sim: v.Estimate(m, v.params.MaxHashes)})
+		}
+	}
+	st.Accepted = len(out)
+	return out, st
+}
+
+// VerifyLite runs BayesLSH-Lite (Algorithm 2): prune within the first
+// h hashes, then compute exact similarities for survivors.
+func (v *CosineVerifier) VerifyLite(cands []pair.Pair, h int, sim ExactSimFunc) ([]pair.Result, Stats) {
+	nRounds := liteRounds(h, v.params.K, len(v.ns))
+	st := Stats{Candidates: len(cands), SurvivorsByRound: make([]int, nRounds)}
+	var out []pair.Result
+	k := v.params.K
+	for _, c := range cands {
+		a, b := v.sigs[c.A], v.sigs[c.B]
+		m := 0
+		pruned := false
+		for round := 0; round < nRounds; round++ {
+			n := v.ns[round]
+			if ensure := v.params.Ensure; ensure != nil {
+				ensure(c.A, n)
+				ensure(c.B, n)
+			}
+			m += sighash.MatchCount(a, b, n-k, n)
+			st.HashesCompared += int64(k)
+			if m < v.minM[round] {
+				pruned = true
+				st.Pruned++
+				break
+			}
+			st.SurvivorsByRound[round]++
+		}
+		if pruned {
+			continue
+		}
+		st.ExactVerified++
+		if s := sim(c.A, c.B); s >= v.params.Threshold {
+			out = append(out, pair.Result{A: c.A, B: c.B, Sim: s})
+		}
+	}
+	st.Accepted = len(out)
+	return out, st
+}

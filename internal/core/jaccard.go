@@ -1,0 +1,207 @@
+package core
+
+import (
+	"fmt"
+
+	"bayeslsh/internal/minhash"
+	"bayeslsh/internal/pair"
+	"bayeslsh/internal/rng"
+	"bayeslsh/internal/stats"
+	"bayeslsh/internal/vector"
+)
+
+// JaccardVerifier is the §4.1 instantiation of BayesLSH: minhash
+// signatures, a conjugate Beta(α, β) prior over the Jaccard
+// similarity, and a Beta(m+α, n−m+β) posterior after observing the
+// event M(m, n).
+type JaccardVerifier struct {
+	params Params
+	prior  stats.Beta
+	sigs   [][]uint32
+	ns     []int
+	minM   []int
+	conc   *concCache
+}
+
+// NewJaccard builds a verifier over precomputed minhash signatures.
+// prior is typically learned from a sample of candidate similarities
+// with FitJaccardPrior; the uniform stats.Beta{Alpha: 1, Beta: 1} is a
+// safe default.
+func NewJaccard(sigs [][]uint32, prior stats.Beta, p Params) (*JaccardVerifier, error) {
+	if len(sigs) == 0 {
+		return nil, fmt.Errorf("core: no signatures")
+	}
+	if !prior.Valid() {
+		return nil, fmt.Errorf("core: invalid prior %v", prior)
+	}
+	params, err := p.withDefaults(len(sigs[0]))
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range sigs {
+		if len(s) < params.MaxHashes {
+			return nil, fmt.Errorf("core: signature %d has %d hashes, need %d", i, len(s), params.MaxHashes)
+		}
+	}
+	v := &JaccardVerifier{params: params, prior: prior, sigs: sigs, ns: rounds(params)}
+	v.minM = minMatchesTable(v.ns, func(m, n int) bool {
+		return v.probAboveThreshold(m, n) >= params.Epsilon
+	})
+	v.conc = newConcCache(v.ns, params.K)
+	return v, nil
+}
+
+// Params returns the validated parameters in effect.
+func (v *JaccardVerifier) Params() Params { return v.params }
+
+// posterior returns the Beta posterior after the event M(m, n).
+func (v *JaccardVerifier) posterior(m, n int) stats.Beta {
+	return stats.Beta{Alpha: float64(m) + v.prior.Alpha, Beta: float64(n-m) + v.prior.Beta}
+}
+
+// probAboveThreshold computes Pr[S >= t | M(m, n)] (Equation 3):
+// 1 − I_t(m+α, n−m+β).
+func (v *JaccardVerifier) probAboveThreshold(m, n int) float64 {
+	return v.posterior(m, n).SF(v.params.Threshold)
+}
+
+// Estimate returns the MAP similarity estimate after M(m, n)
+// (Equation 4): the posterior mode (m+α−1)/(n+α+β−2).
+func (v *JaccardVerifier) Estimate(m, n int) float64 {
+	return v.posterior(m, n).Mode()
+}
+
+// concentrated reports whether Pr[|S − Ŝ| < δ | M(m, n)] >= 1 − γ
+// (Equation 6): I_{Ŝ+δ}(m+α, n−m+β) − I_{Ŝ−δ}(m+α, n−m+β).
+func (v *JaccardVerifier) concentrated(m, n int) bool {
+	post := v.posterior(m, n)
+	est := post.Mode()
+	return post.IntervalProb(est-v.params.Delta, est+v.params.Delta) >= 1-v.params.Gamma
+}
+
+// Verify runs BayesLSH (Algorithm 1) over the candidate pairs.
+func (v *JaccardVerifier) Verify(cands []pair.Pair) ([]pair.Result, Stats) {
+	st := Stats{Candidates: len(cands), SurvivorsByRound: make([]int, len(v.ns))}
+	out := make([]pair.Result, 0, len(cands)/8+1)
+	k := v.params.K
+	for _, c := range cands {
+		a, b := v.sigs[c.A], v.sigs[c.B]
+		m := 0
+		pruned := false
+		accepted := false
+		for round, n := range v.ns {
+			if ensure := v.params.Ensure; ensure != nil {
+				ensure(c.A, n)
+				ensure(c.B, n)
+			}
+			m += minhash.Matches(a, b, n-k, n)
+			st.HashesCompared += int64(k)
+			if m < v.minM[round] {
+				pruned = true
+				st.Pruned++
+				// Rounds not reached count this pair as gone.
+				break
+			}
+			st.SurvivorsByRound[round]++
+			if cached, ok := v.conc.lookup(round, m); ok {
+				st.CacheHits++
+				if cached {
+					accepted = true
+				}
+			} else {
+				st.InferenceCalls++
+				cv := v.concentrated(m, n)
+				v.conc.store(round, m, cv)
+				if cv {
+					accepted = true
+				}
+			}
+			if accepted {
+				out = append(out, pair.Result{A: c.A, B: c.B, Sim: v.Estimate(m, n)})
+				// Later rounds still count an accepted pair as a
+				// survivor (it reached the output set).
+				for r := round + 1; r < len(v.ns); r++ {
+					st.SurvivorsByRound[r]++
+				}
+				break
+			}
+		}
+		if !pruned && !accepted {
+			// Ran out of hashes: accept with the current estimate.
+			out = append(out, pair.Result{A: c.A, B: c.B, Sim: v.Estimate(m, v.params.MaxHashes)})
+		}
+	}
+	st.Accepted = len(out)
+	return out, st
+}
+
+// VerifyLite runs BayesLSH-Lite (Algorithm 2): prune within the first
+// h hashes, then compute exact similarities for survivors.
+func (v *JaccardVerifier) VerifyLite(cands []pair.Pair, h int, sim ExactSimFunc) ([]pair.Result, Stats) {
+	nRounds := liteRounds(h, v.params.K, len(v.ns))
+	st := Stats{Candidates: len(cands), SurvivorsByRound: make([]int, nRounds)}
+	var out []pair.Result
+	k := v.params.K
+	for _, c := range cands {
+		a, b := v.sigs[c.A], v.sigs[c.B]
+		m := 0
+		pruned := false
+		for round := 0; round < nRounds; round++ {
+			n := v.ns[round]
+			if ensure := v.params.Ensure; ensure != nil {
+				ensure(c.A, n)
+				ensure(c.B, n)
+			}
+			m += minhash.Matches(a, b, n-k, n)
+			st.HashesCompared += int64(k)
+			if m < v.minM[round] {
+				pruned = true
+				st.Pruned++
+				break
+			}
+			st.SurvivorsByRound[round]++
+		}
+		if pruned {
+			continue
+		}
+		st.ExactVerified++
+		if s := sim(c.A, c.B); s >= v.params.Threshold {
+			out = append(out, pair.Result{A: c.A, B: c.B, Sim: s})
+		}
+	}
+	st.Accepted = len(out)
+	return out, st
+}
+
+// liteRounds converts the Lite hash budget h into a round count,
+// rounding up to whole rounds and clamping to the available table.
+func liteRounds(h, k, maxRounds int) int {
+	if h <= 0 {
+		return maxRounds
+	}
+	r := (h + k - 1) / k
+	if r < 1 {
+		r = 1
+	}
+	if r > maxRounds {
+		r = maxRounds
+	}
+	return r
+}
+
+// FitJaccardPrior learns a Beta prior by method-of-moments from the
+// exact Jaccard similarities of up to sampleSize randomly chosen
+// candidate pairs, as §4.1 prescribes. With no candidates it returns
+// the uniform prior.
+func FitJaccardPrior(c *vector.Collection, cands []pair.Pair, sampleSize int, seed uint64) stats.Beta {
+	if len(cands) == 0 || sampleSize <= 0 {
+		return stats.Beta{Alpha: 1, Beta: 1}
+	}
+	src := rng.New(seed)
+	sims := make([]float64, 0, sampleSize)
+	for i := 0; i < sampleSize; i++ {
+		p := cands[src.Intn(len(cands))]
+		sims = append(sims, vector.Jaccard(c.Vecs[p.A], c.Vecs[p.B]))
+	}
+	return stats.FitBetaMoments(sims)
+}

@@ -1,0 +1,196 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"bayeslsh/internal/vector"
+)
+
+func TestSpecValidate(t *testing.T) {
+	good := Spec{Name: "x", Kind: Text, N: 10, Dim: 100, AvgLen: 5, ZipfS: 1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	bad := []Spec{
+		{Name: "n", N: 0, Dim: 10, AvgLen: 5},
+		{Name: "l", N: 10, Dim: 10, AvgLen: 0},
+		{Name: "d", Kind: Text, N: 10, Dim: 0, AvgLen: 5},
+		{Name: "cf", Kind: Text, N: 10, Dim: 10, AvgLen: 5, ClusterFrac: 1.5},
+		{Name: "mr", Kind: Text, N: 10, Dim: 10, AvgLen: 5, MutationRate: -0.1},
+		{Name: "cs", Kind: Text, N: 10, Dim: 10, AvgLen: 5, ClusterFrac: 0.5, ClusterSize: 1},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %q accepted, want error", s.Name)
+		}
+	}
+	if _, err := Generate(Spec{Name: "k", Kind: Kind(99), N: 10, Dim: 10, AvgLen: 5}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestGenerateTextShape(t *testing.T) {
+	spec := Spec{
+		Name: "t", Kind: Text, N: 500, Dim: 5000, AvgLen: 40, ZipfS: 1.05,
+		ClusterFrac: 0.3, ClusterSize: 4, MutationRate: 0.2, Seed: 1,
+	}
+	c, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	if s.Vectors != 500 {
+		t.Errorf("got %d vectors", s.Vectors)
+	}
+	if s.AvgLen < 20 || s.AvgLen > 60 {
+		t.Errorf("AvgLen = %v, want near 40", s.AvgLen)
+	}
+}
+
+func TestGenerateTextDeterministic(t *testing.T) {
+	spec := Spec{Name: "t", Kind: Text, N: 100, Dim: 1000, AvgLen: 20, ZipfS: 1, Seed: 7}
+	a, _ := Generate(spec)
+	b, _ := Generate(spec)
+	for i := range a.Vecs {
+		if !vector.Equal(a.Vecs[i], b.Vecs[i]) {
+			t.Fatalf("vector %d differs across identical generations", i)
+		}
+	}
+	spec.Seed = 8
+	cOther, _ := Generate(spec)
+	identical := 0
+	for i := range a.Vecs {
+		if vector.Equal(a.Vecs[i], cOther.Vecs[i]) {
+			identical++
+		}
+	}
+	if identical == len(a.Vecs) {
+		t.Error("different seeds produced identical corpus")
+	}
+}
+
+func TestPlantedClustersHaveHighSimilarity(t *testing.T) {
+	spec := Spec{
+		Name: "t", Kind: Text, N: 400, Dim: 5000, AvgLen: 60, ZipfS: 1.05,
+		ClusterFrac: 0.5, ClusterSize: 4, MutationRate: 0.2, Seed: 3,
+	}
+	c, _ := Generate(spec)
+	w := c.TfIdf().Normalize()
+	// The first ClusterSize vectors belong to the first planted
+	// cluster; their pairwise cosine should be clearly higher than
+	// that of random pairs.
+	intra := vector.Cosine(w.Vecs[0], w.Vecs[1])
+	inter := vector.Cosine(w.Vecs[0], w.Vecs[350])
+	if intra < 0.5 {
+		t.Errorf("intra-cluster cosine = %v, want >= 0.5", intra)
+	}
+	if inter > intra/2 {
+		t.Errorf("inter-cluster cosine %v not clearly below intra %v", inter, intra)
+	}
+}
+
+func TestGenerateGraphShape(t *testing.T) {
+	spec := Spec{
+		Name: "g", Kind: Graph, N: 1000, AvgLen: 20,
+		ClusterFrac: 0.25, ClusterSize: 5, MutationRate: 0.2, Seed: 4,
+	}
+	c, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Dim != spec.N {
+		t.Errorf("graph Dim = %d, want N = %d", c.Dim, spec.N)
+	}
+	s := c.Stats()
+	if s.AvgLen < 10 || s.AvgLen > 60 {
+		t.Errorf("graph AvgLen = %v, want near 20-40", s.AvgLen)
+	}
+}
+
+func TestGraphHasHeavyTailedDegrees(t *testing.T) {
+	spec := Spec{Name: "g", Kind: Graph, N: 2000, AvgLen: 20, Seed: 5}
+	c, _ := Generate(spec)
+	s := c.Stats()
+	// Preferential attachment should give length variance well above a
+	// Poisson-like corpus (variance ≈ mean). The paper's explanation of
+	// AllPairs' advantage on graphs hinges on this dispersion.
+	if s.LenVar < 3*s.AvgLen {
+		t.Errorf("LenVar = %v, AvgLen = %v: degree distribution not heavy-tailed",
+			s.LenVar, s.AvgLen)
+	}
+}
+
+func TestGraphCommunitiesHaveHighSimilarity(t *testing.T) {
+	spec := Spec{
+		Name: "g", Kind: Graph, N: 1000, AvgLen: 20,
+		ClusterFrac: 0.5, ClusterSize: 5, MutationRate: 0.15, Seed: 6,
+	}
+	c, _ := Generate(spec)
+	b := c.Binarize()
+	// Community members occupy the tail of the id range; the last two
+	// nodes belong to the same (final) community.
+	n := len(b.Vecs)
+	j := vector.Jaccard(b.Vecs[n-1], b.Vecs[n-2])
+	if j < 0.3 {
+		t.Errorf("intra-community Jaccard = %v, want >= 0.3", j)
+	}
+}
+
+func TestStandardSpecsGenerate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates all six standard corpora")
+	}
+	for _, spec := range Standard() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			c, err := Generate(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if len(c.Vecs) != spec.N {
+				t.Errorf("got %d vectors, want %d", len(c.Vecs), spec.N)
+			}
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("RCV1-sim")
+	if err != nil || s.Name != "RCV1-sim" {
+		t.Errorf("ByName: %v, %v", s, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Text.String() != "text" || Graph.String() != "graph" {
+		t.Error("Kind.String broken")
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind should still print")
+	}
+}
+
+func TestTextLengthDispersionReasonable(t *testing.T) {
+	spec := Spec{Name: "t", Kind: Text, N: 800, Dim: 8000, AvgLen: 100, ZipfS: 1.0, Seed: 9}
+	c, _ := Generate(spec)
+	s := c.Stats()
+	cv := math.Sqrt(s.LenVar) / s.AvgLen
+	// Text corpora should have mild dispersion (CV well below 1),
+	// unlike the graph corpora.
+	if cv > 0.8 {
+		t.Errorf("text length CV = %v, want < 0.8", cv)
+	}
+}

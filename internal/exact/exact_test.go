@@ -1,0 +1,67 @@
+package exact
+
+import (
+	"testing"
+
+	"bayeslsh/internal/pair"
+	"bayeslsh/internal/vector"
+)
+
+func v(entries ...vector.Entry) vector.Vector { return vector.New(entries) }
+
+func TestMeasureSimAndString(t *testing.T) {
+	a := v(vector.Entry{Ind: 0, Val: 3}, vector.Entry{Ind: 1, Val: 4})
+	b := v(vector.Entry{Ind: 0, Val: 3})
+	if got := Cosine.Sim(a, b); got != 3.0/5 {
+		t.Errorf("cosine = %v", got)
+	}
+	if got := Jaccard.Sim(a, b); got != 0.5 {
+		t.Errorf("jaccard = %v", got)
+	}
+	if got := BinaryCosine.Sim(a, b); got > 0.7072 || got < 0.7070 {
+		t.Errorf("binary cosine = %v", got)
+	}
+	for _, m := range []Measure{Cosine, Jaccard, BinaryCosine, Measure(9)} {
+		if m.String() == "" {
+			t.Errorf("empty String for %d", int(m))
+		}
+	}
+}
+
+func TestMeasureSimPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown measure did not panic")
+		}
+	}()
+	Measure(9).Sim(vector.Vector{}, vector.Vector{})
+}
+
+func TestSearchFindsAllQualifyingPairs(t *testing.T) {
+	c := &vector.Collection{Dim: 4, Vecs: []vector.Vector{
+		v(vector.Entry{Ind: 0, Val: 1}),
+		v(vector.Entry{Ind: 0, Val: 2}),
+		v(vector.Entry{Ind: 1, Val: 1}),
+		{}, // empty vectors are skipped
+	}}
+	rs := Search(c, Cosine, 0.9)
+	if len(rs) != 1 || rs[0].Pair() != pair.Make(0, 1) {
+		t.Errorf("Search = %v", rs)
+	}
+	if rs[0].Sim != 1 {
+		t.Errorf("sim = %v", rs[0].Sim)
+	}
+}
+
+func TestVerifyFilters(t *testing.T) {
+	c := &vector.Collection{Dim: 4, Vecs: []vector.Vector{
+		v(vector.Entry{Ind: 0, Val: 1}),
+		v(vector.Entry{Ind: 0, Val: 2}),
+		v(vector.Entry{Ind: 1, Val: 1}),
+	}}
+	cands := []pair.Pair{pair.Make(0, 1), pair.Make(0, 2)}
+	rs := Verify(c, Cosine, 0.5, cands)
+	if len(rs) != 1 || rs[0].Pair() != pair.Make(0, 1) {
+		t.Errorf("Verify = %v", rs)
+	}
+}

@@ -1,0 +1,54 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"bayeslsh"
+)
+
+// Ext1 evaluates the repository's implementation of the paper's §6
+// extension direction: BayesLSH over 1-bit minwise signatures (b-bit
+// minhash, b = 1). For each Jaccard threshold it compares standard
+// AP+BayesLSH (32-bit minhashes) against the same pipeline with
+// 1-bit signatures: total time, recall, estimate quality. The 1-bit
+// variant stores 32× less signature data per hash and compares hashes
+// with XOR+popcount, at the cost of roughly double the hash
+// comparisons for equal confidence.
+func Ext1(w io.Writer, cfg Config) error {
+	name := "WikiWords500K-sim"
+	if cfg.Quick {
+		name = "RCV1-sim"
+	}
+	if len(cfg.Datasets) > 0 {
+		name = cfg.Datasets[0]
+	}
+	r := newMatrixRunner(cfg, bayeslsh.Jaccard)
+	fmt.Fprintf(w, "# Extension 1: 1-bit minwise BayesLSH vs standard minhash BayesLSH (%s, AP candidates)\n", name)
+	fmt.Fprintln(w, "threshold\tvariant\ttotal_time\trecall%\terr>0.05%\thashes_compared")
+	for _, t := range thresholds(bayeslsh.Jaccard, cfg.Quick) {
+		std, err := r.runCell(name, bayeslsh.AllPairsBayesLSH, t, bayeslsh.Options{})
+		if err != nil {
+			return err
+		}
+		onebit, err := r.runCell(name, bayeslsh.AllPairsBayesLSH, t,
+			bayeslsh.Options{OneBitMinhash: true})
+		if err != nil {
+			return err
+		}
+		for _, c := range []struct {
+			label string
+			cell  *Cell
+		}{{"minhash-32bit", std}, {"minhash-1bit", onebit}} {
+			if c.cell.TimedOut {
+				fmt.Fprintf(w, "%.1f\t%s\ttimeout\t-\t-\t-\n", t, c.label)
+				continue
+			}
+			fmt.Fprintf(w, "%.1f\t%s\t%s\t%.2f\t%.2f\t%d\n",
+				t, c.label, fmtDur(c.cell.Output.Total),
+				100*c.cell.Recall, 100*c.cell.ErrFrac,
+				c.cell.Output.HashesCompared)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,332 @@
+// Package harness drives the experiments of §5 of the BayesLSH paper:
+// it runs every (dataset, measure, algorithm, threshold) cell of the
+// evaluation matrix on the synthetic corpora, computes recall and
+// accuracy against exact ground truth, and formats the same rows and
+// series the paper's tables and figures report.
+//
+// Every experiment has an id (fig1..fig5, tab1..tab5) matching the
+// paper's numbering; Run dispatches on it. The cmd/experiments binary
+// is a thin CLI over this package, and bench_test.go at the module
+// root wraps each experiment in a testing.B benchmark.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+
+	"bayeslsh"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Seed drives all randomized components.
+	Seed uint64
+	// Quick trims datasets and thresholds for fast smoke runs.
+	Quick bool
+	// Datasets optionally restricts the corpora (by synthetic name).
+	Datasets []string
+	// CellTimeout bounds one (algorithm, dataset, threshold) cell —
+	// the scaled-down analogue of the paper's 50-hour per-run cap.
+	// Cells that exceed it are reported as timed out, exactly as the
+	// paper reports missing lines and "≥" speedups. Default 2 minutes
+	// (30 s with Quick).
+	CellTimeout time.Duration
+}
+
+func (c Config) cellTimeout() time.Duration {
+	if c.CellTimeout > 0 {
+		return c.CellTimeout
+	}
+	if c.Quick {
+		return 30 * time.Second
+	}
+	return 2 * time.Minute
+}
+
+// Experiments lists the available experiment ids: the paper's figures
+// and tables in order, then the repository's extension experiments.
+func Experiments() []string {
+	return []string{"fig1", "fig2", "fig3", "fig4", "fig5",
+		"tab1", "tab2", "tab3", "tab4", "tab5", "ext1"}
+}
+
+// Run executes one experiment by id, writing its rows/series to w.
+func Run(id string, w io.Writer, cfg Config) error {
+	switch id {
+	case "fig1":
+		return Fig1(w)
+	case "fig2":
+		return Fig2(w, cfg)
+	case "fig3":
+		return Fig3(w, cfg)
+	case "fig4":
+		return Fig4(w, cfg)
+	case "fig5":
+		return Fig5(w)
+	case "tab1":
+		return Tab1(w, cfg)
+	case "tab2":
+		return Tab2(w, cfg)
+	case "tab3":
+		return Tab3(w, cfg)
+	case "tab4":
+		return Tab4(w, cfg)
+	case "tab5":
+		return Tab5(w, cfg)
+	case "ext1":
+		return Ext1(w, cfg)
+	default:
+		return fmt.Errorf("harness: unknown experiment %q (have %v)", id, Experiments())
+	}
+}
+
+// weightedNames and binaryNames select the corpora used for the
+// weighted-cosine and binary experiments, as in the paper (binary
+// experiments run on the three largest corpora).
+func weightedNames(cfg Config) []string {
+	if len(cfg.Datasets) > 0 {
+		return cfg.Datasets
+	}
+	if cfg.Quick {
+		return []string{"RCV1-sim", "WikiLinks-sim"}
+	}
+	return bayeslsh.SyntheticNames()
+}
+
+func binaryNames(cfg Config) []string {
+	if len(cfg.Datasets) > 0 {
+		return cfg.Datasets
+	}
+	if cfg.Quick {
+		return []string{"RCV1-sim"}
+	}
+	return []string{"WikiWords500K-sim", "Orkut-sim", "Twitter-sim"}
+}
+
+// thresholds returns the paper's threshold sweep per measure.
+func thresholds(m bayeslsh.Measure, quick bool) []float64 {
+	var ts []float64
+	if m == bayeslsh.Jaccard {
+		ts = []float64{0.3, 0.4, 0.5, 0.6, 0.7}
+	} else {
+		ts = []float64{0.5, 0.6, 0.7, 0.8, 0.9}
+	}
+	if quick {
+		return []float64{ts[0], ts[2], ts[4]}
+	}
+	return ts
+}
+
+// loadWeighted prepares a synthetic corpus for weighted cosine:
+// Tf-Idf weighting plus unit normalization, as in the paper.
+func loadWeighted(name string) (*bayeslsh.Dataset, error) {
+	ds, err := bayeslsh.Synthetic(name)
+	if err != nil {
+		return nil, err
+	}
+	return ds.TfIdf().Normalize(), nil
+}
+
+// loadBinary prepares a synthetic corpus for the binary measures.
+func loadBinary(name string) (*bayeslsh.Dataset, error) {
+	ds, err := bayeslsh.Synthetic(name)
+	if err != nil {
+		return nil, err
+	}
+	return ds.Binarize(), nil
+}
+
+func load(name string, m bayeslsh.Measure) (*bayeslsh.Dataset, error) {
+	if m == bayeslsh.Cosine {
+		return loadWeighted(name)
+	}
+	return loadBinary(name)
+}
+
+// Cell is one evaluated cell of the experiment matrix.
+type Cell struct {
+	Dataset   string
+	Measure   bayeslsh.Measure
+	Algorithm bayeslsh.Algorithm
+	Threshold float64
+	Output    *bayeslsh.Output
+	// Recall is |found ∩ truth| / |truth| against exact ground truth.
+	Recall float64
+	// ErrFrac is the fraction of reported similarities off by more
+	// than 0.05 from the exact similarity; MeanErr the mean absolute
+	// error. Both are 0 for exact pipelines.
+	ErrFrac float64
+	MeanErr float64
+	// TimedOut marks a cell killed by Config.CellTimeout; its Output
+	// holds only the timeout duration as a lower bound on the true
+	// cost (the paper's "≥" entries).
+	TimedOut bool
+}
+
+// matrixRunner runs cells, caching ground truth per (dataset,
+// threshold) and reusing loaded datasets.
+type matrixRunner struct {
+	cfg     Config
+	measure bayeslsh.Measure
+	ds      map[string]*bayeslsh.Dataset
+	truth   map[string]map[[2]int]float64 // dataset+threshold → pairs
+}
+
+func newMatrixRunner(cfg Config, m bayeslsh.Measure) *matrixRunner {
+	return &matrixRunner{
+		cfg:     cfg,
+		measure: m,
+		ds:      map[string]*bayeslsh.Dataset{},
+		truth:   map[string]map[[2]int]float64{},
+	}
+}
+
+func (r *matrixRunner) dataset(name string) (*bayeslsh.Dataset, error) {
+	if d, ok := r.ds[name]; ok {
+		return d, nil
+	}
+	d, err := load(name, r.measure)
+	if err != nil {
+		return nil, err
+	}
+	r.ds[name] = d
+	return d, nil
+}
+
+// groundTruth computes (and caches) the exact result set via AllPairs.
+func (r *matrixRunner) groundTruth(name string, t float64) (map[[2]int]float64, error) {
+	key := fmt.Sprintf("%s@%g", name, t)
+	if m, ok := r.truth[key]; ok {
+		return m, nil
+	}
+	d, err := r.dataset(name)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := bayeslsh.NewEngine(d, r.measure, bayeslsh.EngineConfig{Seed: r.cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	out, err := eng.Search(bayeslsh.Options{Algorithm: bayeslsh.AllPairs, Threshold: t})
+	if err != nil {
+		return nil, err
+	}
+	m := resultMap(out.Results)
+	r.truth[key] = m
+	return m, nil
+}
+
+// runCell executes one pipeline with a fresh engine (so hashing cost
+// is included in the timing, matching the paper's full execution
+// times) and computes quality metrics. Cells exceeding the configured
+// timeout return a Cell with TimedOut set and no output — the
+// scaled-down version of the paper's 50-hour kill rule.
+func (r *matrixRunner) runCell(name string, alg bayeslsh.Algorithm, t float64, opts bayeslsh.Options) (*Cell, error) {
+	d, err := r.dataset(name)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := bayeslsh.NewEngine(d, r.measure, bayeslsh.EngineConfig{Seed: r.cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	opts.Algorithm = alg
+	opts.Threshold = t
+	type res struct {
+		out *bayeslsh.Output
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		out, err := eng.Search(opts)
+		ch <- res{out, err}
+	}()
+	timeout := r.cfg.cellTimeout()
+	var out *bayeslsh.Output
+	select {
+	case rr := <-ch:
+		if rr.err != nil {
+			return nil, rr.err
+		}
+		out = rr.out
+	case <-time.After(timeout):
+		// Abandon the search goroutine (it completes in the
+		// background and is then garbage collected with its engine).
+		return &Cell{
+			Dataset: name, Measure: r.measure, Algorithm: alg, Threshold: t,
+			TimedOut: true,
+			Output:   &bayeslsh.Output{Algorithm: alg, Threshold: t, Total: timeout},
+		}, nil
+	}
+	cell := &Cell{Dataset: name, Measure: r.measure, Algorithm: alg, Threshold: t, Output: out}
+	truth, err := r.groundTruth(name, t)
+	if err != nil {
+		return nil, err
+	}
+	cell.Recall = recallAgainst(out.Results, truth)
+	cell.ErrFrac, cell.MeanErr = estimateError(d, r.measure, out.Results)
+	return cell, nil
+}
+
+func resultMap(rs []bayeslsh.Result) map[[2]int]float64 {
+	m := make(map[[2]int]float64, len(rs))
+	for _, r := range rs {
+		a, b := r.A, r.B
+		if a > b {
+			a, b = b, a
+		}
+		m[[2]int{a, b}] = r.Sim
+	}
+	return m
+}
+
+func recallAgainst(rs []bayeslsh.Result, truth map[[2]int]float64) float64 {
+	if len(truth) == 0 {
+		return 1
+	}
+	got := resultMap(rs)
+	hit := 0
+	for k := range truth {
+		if _, ok := got[k]; ok {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(truth))
+}
+
+// estimateError measures the deviation of reported similarities from
+// exact similarities over the output pairs.
+func estimateError(d *bayeslsh.Dataset, m bayeslsh.Measure, rs []bayeslsh.Result) (errFrac, meanErr float64) {
+	if len(rs) == 0 {
+		return 0, 0
+	}
+	bad := 0
+	sum := 0.0
+	for _, r := range rs {
+		e := math.Abs(d.Similarity(m, r.A, r.B) - r.Sim)
+		sum += e
+		if e > 0.05 {
+			bad++
+		}
+	}
+	return float64(bad) / float64(len(rs)), sum / float64(len(rs))
+}
+
+// fmtDur renders a duration with short fixed precision for tables.
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.3fs", d.Seconds())
+}
+
+// sortedKeys returns map keys in sorted order for deterministic
+// output.
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

@@ -1,0 +1,177 @@
+package harness
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"bayeslsh"
+)
+
+func TestExperimentsListAndUnknownID(t *testing.T) {
+	ids := Experiments()
+	if len(ids) != 11 {
+		t.Fatalf("expected 11 experiments, got %v", ids)
+	}
+	if err := Run("nope", &bytes.Buffer{}, Config{}); err == nil {
+		t.Error("unknown experiment id accepted")
+	}
+}
+
+func TestFig1Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure 1") || !strings.Contains(out, "0.50\t") {
+		t.Errorf("unexpected fig1 output:\n%s", out)
+	}
+	// 19 similarity rows plus two header lines.
+	if lines := strings.Count(out, "\n"); lines < 20 {
+		t.Errorf("fig1 produced %d lines", lines)
+	}
+}
+
+func TestFig5Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig5(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"M(m=24, n=32)", "M(m=96, n=128)", "post_uniform", "post_r^3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig5 missing %q", want)
+		}
+	}
+	// Posteriors converge: the printed densities at r=0.74 after
+	// M(96,128) should be close across priors. Parse the last block's
+	// row for r=0.74.
+	blocks := strings.Split(out, "## after")
+	last := blocks[len(blocks)-1]
+	var p1, p2, p3 float64
+	found := false
+	for _, line := range strings.Split(last, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 4 || fields[0] != "0.74" {
+			continue
+		}
+		var err error
+		if p1, err = strconv.ParseFloat(fields[1], 64); err != nil {
+			continue
+		}
+		if p2, err = strconv.ParseFloat(fields[2], 64); err != nil {
+			continue
+		}
+		if p3, err = strconv.ParseFloat(fields[3], 64); err != nil {
+			continue
+		}
+		found = true
+		break
+	}
+	if !found {
+		t.Fatal("fig5 row for r=0.74 not found")
+	}
+	if rel := (max3(p1, p2, p3) - min3(p1, p2, p3)) / max3(p1, p2, p3); rel > 0.35 {
+		t.Errorf("posteriors at mode differ by %v after 128 hashes", rel)
+	}
+}
+
+func max3(a, b, c float64) float64 {
+	if b > a {
+		a = b
+	}
+	if c > a {
+		a = c
+	}
+	return a
+}
+
+func min3(a, b, c float64) float64 {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+func TestTab1ListsAllDatasets(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Tab1(&buf, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range bayeslsh.SyntheticNames() {
+		if !strings.Contains(out, name) {
+			t.Errorf("tab1 missing dataset %s", name)
+		}
+	}
+}
+
+func TestThresholdsPerMeasure(t *testing.T) {
+	if ts := thresholds(bayeslsh.Jaccard, false); ts[0] != 0.3 || ts[len(ts)-1] != 0.7 {
+		t.Errorf("jaccard thresholds %v", ts)
+	}
+	if ts := thresholds(bayeslsh.Cosine, false); ts[0] != 0.5 || ts[len(ts)-1] != 0.9 {
+		t.Errorf("cosine thresholds %v", ts)
+	}
+	if ts := thresholds(bayeslsh.Cosine, true); len(ts) != 3 {
+		t.Errorf("quick thresholds %v", ts)
+	}
+}
+
+func TestQuickExperimentsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full (quick-mode) experiment pipelines")
+	}
+	cfg := Config{Seed: 3, Quick: true, Datasets: []string{"RCV1-sim"}}
+	for _, id := range []string{"fig4", "tab3", "tab4", "ext1"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := Run(id, &buf, cfg); err != nil {
+				t.Fatal(err)
+			}
+			if buf.Len() == 0 {
+				t.Fatal("experiment produced no output")
+			}
+			out := buf.String()
+			if strings.Contains(out, "NaN") {
+				t.Errorf("output contains NaN:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestMatrixRunnerQuickCell(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full pipeline cell")
+	}
+	cfg := Config{Seed: 1, Quick: true, Datasets: []string{"RCV1-sim"}}
+	r := newMatrixRunner(cfg, bayeslsh.Cosine)
+	cell, err := r.runCell("RCV1-sim", bayeslsh.AllPairsBayesLSHLite, 0.7, bayeslsh.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.Recall < 0.9 {
+		t.Errorf("cell recall %v", cell.Recall)
+	}
+	if cell.Output.Candidates == 0 {
+		t.Error("no candidates recorded")
+	}
+	// Lite reports exact similarities: error metrics must be zero.
+	if cell.ErrFrac != 0 || cell.MeanErr > 1e-12 {
+		t.Errorf("Lite cell has estimate errors: %v %v", cell.ErrFrac, cell.MeanErr)
+	}
+	// Ground truth is cached: a second call must not recompute.
+	before := len(r.truth)
+	if _, err := r.groundTruth("RCV1-sim", 0.7); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.truth) != before {
+		t.Error("ground truth not cached")
+	}
+}

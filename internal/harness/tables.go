@@ -1,0 +1,200 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"bayeslsh"
+)
+
+// Tab1 regenerates Table 1: the statistics of the (synthetic analogue)
+// datasets — vector count, dimensionality, average length, non-zeros.
+func Tab1(w io.Writer, cfg Config) error {
+	fmt.Fprintln(w, "# Table 1: dataset details (synthetic analogues)")
+	fmt.Fprintln(w, "dataset\tvectors\tdimensions\tavg_len\tnnz")
+	for _, name := range weightedNames(cfg) {
+		ds, err := bayeslsh.Synthetic(name)
+		if err != nil {
+			return err
+		}
+		s := ds.Stats()
+		fmt.Fprintf(w, "%s\t%d\t%d\t%.0f\t%d\n", name, s.Vectors, s.Dim, s.AvgLen, s.Nnz)
+	}
+	return nil
+}
+
+// Tab2 regenerates Table 2: the fastest BayesLSH variant per dataset
+// and measure (by total time across all thresholds) and its speedup
+// over each baseline.
+func Tab2(w io.Writer, cfg Config) error {
+	cells, err := fig3Cells(io.Discard, cfg)
+	if err != nil {
+		return err
+	}
+	// Aggregate total time per (measure, dataset, algorithm).
+	type key struct {
+		m    bayeslsh.Measure
+		name string
+		alg  bayeslsh.Algorithm
+	}
+	totals := map[key]time.Duration{}
+	lowerBound := map[key]bool{}           // some cell timed out: total is a lower bound
+	groups := map[string]map[string]bool{} // measure label → dataset set
+	for _, c := range cells {
+		k := key{c.Measure, c.Dataset, c.Algorithm}
+		totals[k] += c.Output.Total
+		if c.TimedOut {
+			lowerBound[k] = true
+		}
+		ml := c.Measure.String()
+		if groups[ml] == nil {
+			groups[ml] = map[string]bool{}
+		}
+		groups[ml][c.Dataset] = true
+	}
+	bayesVariants := []bayeslsh.Algorithm{
+		bayeslsh.AllPairsBayesLSH, bayeslsh.AllPairsBayesLSHLite,
+		bayeslsh.LSHBayesLSH, bayeslsh.LSHBayesLSHLite,
+	}
+	baselines := []bayeslsh.Algorithm{
+		bayeslsh.AllPairs, bayeslsh.LSH, bayeslsh.LSHApprox, bayeslsh.PPJoin,
+	}
+	fmt.Fprintln(w, "# Table 2: fastest BayesLSH variant and speedups over baselines")
+	fmt.Fprintln(w, "measure\tdataset\tfastest_variant\tspeedup_AP\tspeedup_LSH\tspeedup_LSHApprox\tspeedup_PPJoin")
+	for _, m := range []bayeslsh.Measure{bayeslsh.Cosine, bayeslsh.Jaccard, bayeslsh.BinaryCosine} {
+		ml := m.String()
+		for _, name := range sortedKeys(groups[ml]) {
+			var best bayeslsh.Algorithm
+			bestT := time.Duration(0)
+			found := false
+			for _, v := range bayesVariants {
+				k := key{m, name, v}
+				t, ok := totals[k]
+				if !ok || lowerBound[k] {
+					continue
+				}
+				if !found || t < bestT {
+					best, bestT, found = v, t, true
+				}
+			}
+			if !found {
+				continue
+			}
+			fmt.Fprintf(w, "%s\t%s\t%v", ml, name, best)
+			for _, b := range baselines {
+				k := key{m, name, b}
+				if t, ok := totals[k]; ok && bestT > 0 {
+					prefix := ""
+					if lowerBound[k] {
+						prefix = ">=" // baseline timed out: true speedup is larger
+					}
+					fmt.Fprintf(w, "\t%s%.1fx", prefix, t.Seconds()/bestT.Seconds())
+				} else {
+					fmt.Fprint(w, "\t-")
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return nil
+}
+
+// Tab3 regenerates Table 3: recall of AP+BayesLSH and
+// AP+BayesLSH-Lite across datasets and thresholds (weighted cosine).
+func Tab3(w io.Writer, cfg Config) error {
+	r := newMatrixRunner(cfg, bayeslsh.Cosine)
+	ths := thresholds(bayeslsh.Cosine, cfg.Quick)
+	for _, alg := range []bayeslsh.Algorithm{bayeslsh.AllPairsBayesLSH, bayeslsh.AllPairsBayesLSHLite} {
+		fmt.Fprintf(w, "# Table 3 (%v): recall (%%)\n", alg)
+		fmt.Fprint(w, "dataset")
+		for _, t := range ths {
+			fmt.Fprintf(w, "\tt=%.1f", t)
+		}
+		fmt.Fprintln(w)
+		for _, name := range weightedNames(cfg) {
+			fmt.Fprint(w, name)
+			for _, t := range ths {
+				cell, err := r.runCell(name, alg, t, bayeslsh.Options{})
+				if err != nil {
+					return err
+				}
+				if cell.TimedOut {
+					fmt.Fprint(w, "\t-")
+					continue
+				}
+				fmt.Fprintf(w, "\t%.2f", 100*cell.Recall)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return nil
+}
+
+// Tab4 regenerates Table 4: the percentage of similarity estimates
+// with absolute error above 0.05, for LSH Approx and LSH+BayesLSH.
+func Tab4(w io.Writer, cfg Config) error {
+	r := newMatrixRunner(cfg, bayeslsh.Cosine)
+	ths := thresholds(bayeslsh.Cosine, cfg.Quick)
+	for _, alg := range []bayeslsh.Algorithm{bayeslsh.LSHApprox, bayeslsh.LSHBayesLSH} {
+		fmt.Fprintf(w, "# Table 4 (%v): %% of estimates with error > 0.05\n", alg)
+		fmt.Fprint(w, "dataset")
+		for _, t := range ths {
+			fmt.Fprintf(w, "\tt=%.1f", t)
+		}
+		fmt.Fprintln(w)
+		for _, name := range weightedNames(cfg) {
+			fmt.Fprint(w, name)
+			for _, t := range ths {
+				cell, err := r.runCell(name, alg, t, bayeslsh.Options{})
+				if err != nil {
+					return err
+				}
+				if cell.TimedOut {
+					fmt.Fprint(w, "\t-")
+					continue
+				}
+				fmt.Fprintf(w, "\t%.2f", 100*cell.ErrFrac)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return nil
+}
+
+// Tab5 regenerates Table 5: the effect of varying γ, δ, ε one at a
+// time (others fixed at 0.05) on the relevant quality metric, for
+// LSH+BayesLSH on WikiWords100K at t=0.7: fraction of errors > 0.05
+// for γ, mean error for δ, recall for ε.
+func Tab5(w io.Writer, cfg Config) error {
+	const name = "WikiWords100K-sim"
+	const t = 0.7
+	r := newMatrixRunner(cfg, bayeslsh.Cosine)
+	values := []float64{0.01, 0.03, 0.05, 0.07, 0.09}
+	if cfg.Quick {
+		values = []float64{0.01, 0.05, 0.09}
+	}
+	fmt.Fprintf(w, "# Table 5: quality while varying gamma/delta/epsilon (%s, t=%.1f, LSH candidates)\n", name, t)
+	fmt.Fprintln(w, "value\terr_frac>0.05 (vary gamma)\tmean_err (vary delta)\trecall%% (vary epsilon)")
+	for _, v := range values {
+		// FalseNegativeRate is pinned so the ε column varies only
+		// BayesLSH's recall parameter, not LSH candidate generation.
+		g, err := r.runCell(name, bayeslsh.LSHBayesLSH, t,
+			bayeslsh.Options{Epsilon: 0.05, Delta: 0.05, Gamma: v, FalseNegativeRate: 0.05})
+		if err != nil {
+			return err
+		}
+		d, err := r.runCell(name, bayeslsh.LSHBayesLSH, t,
+			bayeslsh.Options{Epsilon: 0.05, Delta: v, Gamma: 0.05, FalseNegativeRate: 0.05})
+		if err != nil {
+			return err
+		}
+		e, err := r.runCell(name, bayeslsh.LSHBayesLSH, t,
+			bayeslsh.Options{Epsilon: v, Delta: 0.05, Gamma: 0.05, FalseNegativeRate: 0.05})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%.2f\t%.3f\t%.4f\t%.2f\n", v, g.ErrFrac, d.MeanErr, 100*e.Recall)
+	}
+	return nil
+}

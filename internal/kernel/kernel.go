@@ -1,0 +1,189 @@
+// Package kernel implements kernelized locality-sensitive hashing
+// (KLSH; Kulis and Grauman, ICCV 2009 — reference [12] of the BayesLSH
+// paper) and the kernel similarity it hashes, realizing the paper's
+// first future-work direction: BayesLSH for similarity search with
+// learned (kernelized) metrics.
+//
+// KLSH simulates a random Gaussian hyperplane in the reproducing
+// kernel Hilbert space spanned by a sample of p base points: for a
+// random subset S of t base indices,
+//
+//	h(x) = sign( Σ_i w_i · k(x, base_i) ),  w = K^(−1/2) (e_S/t − e/p)
+//
+// where K is the base points' kernel matrix. By the central limit
+// theorem the projection approximates a Gaussian direction in the
+// span, so for any two points Pr[h(a) = h(b)] ≈ 1 − θ(a, b)/π with θ
+// the kernel-space angle — exactly the collision law BayesLSH's
+// cosine instantiation performs inference under. KLSH bit signatures
+// therefore plug directly into core.NewCosine.
+package kernel
+
+import (
+	"fmt"
+	"math"
+
+	"bayeslsh/internal/rng"
+	"bayeslsh/internal/vector"
+)
+
+// Kernel is a positive semi-definite similarity kernel.
+type Kernel interface {
+	// Eval returns k(a, b).
+	Eval(a, b vector.Vector) float64
+}
+
+// RBF is the Gaussian radial basis function kernel
+// k(a, b) = exp(−γ‖a − b‖²).
+type RBF struct {
+	Gamma float64
+}
+
+// Eval implements Kernel.
+func (k RBF) Eval(a, b vector.Vector) float64 {
+	i, j := 0, 0
+	sum := 0.0
+	for i < len(a.Ind) && j < len(b.Ind) {
+		switch {
+		case a.Ind[i] == b.Ind[j]:
+			d := a.Val[i] - b.Val[j]
+			sum += d * d
+			i++
+			j++
+		case a.Ind[i] < b.Ind[j]:
+			sum += a.Val[i] * a.Val[i]
+			i++
+		default:
+			sum += b.Val[j] * b.Val[j]
+			j++
+		}
+	}
+	for ; i < len(a.Ind); i++ {
+		sum += a.Val[i] * a.Val[i]
+	}
+	for ; j < len(b.Ind); j++ {
+		sum += b.Val[j] * b.Val[j]
+	}
+	return math.Exp(-k.Gamma * sum)
+}
+
+// Linear is the linear kernel k(a, b) = <a, b>; with it, kernel cosine
+// reduces to ordinary cosine similarity (useful for validation).
+type Linear struct{}
+
+// Eval implements Kernel.
+func (Linear) Eval(a, b vector.Vector) float64 { return vector.Dot(a, b) }
+
+// CosineSim returns the kernel-space cosine similarity
+// k(a,b) / √(k(a,a) k(b,b)), clamped to [−1, 1].
+func CosineSim(k Kernel, a, b vector.Vector) float64 {
+	den := math.Sqrt(k.Eval(a, a) * k.Eval(b, b))
+	if den == 0 {
+		return 0
+	}
+	c := k.Eval(a, b) / den
+	if c > 1 {
+		c = 1
+	}
+	if c < -1 {
+		c = -1
+	}
+	return c
+}
+
+// KLSH is a family of kernelized hash functions over a fixed base
+// sample. It is safe for concurrent use after construction.
+type KLSH struct {
+	kern Kernel
+	base []vector.Vector
+	// w[bit] holds the base-point weights of hash function bit.
+	w [][]float64
+}
+
+// NewKLSH builds nbits kernelized hash functions from a base sample of
+// points (typically 100–300 points drawn from the dataset), using
+// random subsets of size t (Kulis & Grauman suggest t ≈ 30 or p/4).
+func NewKLSH(kern Kernel, base []vector.Vector, nbits, t int, seed uint64) (*KLSH, error) {
+	p := len(base)
+	if p < 2 {
+		return nil, fmt.Errorf("kernel: need at least 2 base points, got %d", p)
+	}
+	if t < 1 || t > p {
+		return nil, fmt.Errorf("kernel: subset size t=%d outside [1, %d]", t, p)
+	}
+	if nbits < 1 {
+		return nil, fmt.Errorf("kernel: nbits=%d must be positive", nbits)
+	}
+	// Base kernel matrix.
+	K := make([][]float64, p)
+	for i := range K {
+		K[i] = make([]float64, p)
+	}
+	for i := 0; i < p; i++ {
+		for j := i; j < p; j++ {
+			v := kern.Eval(base[i], base[j])
+			K[i][j], K[j][i] = v, v
+		}
+	}
+	invSqrt, err := invSqrtPSD(K)
+	if err != nil {
+		return nil, fmt.Errorf("kernel: %w", err)
+	}
+	src := rng.New(seed)
+	h := &KLSH{kern: kern, base: base, w: make([][]float64, nbits)}
+	z := make([]float64, p)
+	for bit := 0; bit < nbits; bit++ {
+		// z = e_S/t − e/p for a random t-subset S (mean-centered
+		// indicator), then w = K^(−1/2) z.
+		for i := range z {
+			z[i] = -1 / float64(p)
+		}
+		for _, idx := range src.Perm(p)[:t] {
+			z[idx] += 1 / float64(t)
+		}
+		w := make([]float64, p)
+		for i := 0; i < p; i++ {
+			sum := 0.0
+			for j := 0; j < p; j++ {
+				sum += invSqrt[i][j] * z[j]
+			}
+			w[i] = sum
+		}
+		h.w[bit] = w
+	}
+	return h, nil
+}
+
+// Bits returns the number of hash functions.
+func (h *KLSH) Bits() int { return len(h.w) }
+
+// Words returns the packed signature length in uint64 words.
+func (h *KLSH) Words() int { return (len(h.w) + 63) / 64 }
+
+// Signature returns the packed bit signature of v. The p kernel
+// evaluations against the base sample are shared by all bits.
+func (h *KLSH) Signature(v vector.Vector) []uint64 {
+	kvec := make([]float64, len(h.base))
+	for i, b := range h.base {
+		kvec[i] = h.kern.Eval(v, b)
+	}
+	sig := make([]uint64, h.Words())
+	for bit, w := range h.w {
+		sum := 0.0
+		for i, kv := range kvec {
+			sum += w[i] * kv
+		}
+		if sum >= 0 {
+			sig[bit/64] |= 1 << (bit % 64)
+		}
+	}
+	return sig
+}
+
+// SignatureAll computes signatures for every vector in the collection.
+func (h *KLSH) SignatureAll(c *vector.Collection) [][]uint64 {
+	sigs := make([][]uint64, len(c.Vecs))
+	for i, v := range c.Vecs {
+		sigs[i] = h.Signature(v)
+	}
+	return sigs
+}

@@ -1,0 +1,397 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+
+	"bayeslsh/internal/rng"
+	"bayeslsh/internal/sighash"
+	"bayeslsh/internal/vector"
+)
+
+func dense(src *rng.Source, dim int, center float64) vector.Vector {
+	var es []vector.Entry
+	for i := 0; i < dim; i++ {
+		es = append(es, vector.Entry{Ind: uint32(i), Val: center + src.NormFloat64()})
+	}
+	return vector.New(es)
+}
+
+func TestRBFKernelProperties(t *testing.T) {
+	k := RBF{Gamma: 0.1}
+	src := rng.New(1)
+	a, b := dense(src, 8, 0), dense(src, 8, 1)
+	if got := k.Eval(a, a); math.Abs(got-1) > 1e-12 {
+		t.Errorf("k(a,a) = %v, want 1", got)
+	}
+	if k.Eval(a, b) != k.Eval(b, a) {
+		t.Error("RBF not symmetric")
+	}
+	if v := k.Eval(a, b); v <= 0 || v >= 1 {
+		t.Errorf("k(a,b) = %v, want in (0,1) for distinct points", v)
+	}
+	// Farther points have smaller kernel values.
+	far := dense(src, 8, 20)
+	if k.Eval(a, far) >= k.Eval(a, b) {
+		t.Error("RBF not decreasing with distance")
+	}
+}
+
+func TestLinearKernelCosineMatchesVectorCosine(t *testing.T) {
+	src := rng.New(2)
+	a, b := dense(src, 10, 0), dense(src, 10, 0)
+	want := vector.Cosine(a, b)
+	if got := CosineSim(Linear{}, a, b); math.Abs(got-want) > 1e-12 {
+		t.Errorf("linear kernel cosine %v != vector cosine %v", got, want)
+	}
+	if got := CosineSim(Linear{}, a, vector.Vector{}); got != 0 {
+		t.Errorf("cosine with empty = %v", got)
+	}
+}
+
+func TestEigSymSmallKnown(t *testing.T) {
+	// Symmetric 2x2 with known eigenvalues 3 and 1.
+	a := [][]float64{{2, 1}, {1, 2}}
+	vals, vecs, err := eigSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := vals[0], vals[1]
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if math.Abs(lo-1) > 1e-10 || math.Abs(hi-3) > 1e-10 {
+		t.Errorf("eigenvalues = %v, want {1, 3}", vals)
+	}
+	// Reconstruct a from the decomposition.
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			sum := 0.0
+			for l := 0; l < 2; l++ {
+				sum += vecs[i][l] * vals[l] * vecs[j][l]
+			}
+			if math.Abs(sum-a[i][j]) > 1e-10 {
+				t.Errorf("reconstruction[%d][%d] = %v, want %v", i, j, sum, a[i][j])
+			}
+		}
+	}
+}
+
+func TestEigSymReconstructsRandomPSD(t *testing.T) {
+	src := rng.New(3)
+	const n = 20
+	// Build PSD matrix A = B Bᵀ.
+	b := make([][]float64, n)
+	for i := range b {
+		b[i] = make([]float64, n)
+		for j := range b[i] {
+			b[i][j] = src.NormFloat64()
+		}
+	}
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+		for j := range a[i] {
+			for l := 0; l < n; l++ {
+				a[i][j] += b[i][l] * b[j][l]
+			}
+		}
+	}
+	vals, vecs, err := eigSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vals {
+		if v < -1e-8 {
+			t.Errorf("PSD matrix has negative eigenvalue %v", v)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			sum := 0.0
+			for l := 0; l < n; l++ {
+				sum += vecs[i][l] * vals[l] * vecs[j][l]
+			}
+			if math.Abs(sum-a[i][j]) > 1e-8 {
+				t.Fatalf("reconstruction error at (%d,%d): %v vs %v", i, j, sum, a[i][j])
+			}
+		}
+	}
+}
+
+func TestEigSymRejectsNonSquare(t *testing.T) {
+	if _, _, err := eigSym([][]float64{{1, 2}}); err == nil {
+		t.Error("non-square matrix accepted")
+	}
+}
+
+func TestInvSqrtPSD(t *testing.T) {
+	// For M = K^(−1/2): M K M should be the identity (on the range of K).
+	src := rng.New(4)
+	const n = 12
+	base := make([]vector.Vector, n)
+	for i := range base {
+		base[i] = dense(src, 6, 0)
+	}
+	kern := RBF{Gamma: 0.05}
+	k := make([][]float64, n)
+	for i := range k {
+		k[i] = make([]float64, n)
+		for j := range k[i] {
+			k[i][j] = kern.Eval(base[i], base[j])
+		}
+	}
+	m, err := invSqrtPSD(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compute M K M.
+	tmp := make([][]float64, n)
+	for i := range tmp {
+		tmp[i] = make([]float64, n)
+		for j := range tmp[i] {
+			for l := 0; l < n; l++ {
+				tmp[i][j] += m[i][l] * k[l][j]
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			sum := 0.0
+			for l := 0; l < n; l++ {
+				sum += tmp[i][l] * m[l][j]
+			}
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(sum-want) > 1e-6 {
+				t.Fatalf("(K^-1/2 K K^-1/2)[%d][%d] = %v, want %v", i, j, sum, want)
+			}
+		}
+	}
+	if _, err := invSqrtPSD([][]float64{{-1, 0}, {0, -2}}); err == nil {
+		t.Error("negative-definite matrix accepted")
+	}
+}
+
+func TestNewKLSHValidation(t *testing.T) {
+	src := rng.New(5)
+	base := []vector.Vector{dense(src, 4, 0), dense(src, 4, 0)}
+	if _, err := NewKLSH(Linear{}, base[:1], 8, 1, 1); err == nil {
+		t.Error("single base point accepted")
+	}
+	if _, err := NewKLSH(Linear{}, base, 8, 0, 1); err == nil {
+		t.Error("t=0 accepted")
+	}
+	if _, err := NewKLSH(Linear{}, base, 8, 3, 1); err == nil {
+		t.Error("t>p accepted")
+	}
+	if _, err := NewKLSH(Linear{}, base, 0, 1, 1); err == nil {
+		t.Error("nbits=0 accepted")
+	}
+}
+
+// TestKLSHLinearKernelApproximatesHyperplaneLaw: for the linear
+// kernel on zero-mean data, KLSH reduces to ordinary random-hyperplane
+// hashing, so the match rate must approximate 1 − θ/π.
+func TestKLSHLinearKernelApproximatesHyperplaneLaw(t *testing.T) {
+	src := rng.New(6)
+	const dim = 8
+	kern := Linear{}
+	base := make([]vector.Vector, 160)
+	for i := range base {
+		base[i] = dense(src, dim, 0) // zero-mean cloud
+	}
+	h, err := NewKLSH(kern, base, 4096, 32, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 4; trial++ {
+		a := dense(src, dim, 0)
+		b := dense(src, dim, 0)
+		want := sighash.CosineToR(CosineSim(kern, a, b))
+		got := float64(sighash.MatchCount(h.Signature(a), h.Signature(b), 0, h.Bits())) / float64(h.Bits())
+		// KLSH approximates RKHS Gaussians (finite base sample + CLT),
+		// so the tolerance is loose.
+		if math.Abs(got-want) > 0.1 {
+			t.Errorf("trial %d: collision rate %v, want ≈ %v", trial, got, want)
+		}
+	}
+}
+
+// TestKLSHRBFMatchRateMonotoneInSimilarity: for the RBF kernel the
+// collision law is a monotone transform of the kernel cosine (it is
+// the centered-space angle, not the raw one); verify the monotone
+// relation that pruning relies on.
+func TestKLSHRBFMatchRateMonotoneInSimilarity(t *testing.T) {
+	src := rng.New(16)
+	const dim = 8
+	kern := RBF{Gamma: 0.05}
+	base := make([]vector.Vector, 120)
+	for i := range base {
+		base[i] = dense(src, dim, src.NormFloat64()*2)
+	}
+	h, err := NewKLSH(kern, base, 4096, 24, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anchor := dense(src, dim, 0)
+	rate := func(v vector.Vector) float64 {
+		return float64(sighash.MatchCount(h.Signature(anchor), h.Signature(v), 0, h.Bits())) / float64(h.Bits())
+	}
+	perturb := func(scale float64) vector.Vector {
+		var es []vector.Entry
+		for i := 0; i < dim; i++ {
+			es = append(es, vector.Entry{Ind: uint32(i), Val: anchor.Val[i] + scale*src.NormFloat64()})
+		}
+		return vector.New(es)
+	}
+	near, mid, far := perturb(0.3), perturb(2), perturb(8)
+	sNear, sMid, sFar := CosineSim(kern, anchor, near), CosineSim(kern, anchor, mid), CosineSim(kern, anchor, far)
+	if !(sNear > sMid && sMid > sFar) {
+		t.Fatalf("test geometry wrong: sims %v %v %v", sNear, sMid, sFar)
+	}
+	rNear, rMid, rFar := rate(near), rate(mid), rate(far)
+	if !(rNear > rMid && rMid > rFar) {
+		t.Errorf("match rate not monotone in kernel similarity: %v %v %v (sims %v %v %v)",
+			rNear, rMid, rFar, sNear, sMid, sFar)
+	}
+}
+
+// TestKernelLiteEndToEnd: kernelized BayesLSH-Lite with a calibrated
+// collision threshold must prune most dissimilar pairs and keep
+// near-perfect recall under the RBF kernel.
+func TestKernelLiteEndToEnd(t *testing.T) {
+	src := rng.New(26)
+	const dim = 8
+	kern := RBF{Gamma: 0.05}
+	c := &vector.Collection{Dim: dim}
+	// Clustered cloud: intra-cluster pairs have high kernel cosine.
+	for cluster := 0; cluster < 5; cluster++ {
+		center := dense(src, dim, float64(cluster*4))
+		for i := 0; i < 24; i++ {
+			var es []vector.Entry
+			for d := 0; d < dim; d++ {
+				es = append(es, vector.Entry{Ind: uint32(d), Val: center.Val[d] + 0.6*src.NormFloat64()})
+			}
+			c.Vecs = append(c.Vecs, vector.New(es))
+		}
+	}
+	base := make([]vector.Vector, 100)
+	for i := range base {
+		base[i] = c.Vecs[src.Intn(len(c.Vecs))]
+	}
+	h, err := NewKLSH(kern, base, 1024, 24, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const th = 0.8
+	rt := Calibrate(kern, h, c, th, 13)
+	if rt <= 0 || rt >= 1 {
+		t.Fatalf("calibrated threshold %v", rt)
+	}
+	sigs := h.SignatureAll(c)
+	lite, err := NewLite(kern, h, sigs, LiteParams{
+		Threshold: th, RThreshold: rt, Epsilon: 0.02,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(c.Vecs)
+	var cands [][2]int32
+	for i := int32(0); i < int32(n); i++ {
+		for j := i + 1; j < int32(n); j++ {
+			cands = append(cands, [2]int32{i, j})
+		}
+	}
+	out, pruned, exact := lite.Verify(c, cands)
+
+	truth := map[[2]int32]bool{}
+	for i := int32(0); i < int32(n); i++ {
+		for j := i + 1; j < int32(n); j++ {
+			if CosineSim(kern, c.Vecs[i], c.Vecs[j]) >= th {
+				truth[[2]int32{i, j}] = true
+			}
+		}
+	}
+	if len(truth) < 50 {
+		t.Fatalf("test geometry wrong: %d true pairs", len(truth))
+	}
+	got := map[[2]int32]bool{}
+	for _, p := range out {
+		got[[2]int32{p.A, p.B}] = true
+		if p.Sim < th {
+			t.Fatalf("emitted sub-threshold pair %+v", p)
+		}
+	}
+	hit := 0
+	for k := range truth {
+		if got[k] {
+			hit++
+		}
+	}
+	if recall := float64(hit) / float64(len(truth)); recall < 0.9 {
+		t.Errorf("kernel Lite recall = %v (%d/%d)", recall, hit, len(truth))
+	}
+	if pruned < len(cands)/3 {
+		t.Errorf("pruned only %d of %d candidates", pruned, len(cands))
+	}
+	if pruned+exact != len(cands) {
+		t.Errorf("accounting broken: %d + %d != %d", pruned, exact, len(cands))
+	}
+}
+
+func TestNewLiteValidation(t *testing.T) {
+	src := rng.New(30)
+	base := []vector.Vector{dense(src, 4, 0), dense(src, 4, 0), dense(src, 4, 0)}
+	h, err := NewKLSH(Linear{}, base, 64, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigs := [][]uint64{make([]uint64, 1)}
+	ok := LiteParams{Threshold: 0.7, RThreshold: 0.6, Epsilon: 0.03}
+	if _, err := NewLite(Linear{}, h, nil, ok); err == nil {
+		t.Error("empty signatures accepted")
+	}
+	bad := []LiteParams{
+		{Threshold: 0, RThreshold: 0.6, Epsilon: 0.03},
+		{Threshold: 0.7, RThreshold: 0, Epsilon: 0.03},
+		{Threshold: 0.7, RThreshold: 1, Epsilon: 0.03},
+		{Threshold: 0.7, RThreshold: 0.6, Epsilon: 0},
+		{Threshold: 0.7, RThreshold: 0.6, Epsilon: 0.03, K: -2},
+		{Threshold: 0.7, RThreshold: 0.6, Epsilon: 0.03, MaxHashes: 128},
+		{Threshold: 0.7, RThreshold: 0.6, Epsilon: 0.03, K: 64, MaxHashes: 32},
+	}
+	for i, p := range bad {
+		if _, err := NewLite(Linear{}, h, sigs, p); err == nil {
+			t.Errorf("case %d: bad params accepted", i)
+		}
+	}
+}
+
+func TestKLSHSignatureDeterministic(t *testing.T) {
+	src := rng.New(8)
+	base := make([]vector.Vector, 20)
+	for i := range base {
+		base[i] = dense(src, 4, 0)
+	}
+	v := dense(src, 4, 0)
+	h1, err := NewKLSH(Linear{}, base, 128, 5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := NewKLSH(Linear{}, base, 128, 5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, s2 := h1.Signature(v), h2.Signature(v)
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatal("same seed produced different KLSH signatures")
+		}
+	}
+	if h1.Bits() != 128 || h1.Words() != 2 {
+		t.Errorf("geometry: bits=%d words=%d", h1.Bits(), h1.Words())
+	}
+}

@@ -1,0 +1,178 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+
+	"bayeslsh/internal/rng"
+	"bayeslsh/internal/sighash"
+	"bayeslsh/internal/stats"
+	"bayeslsh/internal/vector"
+)
+
+// KLSH hyperplanes are Gaussian in the *centered, whitened* feature
+// space, so their collision probability for a pair is 1 − θ'/π for
+// the angle θ' in those coordinates — monotonically related to, but
+// not equal to, the raw kernel cosine (they coincide for the linear
+// kernel on centered data). BayesLSH pruning only needs a collision
+// probability threshold r_t such that pairs with kernel cosine >= t
+// have per-hash collision probability >= r_t; Calibrate estimates it
+// empirically, and Lite then prunes in collision-probability space
+// with the usual Beta-posterior upper-tail test before verifying
+// survivors with exact kernel cosines. This is the honest
+// generalization of BayesLSH-Lite to learned/kernelized metrics that
+// §6 of the paper anticipates.
+
+// Calibrate estimates the pruning threshold r_t: it samples random
+// pairs from the collection, keeps those with exact kernel cosine in
+// [t, t+0.05], and returns a low quantile (5th percentile) of their
+// hash match rates. If the random sample yields too few qualifying
+// pairs to estimate a quantile, it falls back to the analytic
+// 1 − arccos(t)/π (exact for linear kernels on centered data).
+func Calibrate(kern Kernel, h *KLSH, c *vector.Collection, t float64, seed uint64) float64 {
+	src := rng.New(seed)
+	const wantSamples = 50
+	var rates []float64
+	// Random pairs rarely land near the threshold, so scan a bounded
+	// number of random pairs and keep the qualifying ones.
+	sigs := map[int][]uint64{}
+	sigOf := func(id int) []uint64 {
+		if s, ok := sigs[id]; ok {
+			return s
+		}
+		s := h.Signature(c.Vecs[id])
+		sigs[id] = s
+		return s
+	}
+	n := len(c.Vecs)
+	for trial := 0; trial < 4000 && len(rates) < wantSamples; trial++ {
+		i, j := src.Intn(n), src.Intn(n)
+		if i == j {
+			continue
+		}
+		s := CosineSim(kern, c.Vecs[i], c.Vecs[j])
+		if s < t || s > t+0.05 {
+			continue
+		}
+		m := sighash.MatchCount(sigOf(i), sigOf(j), 0, h.Bits())
+		rates = append(rates, float64(m)/float64(h.Bits()))
+	}
+	if len(rates) < 8 {
+		return sighash.CosineToR(t)
+	}
+	sort.Float64s(rates)
+	return rates[len(rates)/20]
+}
+
+// LiteParams configures kernelized BayesLSH-Lite verification.
+type LiteParams struct {
+	// Threshold is the kernel-cosine similarity threshold t.
+	Threshold float64
+	// RThreshold is the per-hash collision probability at the
+	// threshold (from Calibrate, or 1 − arccos(t)/π analytically).
+	RThreshold float64
+	// Epsilon is the recall parameter ε.
+	Epsilon float64
+	// K is the number of hash bits compared per round (default 32).
+	K int
+	// MaxHashes caps the bits examined before exact verification
+	// (default: the full signature).
+	MaxHashes int
+}
+
+// Pair is an output pair with its exact kernel cosine similarity.
+type Pair struct {
+	A, B int32
+	Sim  float64
+}
+
+// Lite prunes candidate pairs on KLSH hash evidence and verifies
+// survivors with exact kernel cosine computations.
+type Lite struct {
+	kern   Kernel
+	h      *KLSH
+	sigs   [][]uint64
+	params LiteParams
+	ns     []int
+	minM   []int
+}
+
+// NewLite builds a kernelized Lite verifier over precomputed KLSH
+// signatures.
+func NewLite(kern Kernel, h *KLSH, sigs [][]uint64, p LiteParams) (*Lite, error) {
+	if len(sigs) == 0 {
+		return nil, fmt.Errorf("kernel: no signatures")
+	}
+	if p.Threshold <= 0 || p.Threshold > 1 {
+		return nil, fmt.Errorf("kernel: threshold %v outside (0, 1]", p.Threshold)
+	}
+	if p.RThreshold <= 0 || p.RThreshold >= 1 {
+		return nil, fmt.Errorf("kernel: collision threshold %v outside (0, 1)", p.RThreshold)
+	}
+	if p.Epsilon <= 0 || p.Epsilon >= 1 {
+		return nil, fmt.Errorf("kernel: epsilon %v outside (0, 1)", p.Epsilon)
+	}
+	if p.K == 0 {
+		p.K = 32
+	}
+	if p.K < 0 {
+		return nil, fmt.Errorf("kernel: K %d must be positive", p.K)
+	}
+	if p.MaxHashes == 0 {
+		p.MaxHashes = h.Bits()
+	}
+	if p.MaxHashes > h.Bits() {
+		return nil, fmt.Errorf("kernel: MaxHashes %d exceeds signature bits %d", p.MaxHashes, h.Bits())
+	}
+	p.MaxHashes -= p.MaxHashes % p.K
+	if p.MaxHashes < p.K {
+		return nil, fmt.Errorf("kernel: MaxHashes smaller than one round of K=%d", p.K)
+	}
+	v := &Lite{kern: kern, h: h, sigs: sigs, params: p}
+	for n := p.K; n <= p.MaxHashes; n += p.K {
+		v.ns = append(v.ns, n)
+	}
+	v.minM = make([]int, len(v.ns))
+	for i, n := range v.ns {
+		lo, hi := 0, n+1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			// Pr[R >= r_t | M(mid, n)] under a uniform prior on [0,1].
+			if stats.RegIncBeta(1-p.RThreshold, float64(n-mid+1), float64(mid+1)) >= p.Epsilon {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		v.minM[i] = lo
+	}
+	return v, nil
+}
+
+// Verify prunes the candidate index pairs on hash evidence, then
+// computes exact kernel cosines for survivors, returning pairs with
+// similarity >= Threshold plus pruning statistics.
+func (v *Lite) Verify(c *vector.Collection, cands [][2]int32) (out []Pair, pruned, exact int) {
+	k := v.params.K
+	for _, cand := range cands {
+		a, b := v.sigs[cand[0]], v.sigs[cand[1]]
+		m := 0
+		dead := false
+		for round, n := range v.ns {
+			m += sighash.MatchCount(a, b, n-k, n)
+			if m < v.minM[round] {
+				dead = true
+				pruned++
+				break
+			}
+		}
+		if dead {
+			continue
+		}
+		exact++
+		if s := CosineSim(v.kern, c.Vecs[cand[0]], c.Vecs[cand[1]]); s >= v.params.Threshold {
+			out = append(out, Pair{A: cand[0], B: cand[1], Sim: s})
+		}
+	}
+	return out, pruned, exact
+}

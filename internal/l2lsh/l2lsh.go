@@ -1,0 +1,272 @@
+// Package l2lsh implements the p-stable locality-sensitive hash
+// family for Euclidean distance (Datar, Immorlica, Indyk, Mirrokni,
+// SoCG 2004) and the BayesLSH-Lite analogue for distance-threshold
+// search that §6 of the BayesLSH paper proposes as future work.
+//
+// Each hash function is h(x) = ⌊(a·x + b) / w⌋ with a a random
+// Gaussian vector, b uniform in [0, w), and w the bucket width. For
+// two points at Euclidean distance d, the collision probability is
+//
+//	p(d) = 2Φ(w/d) − 1 − (2d / (√(2π) w)) (1 − e^(−w²/2d²))
+//
+// which decreases monotonically in d. A pair is a neighbor candidate
+// when d <= R for a user radius R; since p is monotone, the posterior
+// probability Pr[d <= R | m of n hashes matched] equals
+// Pr[p >= p(R) | M(m, n)], an upper tail of the Beta(m+1, n−m+1)
+// posterior over the collision probability — the same machinery as
+// the similarity instantiations, with the transformed threshold p(R).
+package l2lsh
+
+import (
+	"fmt"
+	"math"
+
+	"bayeslsh/internal/rng"
+	"bayeslsh/internal/stats"
+	"bayeslsh/internal/vector"
+)
+
+// CollisionProb returns p(d) for bucket width w: the probability that
+// two points at Euclidean distance d receive equal hash values. It is
+// 1 at d = 0 and decreases monotonically to 0.
+func CollisionProb(d, w float64) float64 {
+	if d <= 0 {
+		return 1
+	}
+	c := w / d
+	// Φ(c) via erf.
+	phi := 0.5 * (1 + math.Erf(c/math.Sqrt2))
+	return 2*phi - 1 - 2/(math.Sqrt(2*math.Pi)*c)*(1-math.Exp(-c*c/2))
+}
+
+// Family is a set of p-stable hash functions over a fixed feature
+// space. Projection vectors use the same deterministic per-feature
+// Gaussian streams as the cosine family.
+type Family struct {
+	dim, n int
+	w      float64
+	// proj[feature] holds the feature's coefficient for every hash.
+	proj [][]float64
+	// offsets holds the uniform shift b of every hash.
+	offsets []float64
+}
+
+// NewFamily creates n hash functions of bucket width w over dim
+// features, derived deterministically from seed.
+func NewFamily(dim, n int, w float64, seed uint64) *Family {
+	if dim <= 0 || n <= 0 || w <= 0 {
+		panic("l2lsh: NewFamily needs positive dim, n, w")
+	}
+	f := &Family{dim: dim, n: n, w: w,
+		proj:    make([][]float64, dim),
+		offsets: make([]float64, n),
+	}
+	for feat := 0; feat < dim; feat++ {
+		src := rng.New(rng.Mix64(seed ^ uint64(feat+1)))
+		row := make([]float64, n)
+		for i := range row {
+			row[i] = src.NormFloat64()
+		}
+		f.proj[feat] = row
+	}
+	src := rng.New(rng.Mix64(seed ^ 0xabcdef))
+	for i := range f.offsets {
+		f.offsets[i] = src.Float64() * w
+	}
+	return f
+}
+
+// Size returns the number of hash functions.
+func (f *Family) Size() int { return f.n }
+
+// Width returns the bucket width w.
+func (f *Family) Width() float64 { return f.w }
+
+// Signature returns the n bucket ids of v.
+func (f *Family) Signature(v vector.Vector) []int32 {
+	acc := make([]float64, f.n)
+	for i, ind := range v.Ind {
+		wgt := v.Val[i]
+		row := f.proj[ind]
+		for j, g := range row {
+			acc[j] += wgt * g
+		}
+	}
+	sig := make([]int32, f.n)
+	for j, a := range acc {
+		sig[j] = int32(math.Floor((a + f.offsets[j]) / f.w))
+	}
+	return sig
+}
+
+// SignatureAll computes signatures for every vector.
+func (f *Family) SignatureAll(c *vector.Collection) [][]int32 {
+	sigs := make([][]int32, len(c.Vecs))
+	for i, v := range c.Vecs {
+		sigs[i] = f.Signature(v)
+	}
+	return sigs
+}
+
+// Matches counts agreeing positions in the half-open range [from, to).
+func Matches(a, b []int32, from, to int) int {
+	if from < 0 || to > len(a) || to > len(b) || from > to {
+		panic("l2lsh: Matches range out of bounds")
+	}
+	n := 0
+	for i := from; i < to; i++ {
+		if a[i] == b[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// LiteParams configures Euclidean BayesLSH-Lite verification.
+type LiteParams struct {
+	// Radius is the distance threshold R: pairs with d <= R are
+	// neighbors.
+	Radius float64
+	// Epsilon is the recall parameter ε: pairs whose posterior
+	// probability of being within Radius falls below ε are pruned.
+	Epsilon float64
+	// K is the number of hashes compared per round (default 16).
+	K int
+	// MaxHashes caps the hashes examined before exact verification
+	// (default: the full signature).
+	MaxHashes int
+}
+
+// Pair identifies two vectors by index with their exact distance.
+type Pair struct {
+	A, B int32
+	Dist float64
+}
+
+// Lite is the BayesLSH-Lite analogue for Euclidean distance: it
+// prunes candidate pairs whose posterior probability of lying within
+// the radius is below ε, then verifies survivors with exact distance
+// computations.
+type Lite struct {
+	fam    *Family
+	sigs   [][]int32
+	params LiteParams
+	pr     float64 // collision probability at the radius
+	ns     []int
+	minM   []int
+}
+
+// NewLite builds a verifier over precomputed p-stable signatures.
+func NewLite(fam *Family, sigs [][]int32, p LiteParams) (*Lite, error) {
+	if len(sigs) == 0 {
+		return nil, fmt.Errorf("l2lsh: no signatures")
+	}
+	if p.Radius <= 0 {
+		return nil, fmt.Errorf("l2lsh: radius %v must be positive", p.Radius)
+	}
+	if p.Epsilon <= 0 || p.Epsilon >= 1 {
+		return nil, fmt.Errorf("l2lsh: epsilon %v outside (0, 1)", p.Epsilon)
+	}
+	if p.K == 0 {
+		p.K = 16
+	}
+	if p.K < 0 {
+		return nil, fmt.Errorf("l2lsh: K %d must be positive", p.K)
+	}
+	if p.MaxHashes == 0 {
+		p.MaxHashes = fam.Size()
+	}
+	if p.MaxHashes > fam.Size() {
+		return nil, fmt.Errorf("l2lsh: MaxHashes %d exceeds family size %d", p.MaxHashes, fam.Size())
+	}
+	p.MaxHashes -= p.MaxHashes % p.K
+	if p.MaxHashes < p.K {
+		return nil, fmt.Errorf("l2lsh: MaxHashes smaller than one round of K=%d", p.K)
+	}
+	for i, s := range sigs {
+		if len(s) < p.MaxHashes {
+			return nil, fmt.Errorf("l2lsh: signature %d has %d hashes, need %d", i, len(s), p.MaxHashes)
+		}
+	}
+	v := &Lite{fam: fam, sigs: sigs, params: p, pr: CollisionProb(p.Radius, fam.Width())}
+	for n := p.K; n <= p.MaxHashes; n += p.K {
+		v.ns = append(v.ns, n)
+	}
+	v.minM = make([]int, len(v.ns))
+	for i, n := range v.ns {
+		lo, hi := 0, n+1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if v.probWithinRadius(mid, n) >= p.Epsilon {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		v.minM[i] = lo
+	}
+	return v, nil
+}
+
+// probWithinRadius computes Pr[d <= R | M(m, n)]: with a uniform prior
+// on the per-hash collision probability p ∈ [0, 1], the posterior is
+// Beta(m+1, n−m+1), and d <= R iff p >= p(R) by monotonicity.
+func (v *Lite) probWithinRadius(m, n int) float64 {
+	return stats.RegIncBeta(1-v.pr, float64(n-m+1), float64(m+1))
+}
+
+// Verify prunes the candidate index pairs and returns the surviving
+// pairs with exact Euclidean distances d <= Radius, plus counts of
+// pruned pairs and exact distance computations.
+func (v *Lite) Verify(c *vector.Collection, cands [][2]int32) (out []Pair, pruned, exact int) {
+	k := v.params.K
+	for _, cand := range cands {
+		a, b := v.sigs[cand[0]], v.sigs[cand[1]]
+		m := 0
+		dead := false
+		for round, n := range v.ns {
+			m += Matches(a, b, n-k, n)
+			if m < v.minM[round] {
+				dead = true
+				pruned++
+				break
+			}
+		}
+		if dead {
+			continue
+		}
+		exact++
+		if d := Distance(c.Vecs[cand[0]], c.Vecs[cand[1]]); d <= v.params.Radius {
+			out = append(out, Pair{A: cand[0], B: cand[1], Dist: d})
+		}
+	}
+	return out, pruned, exact
+}
+
+// Distance returns the Euclidean distance between two sparse vectors.
+func Distance(a, b vector.Vector) float64 {
+	i, j := 0, 0
+	sum := 0.0
+	for i < len(a.Ind) && j < len(b.Ind) {
+		switch {
+		case a.Ind[i] == b.Ind[j]:
+			d := a.Val[i] - b.Val[j]
+			sum += d * d
+			i++
+			j++
+		case a.Ind[i] < b.Ind[j]:
+			sum += a.Val[i] * a.Val[i]
+			i++
+		default:
+			sum += b.Val[j] * b.Val[j]
+			j++
+		}
+	}
+	for ; i < len(a.Ind); i++ {
+		sum += a.Val[i] * a.Val[i]
+	}
+	for ; j < len(b.Ind); j++ {
+		sum += b.Val[j] * b.Val[j]
+	}
+	return math.Sqrt(sum)
+}

@@ -1,0 +1,195 @@
+package l2lsh
+
+import (
+	"math"
+	"testing"
+
+	"bayeslsh/internal/rng"
+	"bayeslsh/internal/vector"
+)
+
+func densePoint(src *rng.Source, dim int, center float64) vector.Vector {
+	var es []vector.Entry
+	for i := 0; i < dim; i++ {
+		es = append(es, vector.Entry{Ind: uint32(i), Val: center + src.NormFloat64()})
+	}
+	return vector.New(es)
+}
+
+func TestCollisionProbShape(t *testing.T) {
+	w := 4.0
+	if got := CollisionProb(0, w); got != 1 {
+		t.Errorf("p(0) = %v, want 1", got)
+	}
+	prev := 1.0
+	for d := 0.5; d < 50; d *= 1.5 {
+		p := CollisionProb(d, w)
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Fatalf("p(%v) = %v out of range", d, p)
+		}
+		if p > prev+1e-12 {
+			t.Fatalf("p not monotone decreasing at d=%v: %v > %v", d, p, prev)
+		}
+		prev = p
+	}
+	if p := CollisionProb(1000, w); p > 0.01 {
+		t.Errorf("p(1000) = %v, want ~0", p)
+	}
+}
+
+func TestEmpiricalCollisionRateMatchesFormula(t *testing.T) {
+	// The fraction of matching hashes between two points must converge
+	// to CollisionProb(distance, w).
+	const dim, n = 16, 8192
+	w := 4.0
+	fam := NewFamily(dim, n, w, 7)
+	src := rng.New(9)
+	a := densePoint(src, dim, 0)
+	for _, scale := range []float64{0.5, 2, 6} {
+		// b = a + perturbation of norm ~scale.
+		var es []vector.Entry
+		for i := 0; i < dim; i++ {
+			es = append(es, vector.Entry{Ind: uint32(i), Val: a.Val[i] + scale*src.NormFloat64()/math.Sqrt(dim)})
+		}
+		b := vector.New(es)
+		d := Distance(a, b)
+		want := CollisionProb(d, w)
+		got := float64(Matches(fam.Signature(a), fam.Signature(b), 0, n)) / n
+		tol := 4*math.Sqrt(want*(1-want)/n) + 0.01
+		if math.Abs(got-want) > tol {
+			t.Errorf("d=%v: collision rate %v, formula %v (tol %v)", d, got, want, tol)
+		}
+	}
+}
+
+func TestDistanceAgainstDense(t *testing.T) {
+	a := vector.New([]vector.Entry{{Ind: 0, Val: 1}, {Ind: 2, Val: 2}})
+	b := vector.New([]vector.Entry{{Ind: 0, Val: 4}, {Ind: 1, Val: 3}})
+	// diff = (-3, -3, 2) → norm = sqrt(9+9+4)
+	want := math.Sqrt(22)
+	if got := Distance(a, b); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Distance = %v, want %v", got, want)
+	}
+	if got := Distance(a, a); got != 0 {
+		t.Errorf("self distance = %v", got)
+	}
+	if got := Distance(a, vector.Vector{}); math.Abs(got-a.Norm()) > 1e-12 {
+		t.Errorf("distance to origin = %v, want %v", got, a.Norm())
+	}
+}
+
+func TestNewFamilyAndLiteValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewFamily(0, 8, 1, 1) },
+		func() { NewFamily(8, 0, 1, 1) },
+		func() { NewFamily(8, 8, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad NewFamily args did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+	fam := NewFamily(4, 64, 4, 1)
+	sigs := [][]int32{make([]int32, 64)}
+	bad := []LiteParams{
+		{Radius: 0, Epsilon: 0.03},
+		{Radius: 1, Epsilon: 0},
+		{Radius: 1, Epsilon: 1},
+		{Radius: 1, Epsilon: 0.03, K: -1},
+		{Radius: 1, Epsilon: 0.03, MaxHashes: 128},
+		{Radius: 1, Epsilon: 0.03, K: 64, MaxHashes: 32},
+	}
+	for i, p := range bad {
+		if _, err := NewLite(fam, sigs, p); err == nil {
+			t.Errorf("case %d: bad params accepted", i)
+		}
+	}
+	if _, err := NewLite(fam, nil, LiteParams{Radius: 1, Epsilon: 0.03}); err == nil {
+		t.Error("empty signatures accepted")
+	}
+	if _, err := NewLite(fam, [][]int32{make([]int32, 8)}, LiteParams{Radius: 1, Epsilon: 0.03}); err == nil {
+		t.Error("short signature accepted")
+	}
+}
+
+func TestLiteVerifyFindsNeighborsAndPrunesFar(t *testing.T) {
+	// Clustered points: pairs within a cluster are close (d ~ 1-3),
+	// across clusters far (d ~ 20+). BayesLSH-Lite must prune the far
+	// pairs from hash evidence alone and keep the close ones.
+	const dim = 16
+	src := rng.New(21)
+	c := &vector.Collection{Dim: dim}
+	const perCluster = 20
+	for cluster := 0; cluster < 3; cluster++ {
+		center := float64(cluster) * 15
+		for i := 0; i < perCluster; i++ {
+			c.Vecs = append(c.Vecs, densePoint(src, dim, center))
+		}
+	}
+	n := len(c.Vecs)
+	radius := 8.0
+	fam := NewFamily(dim, 256, radius/2, 33)
+	sigs := fam.SignatureAll(c)
+	lite, err := NewLite(fam, sigs, LiteParams{Radius: radius, Epsilon: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cands [][2]int32
+	for i := int32(0); i < int32(n); i++ {
+		for j := i + 1; j < int32(n); j++ {
+			cands = append(cands, [2]int32{i, j})
+		}
+	}
+	out, pruned, exact := lite.Verify(c, cands)
+
+	// Ground truth by brute force.
+	truth := map[[2]int32]bool{}
+	for i := int32(0); i < int32(n); i++ {
+		for j := i + 1; j < int32(n); j++ {
+			if Distance(c.Vecs[i], c.Vecs[j]) <= radius {
+				truth[[2]int32{i, j}] = true
+			}
+		}
+	}
+	if len(truth) < 100 {
+		t.Fatalf("test geometry wrong: only %d true neighbor pairs", len(truth))
+	}
+	got := map[[2]int32]bool{}
+	for _, p := range out {
+		got[[2]int32{p.A, p.B}] = true
+		if p.Dist > radius {
+			t.Fatalf("emitted pair beyond radius: %+v", p)
+		}
+	}
+	hit := 0
+	for k := range truth {
+		if got[k] {
+			hit++
+		}
+	}
+	recall := float64(hit) / float64(len(truth))
+	if recall < 0.95 {
+		t.Errorf("Euclidean Lite recall = %v", recall)
+	}
+	// The far (cross-cluster) pairs dominate the candidate list and
+	// must be overwhelmingly pruned without exact distance work.
+	if pruned < len(cands)/2 {
+		t.Errorf("pruned only %d of %d candidates", pruned, len(cands))
+	}
+	if exact+pruned != len(cands) {
+		t.Errorf("accounting broken: exact %d + pruned %d != %d", exact, pruned, len(cands))
+	}
+}
+
+func TestMatchesPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range Matches did not panic")
+		}
+	}()
+	Matches([]int32{1}, []int32{1, 2}, 0, 2)
+}

@@ -1,0 +1,156 @@
+// Package lshindex implements candidate generation for all-pairs
+// similarity search with locality-sensitive hashing, as described in
+// §2 of the BayesLSH paper: every object is assigned l signatures,
+// each the concatenation of k hashes, and any two objects sharing at
+// least one signature become a candidate pair.
+//
+// For a per-hash collision probability p (p = t for Jaccard minhash,
+// p = 1 − arccos(t)/π for cosine hyperplane hashes at threshold t),
+// the number of length-k signatures needed for an expected false
+// negative rate ε is
+//
+//	l = ⌈ log ε / log(1 − p^k) ⌉
+//
+// (Xiao et al., TODS 2011), which NumTables computes.
+package lshindex
+
+import (
+	"fmt"
+	"math"
+
+	"bayeslsh/internal/pair"
+)
+
+// NumTables returns l = ⌈log ε / log(1 − p^k)⌉, the number of banded
+// hash tables required so that a pair with per-hash collision
+// probability p is missed with probability at most eps.
+func NumTables(p float64, k int, eps float64) int {
+	if p <= 0 {
+		return 1
+	}
+	if p >= 1 {
+		return 1
+	}
+	if k <= 0 || eps <= 0 || eps >= 1 {
+		panic("lshindex: NumTables needs k > 0 and eps in (0,1)")
+	}
+	pk := math.Pow(p, float64(k))
+	if pk >= 1 {
+		return 1
+	}
+	l := math.Ceil(math.Log(eps) / math.Log(1-pk))
+	if l < 1 {
+		return 1
+	}
+	return int(l)
+}
+
+// fnv1a64 hashes b with the 64-bit FNV-1a function, seeded.
+func fnv1a64(seed uint64, words []uint64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset) ^ seed*prime
+	for _, w := range words {
+		for s := 0; s < 64; s += 8 {
+			h ^= (w >> s) & 0xff
+			h *= prime
+		}
+	}
+	return h
+}
+
+// bitsBand extracts bits [from, from+k) of a packed bit signature as a
+// uint64. k must be at most 64.
+func bitsBand(sig []uint64, from, k int) uint64 {
+	word, off := from/64, from%64
+	v := sig[word] >> off
+	if off+k > 64 {
+		v |= sig[word+1] << (64 - off)
+	}
+	if k < 64 {
+		v &= (1 << k) - 1
+	}
+	return v
+}
+
+// CandidatesBits generates candidate pairs from packed bit signatures
+// (cosine hyperplane hashes). Band j covers bits [j*k, (j+1)*k). It
+// returns an error if the signatures are too short for l bands of k
+// bits. k must be in [1, 64].
+func CandidatesBits(sigs [][]uint64, k, l int) ([]pair.Pair, error) {
+	if k < 1 || k > 64 {
+		return nil, fmt.Errorf("lshindex: k = %d outside [1, 64]", k)
+	}
+	if l < 1 {
+		return nil, fmt.Errorf("lshindex: l = %d must be positive", l)
+	}
+	for i, s := range sigs {
+		if len(s)*64 < k*l {
+			return nil, fmt.Errorf("lshindex: signature %d has %d bits, need %d", i, len(s)*64, k*l)
+		}
+	}
+	set := pair.NewSet(len(sigs))
+	buckets := make(map[uint64][]int32)
+	for band := 0; band < l; band++ {
+		clear(buckets)
+		from := band * k
+		for id, sig := range sigs {
+			key := bitsBand(sig, from, k)
+			buckets[key] = append(buckets[key], int32(id))
+		}
+		collectBuckets(set, buckets)
+	}
+	return set.Pairs(), nil
+}
+
+// CandidatesMinhash generates candidate pairs from minhash signatures.
+// Band j covers hash positions [j*k, (j+1)*k); the band key is a
+// 64-bit hash of those k values. It returns an error if signatures
+// are too short.
+func CandidatesMinhash(sigs [][]uint32, k, l int) ([]pair.Pair, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("lshindex: k = %d must be positive", k)
+	}
+	if l < 1 {
+		return nil, fmt.Errorf("lshindex: l = %d must be positive", l)
+	}
+	for i, s := range sigs {
+		if len(s) < k*l {
+			return nil, fmt.Errorf("lshindex: signature %d has %d hashes, need %d", i, len(s), k*l)
+		}
+	}
+	set := pair.NewSet(len(sigs))
+	buckets := make(map[uint64][]int32)
+	scratch := make([]uint64, (k+1)/2)
+	for band := 0; band < l; band++ {
+		clear(buckets)
+		from := band * k
+		for id, sig := range sigs {
+			for i := range scratch {
+				scratch[i] = 0
+			}
+			for i := 0; i < k; i++ {
+				scratch[i/2] |= uint64(sig[from+i]) << (32 * (i % 2))
+			}
+			key := fnv1a64(uint64(band)+1, scratch)
+			buckets[key] = append(buckets[key], int32(id))
+		}
+		collectBuckets(set, buckets)
+	}
+	return set.Pairs(), nil
+}
+
+func collectBuckets(set *pair.Set, buckets map[uint64][]int32) {
+	for _, ids := range buckets {
+		if len(ids) < 2 {
+			continue
+		}
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				set.Add(ids[i], ids[j])
+			}
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package lshindex
+
+import (
+	"fmt"
+	"math"
+
+	"bayeslsh/internal/pair"
+)
+
+// Multi-probe LSH (Lv, Josephson, Wang, Charikar, Li, VLDB 2007 —
+// reference [17] of the BayesLSH paper) trades probes for tables:
+// besides its own bucket, each signature also probes the buckets
+// whose band keys differ in exactly one bit. A pair then collides in
+// a band if at most one of the band's k bits disagrees, which happens
+// with probability
+//
+//	p₁ = p^k + k·p^(k−1)·(1−p)
+//
+// per band for per-hash collision probability p, so far fewer bands
+// reach the same false negative rate — at the cost of k extra probes
+// per signature per band.
+
+// NumTablesMultiProbe returns l = ⌈log ε / log(1 − p₁)⌉ for 1-step
+// multi-probe banding.
+func NumTablesMultiProbe(p float64, k int, eps float64) int {
+	if p <= 0 || p >= 1 {
+		return 1
+	}
+	if k <= 0 || eps <= 0 || eps >= 1 {
+		panic("lshindex: NumTablesMultiProbe needs k > 0 and eps in (0,1)")
+	}
+	pk := math.Pow(p, float64(k))
+	p1 := pk + float64(k)*math.Pow(p, float64(k-1))*(1-p)
+	if p1 >= 1 {
+		return 1
+	}
+	l := math.Ceil(math.Log(eps) / math.Log(1-p1))
+	if l < 1 {
+		return 1
+	}
+	return int(l)
+}
+
+// CandidatesBitsMultiProbe generates candidate pairs from packed bit
+// signatures with 1-step multi-probing: each signature is inserted
+// into its own bucket and additionally probes the k buckets whose
+// band key differs in one bit. Pairs whose band keys are within
+// Hamming distance one therefore collide. k must be in [1, 64].
+func CandidatesBitsMultiProbe(sigs [][]uint64, k, l int) ([]pair.Pair, error) {
+	if k < 1 || k > 64 {
+		return nil, fmt.Errorf("lshindex: k = %d outside [1, 64]", k)
+	}
+	if l < 1 {
+		return nil, fmt.Errorf("lshindex: l = %d must be positive", l)
+	}
+	for i, s := range sigs {
+		if len(s)*64 < k*l {
+			return nil, fmt.Errorf("lshindex: signature %d has %d bits, need %d", i, len(s)*64, k*l)
+		}
+	}
+	set := pair.NewSet(len(sigs))
+	buckets := make(map[uint64][]int32)
+	for band := 0; band < l; band++ {
+		clear(buckets)
+		from := band * k
+		for id, sig := range sigs {
+			key := bitsBand(sig, from, k)
+			buckets[key] = append(buckets[key], int32(id))
+		}
+		// Exact-key collisions.
+		collectBuckets(set, buckets)
+		// One-bit probes: pair each signature with the occupants of
+		// every bucket at Hamming distance one from its key. Each
+		// unordered (key, key^bit) bucket pair is visited from both
+		// sides; pair.Set dedupes.
+		for key, ids := range buckets {
+			for b := 0; b < k; b++ {
+				neighbor := key ^ (1 << b)
+				if neighbor < key {
+					continue // handle each unordered bucket pair once
+				}
+				others, ok := buckets[neighbor]
+				if !ok {
+					continue
+				}
+				for _, a := range ids {
+					for _, o := range others {
+						set.Add(a, o)
+					}
+				}
+			}
+		}
+	}
+	return set.Pairs(), nil
+}

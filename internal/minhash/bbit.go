@@ -1,0 +1,34 @@
+package minhash
+
+// b-bit minwise hashing (Li and König, WWW 2010 — reference [15] of
+// the BayesLSH paper): storing only the lowest b bits of each minhash
+// shrinks signatures by 32/b at the cost of random collisions. For
+// b = 1 and a large universe, two sets with Jaccard similarity J agree
+// on a 1-bit hash with probability
+//
+//	r = 1/2 + J/2,
+//
+// which maps the Jaccard threshold into the same truncated [1/2, 1]
+// support the paper's cosine instantiation works in. The BayesLSH
+// extension for these signatures lives in internal/core (OneBitJaccard
+// verifier); this file provides the packing.
+
+// PackOneBit packs the lowest bit of each minhash value into a bit
+// signature ([]uint64, 64 hashes per word), compatible with
+// sighash.MatchCount-style word-level comparison.
+func PackOneBit(sig []uint32) []uint64 {
+	out := make([]uint64, (len(sig)+63)/64)
+	for i, h := range sig {
+		out[i/64] |= uint64(h&1) << (i % 64)
+	}
+	return out
+}
+
+// PackOneBitAll packs every signature.
+func PackOneBitAll(sigs [][]uint32) [][]uint64 {
+	out := make([][]uint64, len(sigs))
+	for i, s := range sigs {
+		out[i] = PackOneBit(s)
+	}
+	return out
+}

@@ -1,0 +1,36 @@
+package minhash
+
+import (
+	"testing"
+
+	"bayeslsh/internal/rng"
+	"bayeslsh/internal/vector"
+)
+
+func benchSet(n, dim int, seed uint64) vector.Vector {
+	src := rng.New(seed)
+	m := make(map[uint32]float64, n)
+	for len(m) < n {
+		m[uint32(src.Intn(dim))] = 1
+	}
+	return vector.FromMap(m)
+}
+
+func BenchmarkSignature512Hashes(b *testing.B) {
+	fam := NewFamily(512, 1)
+	v := benchSet(76, 1<<20, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fam.Signature(v)
+	}
+}
+
+func BenchmarkMatches(b *testing.B) {
+	fam := NewFamily(512, 1)
+	x := fam.Signature(benchSet(76, 1<<20, 3))
+	y := fam.Signature(benchSet(76, 1<<20, 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Matches(x, y, 0, 512)
+	}
+}

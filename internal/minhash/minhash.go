@@ -1,0 +1,116 @@
+// Package minhash implements the minwise-hashing LSH family for
+// Jaccard similarity (Broder et al.), the family §4.1 of the BayesLSH
+// paper builds on: for a random permutation π of the universe,
+// h(x) = min π(x), and Pr[h(a) = h(b)] = Jaccard(a, b).
+//
+// Instead of materializing permutations, each hash function applies a
+// strong 64-bit mixing function keyed by an independent seed to every
+// element and takes the minimum — the standard practical approximation
+// of a minwise-independent permutation.
+package minhash
+
+import (
+	"math"
+
+	"bayeslsh/internal/rng"
+	"bayeslsh/internal/vector"
+)
+
+// Empty is the signature value assigned by every hash function to the
+// empty set. Callers performing all-pairs search should drop empty
+// vectors; two empty sets collide on every hash.
+const Empty = math.MaxUint32
+
+// Family is a set of minwise hash functions. It is safe for
+// concurrent use after construction.
+type Family struct {
+	seeds []uint64
+}
+
+// NewFamily creates n minwise hash functions derived deterministically
+// from seed.
+func NewFamily(n int, seed uint64) *Family {
+	if n <= 0 {
+		panic("minhash: NewFamily with n <= 0")
+	}
+	f := &Family{seeds: make([]uint64, n)}
+	sm := seed
+	for i := range f.seeds {
+		f.seeds[i] = rng.SplitMix64(&sm)
+	}
+	return f
+}
+
+// Size returns the number of hash functions in the family.
+func (f *Family) Size() int { return len(f.seeds) }
+
+// Hash applies hash function i to the index set of v.
+func (f *Family) Hash(i int, v vector.Vector) uint32 {
+	min := uint64(math.MaxUint64)
+	seed := f.seeds[i]
+	for _, ind := range v.Ind {
+		if h := rng.Mix64(seed ^ (uint64(ind)+1)*0x9e3779b97f4a7c15); h < min {
+			min = h
+		}
+	}
+	if min == math.MaxUint64 {
+		return Empty
+	}
+	return uint32(min >> 32)
+}
+
+// Signature returns the full signature of v: one minhash per function
+// in the family. The weights of v are ignored; minwise hashing is a
+// set technique.
+func (f *Family) Signature(v vector.Vector) []uint32 {
+	sig := make([]uint32, len(f.seeds))
+	if v.Len() == 0 {
+		for i := range sig {
+			sig[i] = Empty
+		}
+		return sig
+	}
+	// One pass per element rather than per hash: mix each element once
+	// per hash function, tracking minima for all functions.
+	mins := make([]uint64, len(f.seeds))
+	for i := range mins {
+		mins[i] = math.MaxUint64
+	}
+	for _, ind := range v.Ind {
+		e := (uint64(ind) + 1) * 0x9e3779b97f4a7c15
+		for i, seed := range f.seeds {
+			if h := rng.Mix64(seed ^ e); h < mins[i] {
+				mins[i] = h
+			}
+		}
+	}
+	for i, m := range mins {
+		sig[i] = uint32(m >> 32)
+	}
+	return sig
+}
+
+// SignatureAll computes signatures for every vector in the collection.
+func (f *Family) SignatureAll(c *vector.Collection) [][]uint32 {
+	sigs := make([][]uint32, len(c.Vecs))
+	for i, v := range c.Vecs {
+		sigs[i] = f.Signature(v)
+	}
+	return sigs
+}
+
+// Matches counts agreeing positions of a and b in the half-open hash
+// range [from, to). It panics if the range is outside either
+// signature.
+func Matches(a, b []uint32, from, to int) int {
+	if from < 0 || to > len(a) || to > len(b) || from > to {
+		panic("minhash: Matches range out of bounds")
+	}
+	n := 0
+	for i := from; i < to; i++ {
+		if a[i] == b[i] {
+			n++
+		}
+	}
+	return n
+}

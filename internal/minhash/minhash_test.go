@@ -1,0 +1,146 @@
+package minhash
+
+import (
+	"math"
+	"testing"
+
+	"bayeslsh/internal/vector"
+)
+
+func setVec(inds ...uint32) vector.Vector {
+	var es []vector.Entry
+	for _, i := range inds {
+		es = append(es, vector.Entry{Ind: i, Val: 1})
+	}
+	return vector.New(es)
+}
+
+func TestNewFamilyPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewFamily(0) did not panic")
+		}
+	}()
+	NewFamily(0, 1)
+}
+
+func TestSignatureDeterministicAndSeedSensitive(t *testing.T) {
+	v := setVec(1, 5, 9, 100)
+	a := NewFamily(64, 7).Signature(v)
+	b := NewFamily(64, 7).Signature(v)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different signature at %d", i)
+		}
+	}
+	c := NewFamily(64, 8).Signature(v)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different family seeds produced identical signatures")
+	}
+}
+
+func TestSignatureMatchesPerHashFunction(t *testing.T) {
+	f := NewFamily(32, 3)
+	v := setVec(2, 4, 8, 16)
+	sig := f.Signature(v)
+	for i := range sig {
+		if got := f.Hash(i, v); got != sig[i] {
+			t.Errorf("Hash(%d) = %d, Signature[%d] = %d", i, got, i, sig[i])
+		}
+	}
+}
+
+func TestEmptyVectorSignature(t *testing.T) {
+	f := NewFamily(8, 1)
+	sig := f.Signature(vector.Vector{})
+	for i, s := range sig {
+		if s != Empty {
+			t.Errorf("empty signature[%d] = %d, want sentinel", i, s)
+		}
+	}
+	if got := f.Hash(0, vector.Vector{}); got != Empty {
+		t.Errorf("Hash of empty = %d", got)
+	}
+}
+
+func TestIdenticalSetsAlwaysCollide(t *testing.T) {
+	f := NewFamily(128, 2)
+	v := setVec(3, 1, 4, 1, 5, 9, 2, 6)
+	w := v.Clone()
+	w.Scale(42) // weights must not matter
+	a, b := f.Signature(v), f.Signature(w)
+	if got := Matches(a, b, 0, len(a)); got != len(a) {
+		t.Errorf("identical sets matched on %d/%d hashes", got, len(a))
+	}
+}
+
+func TestCollisionRateApproximatesJaccard(t *testing.T) {
+	// The LSH property (Equation 1 of the paper): the fraction of
+	// matching hashes converges to the Jaccard similarity.
+	const hashes = 4096
+	f := NewFamily(hashes, 11)
+	cases := []struct {
+		a, b vector.Vector
+	}{
+		{setVec(1, 2, 3, 4), setVec(3, 4, 5, 6)},                   // J = 2/6
+		{setVec(1, 2, 3, 4, 5, 6, 7, 8), setVec(1, 2, 3, 4, 5, 6)}, // J = 6/8
+		{setVec(10, 20), setVec(30, 40)},                           // J = 0
+		{setVec(1, 2, 3), setVec(1, 2, 3)},                         // J = 1
+	}
+	for _, c := range cases {
+		want := vector.Jaccard(c.a, c.b)
+		got := float64(Matches(f.Signature(c.a), f.Signature(c.b), 0, hashes)) / hashes
+		// 4σ tolerance for a binomial proportion over 4096 trials.
+		tol := 4 * math.Sqrt(want*(1-want)/hashes)
+		if tol < 0.002 {
+			tol = 0.002
+		}
+		if math.Abs(got-want) > tol {
+			t.Errorf("collision rate %v, Jaccard %v (tol %v)", got, want, tol)
+		}
+	}
+}
+
+func TestMatchesSubrange(t *testing.T) {
+	a := []uint32{1, 2, 3, 4, 5}
+	b := []uint32{1, 9, 3, 9, 5}
+	if got := Matches(a, b, 0, 5); got != 3 {
+		t.Errorf("full Matches = %d, want 3", got)
+	}
+	if got := Matches(a, b, 1, 4); got != 1 {
+		t.Errorf("sub Matches = %d, want 1", got)
+	}
+	if got := Matches(a, b, 2, 2); got != 0 {
+		t.Errorf("empty range Matches = %d, want 0", got)
+	}
+}
+
+func TestMatchesPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range Matches did not panic")
+		}
+	}()
+	Matches([]uint32{1}, []uint32{1, 2}, 0, 2)
+}
+
+func TestSignatureAll(t *testing.T) {
+	c := &vector.Collection{Dim: 10, Vecs: []vector.Vector{setVec(1), setVec(2, 3)}}
+	f := NewFamily(16, 5)
+	sigs := f.SignatureAll(c)
+	if len(sigs) != 2 || len(sigs[0]) != 16 {
+		t.Fatalf("SignatureAll shape wrong: %d x %d", len(sigs), len(sigs[0]))
+	}
+	one := f.Signature(c.Vecs[1])
+	for i := range one {
+		if sigs[1][i] != one[i] {
+			t.Fatal("SignatureAll disagrees with Signature")
+		}
+	}
+}

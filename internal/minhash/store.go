@@ -1,0 +1,108 @@
+package minhash
+
+import (
+	"math"
+	"time"
+
+	"bayeslsh/internal/rng"
+	"bayeslsh/internal/vector"
+)
+
+// Store lazily computes and caches minhash signatures per vector,
+// extending them in blocks as verification demands deeper hash
+// prefixes — the paper's "each point is only hashed as many times as
+// is necessary". It is not safe for concurrent use.
+type Store struct {
+	fam       *Family
+	c         *vector.Collection
+	blockSize int
+	sigs      [][]uint32 // full capacity allocated; filled lazily
+	filled    []int32
+	elapsed   time.Duration
+}
+
+// NewStore creates a minhash signature store over the collection.
+// blockSize controls materialization granularity (hashes are computed
+// blockSize at a time; default 32 when 0).
+func NewStore(c *vector.Collection, fam *Family, blockSize int) *Store {
+	if blockSize <= 0 {
+		blockSize = 32
+	}
+	n := fam.Size()
+	s := &Store{
+		fam:       fam,
+		c:         c,
+		blockSize: blockSize,
+		sigs:      make([][]uint32, len(c.Vecs)),
+		filled:    make([]int32, len(c.Vecs)),
+	}
+	backing := make([]uint32, n*len(c.Vecs))
+	for i := range s.sigs {
+		s.sigs[i], backing = backing[:n:n], backing[n:]
+	}
+	return s
+}
+
+// Sigs exposes the backing signature slices. Slice headers are stable
+// for the store's lifetime; entries beyond the ensured prefix are zero
+// until filled.
+func (s *Store) Sigs() [][]uint32 { return s.sigs }
+
+// MaxHashes returns the signature capacity.
+func (s *Store) MaxHashes() int { return s.fam.Size() }
+
+// FilledHashes returns how many hashes of vector id are computed.
+func (s *Store) FilledHashes(id int32) int { return int(s.filled[id]) }
+
+// Elapsed returns the cumulative wall-clock time spent hashing.
+func (s *Store) Elapsed() time.Duration { return s.elapsed }
+
+// Ensure fills vector id's signature up to at least n hashes.
+func (s *Store) Ensure(id int32, n int) {
+	if int(s.filled[id]) >= n {
+		return
+	}
+	start := time.Now()
+	from := int(s.filled[id])
+	to := (n + s.blockSize - 1) / s.blockSize * s.blockSize
+	if to > s.fam.Size() {
+		to = s.fam.Size()
+	}
+	if n > to {
+		panic("minhash: Ensure beyond family capacity")
+	}
+	v := s.c.Vecs[id]
+	sig := s.sigs[id]
+	if v.Len() == 0 {
+		for i := from; i < to; i++ {
+			sig[i] = Empty
+		}
+		s.filled[id] = int32(to)
+		s.elapsed += time.Since(start)
+		return
+	}
+	mins := make([]uint64, to-from)
+	for i := range mins {
+		mins[i] = math.MaxUint64
+	}
+	for _, ind := range v.Ind {
+		e := (uint64(ind) + 1) * 0x9e3779b97f4a7c15
+		for i := from; i < to; i++ {
+			if h := rng.Mix64(s.fam.seeds[i] ^ e); h < mins[i-from] {
+				mins[i-from] = h
+			}
+		}
+	}
+	for i := from; i < to; i++ {
+		sig[i] = uint32(mins[i-from] >> 32)
+	}
+	s.filled[id] = int32(to)
+	s.elapsed += time.Since(start)
+}
+
+// EnsureAll fills every vector's signature up to n hashes.
+func (s *Store) EnsureAll(n int) {
+	for id := range s.sigs {
+		s.Ensure(int32(id), n)
+	}
+}

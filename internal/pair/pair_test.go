@@ -1,0 +1,68 @@
+package pair
+
+import "testing"
+
+func TestMakeNormalizes(t *testing.T) {
+	if got := Make(5, 2); got != (Pair{A: 2, B: 5}) {
+		t.Errorf("Make(5,2) = %+v", got)
+	}
+	if got := Make(2, 5); got != (Pair{A: 2, B: 5}) {
+		t.Errorf("Make(2,5) = %+v", got)
+	}
+}
+
+func TestKeyUnique(t *testing.T) {
+	seen := map[uint64]Pair{}
+	for a := int32(0); a < 50; a++ {
+		for b := a + 1; b < 50; b++ {
+			p := Make(a, b)
+			if prev, dup := seen[p.Key()]; dup {
+				t.Fatalf("key collision: %+v and %+v", prev, p)
+			}
+			seen[p.Key()] = p
+		}
+	}
+}
+
+func TestSetDedupsAndSkipsSelf(t *testing.T) {
+	s := NewSet(4)
+	if !s.Add(3, 1) {
+		t.Error("first Add returned false")
+	}
+	if s.Add(1, 3) {
+		t.Error("reversed duplicate accepted")
+	}
+	if s.Add(2, 2) {
+		t.Error("self pair accepted")
+	}
+	if !s.Add(1, 2) {
+		t.Error("new pair rejected")
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d, want 2", s.Len())
+	}
+	ps := s.Pairs()
+	if ps[0] != Make(1, 3) || ps[1] != Make(1, 2) {
+		t.Errorf("Pairs = %v", ps)
+	}
+}
+
+func TestSortResultsAndPairs(t *testing.T) {
+	rs := []Result{{A: 3, B: 4}, {A: 1, B: 9}, {A: 1, B: 2}}
+	SortResults(rs)
+	if rs[0].A != 1 || rs[0].B != 2 || rs[2].A != 3 {
+		t.Errorf("SortResults = %v", rs)
+	}
+	ps := []Pair{{A: 3, B: 4}, {A: 1, B: 9}, {A: 1, B: 2}}
+	SortPairs(ps)
+	if ps[0] != (Pair{A: 1, B: 2}) || ps[2] != (Pair{A: 3, B: 4}) {
+		t.Errorf("SortPairs = %v", ps)
+	}
+}
+
+func TestResultPair(t *testing.T) {
+	r := Result{A: 7, B: 3, Sim: 0.5}
+	if r.Pair() != Make(3, 7) {
+		t.Errorf("Result.Pair = %+v", r.Pair())
+	}
+}

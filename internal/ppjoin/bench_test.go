@@ -1,0 +1,52 @@
+package ppjoin
+
+import (
+	"testing"
+
+	"bayeslsh/internal/dataset"
+	"bayeslsh/internal/exact"
+	"bayeslsh/internal/vector"
+)
+
+func benchSets(b *testing.B) *vector.Collection {
+	b.Helper()
+	c, err := dataset.Generate(dataset.Spec{
+		Name: "bench", Kind: dataset.Text,
+		N: 1000, Dim: 5000, AvgLen: 40, ZipfS: 0.9,
+		ClusterFrac: 0.3, ClusterSize: 4, MutationRate: 0.2, Seed: 9,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c.Binarize()
+}
+
+func BenchmarkSearchJaccardHighThreshold(b *testing.B) {
+	c := benchSets(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Search(c, exact.Jaccard, 0.8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearchJaccardLowThreshold(b *testing.B) {
+	c := benchSets(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Search(c, exact.Jaccard, 0.3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearchBinaryCosine(b *testing.B) {
+	c := benchSets(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Search(c, exact.BinaryCosine, 0.7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package ppjoin
+
+import (
+	"testing"
+
+	"bayeslsh/internal/exact"
+	"bayeslsh/internal/rng"
+	"bayeslsh/internal/testutil"
+	"bayeslsh/internal/vector"
+)
+
+func TestSearchMatchesBruteForceJaccard(t *testing.T) {
+	for _, seed := range []uint64{1, 2} {
+		c := testutil.SmallBinaryCorpus(t, 300, seed)
+		for _, th := range []float64{0.3, 0.5, 0.7, 0.9} {
+			got, err := Search(c, exact.Jaccard, th)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := exact.Search(c, exact.Jaccard, th)
+			testutil.RequireSameResults(t, got, want, 1e-9)
+		}
+	}
+}
+
+func TestSearchMatchesBruteForceBinaryCosine(t *testing.T) {
+	c := testutil.SmallBinaryCorpus(t, 300, 3)
+	for _, th := range []float64{0.5, 0.7, 0.9} {
+		got, err := Search(c, exact.BinaryCosine, th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := exact.Search(c, exact.BinaryCosine, th)
+		testutil.RequireSameResults(t, got, want, 1e-9)
+	}
+}
+
+func TestSearchRandomSetsAgainstBruteForce(t *testing.T) {
+	// Adversarial small random universes stress tie handling (equal
+	// sizes, duplicate sets, heavy token reuse).
+	src := rng.New(99)
+	for trial := 0; trial < 5; trial++ {
+		vecs := make([]vector.Vector, 60)
+		for i := range vecs {
+			m := map[uint32]float64{}
+			l := 1 + src.Intn(12)
+			for j := 0; j < l; j++ {
+				m[uint32(src.Intn(40))] = 1
+			}
+			vecs[i] = vector.FromMap(m)
+		}
+		c := &vector.Collection{Dim: 40, Vecs: vecs}
+		for _, th := range []float64{0.3, 0.6, 0.8} {
+			got, err := Search(c, exact.Jaccard, th)
+			if err != nil {
+				t.Fatal(err)
+			}
+			testutil.RequireSameResults(t, got, exact.Search(c, exact.Jaccard, th), 1e-9)
+		}
+	}
+}
+
+func TestDuplicateSetsFound(t *testing.T) {
+	v := vector.New([]vector.Entry{{Ind: 1, Val: 1}, {Ind: 5, Val: 1}, {Ind: 9, Val: 1}})
+	c := &vector.Collection{Dim: 10, Vecs: []vector.Vector{v, v.Clone(), v.Clone()}}
+	got, err := Search(c, exact.Jaccard, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Errorf("expected 3 duplicate pairs, got %v", got)
+	}
+	for _, r := range got {
+		if r.Sim != 1 {
+			t.Errorf("duplicate pair sim = %v", r.Sim)
+		}
+	}
+}
+
+func TestRejectsBadArguments(t *testing.T) {
+	c := &vector.Collection{Dim: 3}
+	if _, err := Search(c, exact.Jaccard, 0); err == nil {
+		t.Error("threshold 0 accepted")
+	}
+	if _, err := Search(c, exact.Jaccard, 1.1); err == nil {
+		t.Error("threshold > 1 accepted")
+	}
+	if _, err := Search(c, exact.Cosine, 0.5); err == nil {
+		t.Error("weighted cosine accepted by a binary-only algorithm")
+	}
+}
+
+func TestEmptyVectorsIgnored(t *testing.T) {
+	c := &vector.Collection{Dim: 5, Vecs: []vector.Vector{
+		{},
+		vector.New([]vector.Entry{{Ind: 1, Val: 1}}),
+		{},
+		vector.New([]vector.Entry{{Ind: 1, Val: 1}}),
+	}}
+	got, err := Search(c, exact.Jaccard, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Errorf("got %v, want exactly the 1-3 pair", got)
+	}
+}

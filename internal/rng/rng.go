@@ -1,0 +1,206 @@
+// Package rng provides small, fast, deterministic pseudo-random number
+// generators used throughout the library.
+//
+// All randomized components (hash function families, dataset synthesis,
+// sampling) take an explicit seed so that experiments are reproducible
+// run-to-run. The generators here are a splitmix64 stream (used for
+// seeding and cheap hashing) and an xoshiro256** stream (the general
+// purpose source), plus Gaussian sampling via the polar Box-Muller
+// transform.
+package rng
+
+import "math"
+
+// SplitMix64 advances the state x and returns the next value of the
+// splitmix64 sequence. It is the canonical way to derive independent
+// sub-seeds from one master seed.
+func SplitMix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Mix64 hashes a single 64-bit value to a well distributed 64-bit value.
+// It is stateless: the same input always produces the same output.
+func Mix64(x uint64) uint64 {
+	return SplitMix64(&x)
+}
+
+// Source is a deterministic xoshiro256** pseudo-random generator.
+// The zero value is not usable; construct with New.
+type Source struct {
+	s [4]uint64
+	// cached second Gaussian from the polar Box-Muller transform
+	gauss    float64
+	hasGauss bool
+}
+
+// New returns a Source seeded from seed via splitmix64, as recommended
+// by the xoshiro authors.
+func New(seed uint64) *Source {
+	var r Source
+	r.Seed(seed)
+	return &r
+}
+
+// Seed resets the generator to the stream determined by seed.
+func (r *Source) Seed(seed uint64) {
+	sm := seed
+	for i := range r.s {
+		r.s[i] = SplitMix64(&sm)
+	}
+	r.hasGauss = false
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next value of the stream.
+func (r *Source) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Uint32 returns the next 32-bit value.
+func (r *Source) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with n <= 0")
+	}
+	// Lemire's multiply-shift rejection method.
+	bound := uint64(n)
+	x := r.Uint64()
+	hi, lo := mul64(x, bound)
+	if lo < bound {
+		threshold := (-bound) % bound
+		for lo < threshold {
+			x = r.Uint64()
+			hi, lo = mul64(x, bound)
+		}
+	}
+	return int(hi)
+}
+
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aLo * bLo
+	lo = t & mask
+	c := t >> 32
+	t = aHi*bLo + c
+	mid := t & mask
+	c = t >> 32
+	t = aLo*bHi + mid
+	lo |= (t & mask) << 32
+	hi = aHi*bHi + c + t>>32
+	return hi, lo
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a standard normal sample (mean 0, stddev 1) using
+// the polar Box-Muller method, matching the Gaussian projections used
+// by the random-hyperplane LSH family.
+func (r *Source) NormFloat64() float64 {
+	if r.hasGauss {
+		r.hasGauss = false
+		return r.gauss
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(s) / s)
+		r.gauss = v * f
+		r.hasGauss = true
+		return u * f
+	}
+}
+
+// ExpFloat64 returns an exponentially distributed sample with rate 1.
+func (r *Source) ExpFloat64() float64 {
+	return -math.Log(1 - r.Float64())
+}
+
+// Perm returns a random permutation of [0, n) (Fisher-Yates).
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomly reorders the first n elements using swap.
+func (r *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Zipf samples from a Zipf(s, v, imax) distribution over {0, ..., imax}
+// using inverse-CDF on a precomputed table. It is intended for dataset
+// synthesis, where the table cost is amortized over many draws.
+type Zipf struct {
+	cdf []float64
+	r   *Source
+}
+
+// NewZipf builds a Zipf sampler over ranks {0..n-1} with exponent s > 0.
+// Probability of rank i is proportional to 1/(i+1)^s.
+func NewZipf(r *Source, s float64, n int) *Zipf {
+	if n <= 0 {
+		panic("rng: NewZipf with n <= 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += math.Pow(float64(i+1), -s)
+		cdf[i] = sum
+	}
+	inv := 1 / sum
+	for i := range cdf {
+		cdf[i] *= inv
+	}
+	cdf[n-1] = 1 // guard against rounding
+	return &Zipf{cdf: cdf, r: r}
+}
+
+// Next draws one rank.
+func (z *Zipf) Next() int {
+	u := z.r.Float64()
+	// binary search for the first index with cdf >= u
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,210 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(123), New(123)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+	c := New(124)
+	same := 0
+	a.Seed(123)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds produced %d identical values", same)
+	}
+}
+
+func TestSeedResets(t *testing.T) {
+	r := New(7)
+	first := make([]uint64, 10)
+	for i := range first {
+		first[i] = r.Uint64()
+	}
+	r.Seed(7)
+	for i := range first {
+		if got := r.Uint64(); got != first[i] {
+			t.Fatalf("reseed mismatch at %d: %d vs %d", i, got, first[i])
+		}
+	}
+}
+
+func TestMix64Stateless(t *testing.T) {
+	if Mix64(42) != Mix64(42) {
+		t.Error("Mix64 not deterministic")
+	}
+	if Mix64(42) == Mix64(43) {
+		t.Error("Mix64(42) == Mix64(43); suspicious")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestIntnRangeAndUniformity(t *testing.T) {
+	r := New(2)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		v := r.Intn(n)
+		if v < 0 || v >= n {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: count %d, want ~%v", i, c, want)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(3)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("gaussian mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("gaussian variance = %v, want ~1", variance)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := New(4)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		x := r.ExpFloat64()
+		if x < 0 {
+			t.Fatalf("negative exponential sample %v", x)
+		}
+		sum += x
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Errorf("exponential mean = %v, want ~1", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(5)
+	for _, n := range []int{0, 1, 2, 17, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShuffleKeepsMultiset(t *testing.T) {
+	r := New(6)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, x := range xs {
+		got += x
+	}
+	if got != sum {
+		t.Errorf("shuffle changed elements: sum %d vs %d", got, sum)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(7)
+	z := NewZipf(r, 1.0, 1000)
+	const draws = 100000
+	counts := make([]int, 1000)
+	for i := 0; i < draws; i++ {
+		v := z.Next()
+		if v < 0 || v >= 1000 {
+			t.Fatalf("zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// Rank 0 must dominate rank 99 by roughly the theoretical 100x.
+	if counts[0] < 20*counts[99] {
+		t.Errorf("zipf skew too weak: rank0=%d rank99=%d", counts[0], counts[99])
+	}
+	// And the head should not be the only mass.
+	tail := 0
+	for _, c := range counts[100:] {
+		tail += c
+	}
+	if tail == 0 {
+		t.Error("zipf tail received no mass")
+	}
+}
+
+func TestZipfPanicsOnEmptyDomain(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewZipf(n=0) did not panic")
+		}
+	}()
+	NewZipf(New(1), 1.0, 0)
+}
+
+func TestMul64MatchesBigMultiplication(t *testing.T) {
+	f := func(a, b uint64) bool {
+		hi, lo := mul64(a, b)
+		// Verify against math/bits-free reference via 32-bit split.
+		aLo, aHi := a&0xffffffff, a>>32
+		bLo, bHi := b&0xffffffff, b>>32
+		t0 := aLo * bLo
+		t1 := aHi*bLo + t0>>32
+		t2 := aLo*bHi + t1&0xffffffff
+		wantLo := t0&0xffffffff | t2<<32
+		wantHi := aHi*bHi + t1>>32 + t2>>32
+		return hi == wantHi && lo == wantLo
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,193 @@
+// Package sighash implements the random-hyperplane LSH family for
+// cosine similarity (Charikar, STOC'02), used by §4.2 of the BayesLSH
+// paper: each hash function is a random Gaussian vector r, and
+// h(x) = 1 iff dot(r, x) >= 0. For any pair,
+//
+//	Pr[h(a) = h(b)] = 1 − θ(a, b)/π
+//
+// where θ is the angle between a and b.
+//
+// Signatures are packed bit vectors ([]uint64), so comparing hashes is
+// XOR + popcount. The package also implements the paper's §4.3 storage
+// optimization: the Gaussian projection entries are quantized to two
+// bytes each, x' = ⌊(x+8)·2¹⁶/16⌋, exploiting that standard normal
+// samples essentially never leave (−8, 8).
+package sighash
+
+import (
+	"math"
+	"math/bits"
+
+	"bayeslsh/internal/rng"
+	"bayeslsh/internal/vector"
+)
+
+// Quantize maps a float in (−8, 8) to the paper's 2-byte fixed-point
+// representation.
+func Quantize(x float64) uint16 {
+	if x <= -8 {
+		return 0
+	}
+	if x >= 8 {
+		return math.MaxUint16
+	}
+	return uint16((x + 8) * 4096)
+}
+
+// Dequantize inverts Quantize up to the scheme's quantization error
+// (at most 1/4096 ≈ 0.000244).
+func Dequantize(q uint16) float64 {
+	return float64(q)/4096 - 8
+}
+
+// Family is a set of random-hyperplane hash functions over a fixed
+// feature space. It is safe for concurrent use after construction.
+type Family struct {
+	dim, nbits int
+	quantized  bool
+	// rows[feature] holds that feature's projection coefficient for
+	// every hash function, in hash order — either quantized or exact.
+	qrows [][]uint16
+	frows [][]float64
+}
+
+// Option configures a Family.
+type Option func(*Family)
+
+// Exact stores projections as float64 instead of the default 2-byte
+// quantized form. It exists to measure the accuracy/space trade-off of
+// the paper's quantization scheme (see the ablation benchmarks).
+func Exact() Option { return func(f *Family) { f.quantized = false } }
+
+// NewFamily creates nbits random-hyperplane hash functions over a
+// dim-dimensional feature space, derived deterministically from seed.
+func NewFamily(dim, nbits int, seed uint64, opts ...Option) *Family {
+	if dim <= 0 || nbits <= 0 {
+		panic("sighash: NewFamily needs dim > 0 and nbits > 0")
+	}
+	f := &Family{dim: dim, nbits: nbits, quantized: true}
+	for _, o := range opts {
+		o(f)
+	}
+	// Per-feature generator streams keep generation deterministic and
+	// independent of the order in which features are touched.
+	if f.quantized {
+		f.qrows = make([][]uint16, dim)
+		for feat := 0; feat < dim; feat++ {
+			src := rng.New(rng.Mix64(seed ^ uint64(feat+1)))
+			row := make([]uint16, nbits)
+			for b := range row {
+				row[b] = Quantize(src.NormFloat64())
+			}
+			f.qrows[feat] = row
+		}
+		return f
+	}
+	f.frows = make([][]float64, dim)
+	for feat := 0; feat < dim; feat++ {
+		src := rng.New(rng.Mix64(seed ^ uint64(feat+1)))
+		row := make([]float64, nbits)
+		for b := range row {
+			row[b] = src.NormFloat64()
+		}
+		f.frows[feat] = row
+	}
+	return f
+}
+
+// Bits returns the number of hash functions (signature length in bits).
+func (f *Family) Bits() int { return f.nbits }
+
+// Dim returns the feature-space dimensionality.
+func (f *Family) Dim() int { return f.dim }
+
+// Words returns the length in uint64 words of a packed signature.
+func (f *Family) Words() int { return (f.nbits + 63) / 64 }
+
+// Signature returns the packed bit signature of v. Bit i is hash
+// function i's output (1 iff the projection onto hyperplane i is
+// non-negative). The empty vector's projections are all zero, which by
+// the >= 0 convention yields an all-ones signature; callers should
+// drop empty vectors before indexing.
+func (f *Family) Signature(v vector.Vector) []uint64 {
+	acc := make([]float64, f.nbits)
+	if f.quantized {
+		for i, ind := range v.Ind {
+			w := v.Val[i]
+			row := f.qrows[ind]
+			for b, q := range row {
+				acc[b] += w * (float64(q)/4096 - 8)
+			}
+		}
+	} else {
+		for i, ind := range v.Ind {
+			w := v.Val[i]
+			row := f.frows[ind]
+			for b, g := range row {
+				acc[b] += w * g
+			}
+		}
+	}
+	sig := make([]uint64, f.Words())
+	for b, a := range acc {
+		if a >= 0 {
+			sig[b/64] |= 1 << (b % 64)
+		}
+	}
+	return sig
+}
+
+// SignatureAll computes signatures for every vector in the collection.
+func (f *Family) SignatureAll(c *vector.Collection) [][]uint64 {
+	sigs := make([][]uint64, len(c.Vecs))
+	for i, v := range c.Vecs {
+		sigs[i] = f.Signature(v)
+	}
+	return sigs
+}
+
+// MatchCount returns the number of agreeing bits of a and b in the
+// half-open bit range [from, to): to − from minus the Hamming distance
+// of that range. It panics if the range exceeds either signature.
+func MatchCount(a, b []uint64, from, to int) int {
+	if from < 0 || from > to || to > 64*len(a) || to > 64*len(b) {
+		panic("sighash: MatchCount range out of bounds")
+	}
+	if from == to {
+		return 0
+	}
+	firstWord, lastWord := from/64, (to-1)/64
+	mismatches := 0
+	for w := firstWord; w <= lastWord; w++ {
+		x := a[w] ^ b[w]
+		if w == firstWord {
+			x &= ^uint64(0) << (from % 64)
+		}
+		if w == lastWord {
+			if r := to % 64; r != 0 {
+				x &= (1 << r) - 1
+			}
+		}
+		mismatches += bits.OnesCount64(x)
+	}
+	return (to - from) - mismatches
+}
+
+// Bit returns bit i of signature sig.
+func Bit(sig []uint64, i int) uint64 { return (sig[i/64] >> (i % 64)) & 1 }
+
+// RToCosine converts a collision probability r = 1 − θ/π into the
+// cosine similarity cos(π(1−r)) — the paper's r2c function.
+func RToCosine(r float64) float64 { return math.Cos(math.Pi * (1 - r)) }
+
+// CosineToR converts a cosine similarity into the collision
+// probability 1 − arccos(c)/π — the paper's c2r function.
+func CosineToR(c float64) float64 {
+	if c > 1 {
+		c = 1
+	}
+	if c < -1 {
+		c = -1
+	}
+	return 1 - math.Acos(c)/math.Pi
+}

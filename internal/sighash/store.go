@@ -1,0 +1,192 @@
+package sighash
+
+import (
+	"time"
+
+	"bayeslsh/internal/rng"
+	"bayeslsh/internal/vector"
+)
+
+// BlockFamily generates random-hyperplane hash functions in blocks of
+// blockBits, materializing each block's projection coefficients only
+// when some signature first needs it. Block b of feature f is derived
+// from an independent deterministic stream keyed by (seed, f, b), so
+// the family is identical regardless of materialization order.
+type BlockFamily struct {
+	dim, maxBits, blockBits int
+	seed                    uint64
+	quantized               bool
+	// qblocks[b] (or fblocks[b]) is a flattened dim × blockBits matrix
+	// of projection coefficients for hash functions
+	// [b·blockBits, (b+1)·blockBits).
+	qblocks [][]uint16
+	fblocks [][]float64
+}
+
+// NewBlockFamily creates a lazily-materialized family of maxBits hash
+// functions over dim features. blockBits controls materialization
+// granularity (it is rounded up to a multiple of 64 so signature
+// blocks align with words).
+func NewBlockFamily(dim, maxBits, blockBits int, seed uint64, opts ...Option) *BlockFamily {
+	if dim <= 0 || maxBits <= 0 || blockBits <= 0 {
+		panic("sighash: NewBlockFamily needs positive dim, maxBits, blockBits")
+	}
+	blockBits = (blockBits + 63) / 64 * 64
+	if maxBits%blockBits != 0 {
+		maxBits = (maxBits/blockBits + 1) * blockBits
+	}
+	f := &BlockFamily{dim: dim, maxBits: maxBits, blockBits: blockBits, seed: seed, quantized: true}
+	// Reuse the Family option type: Exact() toggles quantization off.
+	probe := &Family{quantized: true}
+	for _, o := range opts {
+		o(probe)
+	}
+	f.quantized = probe.quantized
+	n := maxBits / blockBits
+	f.qblocks = make([][]uint16, n)
+	f.fblocks = make([][]float64, n)
+	return f
+}
+
+// MaxBits returns the family size (maximum signature length in bits).
+func (f *BlockFamily) MaxBits() int { return f.maxBits }
+
+// BlockBits returns the materialization granularity.
+func (f *BlockFamily) BlockBits() int { return f.blockBits }
+
+// ensureBlock materializes block b's projection rows.
+func (f *BlockFamily) ensureBlock(b int) {
+	if f.quantized {
+		if f.qblocks[b] != nil {
+			return
+		}
+		rows := make([]uint16, f.dim*f.blockBits)
+		for feat := 0; feat < f.dim; feat++ {
+			src := rng.New(rng.Mix64(f.seed ^ uint64(feat+1) ^ uint64(b+1)<<40))
+			row := rows[feat*f.blockBits : (feat+1)*f.blockBits]
+			for i := range row {
+				row[i] = Quantize(src.NormFloat64())
+			}
+		}
+		f.qblocks[b] = rows
+		return
+	}
+	if f.fblocks[b] != nil {
+		return
+	}
+	rows := make([]float64, f.dim*f.blockBits)
+	for feat := 0; feat < f.dim; feat++ {
+		src := rng.New(rng.Mix64(f.seed ^ uint64(feat+1) ^ uint64(b+1)<<40))
+		row := rows[feat*f.blockBits : (feat+1)*f.blockBits]
+		for i := range row {
+			row[i] = src.NormFloat64()
+		}
+	}
+	f.fblocks[b] = rows
+}
+
+// signBlock computes the signature bits of block b for v and writes
+// them into sig (whose capacity covers the whole signature).
+func (f *BlockFamily) signBlock(v vector.Vector, b int, sig []uint64, acc []float64) {
+	f.ensureBlock(b)
+	bb := f.blockBits
+	for i := range acc[:bb] {
+		acc[i] = 0
+	}
+	if f.quantized {
+		rows := f.qblocks[b]
+		for i, ind := range v.Ind {
+			w := v.Val[i]
+			row := rows[int(ind)*bb : (int(ind)+1)*bb]
+			for j, q := range row {
+				acc[j] += w * (float64(q)/4096 - 8)
+			}
+		}
+	} else {
+		rows := f.fblocks[b]
+		for i, ind := range v.Ind {
+			w := v.Val[i]
+			row := rows[int(ind)*bb : (int(ind)+1)*bb]
+			for j, g := range row {
+				acc[j] += w * g
+			}
+		}
+	}
+	base := b * bb
+	for j := 0; j < bb; j++ {
+		if acc[j] >= 0 {
+			sig[(base+j)/64] |= 1 << ((base + j) % 64)
+		}
+	}
+}
+
+// Store lazily computes and caches packed bit signatures per vector,
+// extending them block-by-block as verification demands deeper hash
+// prefixes — the paper's "each point is only hashed as many times as
+// is necessary". It is not safe for concurrent use.
+type Store struct {
+	fam     *BlockFamily
+	c       *vector.Collection
+	sigs    [][]uint64 // full capacity allocated; filled lazily
+	filled  []int32    // bits filled per vector (multiple of blockBits)
+	acc     []float64  // scratch accumulator
+	elapsed time.Duration
+}
+
+// NewStore creates a signature store over the collection.
+func NewStore(c *vector.Collection, fam *BlockFamily) *Store {
+	words := fam.maxBits / 64
+	s := &Store{
+		fam:    fam,
+		c:      c,
+		sigs:   make([][]uint64, len(c.Vecs)),
+		filled: make([]int32, len(c.Vecs)),
+		acc:    make([]float64, fam.blockBits),
+	}
+	backing := make([]uint64, words*len(c.Vecs))
+	for i := range s.sigs {
+		s.sigs[i], backing = backing[:words:words], backing[words:]
+	}
+	return s
+}
+
+// Sigs exposes the backing signature slices. Slice headers are stable
+// for the store's lifetime; contents beyond the ensured prefix are
+// zero until filled.
+func (s *Store) Sigs() [][]uint64 { return s.sigs }
+
+// MaxBits returns the signature capacity in bits.
+func (s *Store) MaxBits() int { return s.fam.maxBits }
+
+// FilledBits returns how many hash bits of vector id are computed.
+func (s *Store) FilledBits(id int32) int { return int(s.filled[id]) }
+
+// Elapsed returns the cumulative wall-clock time spent hashing.
+func (s *Store) Elapsed() time.Duration { return s.elapsed }
+
+// Ensure fills vector id's signature up to at least nbits bits.
+func (s *Store) Ensure(id int32, nbits int) {
+	if int(s.filled[id]) >= nbits {
+		return
+	}
+	start := time.Now()
+	bb := s.fam.blockBits
+	from := int(s.filled[id]) / bb
+	to := (nbits + bb - 1) / bb
+	if to*bb > s.fam.maxBits {
+		panic("sighash: Ensure beyond family capacity")
+	}
+	v := s.c.Vecs[id]
+	for b := from; b < to; b++ {
+		s.fam.signBlock(v, b, s.sigs[id], s.acc)
+	}
+	s.filled[id] = int32(to * bb)
+	s.elapsed += time.Since(start)
+}
+
+// EnsureAll fills every vector's signature up to nbits bits.
+func (s *Store) EnsureAll(nbits int) {
+	for id := range s.sigs {
+		s.Ensure(int32(id), nbits)
+	}
+}

@@ -1,0 +1,38 @@
+package stats
+
+import "testing"
+
+func BenchmarkLogGamma(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		LogGamma(float64(i%1000) + 0.5)
+	}
+}
+
+func BenchmarkRegIncBeta(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		RegIncBeta(0.3+float64(i%40)/100, 33, 97)
+	}
+}
+
+func BenchmarkBinomialCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		BinomialCDF(i%2000, 2048, 0.7)
+	}
+}
+
+func BenchmarkFitBetaMoments(b *testing.B) {
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = float64(i%997)/1000 + 0.001
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FitBetaMoments(xs)
+	}
+}
+
+func BenchmarkConcentrationProb(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ConcentrationProb(0.7, 0.05, 256)
+	}
+}

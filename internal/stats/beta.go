@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Beta is a Beta(Alpha, Beta) distribution on (0, 1).
+type Beta struct {
+	Alpha, Beta float64
+}
+
+// Valid reports whether both shape parameters are positive and finite.
+func (d Beta) Valid() bool {
+	return d.Alpha > 0 && d.Beta > 0 &&
+		!math.IsInf(d.Alpha, 0) && !math.IsInf(d.Beta, 0)
+}
+
+// PDF returns the density at x.
+func (d Beta) PDF(x float64) float64 {
+	if x <= 0 || x >= 1 {
+		// Density at the boundary may be +Inf for shape < 1; the
+		// library never evaluates there, so return 0 for simplicity.
+		return 0
+	}
+	return math.Exp((d.Alpha-1)*math.Log(x) + (d.Beta-1)*math.Log1p(-x) - LogBeta(d.Alpha, d.Beta))
+}
+
+// CDF returns P[X <= x].
+func (d Beta) CDF(x float64) float64 { return RegIncBeta(x, d.Alpha, d.Beta) }
+
+// SF returns the survival function P[X > x] = 1 − CDF(x).
+func (d Beta) SF(x float64) float64 { return 1 - d.CDF(x) }
+
+// Mean returns α / (α+β).
+func (d Beta) Mean() float64 { return d.Alpha / (d.Alpha + d.Beta) }
+
+// Var returns the variance αβ / ((α+β)²(α+β+1)).
+func (d Beta) Var() float64 {
+	s := d.Alpha + d.Beta
+	return d.Alpha * d.Beta / (s * s * (s + 1))
+}
+
+// Mode returns the mode (α−1)/(α+β−2) when α, β > 1. For other shapes
+// it returns the clamped boundary maximizer, which is what the
+// BayesLSH estimator needs (the posterior always has α, β >= 1 after at
+// least one observed agreement and disagreement).
+func (d Beta) Mode() float64 {
+	switch {
+	case d.Alpha > 1 && d.Beta > 1:
+		return (d.Alpha - 1) / (d.Alpha + d.Beta - 2)
+	case d.Alpha <= 1 && d.Beta > 1:
+		return 0
+	case d.Alpha > 1 && d.Beta <= 1:
+		return 1
+	default:
+		// Bimodal at both ends; return the mean as a sane estimate.
+		return d.Mean()
+	}
+}
+
+// IntervalProb returns P[lo < X < hi], clamping the interval to (0, 1).
+func (d Beta) IntervalProb(lo, hi float64) float64 {
+	if hi <= lo {
+		return 0
+	}
+	p := d.CDF(hi) - d.CDF(lo)
+	if p < 0 {
+		return 0
+	}
+	return p
+}
+
+// String implements fmt.Stringer.
+func (d Beta) String() string { return fmt.Sprintf("Beta(%.4g, %.4g)", d.Alpha, d.Beta) }
+
+// FitBetaMoments fits a Beta distribution to samples by the method of
+// moments, exactly as §4.1 of the paper prescribes for learning the
+// prior from a random sample of candidate-pair similarities:
+//
+//	α̂ = s̄ (s̄(1−s̄)/s̄_v − 1),  β̂ = (1−s̄)(s̄(1−s̄)/s̄_v − 1)
+//
+// where s̄ and s̄_v are the sample mean and (population) variance.
+// If the sample is degenerate (fewer than 2 points, zero variance,
+// mean outside (0,1), or moments implying non-positive shapes), it
+// falls back to the uniform prior Beta(1, 1), which the paper notes is
+// the natural uninformative choice.
+func FitBetaMoments(samples []float64) Beta {
+	uniform := Beta{Alpha: 1, Beta: 1}
+	if len(samples) < 2 {
+		return uniform
+	}
+	mean := 0.0
+	for _, s := range samples {
+		mean += s
+	}
+	mean /= float64(len(samples))
+	if mean <= 0 || mean >= 1 {
+		return uniform
+	}
+	variance := 0.0
+	for _, s := range samples {
+		d := s - mean
+		variance += d * d
+	}
+	variance /= float64(len(samples))
+	if variance <= 0 {
+		return uniform
+	}
+	common := mean*(1-mean)/variance - 1
+	if common <= 0 {
+		return uniform
+	}
+	fit := Beta{Alpha: mean * common, Beta: (1 - mean) * common}
+	if !fit.Valid() {
+		return uniform
+	}
+	return fit
+}

@@ -1,0 +1,155 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"bayeslsh/internal/rng"
+)
+
+func TestBetaMoments(t *testing.T) {
+	d := Beta{Alpha: 3, Beta: 7}
+	if got, want := d.Mean(), 0.3; !almostEqual(got, want, 1e-12) {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+	if got, want := d.Var(), 3.0*7/(100*11); !almostEqual(got, want, 1e-12) {
+		t.Errorf("Var = %v, want %v", got, want)
+	}
+	if got, want := d.Mode(), 2.0/8; !almostEqual(got, want, 1e-12) {
+		t.Errorf("Mode = %v, want %v", got, want)
+	}
+}
+
+func TestBetaModeEdgeShapes(t *testing.T) {
+	if got := (Beta{Alpha: 0.5, Beta: 3}).Mode(); got != 0 {
+		t.Errorf("Mode(0.5,3) = %v, want 0", got)
+	}
+	if got := (Beta{Alpha: 3, Beta: 0.5}).Mode(); got != 1 {
+		t.Errorf("Mode(3,0.5) = %v, want 1", got)
+	}
+	// Bimodal case falls back to the mean.
+	if got := (Beta{Alpha: 0.5, Beta: 0.5}).Mode(); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("Mode(0.5,0.5) = %v, want 0.5", got)
+	}
+}
+
+func TestBetaPDFIntegratesToOne(t *testing.T) {
+	for _, d := range []Beta{{2, 3}, {1, 1}, {10, 2}, {5.5, 5.5}} {
+		const n = 100001
+		h := 1.0 / float64(n-1)
+		sum := 0.0
+		for i := 1; i < n-1; i++ {
+			x := float64(i) * h
+			w := 2.0
+			if i%2 == 1 {
+				w = 4
+			}
+			sum += w * d.PDF(x)
+		}
+		if got := sum * h / 3; !almostEqual(got, 1, 1e-4) {
+			t.Errorf("PDF of %v integrates to %v, want 1", d, got)
+		}
+	}
+}
+
+func TestBetaCDFSFComplement(t *testing.T) {
+	d := Beta{Alpha: 4, Beta: 9}
+	for _, x := range []float64{0.05, 0.3, 0.5, 0.77, 0.95} {
+		if got := d.CDF(x) + d.SF(x); !almostEqual(got, 1, 1e-12) {
+			t.Errorf("CDF+SF at %v = %v, want 1", x, got)
+		}
+	}
+}
+
+func TestBetaIntervalProb(t *testing.T) {
+	d := Beta{Alpha: 2, Beta: 2}
+	if got := d.IntervalProb(0.4, 0.6); got <= 0 || got >= 1 {
+		t.Errorf("IntervalProb(0.4,0.6) = %v, want in (0,1)", got)
+	}
+	if got := d.IntervalProb(0.6, 0.4); got != 0 {
+		t.Errorf("inverted interval = %v, want 0", got)
+	}
+	if got := d.IntervalProb(-1, 2); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("full interval = %v, want 1", got)
+	}
+}
+
+func TestFitBetaMomentsRecoversShape(t *testing.T) {
+	// Draw Beta samples by inverse-CDF via bisection and check that the
+	// method-of-moments fit recovers the generating parameters roughly.
+	gen := Beta{Alpha: 2, Beta: 6}
+	src := rng.New(42)
+	sample := func() float64 {
+		u := src.Float64()
+		lo, hi := 0.0, 1.0
+		for i := 0; i < 50; i++ {
+			mid := (lo + hi) / 2
+			if gen.CDF(mid) < u {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		return (lo + hi) / 2
+	}
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = sample()
+	}
+	fit := FitBetaMoments(xs)
+	if math.Abs(fit.Alpha-gen.Alpha) > 0.3 || math.Abs(fit.Beta-gen.Beta) > 0.9 {
+		t.Errorf("fit = %v, want close to %v", fit, gen)
+	}
+}
+
+func TestFitBetaMomentsDegenerateFallsBackToUniform(t *testing.T) {
+	uniform := Beta{Alpha: 1, Beta: 1}
+	cases := [][]float64{
+		nil,
+		{0.5},
+		{0.5, 0.5, 0.5}, // zero variance
+		{0, 0, 0},       // mean at boundary
+		{1, 1, 1},
+		{0, 1, 0, 1}, // variance too large for a Beta (common <= 0)
+	}
+	for i, xs := range cases {
+		if got := FitBetaMoments(xs); got != uniform {
+			t.Errorf("case %d: fit = %v, want uniform", i, got)
+		}
+	}
+}
+
+func TestFitBetaMomentsMatchesPaperFormula(t *testing.T) {
+	xs := []float64{0.1, 0.2, 0.25, 0.4, 0.15, 0.3}
+	mean, v := 0.0, 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		v += (x - mean) * (x - mean)
+	}
+	v /= float64(len(xs))
+	common := mean*(1-mean)/v - 1
+	want := Beta{Alpha: mean * common, Beta: (1 - mean) * common}
+	got := FitBetaMoments(xs)
+	if !almostEqual(got.Alpha, want.Alpha, 1e-12) || !almostEqual(got.Beta, want.Beta, 1e-12) {
+		t.Errorf("fit = %v, want %v", got, want)
+	}
+}
+
+func TestFitBetaMomentsPropertyValid(t *testing.T) {
+	// Property: for any sample of values in (0,1), the fit is a valid
+	// distribution (positive shapes) — possibly the uniform fallback.
+	f := func(raw []uint16) bool {
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = (float64(r%998) + 1) / 1000 // in (0,1)
+		}
+		return FitBetaMoments(xs).Valid()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,86 @@
+package stats
+
+import "math"
+
+// BinomialPMF returns P[X = m] for X ~ Binomial(n, p), computed in log
+// space for numerical stability at large n.
+func BinomialPMF(m, n int, p float64) float64 {
+	if m < 0 || m > n || n < 0 {
+		return 0
+	}
+	if p <= 0 {
+		if m == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p >= 1 {
+		if m == n {
+			return 1
+		}
+		return 0
+	}
+	logp := LogChoose(n, m) + float64(m)*math.Log(p) + float64(n-m)*math.Log1p(-p)
+	return math.Exp(logp)
+}
+
+// BinomialCDF returns P[X <= m] for X ~ Binomial(n, p) using the
+// incomplete-beta identity P[X <= m] = I_{1−p}(n−m, m+1).
+func BinomialCDF(m, n int, p float64) float64 {
+	if m < 0 {
+		return 0
+	}
+	if m >= n {
+		return 1
+	}
+	return RegIncBeta(1-p, float64(n-m), float64(m+1))
+}
+
+// BinomialIntervalProb returns P[lo <= X <= hi] for X ~ Binomial(n, p).
+func BinomialIntervalProb(lo, hi, n int, p float64) float64 {
+	if hi < lo {
+		return 0
+	}
+	pr := BinomialCDF(hi, n, p) - BinomialCDF(lo-1, n, p)
+	if pr < 0 {
+		return 0
+	}
+	return pr
+}
+
+// ConcentrationProb returns Pr[|ŝ_n − s| < δ] for the maximum-likelihood
+// estimator ŝ_n = m/n of a similarity s estimated from n hash
+// comparisons — the quantity §3.1 of the paper analyzes:
+//
+//	Pr[(s−δ)n <= m <= (s+δ)n] = Σ C(n,m) s^m (1−s)^(n−m)
+//
+// over integer m in the interval.
+func ConcentrationProb(s, delta float64, n int) float64 {
+	lo := int(math.Ceil((s - delta) * float64(n)))
+	hi := int(math.Floor((s + delta) * float64(n)))
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n {
+		hi = n
+	}
+	return BinomialIntervalProb(lo, hi, n, s)
+}
+
+// HashesNeeded returns the minimum number of hashes n such that the
+// maximum-likelihood similarity estimate is within delta of the true
+// similarity s with probability at least 1−gamma. This regenerates
+// Figure 1 of the paper. step controls the granularity of the search
+// (the paper compares hashes a word at a time; step=1 gives the exact
+// minimum). maxN bounds the search.
+func HashesNeeded(s, delta, gamma float64, step, maxN int) int {
+	if step < 1 {
+		step = 1
+	}
+	for n := step; n <= maxN; n += step {
+		if ConcentrationProb(s, delta, n) >= 1-gamma {
+			return n
+		}
+	}
+	return maxN
+}

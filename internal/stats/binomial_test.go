@@ -1,0 +1,142 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinomialPMFSmallCases(t *testing.T) {
+	// Binomial(4, 0.5): 1/16, 4/16, 6/16, 4/16, 1/16
+	want := []float64{1.0 / 16, 4.0 / 16, 6.0 / 16, 4.0 / 16, 1.0 / 16}
+	for m, w := range want {
+		if got := BinomialPMF(m, 4, 0.5); !almostEqual(got, w, 1e-12) {
+			t.Errorf("PMF(%d;4,0.5) = %v, want %v", m, got, w)
+		}
+	}
+}
+
+func TestBinomialPMFEdges(t *testing.T) {
+	if got := BinomialPMF(-1, 5, 0.5); got != 0 {
+		t.Errorf("PMF(-1) = %v", got)
+	}
+	if got := BinomialPMF(6, 5, 0.5); got != 0 {
+		t.Errorf("PMF(m>n) = %v", got)
+	}
+	if got := BinomialPMF(0, 5, 0); got != 1 {
+		t.Errorf("PMF(0;n,0) = %v, want 1", got)
+	}
+	if got := BinomialPMF(5, 5, 1); got != 1 {
+		t.Errorf("PMF(n;n,1) = %v, want 1", got)
+	}
+	if got := BinomialPMF(3, 5, 0); got != 0 {
+		t.Errorf("PMF(3;5,0) = %v, want 0", got)
+	}
+}
+
+func TestBinomialPMFSumsToOne(t *testing.T) {
+	for _, n := range []int{1, 7, 64, 500} {
+		for _, p := range []float64{0.01, 0.3, 0.5, 0.9} {
+			sum := 0.0
+			for m := 0; m <= n; m++ {
+				sum += BinomialPMF(m, n, p)
+			}
+			if !almostEqual(sum, 1, 1e-9) {
+				t.Errorf("PMF(n=%d,p=%v) sums to %v", n, p, sum)
+			}
+		}
+	}
+}
+
+func TestBinomialCDFMatchesPMFSum(t *testing.T) {
+	n, p := 40, 0.37
+	cum := 0.0
+	for m := 0; m < n; m++ {
+		cum += BinomialPMF(m, n, p)
+		if got := BinomialCDF(m, n, p); !almostEqual(got, cum, 1e-9) {
+			t.Errorf("CDF(%d;%d,%v) = %v, want %v", m, n, p, got, cum)
+		}
+	}
+	if got := BinomialCDF(n, n, p); got != 1 {
+		t.Errorf("CDF(n) = %v, want 1", got)
+	}
+	if got := BinomialCDF(-1, n, p); got != 0 {
+		t.Errorf("CDF(-1) = %v, want 0", got)
+	}
+}
+
+func TestBinomialIntervalProb(t *testing.T) {
+	n, p := 20, 0.5
+	// Full range must have probability 1.
+	if got := BinomialIntervalProb(0, n, n, p); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("full interval = %v", got)
+	}
+	if got := BinomialIntervalProb(5, 4, n, p); got != 0 {
+		t.Errorf("empty interval = %v, want 0", got)
+	}
+	// Symmetric distribution: P[X <= 9] == P[X >= 11].
+	left := BinomialIntervalProb(0, 9, n, p)
+	right := BinomialIntervalProb(11, n, n, p)
+	if !almostEqual(left, right, 1e-9) {
+		t.Errorf("symmetry violated: %v vs %v", left, right)
+	}
+}
+
+func TestConcentrationProbMonotoneInN(t *testing.T) {
+	// More hashes always concentrate the MLE more (up to integer
+	// rounding wiggle, so compare at well-separated n).
+	s, delta := 0.5, 0.05
+	p100 := ConcentrationProb(s, delta, 100)
+	p400 := ConcentrationProb(s, delta, 400)
+	p1600 := ConcentrationProb(s, delta, 1600)
+	if !(p100 < p400 && p400 < p1600) {
+		t.Errorf("not increasing: %v, %v, %v", p100, p400, p1600)
+	}
+}
+
+func TestHashesNeededReproducesFigure1Shape(t *testing.T) {
+	// The paper's headline numbers (δ=γ=0.05): a similarity of 0.5
+	// needs about 350 hashes while 0.95 needs only about 16.
+	nMid := HashesNeeded(0.5, 0.05, 0.05, 1, 4096)
+	nHigh := HashesNeeded(0.95, 0.05, 0.05, 1, 4096)
+	nLow := HashesNeeded(0.05, 0.05, 0.05, 1, 4096)
+	if nMid < 250 || nMid > 450 {
+		t.Errorf("hashes for s=0.5: %d, paper reports ~350", nMid)
+	}
+	if nHigh > 40 {
+		t.Errorf("hashes for s=0.95: %d, paper reports ~16", nHigh)
+	}
+	if nLow > 40 {
+		t.Errorf("hashes for s=0.05: %d, expected small", nLow)
+	}
+	if !(nMid > nHigh && nMid > nLow) {
+		t.Errorf("expected peak near 0.5: mid=%d high=%d low=%d", nMid, nHigh, nLow)
+	}
+}
+
+func TestHashesNeededRespectsStepAndCap(t *testing.T) {
+	n := HashesNeeded(0.5, 0.05, 0.05, 32, 4096)
+	if n%32 != 0 {
+		t.Errorf("n=%d not a multiple of step", n)
+	}
+	if got := HashesNeeded(0.5, 0.001, 0.001, 1, 64); got != 64 {
+		t.Errorf("cap not respected: %d", got)
+	}
+	if got := HashesNeeded(0.9, 0.05, 0.05, 0, 4096); got < 1 {
+		t.Errorf("step<1 should act as 1, got %d", got)
+	}
+}
+
+func TestBinomialCDFPropertyMonotone(t *testing.T) {
+	f := func(nRaw, mRaw uint8, pRaw uint16) bool {
+		n := int(nRaw%200) + 1
+		m := int(mRaw) % n
+		p := float64(pRaw%1001) / 1000
+		c1 := BinomialCDF(m, n, p)
+		c2 := BinomialCDF(m+1, n, p)
+		return c1 >= -1e-12 && c2 <= 1+1e-12 && c2+1e-12 >= c1 && !math.IsNaN(c1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,223 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	diff := math.Abs(a - b)
+	if diff <= tol {
+		return true
+	}
+	return diff <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestLogGammaKnownValues(t *testing.T) {
+	cases := []struct {
+		x, want float64
+	}{
+		{1, 0},
+		{2, 0},
+		{3, math.Log(2)},
+		{4, math.Log(6)},
+		{5, math.Log(24)},
+		{0.5, math.Log(math.Sqrt(math.Pi))},
+		{1.5, math.Log(math.Sqrt(math.Pi) / 2)},
+		{10, math.Log(362880)},
+		{100, 359.1342053695754},
+	}
+	for _, c := range cases {
+		if got := LogGamma(c.x); !almostEqual(got, c.want, 1e-10) {
+			t.Errorf("LogGamma(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestLogGammaRecurrence(t *testing.T) {
+	// Γ(x+1) = x Γ(x) → lnΓ(x+1) = ln x + lnΓ(x)
+	for _, x := range []float64{0.1, 0.3, 0.7, 1.2, 2.5, 7.9, 33.3, 250} {
+		lhs := LogGamma(x + 1)
+		rhs := math.Log(x) + LogGamma(x)
+		if !almostEqual(lhs, rhs, 1e-10) {
+			t.Errorf("recurrence failed at x=%v: %v vs %v", x, lhs, rhs)
+		}
+	}
+}
+
+func TestLogGammaOutOfDomain(t *testing.T) {
+	for _, x := range []float64{0, -1, -2.5} {
+		if got := LogGamma(x); !math.IsNaN(got) {
+			t.Errorf("LogGamma(%v) = %v, want NaN", x, got)
+		}
+	}
+}
+
+func TestLogBetaSymmetryAndKnown(t *testing.T) {
+	if got := LogBeta(1, 1); !almostEqual(got, 0, 1e-12) {
+		t.Errorf("LogBeta(1,1) = %v, want 0", got)
+	}
+	// B(2,3) = 1/12
+	if got := LogBeta(2, 3); !almostEqual(got, math.Log(1.0/12), 1e-12) {
+		t.Errorf("LogBeta(2,3) = %v, want ln(1/12)", got)
+	}
+	for _, ab := range [][2]float64{{0.5, 2}, {3, 7}, {10, 0.1}, {200, 300}} {
+		if !almostEqual(LogBeta(ab[0], ab[1]), LogBeta(ab[1], ab[0]), 1e-12) {
+			t.Errorf("LogBeta not symmetric at %v", ab)
+		}
+	}
+}
+
+// numericRegIncBeta integrates the Beta(a,b) density with Simpson's rule
+// as an independent check of the continued-fraction implementation.
+func numericRegIncBeta(x, a, b float64) float64 {
+	const steps = 200001 // odd number of sample points
+	if x <= 0 {
+		return 0
+	}
+	if x > 1 {
+		x = 1
+	}
+	f := func(t float64) float64 {
+		// Clamp away from the boundary; for shapes >= 1 the density is
+		// finite there and this loses negligible mass at the tolerance
+		// the test uses.
+		const eps = 1e-12
+		if t < eps {
+			t = eps
+		}
+		if t > 1-eps {
+			t = 1 - eps
+		}
+		return math.Exp((a-1)*math.Log(t) + (b-1)*math.Log1p(-t) - LogBeta(a, b))
+	}
+	h := x / float64(steps-1)
+	sum := f(0) + f(x)
+	for i := 1; i < steps-1; i++ {
+		t := float64(i) * h
+		if i%2 == 1 {
+			sum += 4 * f(t)
+		} else {
+			sum += 2 * f(t)
+		}
+	}
+	return sum * h / 3
+}
+
+func TestRegIncBetaAgainstQuadrature(t *testing.T) {
+	cases := []struct{ x, a, b float64 }{
+		{0.3, 2, 5}, {0.7, 2, 5}, {0.5, 10, 10}, {0.9, 1, 1},
+		{0.25, 33, 17}, {0.75, 4.5, 2.2}, {0.6, 129, 65},
+	}
+	for _, c := range cases {
+		got := RegIncBeta(c.x, c.a, c.b)
+		want := numericRegIncBeta(c.x, c.a, c.b)
+		if !almostEqual(got, want, 1e-6) {
+			t.Errorf("RegIncBeta(%v,%v,%v) = %v, quadrature %v", c.x, c.a, c.b, got, want)
+		}
+	}
+}
+
+func TestRegIncBetaKnownClosedForms(t *testing.T) {
+	// I_x(1,1) = x (uniform CDF)
+	for _, x := range []float64{0.1, 0.33, 0.5, 0.77, 0.99} {
+		if got := RegIncBeta(x, 1, 1); !almostEqual(got, x, 1e-12) {
+			t.Errorf("I_%v(1,1) = %v, want %v", x, got, x)
+		}
+	}
+	// I_x(1,b) = 1 − (1−x)^b
+	for _, x := range []float64{0.2, 0.5, 0.8} {
+		for _, b := range []float64{2, 5, 17} {
+			want := 1 - math.Pow(1-x, b)
+			if got := RegIncBeta(x, 1, b); !almostEqual(got, want, 1e-12) {
+				t.Errorf("I_%v(1,%v) = %v, want %v", x, b, got, want)
+			}
+		}
+	}
+	// I_x(a,1) = x^a
+	for _, x := range []float64{0.2, 0.5, 0.8} {
+		for _, a := range []float64{2, 5, 17} {
+			want := math.Pow(x, a)
+			if got := RegIncBeta(x, a, 1); !almostEqual(got, want, 1e-12) {
+				t.Errorf("I_%v(%v,1) = %v, want %v", x, a, got, want)
+			}
+		}
+	}
+}
+
+func TestRegIncBetaBoundsAndEdges(t *testing.T) {
+	if got := RegIncBeta(0, 3, 4); got != 0 {
+		t.Errorf("I_0 = %v, want 0", got)
+	}
+	if got := RegIncBeta(1, 3, 4); got != 1 {
+		t.Errorf("I_1 = %v, want 1", got)
+	}
+	if got := RegIncBeta(-0.5, 3, 4); got != 0 {
+		t.Errorf("I_{-0.5} = %v, want 0 (clamp)", got)
+	}
+	if got := RegIncBeta(1.5, 3, 4); got != 1 {
+		t.Errorf("I_{1.5} = %v, want 1 (clamp)", got)
+	}
+	if got := RegIncBeta(0.5, -1, 4); !math.IsNaN(got) {
+		t.Errorf("negative shape should yield NaN, got %v", got)
+	}
+}
+
+func TestRegIncBetaPropertyMonotoneAndSymmetric(t *testing.T) {
+	// Property: I is a CDF in x (monotone, in [0,1]) and satisfies the
+	// reflection identity I_x(a,b) = 1 − I_{1−x}(b,a).
+	f := func(xRaw, aRaw, bRaw uint16) bool {
+		x := float64(xRaw%1000) / 1000
+		a := 0.5 + float64(aRaw%400)/4 // 0.5 .. 100.25
+		b := 0.5 + float64(bRaw%400)/4
+		v := RegIncBeta(x, a, b)
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			return false
+		}
+		refl := 1 - RegIncBeta(1-x, b, a)
+		if !almostEqual(v, refl, 1e-9) && math.Abs(v-refl) > 1e-9 {
+			return false
+		}
+		v2 := RegIncBeta(math.Min(x+0.05, 1), a, b)
+		return v2+1e-12 >= v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogChoose(t *testing.T) {
+	cases := []struct {
+		n, m int
+		want float64
+	}{
+		{5, 2, math.Log(10)},
+		{10, 0, 0},
+		{10, 10, 0},
+		{52, 5, math.Log(2598960)},
+	}
+	for _, c := range cases {
+		if got := LogChoose(c.n, c.m); !almostEqual(got, c.want, 1e-10) {
+			t.Errorf("LogChoose(%d,%d) = %v, want %v", c.n, c.m, got, c.want)
+		}
+	}
+	if got := LogChoose(5, 7); !math.IsInf(got, -1) {
+		t.Errorf("LogChoose(5,7) = %v, want -Inf", got)
+	}
+	if got := LogChoose(5, -1); !math.IsInf(got, -1) {
+		t.Errorf("LogChoose(5,-1) = %v, want -Inf", got)
+	}
+}
+
+func TestIncBetaRelation(t *testing.T) {
+	// B(x;a,b) should equal I_x(a,b) * B(a,b).
+	x, a, b := 0.42, 3.0, 5.0
+	want := RegIncBeta(x, a, b) * math.Exp(LogBeta(a, b))
+	if got := IncBeta(x, a, b); !almostEqual(got, want, 1e-12) {
+		t.Errorf("IncBeta = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,98 @@
+// Package testutil provides shared helpers for the integration tests
+// of the candidate-generation and verification packages: small random
+// corpora with planted similar pairs, and comparisons of result sets
+// against the brute-force oracle.
+package testutil
+
+import (
+	"testing"
+
+	"bayeslsh/internal/dataset"
+	"bayeslsh/internal/pair"
+	"bayeslsh/internal/vector"
+)
+
+// SmallTextCorpus generates a compact weighted text corpus with
+// planted near-duplicates, Tf-Idf weighted and unit-normalized.
+func SmallTextCorpus(t *testing.T, n int, seed uint64) *vector.Collection {
+	t.Helper()
+	c, err := dataset.Generate(dataset.Spec{
+		Name: "test-text", Kind: dataset.Text,
+		N: n, Dim: 2000, AvgLen: 30, ZipfS: 1.05,
+		ClusterFrac: 0.4, ClusterSize: 3, MutationRate: 0.25, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.TfIdf().Normalize()
+}
+
+// SmallBinaryCorpus generates a compact binary corpus (sets) with
+// planted overlapping groups.
+func SmallBinaryCorpus(t *testing.T, n int, seed uint64) *vector.Collection {
+	t.Helper()
+	c, err := dataset.Generate(dataset.Spec{
+		Name: "test-bin", Kind: dataset.Text,
+		N: n, Dim: 1500, AvgLen: 25, ZipfS: 0.9,
+		ClusterFrac: 0.4, ClusterSize: 3, MutationRate: 0.2, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.Binarize()
+}
+
+// ResultKeySet converts results to a set of pair keys.
+func ResultKeySet(rs []pair.Result) map[uint64]float64 {
+	m := make(map[uint64]float64, len(rs))
+	for _, r := range rs {
+		m[r.Pair().Key()] = r.Sim
+	}
+	return m
+}
+
+// PairKeySet converts pairs to a key set.
+func PairKeySet(ps []pair.Pair) map[uint64]struct{} {
+	m := make(map[uint64]struct{}, len(ps))
+	for _, p := range ps {
+		m[p.Key()] = struct{}{}
+	}
+	return m
+}
+
+// RequireSameResults fails the test unless got and want contain the
+// same pairs with similarities within tol.
+func RequireSameResults(t *testing.T, got, want []pair.Result, tol float64) {
+	t.Helper()
+	gm, wm := ResultKeySet(got), ResultKeySet(want)
+	for k, ws := range wm {
+		gs, ok := gm[k]
+		if !ok {
+			t.Fatalf("missing pair %d:%d (sim %v)", k>>32, uint32(k), ws)
+		}
+		if diff := gs - ws; diff > tol || diff < -tol {
+			t.Fatalf("pair %d:%d sim %v, want %v", k>>32, uint32(k), gs, ws)
+		}
+	}
+	for k, gs := range gm {
+		if _, ok := wm[k]; !ok {
+			t.Fatalf("extra pair %d:%d (sim %v)", k>>32, uint32(k), gs)
+		}
+	}
+}
+
+// Recall returns |got ∩ want| / |want| over result pairs; 1 if want is
+// empty.
+func Recall(got, want []pair.Result) float64 {
+	if len(want) == 0 {
+		return 1
+	}
+	gm := ResultKeySet(got)
+	hit := 0
+	for _, w := range want {
+		if _, ok := gm[w.Pair().Key()]; ok {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(want))
+}

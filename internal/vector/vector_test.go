@@ -1,0 +1,210 @@
+package vector
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"bayeslsh/internal/rng"
+)
+
+func vec(pairs ...float64) Vector {
+	// pairs are (index, value) flattened
+	var es []Entry
+	for i := 0; i+1 < len(pairs); i += 2 {
+		es = append(es, Entry{uint32(pairs[i]), pairs[i+1]})
+	}
+	return New(es)
+}
+
+func TestNewSortsDedupsAndDropsZeros(t *testing.T) {
+	v := New([]Entry{{5, 2}, {1, 3}, {5, 1}, {9, 0}, {2, -1}})
+	want := Vector{Ind: []uint32{1, 2, 5}, Val: []float64{3, -1, 3}}
+	if !Equal(v, want) {
+		t.Errorf("New = %+v, want %+v", v, want)
+	}
+	if err := v.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestNewCancellingDuplicatesDropped(t *testing.T) {
+	v := New([]Entry{{3, 1}, {3, -1}, {4, 2}})
+	want := Vector{Ind: []uint32{4}, Val: []float64{2}}
+	if !Equal(v, want) {
+		t.Errorf("New = %+v, want %+v", v, want)
+	}
+}
+
+func TestFromMap(t *testing.T) {
+	v := FromMap(map[uint32]float64{7: 1.5, 2: 2.5, 9: 0})
+	want := vec(2, 2.5, 7, 1.5)
+	if !Equal(v, want) {
+		t.Errorf("FromMap = %+v, want %+v", v, want)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	bad := []Vector{
+		{Ind: []uint32{1}, Val: []float64{1, 2}},
+		{Ind: []uint32{2, 1}, Val: []float64{1, 2}},
+		{Ind: []uint32{1, 1}, Val: []float64{1, 2}},
+		{Ind: []uint32{1}, Val: []float64{0}},
+		{Ind: []uint32{1}, Val: []float64{math.NaN()}},
+		{Ind: []uint32{1}, Val: []float64{math.Inf(1)}},
+	}
+	for i, v := range bad {
+		if err := v.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted corrupt vector %+v", i, v)
+		}
+	}
+}
+
+func TestDotKnown(t *testing.T) {
+	a := vec(0, 1, 2, 2, 5, 3)
+	b := vec(1, 4, 2, 5, 5, 6)
+	if got, want := Dot(a, b), 2*5+3*6.0; got != want {
+		t.Errorf("Dot = %v, want %v", got, want)
+	}
+	if got := Dot(a, Vector{}); got != 0 {
+		t.Errorf("Dot with empty = %v", got)
+	}
+}
+
+func TestDotCommutativeProperty(t *testing.T) {
+	src := rng.New(11)
+	randVec := func() Vector {
+		n := src.Intn(20)
+		var es []Entry
+		for i := 0; i < n; i++ {
+			es = append(es, Entry{uint32(src.Intn(50)), src.Float64()*4 - 2})
+		}
+		return New(es)
+	}
+	for i := 0; i < 200; i++ {
+		a, b := randVec(), randVec()
+		if got, want := Dot(a, b), Dot(b, a); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("Dot not commutative: %v vs %v", got, want)
+		}
+	}
+}
+
+func TestNormAndNormalize(t *testing.T) {
+	v := vec(0, 3, 1, 4)
+	if got := v.Norm(); got != 5 {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+	v.Normalize()
+	if got := v.Norm(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("normalized Norm = %v, want 1", got)
+	}
+	empty := Vector{}
+	empty.Normalize() // must not panic
+}
+
+func TestCosineKnownAndBounds(t *testing.T) {
+	a := vec(0, 1, 1, 0.0001) // avoid dropping
+	if got := Cosine(a, a); math.Abs(got-1) > 1e-12 {
+		t.Errorf("self cosine = %v", got)
+	}
+	orth1, orth2 := vec(0, 1), vec(1, 1)
+	if got := Cosine(orth1, orth2); got != 0 {
+		t.Errorf("orthogonal cosine = %v", got)
+	}
+	if got := Cosine(vec(0, 1), Vector{}); got != 0 {
+		t.Errorf("cosine with empty = %v", got)
+	}
+	neg := vec(0, -1)
+	if got := Cosine(vec(0, 1), neg); got != -1 {
+		t.Errorf("antiparallel cosine = %v", got)
+	}
+}
+
+func TestCosinePropertyInRange(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		randVec := func() Vector {
+			n := src.Intn(15) + 1
+			var es []Entry
+			for i := 0; i < n; i++ {
+				es = append(es, Entry{uint32(src.Intn(30)), src.Float64()*2 - 1})
+			}
+			return New(es)
+		}
+		c := Cosine(randVec(), randVec())
+		return c >= -1 && c <= 1 && !math.IsNaN(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverlapAndJaccard(t *testing.T) {
+	a := vec(1, 1, 2, 1, 3, 1, 4, 1)
+	b := vec(3, 5, 4, 5, 5, 5)
+	if got := Overlap(a, b); got != 2 {
+		t.Errorf("Overlap = %v, want 2", got)
+	}
+	// |∩|=2, |∪|=5
+	if got, want := Jaccard(a, b), 2.0/5; got != want {
+		t.Errorf("Jaccard = %v, want %v", got, want)
+	}
+	if got := Jaccard(Vector{}, Vector{}); got != 0 {
+		t.Errorf("Jaccard of empties = %v, want 0", got)
+	}
+	if got := Jaccard(a, a); got != 1 {
+		t.Errorf("self Jaccard = %v, want 1", got)
+	}
+}
+
+func TestBinaryCosine(t *testing.T) {
+	a := vec(1, 9, 2, 9)
+	b := vec(2, 3, 3, 3)
+	want := 1 / math.Sqrt(4)
+	if got := BinaryCosine(a, b); math.Abs(got-want) > 1e-12 {
+		t.Errorf("BinaryCosine = %v, want %v", got, want)
+	}
+	if got := BinaryCosine(a, Vector{}); got != 0 {
+		t.Errorf("BinaryCosine with empty = %v", got)
+	}
+}
+
+func TestBinarize(t *testing.T) {
+	a := vec(1, 9, 5, -2)
+	b := a.Binarize()
+	if b.Val[0] != 1 || b.Val[1] != 1 {
+		t.Errorf("Binarize = %+v", b)
+	}
+	if a.Val[0] != 9 {
+		t.Error("Binarize mutated the original")
+	}
+	// Jaccard of weighted vector equals Jaccard of binarized vector.
+	c := vec(1, 3, 7, 2)
+	if Jaccard(a, c) != Jaccard(b, c.Binarize()) {
+		t.Error("Jaccard should ignore weights")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := vec(1, 2, 3, 4)
+	b := a.Clone()
+	b.Val[0] = 99
+	b.Ind[0] = 9
+	if a.Val[0] != 2 || a.Ind[0] != 1 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestScaleSumMaxVal(t *testing.T) {
+	v := vec(0, 1, 1, 2, 2, 3)
+	if got := v.Sum(); got != 6 {
+		t.Errorf("Sum = %v", got)
+	}
+	if got := v.MaxVal(); got != 3 {
+		t.Errorf("MaxVal = %v", got)
+	}
+	v.Scale(2)
+	if got := v.Sum(); got != 12 {
+		t.Errorf("Sum after scale = %v", got)
+	}
+}

@@ -1,0 +1,336 @@
+package bayeslsh
+
+import (
+	"fmt"
+	"time"
+
+	"bayeslsh/internal/allpairs"
+	"bayeslsh/internal/core"
+	"bayeslsh/internal/exact"
+	"bayeslsh/internal/minhash"
+	"bayeslsh/internal/pair"
+	"bayeslsh/internal/ppjoin"
+	"bayeslsh/internal/sighash"
+)
+
+// Options configures one search. Zero-valued fields take the paper's
+// defaults (§5.1): ε = γ = 0.03, δ = 0.05, k = 32 hashes per round,
+// Lite budget h = 128 hashes for cosine and 64 for Jaccard, LSH false
+// negative rate 0.03, LSH-Approx estimation over 2048 bits (cosine) or
+// 360 hashes (Jaccard).
+type Options struct {
+	// Algorithm selects the pipeline.
+	Algorithm Algorithm
+	// Threshold is the similarity threshold t (required, in (0, 1]).
+	Threshold float64
+
+	// Epsilon is BayesLSH's recall parameter ε; it also sets the LSH
+	// candidate generation false negative rate when
+	// FalseNegativeRate is unset.
+	Epsilon float64
+	// Delta, Gamma are BayesLSH's accuracy parameters.
+	Delta, Gamma float64
+	// K is the number of hashes BayesLSH compares per round.
+	K int
+	// LiteHashes is BayesLSH-Lite's hash budget h.
+	LiteHashes int
+	// MaxHashes caps the hashes BayesLSH examines per pair.
+	MaxHashes int
+	// PriorSample is the number of candidate pairs sampled to fit the
+	// Jaccard Beta prior (default 1000).
+	PriorSample int
+
+	// OneBitMinhash switches Jaccard BayesLSH verification to 1-bit
+	// minwise signatures (b-bit minhash, b = 1) — 32× smaller
+	// signatures compared by XOR+popcount, at the cost of roughly
+	// twice the hash comparisons for the same accuracy. An
+	// implementation of the paper's §6 extension direction.
+	OneBitMinhash bool
+
+	// BandK is the number of hashes per LSH signature (band) for
+	// candidate generation (default 8 bits for cosine measures, 3
+	// minhashes for Jaccard).
+	BandK int
+	// MultiProbe enables 1-step multi-probe LSH candidate generation
+	// (Lv et al., VLDB'07 — the paper's reference [17]) for the
+	// cosine measures: each signature also probes the buckets whose
+	// band key differs in one bit, so far fewer hash tables reach the
+	// same false negative rate. Ignored for Jaccard.
+	MultiProbe bool
+	// FalseNegativeRate is the LSH candidate generation ε.
+	FalseNegativeRate float64
+	// ApproxHashes is the fixed hash count of LSH-Approx estimation.
+	ApproxHashes int
+}
+
+func (o Options) withDefaults(m Measure) (Options, error) {
+	if o.Threshold <= 0 || o.Threshold > 1 {
+		return o, fmt.Errorf("bayeslsh: threshold %v outside (0, 1]", o.Threshold)
+	}
+	if o.Epsilon == 0 {
+		o.Epsilon = 0.03
+	}
+	if o.Delta == 0 {
+		o.Delta = 0.05
+	}
+	if o.Gamma == 0 {
+		o.Gamma = 0.03
+	}
+	if o.K == 0 {
+		o.K = 32
+	}
+	if o.LiteHashes == 0 {
+		if m == Jaccard {
+			o.LiteHashes = 64
+		} else {
+			o.LiteHashes = 128
+		}
+	}
+	if o.MaxHashes == 0 {
+		if m == Jaccard {
+			o.MaxHashes = 512
+		} else {
+			o.MaxHashes = 2048
+		}
+	}
+	if o.PriorSample == 0 {
+		o.PriorSample = 1000
+	}
+	if o.BandK == 0 {
+		if m == Jaccard {
+			o.BandK = 3
+		} else {
+			o.BandK = 8
+		}
+	}
+	if o.FalseNegativeRate == 0 {
+		o.FalseNegativeRate = o.Epsilon
+	}
+	if o.ApproxHashes == 0 {
+		if m == Jaccard {
+			o.ApproxHashes = 360
+		} else {
+			o.ApproxHashes = 2048
+		}
+	}
+	return o, nil
+}
+
+// Output reports the results and cost profile of one search.
+type Output struct {
+	// Algorithm and Threshold echo the request.
+	Algorithm Algorithm
+	Threshold float64
+	// Results are the pairs found, with exact or estimated
+	// similarities depending on the pipeline.
+	Results []Result
+
+	// Candidates is the number of candidate pairs generated; Pruned is
+	// the number eliminated by BayesLSH pruning (0 for non-Bayes
+	// pipelines); ExactVerified counts exact similarity computations
+	// in the verification stage.
+	Candidates    int
+	Pruned        int
+	ExactVerified int
+	// HashesCompared is the number of hash comparisons spent in
+	// verification.
+	HashesCompared int64
+	// SurvivorsByRound[i] is the number of candidates still alive
+	// after (i+1)*K hashes (Bayes pipelines only) — Figure 4's series.
+	SurvivorsByRound []int
+
+	// CandGenTime and VerifyTime are the wall-clock costs of the two
+	// phases; Total is their sum (the paper's "full execution time").
+	// HashTime is the portion of those phases spent computing hash
+	// signatures (lazy signature blocks are materialized inside the
+	// phase that first needs them, so HashTime is a subset of Total,
+	// not an addition to it).
+	CandGenTime time.Duration
+	VerifyTime  time.Duration
+	HashTime    time.Duration
+	Total       time.Duration
+}
+
+// Search runs one pipeline. Engines cache hash signatures, so
+// repeated searches (e.g. threshold sweeps) only pay hashing once;
+// HashTime reports the hashing cost incurred by this call.
+func (e *Engine) Search(opts Options) (*Output, error) {
+	o, err := opts.withDefaults(e.measure)
+	if err != nil {
+		return nil, err
+	}
+	out := &Output{Algorithm: o.Algorithm, Threshold: o.Threshold}
+	hashBefore := e.hashElapsed()
+
+	switch o.Algorithm {
+	case BruteForce:
+		start := time.Now()
+		rs := exact.Search(e.workInput(), toExactMeasure(e.measure), o.Threshold)
+		out.VerifyTime = time.Since(start)
+		out.Results = fromResults(rs)
+		out.ExactVerified = e.ds.Len() * (e.ds.Len() - 1) / 2
+
+	case AllPairs:
+		start := time.Now()
+		rs, err := allPairsSearch(e, o)
+		if err != nil {
+			return nil, err
+		}
+		out.VerifyTime = time.Since(start)
+		out.Results = fromResults(rs)
+
+	case PPJoin:
+		if e.measure == Cosine {
+			return nil, fmt.Errorf("bayeslsh: PPJoin supports binary measures only")
+		}
+		start := time.Now()
+		rs, err := ppjoin.Search(e.workInput(), toExactMeasure(e.measure), o.Threshold)
+		if err != nil {
+			return nil, err
+		}
+		out.VerifyTime = time.Since(start)
+		out.Results = fromResults(rs)
+
+	case AllPairsBayesLSH, AllPairsBayesLSHLite, LSH, LSHApprox, LSHBayesLSH, LSHBayesLSHLite:
+		if err := e.searchTwoPhase(o, out); err != nil {
+			return nil, err
+		}
+
+	default:
+		return nil, fmt.Errorf("bayeslsh: unknown algorithm %v", o.Algorithm)
+	}
+
+	out.HashTime = e.hashElapsed() - hashBefore
+	out.Total = out.CandGenTime + out.VerifyTime
+	return out, nil
+}
+
+// searchTwoPhase runs the candidate-generation + verification
+// pipelines.
+func (e *Engine) searchTwoPhase(o Options, out *Output) error {
+	// Phase 1: candidates.
+	var (
+		cands []pair.Pair
+		err   error
+	)
+	start := time.Now()
+	switch o.Algorithm {
+	case AllPairsBayesLSH, AllPairsBayesLSHLite:
+		cands, err = e.allPairsCandidates(o)
+	default:
+		cands, err = e.lshCandidates(o)
+	}
+	if err != nil {
+		return err
+	}
+	out.CandGenTime = time.Since(start)
+	out.Candidates = len(cands)
+
+	// Phase 2: verification.
+	start = time.Now()
+	switch o.Algorithm {
+	case LSH:
+		rs := exact.Verify(e.workInput(), toExactMeasure(e.measure), o.Threshold, cands)
+		out.Results = fromResults(rs)
+		out.ExactVerified = len(cands)
+
+	case LSHApprox:
+		var used int
+		out.Results, used = e.approxVerify(o, cands)
+		out.HashesCompared = int64(len(cands)) * int64(used)
+
+	case AllPairsBayesLSH, LSHBayesLSH:
+		v, err := e.bayesVerifier(o, cands)
+		if err != nil {
+			return err
+		}
+		rs, st := v.Verify(cands)
+		out.Results = fromResults(rs)
+		fillStats(out, st)
+
+	case AllPairsBayesLSHLite, LSHBayesLSHLite:
+		v, err := e.bayesVerifier(o, cands)
+		if err != nil {
+			return err
+		}
+		rs, st := v.VerifyLite(cands, o.LiteHashes, e.exactSim)
+		out.Results = fromResults(rs)
+		fillStats(out, st)
+	}
+	out.VerifyTime = time.Since(start)
+	return nil
+}
+
+// allPairsSearch runs the exact AllPairs baseline for the engine's
+// measure.
+func allPairsSearch(e *Engine, o Options) ([]pair.Result, error) {
+	return allpairs.SearchMeasure(e.workInput(), toExactMeasure(e.measure), o.Threshold)
+}
+
+// fillStats copies verifier statistics into the output.
+func fillStats(out *Output, st core.Stats) {
+	out.Pruned = st.Pruned
+	out.ExactVerified = st.ExactVerified
+	out.HashesCompared = st.HashesCompared
+	out.SurvivorsByRound = st.SurvivorsByRound
+}
+
+// approxVerify implements the classical LSH similarity estimation of
+// §3: a fixed number of hashes per pair and the maximum-likelihood
+// estimate m/n, keeping pairs whose estimate meets the threshold. It
+// returns the results and the hash count actually used (the requested
+// count clamped to the signature budget).
+func (e *Engine) approxVerify(o Options, cands []pair.Pair) ([]Result, int) {
+	var out []Result
+	if e.measure == Jaccard {
+		st := e.minSigStore()
+		n := o.ApproxHashes
+		if n > st.MaxHashes() {
+			n = st.MaxHashes()
+		}
+		st.EnsureAll(n)
+		sigs := st.Sigs()
+		for _, p := range cands {
+			m := minhash.Matches(sigs[p.A], sigs[p.B], 0, n)
+			est := float64(m) / float64(n)
+			if est >= o.Threshold {
+				out = append(out, Result{A: int(p.A), B: int(p.B), Sim: est})
+			}
+		}
+		return out, n
+	}
+	st := e.bitSigStore()
+	n := o.ApproxHashes
+	if n > st.MaxBits() {
+		n = st.MaxBits()
+	}
+	st.EnsureAll(n)
+	sigs := st.Sigs()
+	for _, p := range cands {
+		m := sighash.MatchCount(sigs[p.A], sigs[p.B], 0, n)
+		r := float64(m) / float64(n)
+		est := sighash.RToCosine(clamp(r, 0.5, 1))
+		if est >= o.Threshold {
+			out = append(out, Result{A: int(p.A), B: int(p.B), Sim: est})
+		}
+	}
+	return out, n
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func fromResults(rs []pair.Result) []Result {
+	out := make([]Result, len(rs))
+	for i, r := range rs {
+		out[i] = Result{A: int(r.A), B: int(r.B), Sim: r.Sim}
+	}
+	return out
+}
