@@ -1,32 +1,3 @@
-// Package bayeslsh is a Go implementation of BayesLSH and
-// BayesLSH-Lite (Satuluri and Parthasarathy, PVLDB 2012): Bayesian
-// candidate pruning and similarity estimation for all-pairs similarity
-// search (APSS) with locality-sensitive hashing.
-//
-// The package solves the all-pairs problem: given a collection of
-// sparse vectors, a similarity measure (cosine, Jaccard, or binary
-// cosine) and a threshold t, find every pair with similarity at least
-// t. Search pipelines pair a candidate generation algorithm (AllPairs
-// or LSH banding) with a verification algorithm (exact, classical LSH
-// estimation, BayesLSH, or BayesLSH-Lite):
-//
-//	ds := bayeslsh.NewDataset(dim)
-//	for _, doc := range docs {
-//		ds.Add(doc) // map[uint32]float64 feature weights
-//	}
-//	ds = ds.TfIdf().Normalize()
-//	eng, err := bayeslsh.NewEngine(ds, bayeslsh.Cosine, bayeslsh.EngineConfig{Seed: 42})
-//	out, err := eng.Search(bayeslsh.Options{
-//		Algorithm: bayeslsh.LSHBayesLSH,
-//		Threshold: 0.7,
-//	})
-//
-// BayesLSH verification provides the paper's probabilistic guarantees:
-// each candidate pair with posterior probability above ε of meeting
-// the threshold reaches the output, and each reported similarity
-// estimate is within δ of the true similarity with probability at
-// least 1 − γ. BayesLSH-Lite prunes the same way but reports exact
-// similarities.
 package bayeslsh
 
 import "fmt"

@@ -126,6 +126,63 @@ func BenchmarkPipelinePPJoinJaccard(b *testing.B) {
 	benchSearch(b, bayeslsh.Jaccard, bayeslsh.PPJoin, 0.5)
 }
 
+// --- parallel vs sequential pipeline benchmarks --------------------
+//
+// The same search at Parallelism 1 (fully sequential) and Parallelism
+// NumCPU (sharded candidate generation + batched parallel
+// verification). Result sets are identical for the fixed seed; compare
+// ns/op to measure the sharding speedup on your hardware:
+//
+//	go test -bench 'Parallelism' -benchmem
+
+// benchParallelism runs one pipeline with an explicit worker count.
+func benchParallelism(b *testing.B, m bayeslsh.Measure, alg bayeslsh.Algorithm, t float64, workers int) {
+	b.Helper()
+	ds, err := bayeslsh.Synthetic("RCV1-sim")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if m == bayeslsh.Cosine {
+		ds = ds.TfIdf().Normalize()
+	} else {
+		ds = ds.Binarize()
+	}
+	eng, err := bayeslsh.NewEngine(ds, m, bayeslsh.EngineConfig{Seed: 42, Parallelism: workers})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Search(bayeslsh.Options{Algorithm: alg, Threshold: t}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParallelismSeqLSHBayesLSHCosine(b *testing.B) {
+	benchParallelism(b, bayeslsh.Cosine, bayeslsh.LSHBayesLSH, 0.7, 1)
+}
+
+func BenchmarkParallelismParLSHBayesLSHCosine(b *testing.B) {
+	benchParallelism(b, bayeslsh.Cosine, bayeslsh.LSHBayesLSH, 0.7, 0) // NumCPU
+}
+
+func BenchmarkParallelismSeqAPBayesLSHLiteJaccard(b *testing.B) {
+	benchParallelism(b, bayeslsh.Jaccard, bayeslsh.AllPairsBayesLSHLite, 0.5, 1)
+}
+
+func BenchmarkParallelismParAPBayesLSHLiteJaccard(b *testing.B) {
+	benchParallelism(b, bayeslsh.Jaccard, bayeslsh.AllPairsBayesLSHLite, 0.5, 0) // NumCPU
+}
+
+func BenchmarkParallelismSeqBruteForceCosine(b *testing.B) {
+	benchParallelism(b, bayeslsh.Cosine, bayeslsh.BruteForce, 0.7, 1)
+}
+
+func BenchmarkParallelismParBruteForceCosine(b *testing.B) {
+	benchParallelism(b, bayeslsh.Cosine, bayeslsh.BruteForce, 0.7, 0) // NumCPU
+}
+
 func BenchmarkPipelineAPBayesLSHLiteJaccard(b *testing.B) {
 	benchSearch(b, bayeslsh.Jaccard, bayeslsh.AllPairsBayesLSHLite, 0.5)
 }

@@ -45,6 +45,8 @@ func main() {
 	delta := flag.Float64("delta", 0.05, "BayesLSH accuracy parameter delta")
 	gamma := flag.Float64("gamma", 0.03, "BayesLSH accuracy parameter gamma")
 	seed := flag.Uint64("seed", 42, "random seed")
+	parallel := flag.Int("parallel", 0, "pipeline workers (0 = NumCPU, 1 = sequential)")
+	batch := flag.Int("batch", 0, "candidate pairs per verification work unit (0 = default 1024)")
 	pairs := flag.Bool("pairs", false, "print every result pair")
 	flag.Parse()
 
@@ -86,7 +88,11 @@ func main() {
 		os.Exit(1)
 	}
 
-	eng, err := bayeslsh.NewEngine(ds, measure, bayeslsh.EngineConfig{Seed: *seed})
+	eng, err := bayeslsh.NewEngine(ds, measure, bayeslsh.EngineConfig{
+		Seed:        *seed,
+		Parallelism: *parallel,
+		BatchSize:   *batch,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "apss:", err)
 		os.Exit(1)

@@ -23,6 +23,7 @@ func main() {
 	run := flag.String("run", "all", "experiment id (fig1..fig5, tab1..tab5) or 'all'")
 	quick := flag.Bool("quick", false, "trim datasets and thresholds for a fast run")
 	seed := flag.Uint64("seed", 42, "random seed for all components")
+	parallel := flag.Int("parallel", 0, "pipeline workers per engine (0 = NumCPU, 1 = sequential)")
 	datasets := flag.String("datasets", "", "comma-separated dataset names to restrict to")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
@@ -31,7 +32,7 @@ func main() {
 		fmt.Println(strings.Join(harness.Experiments(), "\n"))
 		return
 	}
-	cfg := harness.Config{Seed: *seed, Quick: *quick}
+	cfg := harness.Config{Seed: *seed, Quick: *quick, Parallelism: *parallel}
 	if *datasets != "" {
 		cfg.Datasets = strings.Split(*datasets, ",")
 	}

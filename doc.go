@@ -1,0 +1,57 @@
+// Package bayeslsh is a Go implementation of BayesLSH and
+// BayesLSH-Lite (Satuluri and Parthasarathy, "Bayesian Locality
+// Sensitive Hashing for Fast Similarity Search", PVLDB 5(5), 2012):
+// Bayesian candidate pruning and similarity estimation for all-pairs
+// similarity search (APSS) with locality-sensitive hashing.
+//
+// # Problem and pipelines
+//
+// The package solves the all-pairs problem: given a collection of
+// sparse vectors, a similarity measure (cosine, Jaccard, or binary
+// cosine) and a threshold t, find every pair with similarity at least
+// t. Search pipelines pair a candidate generation algorithm (AllPairs
+// or LSH banding, §2 of the paper) with a verification algorithm
+// (exact, classical LSH estimation of §3, BayesLSH, or BayesLSH-Lite
+// of §4), mirroring the eight methods compared in §5:
+//
+//	ds := bayeslsh.NewDataset(dim)
+//	for _, doc := range docs {
+//		ds.Add(doc) // map[uint32]float64 feature weights
+//	}
+//	ds = ds.TfIdf().Normalize()
+//	eng, err := bayeslsh.NewEngine(ds, bayeslsh.Cosine, bayeslsh.EngineConfig{Seed: 42})
+//	out, err := eng.Search(bayeslsh.Options{
+//		Algorithm: bayeslsh.LSHBayesLSH,
+//		Threshold: 0.7,
+//	})
+//
+// BayesLSH verification provides the paper's probabilistic guarantees:
+// each candidate pair with posterior probability above ε of meeting
+// the threshold reaches the output, and each reported similarity
+// estimate is within δ of the true similarity with probability at
+// least 1 − γ. BayesLSH-Lite prunes the same way but reports exact
+// similarities.
+//
+// # Parallelism and determinism
+//
+// An Engine runs a sharded, batched search pipeline: signature
+// hashing, candidate generation (LSH bands, the AllPairs probe phase)
+// and verification all divide their work over a pool of
+// EngineConfig.Parallelism goroutines, with candidate pairs flowing
+// to verification workers in EngineConfig.BatchSize units. Every
+// randomized component derives its stream from the configured Seed
+// per work item (per hash block, per band, per pair) rather than per
+// worker, so for a fixed Seed the result set is bit-for-bit identical
+// at any parallelism level — including Parallelism 1, the fully
+// sequential fallback. See docs/TUNING.md for how to set the knobs.
+//
+// # Layout
+//
+// The exported API lives in this package (Dataset, Engine, Options,
+// Result). The algorithms live in internal packages: internal/core
+// holds the Bayesian verification kernel, internal/allpairs,
+// internal/lshindex and internal/ppjoin generate candidates,
+// internal/sighash and internal/minhash implement the LSH families,
+// and internal/harness regenerates the paper's tables and figures.
+// The README's architecture map walks through all of them.
+package bayeslsh

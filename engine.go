@@ -2,6 +2,7 @@ package bayeslsh
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"bayeslsh/internal/allpairs"
@@ -9,6 +10,7 @@ import (
 	"bayeslsh/internal/lshindex"
 	"bayeslsh/internal/minhash"
 	"bayeslsh/internal/pair"
+	"bayeslsh/internal/rng"
 	"bayeslsh/internal/sighash"
 	"bayeslsh/internal/vector"
 )
@@ -27,6 +29,18 @@ type EngineConfig struct {
 	// ExactProjections disables the paper's 2-byte quantized storage
 	// of Gaussian projections (§4.3) in favour of float64 storage.
 	ExactProjections bool
+	// Parallelism is the worker count of the sharded search pipeline:
+	// signature hashing, candidate generation (LSH banding and the
+	// AllPairs probe phase) and verification are divided over this
+	// many goroutines. 0 (the zero value) selects runtime.NumCPU();
+	// 1 or any negative value forces the fully sequential pipeline.
+	// For a fixed Seed the result set is identical at every setting.
+	Parallelism int
+	// BatchSize is the number of candidate pairs per unit of work fed
+	// to verification workers through the pipeline's channel stage
+	// (default 1024). Smaller batches balance load better; larger
+	// batches amortize scheduling overhead over more pairs.
+	BatchSize int
 }
 
 func (c EngineConfig) withDefaults() EngineConfig {
@@ -35,6 +49,15 @@ func (c EngineConfig) withDefaults() EngineConfig {
 	}
 	if c.MinHashes == 0 {
 		c.MinHashes = 512
+	}
+	if c.Parallelism == 0 {
+		c.Parallelism = runtime.NumCPU()
+	}
+	if c.Parallelism < 1 {
+		c.Parallelism = 1
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 1024
 	}
 	return c
 }
@@ -74,6 +97,10 @@ func NewEngine(ds *Dataset, m Measure, cfg EngineConfig) (*Engine, error) {
 // Measure returns the engine's similarity measure.
 func (e *Engine) Measure() Measure { return e.measure }
 
+// workers returns the effective worker count of the sharded pipeline
+// (1 means fully sequential).
+func (e *Engine) workers() int { return e.cfg.Parallelism }
+
 // bitSigStore lazily constructs the cosine bit-signature store. The
 // store materializes hash blocks per vector only as verification
 // demands them — the paper's "each point is only hashed as many times
@@ -84,7 +111,7 @@ func (e *Engine) bitSigStore() *sighash.Store {
 		if e.cfg.ExactProjections {
 			opts = append(opts, sighash.Exact())
 		}
-		fam := sighash.NewBlockFamily(e.work.Dim, e.cfg.SignatureBits, 128, e.cfg.Seed+1, opts...)
+		fam := sighash.NewBlockFamily(e.work.Dim, e.cfg.SignatureBits, 128, rng.Derive(e.cfg.Seed, 1), opts...)
 		e.bitStore = sighash.NewStore(e.work, fam)
 	}
 	return e.bitStore
@@ -93,7 +120,7 @@ func (e *Engine) bitSigStore() *sighash.Store {
 // minSigStore lazily constructs the minhash signature store.
 func (e *Engine) minSigStore() *minhash.Store {
 	if e.minStore == nil {
-		fam := minhash.NewFamily(e.cfg.MinHashes, e.cfg.Seed+2)
+		fam := minhash.NewFamily(e.cfg.MinHashes, rng.Derive(e.cfg.Seed, 2))
 		e.minStore = minhash.NewStore(e.work, fam, 32)
 	}
 	return e.minStore
@@ -134,13 +161,14 @@ func (e *Engine) collisionProb(t float64) float64 {
 func (e *Engine) lshCandidates(o Options) ([]pair.Pair, error) {
 	p := e.collisionProb(o.Threshold)
 	l := lshindex.NumTables(p, o.BandK, o.FalseNegativeRate)
+	w := e.workers()
 	if e.measure == Jaccard {
 		st := e.minSigStore()
 		if max := st.MaxHashes() / o.BandK; l > max {
 			l = max
 		}
-		st.EnsureAll(o.BandK * l)
-		return lshindex.CandidatesMinhash(st.Sigs(), o.BandK, l)
+		st.EnsureAllParallel(o.BandK*l, w)
+		return lshindex.CandidatesMinhashParallel(st.Sigs(), o.BandK, l, w)
 	}
 	st := e.bitSigStore()
 	if o.MultiProbe {
@@ -149,17 +177,17 @@ func (e *Engine) lshCandidates(o Options) ([]pair.Pair, error) {
 	if max := st.MaxBits() / o.BandK; l > max {
 		l = max
 	}
-	st.EnsureAll(o.BandK * l)
+	st.EnsureAllParallel(o.BandK*l, w)
 	if o.MultiProbe {
-		return lshindex.CandidatesBitsMultiProbe(st.Sigs(), o.BandK, l)
+		return lshindex.CandidatesBitsMultiProbeParallel(st.Sigs(), o.BandK, l, w)
 	}
-	return lshindex.CandidatesBits(st.Sigs(), o.BandK, l)
+	return lshindex.CandidatesBitsParallel(st.Sigs(), o.BandK, l, w)
 }
 
 // allPairsCandidates generates AllPairs candidates at the options'
-// threshold.
+// threshold, sharding the probe phase when the engine is parallel.
 func (e *Engine) allPairsCandidates(o Options) ([]pair.Pair, error) {
-	return allpairs.CandidatesMeasure(e.workInput(), toExactMeasure(e.measure), o.Threshold)
+	return allpairs.CandidatesMeasureParallel(e.workInput(), toExactMeasure(e.measure), o.Threshold, e.workers())
 }
 
 // workInput returns the collection in the representation AllPairs and
@@ -188,12 +216,12 @@ func (e *Engine) bayesVerifier(o Options, cands []pair.Pair) (core.Verifier, err
 		if o.OneBitMinhash {
 			// 1-bit signatures are packed eagerly from the minhash
 			// store (they are 32× smaller, so the packing is cheap).
-			st.EnsureAll(params.MaxHashes)
+			st.EnsureAllParallel(params.MaxHashes, e.workers())
 			sigs := minhash.PackOneBitAll(st.Sigs())
 			return core.NewOneBitJaccard(sigs, params.MaxHashes, params)
 		}
 		params.Ensure = st.Ensure
-		prior := core.FitJaccardPrior(e.work, cands, o.PriorSample, e.cfg.Seed+3)
+		prior := core.FitJaccardPrior(e.work, cands, o.PriorSample, rng.Derive(e.cfg.Seed, 3))
 		return core.NewJaccard(st.Sigs(), prior, params)
 	}
 	st := e.bitSigStore()

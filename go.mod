@@ -1,0 +1,3 @@
+module bayeslsh
+
+go 1.24

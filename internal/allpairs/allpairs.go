@@ -1,34 +1,3 @@
-// Package allpairs implements the AllPairs exact all-pairs similarity
-// search algorithm of Bayardo, Ma and Srikant (WWW 2007), the primary
-// exact baseline and candidate-generation algorithm of the BayesLSH
-// paper.
-//
-// The implementation follows the paper's inverted-index design for
-// cosine similarity over unit-normalized, non-negatively weighted
-// vectors, with three of its pruning devices:
-//
-//   - Partial indexing: features of a vector are left out of the index
-//     while b = Σ x_i·maxw_i stays below the threshold t, where maxw_i
-//     is the global maximum weight of feature i. Any pair sharing only
-//     unindexed features has dot product < t and can be safely missed.
-//     The unindexed prefix x' is stored so that exact similarities can
-//     be completed as s = A[y] + dot(x, y').
-//   - Size filter (minsize): while probing with x, indexed vectors y
-//     with |y| < t / maxweight(x) cannot reach the threshold and are
-//     lazily removed from the postings lists (vectors are processed in
-//     decreasing maxweight order, so the bound only tightens).
-//   - Upper-bound check: a candidate is exactly verified only if
-//     A[y] + min(|x|, |y'|)·maxweight(x)·maxweight(y') ≥ t.
-//
-// Features are ordered by decreasing document frequency when building
-// the unindexed prefix, so the most common features (the longest
-// postings lists) are preferentially kept out of the index — the
-// ordering heuristic the original paper recommends.
-//
-// The same machinery generates candidates for Jaccard and binary
-// cosine: binarize and normalize the vectors, then use the threshold
-// mappings t_cos = 2t/(1+t) (Jaccard, by the AM-GM inequality) and
-// t_cos = t (binary cosine).
 package allpairs
 
 import (
@@ -185,32 +154,40 @@ func (s *searcher) run(emit func(x, y int32, acc float64)) {
 				emit(int32(xid), y, a)
 			}
 		}
-		// Index x: keep a prefix unindexed while b < t. The bound is
-		// relaxed by fpSlack: rounding in b must never leave a vector
-		// whose mass can reach the threshold entirely unindexed (e.g.
-		// an exact duplicate at t = 1).
-		b := 0.0
-		var keepInd []uint32
-		var keepVal []float64
-		for _, fi := range s.featuresByRank(x) {
-			f, w := x.Ind[fi], x.Val[fi]
-			b += w * s.maxw[f]
-			if b >= s.t-fpSlack {
-				s.lists[f].entries = append(s.lists[f].entries, posting{id: int32(xid), w: w})
-			} else {
-				keepInd = append(keepInd, f)
-				keepVal = append(keepVal, w)
-			}
+		s.indexVector(xid)
+	}
+}
+
+// indexVector appends x's features to the inverted index, keeping a
+// prefix unindexed while b < t. The bound is relaxed by fpSlack:
+// rounding in b must never leave a vector whose mass can reach the
+// threshold entirely unindexed (e.g. an exact duplicate at t = 1).
+func (s *searcher) indexVector(xid int) {
+	x := s.c.Vecs[xid]
+	if x.Len() == 0 {
+		return
+	}
+	b := 0.0
+	var keepInd []uint32
+	var keepVal []float64
+	for _, fi := range s.featuresByRank(x) {
+		f, w := x.Ind[fi], x.Val[fi]
+		b += w * s.maxw[f]
+		if b >= s.t-fpSlack {
+			s.lists[f].entries = append(s.lists[f].entries, posting{id: int32(xid), w: w})
+		} else {
+			keepInd = append(keepInd, f)
+			keepVal = append(keepVal, w)
 		}
-		// Store the unindexed prefix in sorted index order for Dot.
-		if len(keepInd) > 0 {
-			es := make([]vector.Entry, len(keepInd))
-			for i := range keepInd {
-				es[i] = vector.Entry{Ind: keepInd[i], Val: keepVal[i]}
-			}
-			s.unidx[xid] = vector.New(es)
-			s.unidxMax[xid] = s.unidx[xid].MaxVal()
+	}
+	// Store the unindexed prefix in sorted index order for Dot.
+	if len(keepInd) > 0 {
+		es := make([]vector.Entry, len(keepInd))
+		for i := range keepInd {
+			es[i] = vector.Entry{Ind: keepInd[i], Val: keepVal[i]}
 		}
+		s.unidx[xid] = vector.New(es)
+		s.unidxMax[xid] = s.unidx[xid].MaxVal()
 	}
 }
 
@@ -225,22 +202,30 @@ func Search(c *vector.Collection, t float64) ([]pair.Result, error) {
 	}
 	var out []pair.Result
 	s.run(func(x, y int32, acc float64) {
-		sim := acc + vector.Dot(s.c.Vecs[x], s.unidx[y])
-		// sim equals the cosine up to summation order; for borderline
-		// values re-evaluate with the canonical definition so AllPairs
-		// agrees bit-for-bit with brute force.
-		if sim < t-fpSlack {
-			return
+		if r, ok := s.finish(x, y, acc); ok {
+			out = append(out, r)
 		}
-		if sim < t+fpSlack {
-			sim = vector.Cosine(s.c.Vecs[x], s.c.Vecs[y])
-			if sim < t {
-				return
-			}
-		}
-		out = append(out, pair.Result{A: min32(x, y), B: max32(x, y), Sim: sim})
 	})
 	return out, nil
+}
+
+// finish completes a candidate's exact similarity from the
+// accumulated indexed dot product and decides whether it meets the
+// threshold. sim equals the cosine up to summation order; for
+// borderline values it is re-evaluated with the canonical definition
+// so AllPairs agrees bit-for-bit with brute force.
+func (s *searcher) finish(x, y int32, acc float64) (pair.Result, bool) {
+	sim := acc + vector.Dot(s.c.Vecs[x], s.unidx[y])
+	if sim < s.t-fpSlack {
+		return pair.Result{}, false
+	}
+	if sim < s.t+fpSlack {
+		sim = vector.Cosine(s.c.Vecs[x], s.c.Vecs[y])
+		if sim < s.t {
+			return pair.Result{}, false
+		}
+	}
+	return pair.Result{A: min32(x, y), B: max32(x, y), Sim: sim}, true
 }
 
 // Candidates returns the candidate pairs AllPairs would exactly verify
@@ -294,21 +279,31 @@ func SearchMeasure(c *vector.Collection, m exact.Measure, t float64) ([]pair.Res
 // rounding in the internal bounds.
 const fpSlack = 1e-9
 
+// measureInput maps a measure to the preprocessed collection and the
+// cosine threshold the AllPairs scan runs at (see SearchMeasure for
+// the preprocessing rules). Both the sequential and sharded entry
+// points go through this one mapping, so they cannot drift apart.
+func measureInput(c *vector.Collection, m exact.Measure, t float64) (*vector.Collection, float64, error) {
+	switch m {
+	case exact.Cosine:
+		return c, t, nil
+	case exact.BinaryCosine:
+		return c.Binarize().Normalize(), t - fpSlack, nil
+	case exact.Jaccard:
+		return c.Binarize().Normalize(), JaccardCosineThreshold(t) - fpSlack, nil
+	default:
+		return nil, 0, fmt.Errorf("allpairs: unknown measure %v", m)
+	}
+}
+
 // CandidatesMeasure generates AllPairs candidates under the given
 // measure (see SearchMeasure for preprocessing rules).
 func CandidatesMeasure(c *vector.Collection, m exact.Measure, t float64) ([]pair.Pair, error) {
-	switch m {
-	case exact.Cosine:
-		return Candidates(c, t)
-	case exact.BinaryCosine:
-		bin := c.Binarize().Normalize()
-		return Candidates(bin, t-fpSlack)
-	case exact.Jaccard:
-		bin := c.Binarize().Normalize()
-		return Candidates(bin, JaccardCosineThreshold(t)-fpSlack)
-	default:
-		return nil, fmt.Errorf("allpairs: unknown measure %v", m)
+	in, tc, err := measureInput(c, m, t)
+	if err != nil {
+		return nil, err
 	}
+	return Candidates(in, tc)
 }
 
 func min32(a, b int32) int32 {

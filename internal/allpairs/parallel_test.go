@@ -1,0 +1,80 @@
+package allpairs
+
+import (
+	"testing"
+
+	"bayeslsh/internal/exact"
+	"bayeslsh/internal/testutil"
+)
+
+// TestCandidatesParallelMatchesSequential checks the strong guarantee
+// of the sharded scan: the candidate stream is identical to the
+// sequential scan pair-for-pair, including order.
+func TestCandidatesParallelMatchesSequential(t *testing.T) {
+	c := testutil.SmallTextCorpus(t, 400, 9)
+	for _, th := range []float64{0.5, 0.7, 0.9} {
+		want, err := Candidates(c, th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 7} {
+			got, err := CandidatesParallel(c, th, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("t=%v workers=%d: %d candidates, want %d", th, workers, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("t=%v workers=%d: candidate %d is %v, want %v", th, workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSearchParallelMatchesSequential(t *testing.T) {
+	c := testutil.SmallTextCorpus(t, 400, 10)
+	for _, th := range []float64{0.5, 0.7, 0.9} {
+		want, err := Search(c, th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SearchParallel(c, th, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("t=%v: %d results, want %d", th, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("t=%v: result %d is %+v, want %+v", th, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSearchMeasureParallelMatchesBruteForce(t *testing.T) {
+	c := testutil.SmallBinaryCorpus(t, 300, 12)
+	for _, m := range []exact.Measure{exact.Jaccard, exact.BinaryCosine} {
+		th := 0.5
+		got, err := SearchMeasureParallel(c, m, th, 4, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := exact.Search(c, m, th)
+		testutil.RequireSameResults(t, got, want, 1e-12)
+	}
+}
+
+func TestParallelRejectsBadInput(t *testing.T) {
+	c := testutil.SmallTextCorpus(t, 50, 3)
+	if _, err := CandidatesParallel(c, 1.5, 4); err == nil {
+		t.Error("threshold 1.5 accepted")
+	}
+	if _, err := SearchParallel(c, 0, 4); err == nil {
+		t.Error("threshold 0 accepted")
+	}
+}

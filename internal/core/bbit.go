@@ -23,9 +23,7 @@ type OneBitJaccardVerifier struct {
 	params Params
 	sigs   [][]uint64
 	tr     float64 // threshold mapped to collision-probability space
-	ns     []int
-	minM   []int
-	conc   *concCache
+	k      *kernel
 }
 
 // jToR maps a Jaccard similarity to the 1-bit collision probability.
@@ -61,12 +59,13 @@ func NewOneBitJaccard(sigs [][]uint64, sigBits int, p Params) (*OneBitJaccardVer
 		params: params,
 		sigs:   sigs,
 		tr:     jToR(params.Threshold),
-		ns:     rounds(params),
 	}
-	v.minM = minMatchesTable(v.ns, func(m, n int) bool {
-		return v.probAboveThreshold(m, n) >= params.Epsilon
-	})
-	v.conc = newConcCache(v.ns, params.K)
+	v.k = newKernel(params,
+		func(m, n int) bool { return v.probAboveThreshold(m, n) >= params.Epsilon },
+		func(a, b int32, from, to int) int { return sighash.MatchCount(sigs[a], sigs[b], from, to) },
+		v.Estimate,
+		v.concentrated,
+	)
 	return v, nil
 }
 
@@ -115,85 +114,22 @@ func (v *OneBitJaccardVerifier) concentrated(m, n int) bool {
 
 // Verify runs BayesLSH (Algorithm 1) over the candidate pairs.
 func (v *OneBitJaccardVerifier) Verify(cands []pair.Pair) ([]pair.Result, Stats) {
-	st := Stats{Candidates: len(cands), SurvivorsByRound: make([]int, len(v.ns))}
-	out := make([]pair.Result, 0, len(cands)/8+1)
-	k := v.params.K
-	for _, c := range cands {
-		a, b := v.sigs[c.A], v.sigs[c.B]
-		m := 0
-		pruned := false
-		accepted := false
-		for round, n := range v.ns {
-			if ensure := v.params.Ensure; ensure != nil {
-				ensure(c.A, n)
-				ensure(c.B, n)
-			}
-			m += sighash.MatchCount(a, b, n-k, n)
-			st.HashesCompared += int64(k)
-			if m < v.minM[round] {
-				pruned = true
-				st.Pruned++
-				break
-			}
-			st.SurvivorsByRound[round]++
-			if cached, ok := v.conc.lookup(round, m); ok {
-				st.CacheHits++
-				accepted = cached
-			} else {
-				st.InferenceCalls++
-				cv := v.concentrated(m, n)
-				v.conc.store(round, m, cv)
-				accepted = cv
-			}
-			if accepted {
-				out = append(out, pair.Result{A: c.A, B: c.B, Sim: v.Estimate(m, n)})
-				for r := round + 1; r < len(v.ns); r++ {
-					st.SurvivorsByRound[r]++
-				}
-				break
-			}
-		}
-		if !pruned && !accepted {
-			out = append(out, pair.Result{A: c.A, B: c.B, Sim: v.Estimate(m, v.params.MaxHashes)})
-		}
-	}
-	st.Accepted = len(out)
-	return out, st
+	return v.k.verify(cands)
 }
 
 // VerifyLite runs BayesLSH-Lite (Algorithm 2) over 1-bit signatures.
 func (v *OneBitJaccardVerifier) VerifyLite(cands []pair.Pair, h int, sim ExactSimFunc) ([]pair.Result, Stats) {
-	nRounds := liteRounds(h, v.params.K, len(v.ns))
-	st := Stats{Candidates: len(cands), SurvivorsByRound: make([]int, nRounds)}
-	var out []pair.Result
-	k := v.params.K
-	for _, c := range cands {
-		a, b := v.sigs[c.A], v.sigs[c.B]
-		m := 0
-		pruned := false
-		for round := 0; round < nRounds; round++ {
-			n := v.ns[round]
-			if ensure := v.params.Ensure; ensure != nil {
-				ensure(c.A, n)
-				ensure(c.B, n)
-			}
-			m += sighash.MatchCount(a, b, n-k, n)
-			st.HashesCompared += int64(k)
-			if m < v.minM[round] {
-				pruned = true
-				st.Pruned++
-				break
-			}
-			st.SurvivorsByRound[round]++
-		}
-		if pruned {
-			continue
-		}
-		st.ExactVerified++
-		if s := sim(c.A, c.B); s >= v.params.Threshold {
-			out = append(out, pair.Result{A: c.A, B: c.B, Sim: s})
-		}
-	}
-	st.Accepted = len(out)
-	return out, st
+	return v.k.verifyLite(cands, h, sim)
+}
+
+// VerifyParallel runs BayesLSH over a pool of workers goroutines in
+// batches of batch pairs, producing the same results as Verify.
+func (v *OneBitJaccardVerifier) VerifyParallel(cands []pair.Pair, workers, batch int) ([]pair.Result, Stats) {
+	return v.k.verifyParallel(cands, workers, batch)
+}
+
+// VerifyLiteParallel runs BayesLSH-Lite over a pool of workers
+// goroutines, producing the same results as VerifyLite.
+func (v *OneBitJaccardVerifier) VerifyLiteParallel(cands []pair.Pair, h int, sim ExactSimFunc, workers, batch int) ([]pair.Result, Stats) {
+	return v.k.verifyLiteParallel(cands, h, sim, workers, batch)
 }

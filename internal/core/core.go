@@ -1,34 +1,8 @@
-// Package core implements BayesLSH and BayesLSH-Lite, the paper's
-// contribution (§4): Bayesian candidate pruning and similarity
-// estimation over LSH hash comparisons.
-//
-// Given candidate pairs from any generation algorithm, a verifier
-// compares the pairs' hashes k at a time. After each round it knows
-// the event M(m, n) — m of the first n hashes matched — and uses the
-// posterior distribution of the similarity S to decide between three
-// outcomes:
-//
-//   - prune, if Pr[S >= t | M(m, n)] < ε (the pair is very unlikely to
-//     be a true positive);
-//   - accept with the MAP estimate Ŝ, if
-//     Pr[|S − Ŝ| < δ | M(m, n)] >= 1 − γ (the estimate is concentrated
-//     enough) — BayesLSH;
-//   - keep comparing hashes.
-//
-// BayesLSH-Lite replaces the concentration test with a fixed budget of
-// h hashes, after which survivors are verified exactly.
-//
-// Two instantiations are provided: Jaccard (package-level minhash
-// signatures, conjugate Beta prior, §4.1) and Cosine (packed bit
-// signatures from random hyperplanes, uniform prior over the collision
-// probability r ∈ [0.5, 1], §4.2). Both implement the §4.3
-// optimizations: a precomputed minMatches(n) table replacing the
-// pruning inference, and an (m, n)-indexed cache for the concentration
-// inference.
 package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"bayeslsh/internal/pair"
 )
@@ -147,24 +121,28 @@ func minMatchesTable(ns []int, survive func(m, n int) bool) []int {
 	return table
 }
 
-// concCache memoizes the concentration decision per (round, m). Values:
-// 0 unknown, 1 concentrated, 2 not concentrated.
+// concCache memoizes the concentration decision per (round, m). Cells
+// hold 0 unknown, 1 concentrated, 2 not concentrated, and are accessed
+// atomically so one cache can be shared by concurrent verification
+// workers: the decision is a pure function of (round, m), so racing
+// writers store the same value and a lost update only costs a
+// recomputation.
 type concCache struct {
-	perRound [][]uint8
+	perRound [][]uint32
 	k        int
 }
 
 func newConcCache(ns []int, k int) *concCache {
-	c := &concCache{perRound: make([][]uint8, len(ns)), k: k}
+	c := &concCache{perRound: make([][]uint32, len(ns)), k: k}
 	for i, n := range ns {
-		c.perRound[i] = make([]uint8, n+1)
+		c.perRound[i] = make([]uint32, n+1)
 	}
 	return c
 }
 
 // lookup returns the cached decision and whether it was present.
 func (c *concCache) lookup(round, m int) (bool, bool) {
-	switch c.perRound[round][m] {
+	switch atomic.LoadUint32(&c.perRound[round][m]) {
 	case 1:
 		return true, true
 	case 2:
@@ -176,9 +154,9 @@ func (c *concCache) lookup(round, m int) (bool, bool) {
 
 func (c *concCache) store(round, m int, v bool) {
 	if v {
-		c.perRound[round][m] = 1
+		atomic.StoreUint32(&c.perRound[round][m], 1)
 	} else {
-		c.perRound[round][m] = 2
+		atomic.StoreUint32(&c.perRound[round][m], 2)
 	}
 }
 
@@ -187,8 +165,10 @@ func (c *concCache) store(round, m int, v bool) {
 // collection and measure).
 type ExactSimFunc func(a, b int32) float64
 
-// Verifier is the common interface of the Jaccard and Cosine
-// instantiations of BayesLSH.
+// Verifier is the common interface of the Jaccard, Cosine and 1-bit
+// Jaccard instantiations of BayesLSH. All verifiers are safe for
+// concurrent use after construction (signature stores supplied via
+// Params.Ensure must be too; the library's stores are).
 type Verifier interface {
 	// Verify runs BayesLSH (Algorithm 1): prune and estimate.
 	Verify(cands []pair.Pair) ([]pair.Result, Stats)
@@ -196,4 +176,13 @@ type Verifier interface {
 	// first h hashes, then verify survivors exactly with sim, keeping
 	// pairs with similarity >= t.
 	VerifyLite(cands []pair.Pair, h int, sim ExactSimFunc) ([]pair.Result, Stats)
+	// VerifyParallel is Verify sharded over workers goroutines in
+	// batches of batch pairs. The result set, result order and all
+	// Stats counters except the CacheHits/InferenceCalls split are
+	// identical to Verify for any worker count. workers <= 1 falls
+	// back to the sequential Verify.
+	VerifyParallel(cands []pair.Pair, workers, batch int) ([]pair.Result, Stats)
+	// VerifyLiteParallel is VerifyLite sharded over workers goroutines;
+	// sim must be safe for concurrent use.
+	VerifyLiteParallel(cands []pair.Pair, h int, sim ExactSimFunc, workers, batch int) ([]pair.Result, Stats)
 }

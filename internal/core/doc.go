@@ -1,0 +1,47 @@
+// Package core implements BayesLSH and BayesLSH-Lite, the paper's
+// contribution (§4): Bayesian candidate pruning and similarity
+// estimation over LSH hash comparisons.
+//
+// # The round loop (Algorithms 1 and 2)
+//
+// Given candidate pairs from any generation algorithm, a verifier
+// compares the pairs' hashes k at a time. After each round it knows
+// the event M(m, n) — m of the first n hashes matched — and uses the
+// posterior distribution of the similarity S to decide between three
+// outcomes:
+//
+//   - prune, if Pr[S >= t | M(m, n)] < ε (Equation 3: the pair is very
+//     unlikely to be a true positive);
+//   - accept with the MAP estimate Ŝ (Equation 4), if
+//     Pr[|S − Ŝ| < δ | M(m, n)] >= 1 − γ (Equation 6: the estimate is
+//     concentrated enough) — BayesLSH, Algorithm 1;
+//   - keep comparing hashes.
+//
+// BayesLSH-Lite (Algorithm 2) replaces the concentration test with a
+// fixed budget of h hashes, after which survivors are verified
+// exactly.
+//
+// # Instantiations
+//
+// Three instantiations are provided: Jaccard (package-level minhash
+// signatures, conjugate Beta prior, §4.1), Cosine (packed bit
+// signatures from random hyperplanes, uniform prior over the collision
+// probability r ∈ [0.5, 1], §4.2), and 1-bit minwise Jaccard (the §6
+// extension direction, following Li and König's b-bit minhash with
+// b = 1). All three share one measure-independent round-loop kernel
+// and implement the §4.3 optimizations: a precomputed minMatches(n)
+// table replacing the pruning inference, and an (m, n)-indexed cache
+// for the concentration inference.
+//
+// # Concurrency
+//
+// Verifiers are safe for concurrent use, and every verifier offers
+// VerifyParallel/VerifyLiteParallel: candidates flow to a pool of
+// workers in batches, each batch accumulates its own results and
+// statistics, and batches are merged in input order. Because the
+// per-pair decision is a pure function of the pair's hash matches
+// (the concentration cache is idempotent and accessed atomically),
+// the parallel result set is identical to the sequential one for any
+// worker count — the property that makes the engine's sharded
+// pipeline deterministic under a fixed seed.
+package core

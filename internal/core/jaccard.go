@@ -18,9 +18,7 @@ type JaccardVerifier struct {
 	params Params
 	prior  stats.Beta
 	sigs   [][]uint32
-	ns     []int
-	minM   []int
-	conc   *concCache
+	k      *kernel
 }
 
 // NewJaccard builds a verifier over precomputed minhash signatures.
@@ -43,11 +41,13 @@ func NewJaccard(sigs [][]uint32, prior stats.Beta, p Params) (*JaccardVerifier, 
 			return nil, fmt.Errorf("core: signature %d has %d hashes, need %d", i, len(s), params.MaxHashes)
 		}
 	}
-	v := &JaccardVerifier{params: params, prior: prior, sigs: sigs, ns: rounds(params)}
-	v.minM = minMatchesTable(v.ns, func(m, n int) bool {
-		return v.probAboveThreshold(m, n) >= params.Epsilon
-	})
-	v.conc = newConcCache(v.ns, params.K)
+	v := &JaccardVerifier{params: params, prior: prior, sigs: sigs}
+	v.k = newKernel(params,
+		func(m, n int) bool { return v.probAboveThreshold(m, n) >= params.Epsilon },
+		func(a, b int32, from, to int) int { return minhash.Matches(sigs[a], sigs[b], from, to) },
+		v.Estimate,
+		v.concentrated,
+	)
 	return v, nil
 }
 
@@ -81,96 +81,25 @@ func (v *JaccardVerifier) concentrated(m, n int) bool {
 
 // Verify runs BayesLSH (Algorithm 1) over the candidate pairs.
 func (v *JaccardVerifier) Verify(cands []pair.Pair) ([]pair.Result, Stats) {
-	st := Stats{Candidates: len(cands), SurvivorsByRound: make([]int, len(v.ns))}
-	out := make([]pair.Result, 0, len(cands)/8+1)
-	k := v.params.K
-	for _, c := range cands {
-		a, b := v.sigs[c.A], v.sigs[c.B]
-		m := 0
-		pruned := false
-		accepted := false
-		for round, n := range v.ns {
-			if ensure := v.params.Ensure; ensure != nil {
-				ensure(c.A, n)
-				ensure(c.B, n)
-			}
-			m += minhash.Matches(a, b, n-k, n)
-			st.HashesCompared += int64(k)
-			if m < v.minM[round] {
-				pruned = true
-				st.Pruned++
-				// Rounds not reached count this pair as gone.
-				break
-			}
-			st.SurvivorsByRound[round]++
-			if cached, ok := v.conc.lookup(round, m); ok {
-				st.CacheHits++
-				if cached {
-					accepted = true
-				}
-			} else {
-				st.InferenceCalls++
-				cv := v.concentrated(m, n)
-				v.conc.store(round, m, cv)
-				if cv {
-					accepted = true
-				}
-			}
-			if accepted {
-				out = append(out, pair.Result{A: c.A, B: c.B, Sim: v.Estimate(m, n)})
-				// Later rounds still count an accepted pair as a
-				// survivor (it reached the output set).
-				for r := round + 1; r < len(v.ns); r++ {
-					st.SurvivorsByRound[r]++
-				}
-				break
-			}
-		}
-		if !pruned && !accepted {
-			// Ran out of hashes: accept with the current estimate.
-			out = append(out, pair.Result{A: c.A, B: c.B, Sim: v.Estimate(m, v.params.MaxHashes)})
-		}
-	}
-	st.Accepted = len(out)
-	return out, st
+	return v.k.verify(cands)
 }
 
 // VerifyLite runs BayesLSH-Lite (Algorithm 2): prune within the first
 // h hashes, then compute exact similarities for survivors.
 func (v *JaccardVerifier) VerifyLite(cands []pair.Pair, h int, sim ExactSimFunc) ([]pair.Result, Stats) {
-	nRounds := liteRounds(h, v.params.K, len(v.ns))
-	st := Stats{Candidates: len(cands), SurvivorsByRound: make([]int, nRounds)}
-	var out []pair.Result
-	k := v.params.K
-	for _, c := range cands {
-		a, b := v.sigs[c.A], v.sigs[c.B]
-		m := 0
-		pruned := false
-		for round := 0; round < nRounds; round++ {
-			n := v.ns[round]
-			if ensure := v.params.Ensure; ensure != nil {
-				ensure(c.A, n)
-				ensure(c.B, n)
-			}
-			m += minhash.Matches(a, b, n-k, n)
-			st.HashesCompared += int64(k)
-			if m < v.minM[round] {
-				pruned = true
-				st.Pruned++
-				break
-			}
-			st.SurvivorsByRound[round]++
-		}
-		if pruned {
-			continue
-		}
-		st.ExactVerified++
-		if s := sim(c.A, c.B); s >= v.params.Threshold {
-			out = append(out, pair.Result{A: c.A, B: c.B, Sim: s})
-		}
-	}
-	st.Accepted = len(out)
-	return out, st
+	return v.k.verifyLite(cands, h, sim)
+}
+
+// VerifyParallel runs BayesLSH over a pool of workers goroutines in
+// batches of batch pairs, producing the same results as Verify.
+func (v *JaccardVerifier) VerifyParallel(cands []pair.Pair, workers, batch int) ([]pair.Result, Stats) {
+	return v.k.verifyParallel(cands, workers, batch)
+}
+
+// VerifyLiteParallel runs BayesLSH-Lite over a pool of workers
+// goroutines, producing the same results as VerifyLite.
+func (v *JaccardVerifier) VerifyLiteParallel(cands []pair.Pair, h int, sim ExactSimFunc, workers, batch int) ([]pair.Result, Stats) {
+	return v.k.verifyLiteParallel(cands, h, sim, workers, batch)
 }
 
 // liteRounds converts the Lite hash budget h into a round count,

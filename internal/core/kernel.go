@@ -1,0 +1,243 @@
+package core
+
+import (
+	"bayeslsh/internal/pair"
+	"bayeslsh/internal/shard"
+)
+
+// kernel is the measure-independent engine of BayesLSH verification:
+// the round loop of Algorithms 1 and 2 with the §4.3 optimizations
+// (minMatches pruning table, concentration cache). The three verifier
+// instantiations (Jaccard, Cosine, 1-bit Jaccard) differ only in how
+// hashes are compared and how the posterior is evaluated, which they
+// supply as the match/estimate/concentrated hooks.
+//
+// A kernel is safe for concurrent use: minM and ns are immutable after
+// construction, the concentration cache uses atomic cells (decisions
+// are pure functions of (m, n), so racing writers store the same
+// value), and the hooks must be pure (they are — they read only
+// immutable verifier state and signature prefixes guarded by
+// params.Ensure).
+type kernel struct {
+	params Params
+	ns     []int
+	minM   []int
+	conc   *concCache
+
+	// match counts matching hashes of vectors a and b over hash
+	// positions [from, to).
+	match func(a, b int32, from, to int) int
+	// estimate is the MAP similarity estimate after the event M(m, n).
+	estimate func(m, n int) float64
+	// concentrated reports whether the posterior after M(m, n) is
+	// concentrated enough to accept (Equation 6).
+	concentrated func(m, n int) bool
+}
+
+// newKernel builds the round schedule, pruning table and concentration
+// cache for params. survive(m, n) must report Pr[S >= t | M(m, n)] >= ε
+// and be monotone non-decreasing in m for fixed n.
+func newKernel(params Params,
+	survive func(m, n int) bool,
+	match func(a, b int32, from, to int) int,
+	estimate func(m, n int) float64,
+	concentrated func(m, n int) bool,
+) *kernel {
+	k := &kernel{
+		params:       params,
+		ns:           rounds(params),
+		match:        match,
+		estimate:     estimate,
+		concentrated: concentrated,
+	}
+	k.minM = minMatchesTable(k.ns, survive)
+	k.conc = newConcCache(k.ns, params.K)
+	return k
+}
+
+// verifyOne runs the full BayesLSH round loop (Algorithm 1) for one
+// candidate pair, updating st and appending accepted pairs to out.
+func (kr *kernel) verifyOne(c pair.Pair, st *Stats, out *[]pair.Result) {
+	k := kr.params.K
+	m := 0
+	pruned := false
+	accepted := false
+	for round, n := range kr.ns {
+		if ensure := kr.params.Ensure; ensure != nil {
+			ensure(c.A, n)
+			ensure(c.B, n)
+		}
+		m += kr.match(c.A, c.B, n-k, n)
+		st.HashesCompared += int64(k)
+		if m < kr.minM[round] {
+			pruned = true
+			st.Pruned++
+			// Rounds not reached count this pair as gone.
+			break
+		}
+		st.SurvivorsByRound[round]++
+		if cached, ok := kr.conc.lookup(round, m); ok {
+			st.CacheHits++
+			accepted = cached
+		} else {
+			st.InferenceCalls++
+			cv := kr.concentrated(m, n)
+			kr.conc.store(round, m, cv)
+			accepted = cv
+		}
+		if accepted {
+			*out = append(*out, pair.Result{A: c.A, B: c.B, Sim: kr.estimate(m, n)})
+			// Later rounds still count an accepted pair as a survivor
+			// (it reached the output set).
+			for r := round + 1; r < len(kr.ns); r++ {
+				st.SurvivorsByRound[r]++
+			}
+			break
+		}
+	}
+	if !pruned && !accepted {
+		// Ran out of hashes: accept with the current estimate.
+		*out = append(*out, pair.Result{A: c.A, B: c.B, Sim: kr.estimate(m, kr.params.MaxHashes)})
+	}
+}
+
+// verifyOneLite runs the pruning-only round loop of BayesLSH-Lite
+// (Algorithm 2) for one candidate pair over nRounds rounds, updating
+// st. It reports whether the pair survived pruning (and so needs exact
+// verification).
+func (kr *kernel) verifyOneLite(c pair.Pair, nRounds int, st *Stats) bool {
+	k := kr.params.K
+	m := 0
+	for round := 0; round < nRounds; round++ {
+		n := kr.ns[round]
+		if ensure := kr.params.Ensure; ensure != nil {
+			ensure(c.A, n)
+			ensure(c.B, n)
+		}
+		m += kr.match(c.A, c.B, n-k, n)
+		st.HashesCompared += int64(k)
+		if m < kr.minM[round] {
+			st.Pruned++
+			return false
+		}
+		st.SurvivorsByRound[round]++
+	}
+	return true
+}
+
+// verify runs BayesLSH (Algorithm 1) sequentially.
+func (kr *kernel) verify(cands []pair.Pair) ([]pair.Result, Stats) {
+	st := Stats{Candidates: len(cands), SurvivorsByRound: make([]int, len(kr.ns))}
+	out := make([]pair.Result, 0, len(cands)/8+1)
+	for _, c := range cands {
+		kr.verifyOne(c, &st, &out)
+	}
+	st.Accepted = len(out)
+	return out, st
+}
+
+// verifyLite runs BayesLSH-Lite (Algorithm 2) sequentially.
+func (kr *kernel) verifyLite(cands []pair.Pair, h int, sim ExactSimFunc) ([]pair.Result, Stats) {
+	nRounds := liteRounds(h, kr.params.K, len(kr.ns))
+	st := Stats{Candidates: len(cands), SurvivorsByRound: make([]int, nRounds)}
+	var out []pair.Result
+	for _, c := range cands {
+		if !kr.verifyOneLite(c, nRounds, &st) {
+			continue
+		}
+		st.ExactVerified++
+		if s := sim(c.A, c.B); s >= kr.params.Threshold {
+			out = append(out, pair.Result{A: c.A, B: c.B, Sim: s})
+		}
+	}
+	st.Accepted = len(out)
+	return out, st
+}
+
+// verifyParallel runs BayesLSH over the candidates with a pool of
+// workers, feeding batches of batch pairs through a channel. Each
+// batch accumulates into its own result slice and Stats, merged in
+// batch order afterwards, so the output is identical to the sequential
+// verify for any worker count (per-pair decisions are pure functions
+// of the pair's hash matches). Only the CacheHits/InferenceCalls split
+// depends on scheduling: a decision another worker has not yet cached
+// is recomputed — harmlessly, to the same value.
+func (kr *kernel) verifyParallel(cands []pair.Pair, workers, batch int) ([]pair.Result, Stats) {
+	if workers <= 1 || len(cands) <= batch {
+		return kr.verify(cands)
+	}
+	outs := make([][]pair.Result, shard.Count(len(cands), batch))
+	stats := make([]Stats, len(outs))
+	shard.Run(len(cands), workers, batch, func(lo, hi, slot int) {
+		st := Stats{SurvivorsByRound: make([]int, len(kr.ns))}
+		out := make([]pair.Result, 0, (hi-lo)/8+1)
+		for _, c := range cands[lo:hi] {
+			kr.verifyOne(c, &st, &out)
+		}
+		outs[slot] = out
+		stats[slot] = st
+	})
+	out, st := mergeBatches(outs, stats)
+	st.Candidates = len(cands)
+	st.Accepted = len(out)
+	return out, st
+}
+
+// verifyLiteParallel is the sharded version of verifyLite, with the
+// same determinism guarantee as verifyParallel. sim must be safe for
+// concurrent use (exact similarity over the immutable collection is).
+func (kr *kernel) verifyLiteParallel(cands []pair.Pair, h int, sim ExactSimFunc, workers, batch int) ([]pair.Result, Stats) {
+	if workers <= 1 || len(cands) <= batch {
+		return kr.verifyLite(cands, h, sim)
+	}
+	nRounds := liteRounds(h, kr.params.K, len(kr.ns))
+	outs := make([][]pair.Result, shard.Count(len(cands), batch))
+	stats := make([]Stats, len(outs))
+	shard.Run(len(cands), workers, batch, func(lo, hi, slot int) {
+		st := Stats{SurvivorsByRound: make([]int, nRounds)}
+		var out []pair.Result
+		for _, c := range cands[lo:hi] {
+			if !kr.verifyOneLite(c, nRounds, &st) {
+				continue
+			}
+			st.ExactVerified++
+			if s := sim(c.A, c.B); s >= kr.params.Threshold {
+				out = append(out, pair.Result{A: c.A, B: c.B, Sim: s})
+			}
+		}
+		outs[slot] = out
+		stats[slot] = st
+	})
+	out, st := mergeBatches(outs, stats)
+	st.Candidates = len(cands)
+	st.Accepted = len(out)
+	return out, st
+}
+
+// mergeBatches concatenates per-batch results in batch order and sums
+// per-batch statistics.
+func mergeBatches(outs [][]pair.Result, stats []Stats) ([]pair.Result, Stats) {
+	total := 0
+	for _, o := range outs {
+		total += len(o)
+	}
+	out := make([]pair.Result, 0, total)
+	for _, o := range outs {
+		out = append(out, o...)
+	}
+	var st Stats
+	for _, s := range stats {
+		st.Pruned += s.Pruned
+		st.ExactVerified += s.ExactVerified
+		st.HashesCompared += s.HashesCompared
+		st.InferenceCalls += s.InferenceCalls
+		st.CacheHits += s.CacheHits
+		if st.SurvivorsByRound == nil {
+			st.SurvivorsByRound = make([]int, len(s.SurvivorsByRound))
+		}
+		for i, v := range s.SurvivorsByRound {
+			st.SurvivorsByRound[i] += v
+		}
+	}
+	return out, st
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"bayeslsh/internal/minhash"
+	"bayeslsh/internal/pair"
+	"bayeslsh/internal/vector"
+)
+
+// requireSameVerification fails unless two (results, stats) outcomes
+// agree on everything that is scheduling-independent (all but the
+// CacheHits/InferenceCalls split).
+func requireSameVerification(t *testing.T, seqR, parR []pair.Result, seqS, parS Stats) {
+	t.Helper()
+	if len(seqR) != len(parR) {
+		t.Fatalf("parallel accepted %d pairs, sequential %d", len(parR), len(seqR))
+	}
+	for i := range seqR {
+		if seqR[i] != parR[i] {
+			t.Fatalf("result %d: parallel %+v, sequential %+v", i, parR[i], seqR[i])
+		}
+	}
+	if seqS.Candidates != parS.Candidates || seqS.Pruned != parS.Pruned ||
+		seqS.Accepted != parS.Accepted || seqS.ExactVerified != parS.ExactVerified ||
+		seqS.HashesCompared != parS.HashesCompared {
+		t.Fatalf("stats differ: parallel %+v, sequential %+v", parS, seqS)
+	}
+	if len(seqS.SurvivorsByRound) != len(parS.SurvivorsByRound) {
+		t.Fatalf("survivor rounds differ: %d vs %d", len(parS.SurvivorsByRound), len(seqS.SurvivorsByRound))
+	}
+	for i := range seqS.SurvivorsByRound {
+		if seqS.SurvivorsByRound[i] != parS.SurvivorsByRound[i] {
+			t.Fatalf("survivors round %d: parallel %d, sequential %d",
+				i, parS.SurvivorsByRound[i], seqS.SurvivorsByRound[i])
+		}
+	}
+}
+
+func jaccardSim(c *vector.Collection) ExactSimFunc {
+	return func(a, b int32) float64 { return vector.Jaccard(c.Vecs[a], c.Vecs[b]) }
+}
+
+func TestJaccardVerifyParallelMatchesSequential(t *testing.T) {
+	c, cands, v := jaccardSetup(t, 400, 31, 0.5)
+	seqR, seqS := v.Verify(cands)
+	for _, workers := range []int{2, 4, 7} {
+		for _, batch := range []int{1, 13, 256} {
+			parR, parS := v.VerifyParallel(cands, workers, batch)
+			requireSameVerification(t, seqR, parR, seqS, parS)
+		}
+	}
+	seqR, seqS = v.VerifyLite(cands, 64, jaccardSim(c))
+	parR, parS := v.VerifyLiteParallel(cands, 64, jaccardSim(c), 4, 32)
+	requireSameVerification(t, seqR, parR, seqS, parS)
+}
+
+func TestCosineVerifyParallelMatchesSequential(t *testing.T) {
+	c, cands, v := cosineSetup(t, 400, 17, 0.7)
+	seqR, seqS := v.Verify(cands)
+	parR, parS := v.VerifyParallel(cands, 4, 64)
+	requireSameVerification(t, seqR, parR, seqS, parS)
+
+	sim := func(a, b int32) float64 { return vector.Cosine(c.Vecs[a], c.Vecs[b]) }
+	seqR, seqS = v.VerifyLite(cands, 128, sim)
+	parR, parS = v.VerifyLiteParallel(cands, 128, sim, 4, 64)
+	requireSameVerification(t, seqR, parR, seqS, parS)
+}
+
+// TestVerifierSharedAcrossGoroutines exercises one verifier (and its
+// shared concentration cache) from many goroutines at once — the
+// access pattern of the engine's worker pool — under the race
+// detector.
+func TestVerifierSharedAcrossGoroutines(t *testing.T) {
+	_, cands, v := jaccardSetup(t, 300, 5, 0.5)
+	want, _ := v.Verify(cands)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, _ := v.Verify(cands)
+			if len(got) != len(want) {
+				t.Errorf("concurrent Verify accepted %d pairs, want %d", len(got), len(want))
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// newLazyJaccard wires a verifier to a live lazily-filling minhash
+// store via Params.Ensure — the configuration the engine uses, where
+// verification workers trigger concurrent signature fills.
+func newLazyJaccard(t *testing.T, c *vector.Collection, cands []pair.Pair, th float64) *JaccardVerifier {
+	t.Helper()
+	store := minhash.NewStore(c, minhash.NewFamily(512, 1000), 32)
+	prior := FitJaccardPrior(c, cands, 100, 2000)
+	v, err := NewJaccard(store.Sigs(), prior, Params{
+		Threshold: th, Epsilon: 0.03, Delta: 0.05, Gamma: 0.05,
+		Ensure: store.Ensure,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestVerifyParallelWithEnsure runs the parallel path against a live
+// lazily-filling signature store, the configuration the engine uses.
+func TestVerifyParallelWithEnsure(t *testing.T) {
+	c, cands, _ := jaccardSetup(t, 300, 11, 0.5)
+	seq := newLazyJaccard(t, c, cands, 0.5)
+	par := newLazyJaccard(t, c, cands, 0.5)
+	seqR, seqS := seq.Verify(cands)
+	parR, parS := par.VerifyParallel(cands, 4, 32)
+	requireSameVerification(t, seqR, parR, seqS, parS)
+}

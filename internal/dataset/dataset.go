@@ -171,14 +171,27 @@ func generateText(spec Spec) *vector.Collection {
 			if member == 0 {
 				mutations = 0 // keep the template itself pristine
 			}
-			for i := 0; i < mutations; i++ {
-				// remove a random existing term...
-				for term := range doc {
-					delete(doc, term)
-					break
-				}
+			// Victims are drawn from a sorted term list with the seeded
+			// source; ranging over the map here would leak Go's
+			// per-process map iteration order into the corpus and break
+			// the package's determinism guarantee.
+			terms := make([]uint32, 0, len(doc))
+			for term := range doc {
+				terms = append(terms, term)
+			}
+			sort.Slice(terms, func(a, b int) bool { return terms[a] < terms[b] })
+			for i := 0; i < mutations && len(terms) > 0; i++ {
+				// remove a seeded-random existing term...
+				j := src.Intn(len(terms))
+				delete(doc, terms[j])
+				terms[j] = terms[len(terms)-1]
+				terms = terms[:len(terms)-1]
 				// ...and add a fresh one
-				doc[uint32(z.Next())]++
+				fresh := uint32(z.Next())
+				if _, ok := doc[fresh]; !ok {
+					terms = append(terms, fresh)
+				}
+				doc[fresh]++
 			}
 			c.Vecs = append(c.Vecs, vector.FromMap(doc))
 		}

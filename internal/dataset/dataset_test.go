@@ -52,7 +52,10 @@ func TestGenerateTextShape(t *testing.T) {
 }
 
 func TestGenerateTextDeterministic(t *testing.T) {
-	spec := Spec{Name: "t", Kind: Text, N: 100, Dim: 1000, AvgLen: 20, ZipfS: 1, Seed: 7}
+	// ClusterFrac > 0 exercises the template mutation path, which once
+	// leaked Go's randomized map iteration order into the corpus.
+	spec := Spec{Name: "t", Kind: Text, N: 100, Dim: 1000, AvgLen: 20, ZipfS: 1,
+		ClusterFrac: 0.4, ClusterSize: 4, MutationRate: 0.3, Seed: 7}
 	a, _ := Generate(spec)
 	b, _ := Generate(spec)
 	for i := range a.Vecs {

@@ -26,6 +26,12 @@ type Config struct {
 	Seed uint64
 	// Quick trims datasets and thresholds for fast smoke runs.
 	Quick bool
+	// Parallelism is the worker count of the engines' sharded search
+	// pipeline (see bayeslsh.EngineConfig.Parallelism): 0 selects
+	// runtime.NumCPU(), 1 forces the sequential pipeline. Result sets
+	// are identical either way for a fixed Seed, so figures and tables
+	// can be regenerated in both modes.
+	Parallelism int
 	// Datasets optionally restricts the corpora (by synthetic name).
 	Datasets []string
 	// CellTimeout bounds one (algorithm, dataset, threshold) cell —
@@ -206,7 +212,7 @@ func (r *matrixRunner) groundTruth(name string, t float64) (map[[2]int]float64, 
 	if err != nil {
 		return nil, err
 	}
-	eng, err := bayeslsh.NewEngine(d, r.measure, bayeslsh.EngineConfig{Seed: r.cfg.Seed})
+	eng, err := bayeslsh.NewEngine(d, r.measure, bayeslsh.EngineConfig{Seed: r.cfg.Seed, Parallelism: r.cfg.Parallelism})
 	if err != nil {
 		return nil, err
 	}
@@ -229,7 +235,7 @@ func (r *matrixRunner) runCell(name string, alg bayeslsh.Algorithm, t float64, o
 	if err != nil {
 		return nil, err
 	}
-	eng, err := bayeslsh.NewEngine(d, r.measure, bayeslsh.EngineConfig{Seed: r.cfg.Seed})
+	eng, err := bayeslsh.NewEngine(d, r.measure, bayeslsh.EngineConfig{Seed: r.cfg.Seed, Parallelism: r.cfg.Parallelism})
 	if err != nil {
 		return nil, err
 	}

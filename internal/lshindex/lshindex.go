@@ -1,17 +1,3 @@
-// Package lshindex implements candidate generation for all-pairs
-// similarity search with locality-sensitive hashing, as described in
-// §2 of the BayesLSH paper: every object is assigned l signatures,
-// each the concatenation of k hashes, and any two objects sharing at
-// least one signature become a candidate pair.
-//
-// For a per-hash collision probability p (p = t for Jaccard minhash,
-// p = 1 − arccos(t)/π for cosine hyperplane hashes at threshold t),
-// the number of length-k signatures needed for an expected false
-// negative rate ε is
-//
-//	l = ⌈ log ε / log(1 − p^k) ⌉
-//
-// (Xiao et al., TODS 2011), which NumTables computes.
 package lshindex
 
 import (
@@ -80,29 +66,27 @@ func bitsBand(sig []uint64, from, k int) uint64 {
 // returns an error if the signatures are too short for l bands of k
 // bits. k must be in [1, 64].
 func CandidatesBits(sigs [][]uint64, k, l int) ([]pair.Pair, error) {
-	if k < 1 || k > 64 {
-		return nil, fmt.Errorf("lshindex: k = %d outside [1, 64]", k)
-	}
-	if l < 1 {
-		return nil, fmt.Errorf("lshindex: l = %d must be positive", l)
-	}
-	for i, s := range sigs {
-		if len(s)*64 < k*l {
-			return nil, fmt.Errorf("lshindex: signature %d has %d bits, need %d", i, len(s)*64, k*l)
-		}
+	if err := validateBits(sigs, k, l); err != nil {
+		return nil, err
 	}
 	set := pair.NewSet(len(sigs))
 	buckets := make(map[uint64][]int32)
 	for band := 0; band < l; band++ {
 		clear(buckets)
-		from := band * k
-		for id, sig := range sigs {
-			key := bitsBand(sig, from, k)
-			buckets[key] = append(buckets[key], int32(id))
-		}
+		fillBitsBuckets(buckets, sigs, band, k)
 		collectBuckets(set, buckets)
 	}
 	return set.Pairs(), nil
+}
+
+// fillBitsBuckets buckets band band of every packed bit signature by
+// its raw k-bit band value.
+func fillBitsBuckets(buckets map[uint64][]int32, sigs [][]uint64, band, k int) {
+	from := band * k
+	for id, sig := range sigs {
+		key := bitsBand(sig, from, k)
+		buckets[key] = append(buckets[key], int32(id))
+	}
 }
 
 // CandidatesMinhash generates candidate pairs from minhash signatures.
@@ -110,47 +94,83 @@ func CandidatesBits(sigs [][]uint64, k, l int) ([]pair.Pair, error) {
 // 64-bit hash of those k values. It returns an error if signatures
 // are too short.
 func CandidatesMinhash(sigs [][]uint32, k, l int) ([]pair.Pair, error) {
-	if k < 1 {
-		return nil, fmt.Errorf("lshindex: k = %d must be positive", k)
-	}
-	if l < 1 {
-		return nil, fmt.Errorf("lshindex: l = %d must be positive", l)
-	}
-	for i, s := range sigs {
-		if len(s) < k*l {
-			return nil, fmt.Errorf("lshindex: signature %d has %d hashes, need %d", i, len(s), k*l)
-		}
+	if err := validateMinhash(sigs, k, l); err != nil {
+		return nil, err
 	}
 	set := pair.NewSet(len(sigs))
 	buckets := make(map[uint64][]int32)
 	scratch := make([]uint64, (k+1)/2)
 	for band := 0; band < l; band++ {
 		clear(buckets)
-		from := band * k
-		for id, sig := range sigs {
-			for i := range scratch {
-				scratch[i] = 0
-			}
-			for i := 0; i < k; i++ {
-				scratch[i/2] |= uint64(sig[from+i]) << (32 * (i % 2))
-			}
-			key := fnv1a64(uint64(band)+1, scratch)
-			buckets[key] = append(buckets[key], int32(id))
-		}
+		fillMinhashBuckets(buckets, sigs, band, k, scratch)
 		collectBuckets(set, buckets)
 	}
 	return set.Pairs(), nil
 }
 
+// fillMinhashBuckets hashes band band of every signature into buckets.
+func fillMinhashBuckets(buckets map[uint64][]int32, sigs [][]uint32, band, k int, scratch []uint64) {
+	from := band * k
+	for id, sig := range sigs {
+		for i := range scratch {
+			scratch[i] = 0
+		}
+		for i := 0; i < k; i++ {
+			scratch[i/2] |= uint64(sig[from+i]) << (32 * (i % 2))
+		}
+		key := fnv1a64(uint64(band)+1, scratch)
+		buckets[key] = append(buckets[key], int32(id))
+	}
+}
+
 func collectBuckets(set *pair.Set, buckets map[uint64][]int32) {
+	forBucketPairs(buckets, func(a, b int32) { set.Add(a, b) })
+}
+
+// forBucketPairs enumerates every within-bucket pair of ids. Each id
+// appears in exactly one bucket, so no pair is emitted twice.
+func forBucketPairs(buckets map[uint64][]int32, emit func(a, b int32)) {
 	for _, ids := range buckets {
 		if len(ids) < 2 {
 			continue
 		}
 		for i := 0; i < len(ids); i++ {
 			for j := i + 1; j < len(ids); j++ {
-				set.Add(ids[i], ids[j])
+				emit(ids[i], ids[j])
 			}
 		}
 	}
+}
+
+// validateBits checks packed bit signatures against l bands of k bits.
+func validateBits(sigs [][]uint64, k, l int) error {
+	if k < 1 || k > 64 {
+		return fmt.Errorf("lshindex: k = %d outside [1, 64]", k)
+	}
+	if l < 1 {
+		return fmt.Errorf("lshindex: l = %d must be positive", l)
+	}
+	for i, s := range sigs {
+		if len(s)*64 < k*l {
+			return fmt.Errorf("lshindex: signature %d has %d bits, need %d", i, len(s)*64, k*l)
+		}
+	}
+	return nil
+}
+
+// validateMinhash checks minhash signatures against l bands of k
+// hashes.
+func validateMinhash(sigs [][]uint32, k, l int) error {
+	if k < 1 {
+		return fmt.Errorf("lshindex: k = %d must be positive", k)
+	}
+	if l < 1 {
+		return fmt.Errorf("lshindex: l = %d must be positive", l)
+	}
+	for i, s := range sigs {
+		if len(s) < k*l {
+			return fmt.Errorf("lshindex: signature %d has %d hashes, need %d", i, len(s), k*l)
+		}
+	}
+	return nil
 }

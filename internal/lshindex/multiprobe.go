@@ -1,7 +1,6 @@
 package lshindex
 
 import (
-	"fmt"
 	"math"
 
 	"bayeslsh/internal/pair"
@@ -47,49 +46,43 @@ func NumTablesMultiProbe(p float64, k int, eps float64) int {
 // band key differs in one bit. Pairs whose band keys are within
 // Hamming distance one therefore collide. k must be in [1, 64].
 func CandidatesBitsMultiProbe(sigs [][]uint64, k, l int) ([]pair.Pair, error) {
-	if k < 1 || k > 64 {
-		return nil, fmt.Errorf("lshindex: k = %d outside [1, 64]", k)
-	}
-	if l < 1 {
-		return nil, fmt.Errorf("lshindex: l = %d must be positive", l)
-	}
-	for i, s := range sigs {
-		if len(s)*64 < k*l {
-			return nil, fmt.Errorf("lshindex: signature %d has %d bits, need %d", i, len(s)*64, k*l)
-		}
+	if err := validateBits(sigs, k, l); err != nil {
+		return nil, err
 	}
 	set := pair.NewSet(len(sigs))
 	buckets := make(map[uint64][]int32)
 	for band := 0; band < l; band++ {
 		clear(buckets)
-		from := band * k
-		for id, sig := range sigs {
-			key := bitsBand(sig, from, k)
-			buckets[key] = append(buckets[key], int32(id))
-		}
+		fillBitsBuckets(buckets, sigs, band, k)
 		// Exact-key collisions.
 		collectBuckets(set, buckets)
-		// One-bit probes: pair each signature with the occupants of
-		// every bucket at Hamming distance one from its key. Each
-		// unordered (key, key^bit) bucket pair is visited from both
-		// sides; pair.Set dedupes.
-		for key, ids := range buckets {
-			for b := 0; b < k; b++ {
-				neighbor := key ^ (1 << b)
-				if neighbor < key {
-					continue // handle each unordered bucket pair once
-				}
-				others, ok := buckets[neighbor]
-				if !ok {
-					continue
-				}
-				for _, a := range ids {
-					for _, o := range others {
-						set.Add(a, o)
-					}
+		// One-bit probes.
+		forProbePairs(buckets, k, func(a, b int32) { set.Add(a, b) })
+	}
+	return set.Pairs(), nil
+}
+
+// forProbePairs pairs each bucket's occupants with the occupants of
+// every bucket at Hamming distance one from its key. Each unordered
+// (key, key^bit) bucket pair is handled once, from the lower-key side,
+// and two keys differ in exactly one bit position, so no pair is
+// emitted twice.
+func forProbePairs(buckets map[uint64][]int32, k int, emit func(a, b int32)) {
+	for key, ids := range buckets {
+		for b := 0; b < k; b++ {
+			neighbor := key ^ (1 << b)
+			if neighbor < key {
+				continue
+			}
+			others, ok := buckets[neighbor]
+			if !ok {
+				continue
+			}
+			for _, a := range ids {
+				for _, o := range others {
+					emit(a, o)
 				}
 			}
 		}
 	}
-	return set.Pairs(), nil
 }

@@ -1,0 +1,98 @@
+// Sharded candidate generation: the l hash tables (bands) are
+// independent of one another, so each band's bucketing and collision
+// enumeration runs on its own worker, and only the merge into the
+// shared deduplicating set is serialized (under a mutex, as each band
+// completes). Band keys depend only on the signatures and the band
+// index, never on scheduling, so the candidate set is identical to
+// the sequential scan for any worker count; only the set's insertion
+// order differs — no more than sequential runs already differ among
+// themselves through map iteration order. Callers that need a
+// canonical order sort the pairs (the engine does). Peak memory is
+// the unique candidate set plus at most one band's collision list per
+// worker in flight.
+
+package lshindex
+
+import (
+	"sync"
+
+	"bayeslsh/internal/pair"
+	"bayeslsh/internal/shard"
+)
+
+// CandidatesBitsParallel is CandidatesBits with the l bands sharded
+// over workers goroutines. workers <= 1 falls back to the sequential
+// scan.
+func CandidatesBitsParallel(sigs [][]uint64, k, l, workers int) ([]pair.Pair, error) {
+	if workers <= 1 || l == 1 {
+		return CandidatesBits(sigs, k, l)
+	}
+	if err := validateBits(sigs, k, l); err != nil {
+		return nil, err
+	}
+	return runBands(len(sigs), l, workers, func(band int) []pair.Pair {
+		buckets := make(map[uint64][]int32)
+		fillBitsBuckets(buckets, sigs, band, k)
+		return appendBucketPairs(nil, buckets)
+	}), nil
+}
+
+// CandidatesBitsMultiProbeParallel is CandidatesBitsMultiProbe with
+// the l bands sharded over workers goroutines.
+func CandidatesBitsMultiProbeParallel(sigs [][]uint64, k, l, workers int) ([]pair.Pair, error) {
+	if workers <= 1 || l == 1 {
+		return CandidatesBitsMultiProbe(sigs, k, l)
+	}
+	if err := validateBits(sigs, k, l); err != nil {
+		return nil, err
+	}
+	return runBands(len(sigs), l, workers, func(band int) []pair.Pair {
+		buckets := make(map[uint64][]int32)
+		fillBitsBuckets(buckets, sigs, band, k)
+		ps := appendBucketPairs(nil, buckets)
+		forProbePairs(buckets, k, func(a, b int32) { ps = append(ps, pair.Make(a, b)) })
+		return ps
+	}), nil
+}
+
+// CandidatesMinhashParallel is CandidatesMinhash with the l bands
+// sharded over workers goroutines.
+func CandidatesMinhashParallel(sigs [][]uint32, k, l, workers int) ([]pair.Pair, error) {
+	if workers <= 1 || l == 1 {
+		return CandidatesMinhash(sigs, k, l)
+	}
+	if err := validateMinhash(sigs, k, l); err != nil {
+		return nil, err
+	}
+	return runBands(len(sigs), l, workers, func(band int) []pair.Pair {
+		buckets := make(map[uint64][]int32)
+		scratch := make([]uint64, (k+1)/2)
+		fillMinhashBuckets(buckets, sigs, band, k, scratch)
+		return appendBucketPairs(nil, buckets)
+	}), nil
+}
+
+// appendBucketPairs appends every within-bucket pair to ps. Within one
+// band each id occupies exactly one bucket, so the result needs no
+// per-band deduplication.
+func appendBucketPairs(ps []pair.Pair, buckets map[uint64][]int32) []pair.Pair {
+	forBucketPairs(buckets, func(a, b int32) { ps = append(ps, pair.Make(a, b)) })
+	return ps
+}
+
+// runBands evaluates bandPairs for every band on a worker pool and
+// deduplicates the collision lists into one candidate set as bands
+// complete, so only in-flight bands hold undeduplicated pairs.
+func runBands(n, l, workers int, bandPairs func(band int) []pair.Pair) []pair.Pair {
+	var mu sync.Mutex
+	set := pair.NewSet(n)
+	shard.Run(l, workers, 1, func(_, _, band int) {
+		ps := bandPairs(band)
+		mu.Lock()
+		for _, p := range ps {
+			set.Add(p.A, p.B)
+		}
+		mu.Unlock()
+	})
+	return set.Pairs()
+}

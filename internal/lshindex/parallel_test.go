@@ -1,0 +1,84 @@
+package lshindex
+
+import (
+	"testing"
+
+	"bayeslsh/internal/minhash"
+	"bayeslsh/internal/pair"
+	"bayeslsh/internal/sighash"
+	"bayeslsh/internal/testutil"
+)
+
+// requireSamePairSet fails unless got and want contain the same pairs.
+func requireSamePairSet(t *testing.T, got, want []pair.Pair) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%d candidates, want %d", len(got), len(want))
+	}
+	gs := testutil.PairKeySet(got)
+	for _, p := range want {
+		if _, ok := gs[p.Key()]; !ok {
+			t.Fatalf("missing candidate %v", p)
+		}
+	}
+}
+
+func TestCandidatesBitsParallelMatchesSequential(t *testing.T) {
+	c := testutil.SmallTextCorpus(t, 300, 21)
+	fam := sighash.NewFamily(c.Dim, 256, 77)
+	sigs := fam.SignatureAll(c)
+	want, err := CandidatesBits(sigs, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 9} {
+		got, err := CandidatesBitsParallel(sigs, 8, 16, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSamePairSet(t, got, want)
+	}
+}
+
+func TestCandidatesBitsMultiProbeParallelMatchesSequential(t *testing.T) {
+	c := testutil.SmallTextCorpus(t, 300, 22)
+	fam := sighash.NewFamily(c.Dim, 256, 78)
+	sigs := fam.SignatureAll(c)
+	want, err := CandidatesBitsMultiProbe(sigs, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := CandidatesBitsMultiProbeParallel(sigs, 8, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSamePairSet(t, got, want)
+}
+
+func TestCandidatesMinhashParallelMatchesSequential(t *testing.T) {
+	c := testutil.SmallBinaryCorpus(t, 300, 23)
+	fam := minhash.NewFamily(96, 79)
+	sigs := fam.SignatureAll(c)
+	want, err := CandidatesMinhash(sigs, 3, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := CandidatesMinhashParallel(sigs, 3, 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSamePairSet(t, got, want)
+}
+
+func TestParallelValidation(t *testing.T) {
+	sigs := [][]uint64{{0}, {1}}
+	if _, err := CandidatesBitsParallel(sigs, 8, 100, 4); err == nil {
+		t.Error("short signatures accepted")
+	}
+	if _, err := CandidatesBitsMultiProbeParallel(sigs, 70, 1, 4); err == nil {
+		t.Error("k > 64 accepted")
+	}
+	if _, err := CandidatesMinhashParallel([][]uint32{{1}}, 3, 100, 4); err == nil {
+		t.Error("short minhash signatures accepted")
+	}
+}

@@ -1,0 +1,45 @@
+package minhash
+
+import (
+	"sync"
+	"testing"
+
+	"bayeslsh/internal/testutil"
+)
+
+// TestConcurrentEnsureMatchesSequential fills one store from many
+// goroutines with overlapping, ragged depths and checks the signatures
+// equal a sequentially filled store hash-for-hash.
+func TestConcurrentEnsureMatchesSequential(t *testing.T) {
+	c := testutil.SmallBinaryCorpus(t, 200, 42)
+
+	seq := NewStore(c, NewFamily(256, 6), 32)
+	seq.EnsureAll(256)
+
+	par := NewStore(c, NewFamily(256, 6), 32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			depth := 32 * (g%8 + 1)
+			for id := range par.Sigs() {
+				par.Ensure(int32(id), depth)
+			}
+		}(g)
+	}
+	wg.Wait()
+	par.EnsureAllParallel(256, 4)
+
+	for id := range seq.Sigs() {
+		if par.FilledHashes(int32(id)) != 256 {
+			t.Fatalf("vector %d filled to %d hashes", id, par.FilledHashes(int32(id)))
+		}
+		s, p := seq.Sigs()[id], par.Sigs()[id]
+		for i := range s {
+			if s[i] != p[i] {
+				t.Fatalf("vector %d hash %d: concurrent %d, sequential %d", id, i, p[i], s[i])
+			}
+		}
+	}
+}

@@ -1,12 +1,3 @@
-// Package minhash implements the minwise-hashing LSH family for
-// Jaccard similarity (Broder et al.), the family §4.1 of the BayesLSH
-// paper builds on: for a random permutation π of the universe,
-// h(x) = min π(x), and Pr[h(a) = h(b)] = Jaccard(a, b).
-//
-// Instead of materializing permutations, each hash function applies a
-// strong 64-bit mixing function keyed by an independent seed to every
-// element and takes the minimum — the standard practical approximation
-// of a minwise-independent permutation.
 package minhash
 
 import (

@@ -5,20 +5,24 @@ import (
 	"time"
 
 	"bayeslsh/internal/rng"
+	"bayeslsh/internal/shard"
 	"bayeslsh/internal/vector"
 )
 
 // Store lazily computes and caches minhash signatures per vector,
 // extending them in blocks as verification demands deeper hash
 // prefixes — the paper's "each point is only hashed as many times as
-// is necessary". It is not safe for concurrent use.
+// is necessary". It is safe for concurrent use (synchronization via
+// shard.Fill): a reader that calls Ensure(id, n) first — even if
+// another goroutine did the fill — may read hashes [0, n) of sigs[id]
+// without further locking. Each hash function's stream is keyed by its
+// own seed, so fills are identical regardless of goroutine scheduling.
 type Store struct {
 	fam       *Family
 	c         *vector.Collection
 	blockSize int
 	sigs      [][]uint32 // full capacity allocated; filled lazily
-	filled    []int32
-	elapsed   time.Duration
+	fill      *shard.Fill
 }
 
 // NewStore creates a minhash signature store over the collection.
@@ -34,7 +38,7 @@ func NewStore(c *vector.Collection, fam *Family, blockSize int) *Store {
 		c:         c,
 		blockSize: blockSize,
 		sigs:      make([][]uint32, len(c.Vecs)),
-		filled:    make([]int32, len(c.Vecs)),
+		fill:      shard.NewFill(len(c.Vecs)),
 	}
 	backing := make([]uint32, n*len(c.Vecs))
 	for i := range s.sigs {
@@ -52,52 +56,48 @@ func (s *Store) Sigs() [][]uint32 { return s.sigs }
 func (s *Store) MaxHashes() int { return s.fam.Size() }
 
 // FilledHashes returns how many hashes of vector id are computed.
-func (s *Store) FilledHashes(id int32) int { return int(s.filled[id]) }
+func (s *Store) FilledHashes(id int32) int { return s.fill.Filled(id) }
 
-// Elapsed returns the cumulative wall-clock time spent hashing.
-func (s *Store) Elapsed() time.Duration { return s.elapsed }
+// Elapsed returns the cumulative wall-clock time spent hashing. Under
+// concurrent fills it sums per-goroutine fill time, which can exceed
+// the wall-clock time of the enclosing phase.
+func (s *Store) Elapsed() time.Duration { return s.fill.Elapsed() }
 
 // Ensure fills vector id's signature up to at least n hashes.
 func (s *Store) Ensure(id int32, n int) {
-	if int(s.filled[id]) >= n {
-		return
-	}
-	start := time.Now()
-	from := int(s.filled[id])
-	to := (n + s.blockSize - 1) / s.blockSize * s.blockSize
-	if to > s.fam.Size() {
-		to = s.fam.Size()
-	}
-	if n > to {
-		panic("minhash: Ensure beyond family capacity")
-	}
-	v := s.c.Vecs[id]
-	sig := s.sigs[id]
-	if v.Len() == 0 {
-		for i := from; i < to; i++ {
-			sig[i] = Empty
+	s.fill.Ensure(id, n, func(from int) int {
+		to := (n + s.blockSize - 1) / s.blockSize * s.blockSize
+		if to > s.fam.Size() {
+			to = s.fam.Size()
 		}
-		s.filled[id] = int32(to)
-		s.elapsed += time.Since(start)
-		return
-	}
-	mins := make([]uint64, to-from)
-	for i := range mins {
-		mins[i] = math.MaxUint64
-	}
-	for _, ind := range v.Ind {
-		e := (uint64(ind) + 1) * 0x9e3779b97f4a7c15
-		for i := from; i < to; i++ {
-			if h := rng.Mix64(s.fam.seeds[i] ^ e); h < mins[i-from] {
-				mins[i-from] = h
+		if n > to {
+			panic("minhash: Ensure beyond family capacity")
+		}
+		v := s.c.Vecs[id]
+		sig := s.sigs[id]
+		if v.Len() == 0 {
+			for i := from; i < to; i++ {
+				sig[i] = Empty
+			}
+			return to
+		}
+		mins := make([]uint64, to-from)
+		for i := range mins {
+			mins[i] = math.MaxUint64
+		}
+		for _, ind := range v.Ind {
+			e := (uint64(ind) + 1) * 0x9e3779b97f4a7c15
+			for i := from; i < to; i++ {
+				if h := rng.Mix64(s.fam.seeds[i] ^ e); h < mins[i-from] {
+					mins[i-from] = h
+				}
 			}
 		}
-	}
-	for i := from; i < to; i++ {
-		sig[i] = uint32(mins[i-from] >> 32)
-	}
-	s.filled[id] = int32(to)
-	s.elapsed += time.Since(start)
+		for i := from; i < to; i++ {
+			sig[i] = uint32(mins[i-from] >> 32)
+		}
+		return to
+	})
 }
 
 // EnsureAll fills every vector's signature up to n hashes.
@@ -105,4 +105,19 @@ func (s *Store) EnsureAll(n int) {
 	for id := range s.sigs {
 		s.Ensure(int32(id), n)
 	}
+}
+
+// EnsureAllParallel fills every vector's signature up to n hashes
+// using a pool of workers goroutines, producing signatures identical
+// to a sequential fill for any worker count.
+func (s *Store) EnsureAllParallel(n, workers int) {
+	if workers <= 1 {
+		s.EnsureAll(n)
+		return
+	}
+	shard.Run(len(s.sigs), workers, shard.Chunk(len(s.sigs), workers, 16), func(lo, hi, _ int) {
+		for id := lo; id < hi; id++ {
+			s.Ensure(int32(id), n)
+		}
+	})
 }

@@ -28,6 +28,24 @@ func Mix64(x uint64) uint64 {
 	return SplitMix64(&x)
 }
 
+// Derive deterministically derives an independent sub-stream seed from
+// a master seed and a sequence of identifiers (shard, item id, ...).
+// Because the derived seed depends only on (seed, ids), never on
+// scheduling, a computation that keys its randomness per work item
+// stays deterministic for a fixed master seed under any degree of
+// parallelism. The engine derives each hash family's and the prior
+// sampler's master seed this way (additive seed offsets would make
+// engines with adjacent seeds share streams); within a family, the
+// hashing substrate applies the same per-work-item discipline with
+// its own key mixing (e.g. sighash's per-(feature, block) streams).
+func Derive(seed uint64, ids ...uint64) uint64 {
+	h := seed
+	for _, id := range ids {
+		h = Mix64(h ^ (id+1)*0x9e3779b97f4a7c15)
+	}
+	return h
+}
+
 // Source is a deterministic xoshiro256** pseudo-random generator.
 // The zero value is not usable; construct with New.
 type Source struct {

@@ -208,3 +208,31 @@ func TestMul64MatchesBigMultiplication(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestDeriveDeterministicAndSensitive(t *testing.T) {
+	if Derive(7, 1, 2) != Derive(7, 1, 2) {
+		t.Error("Derive is not deterministic")
+	}
+	seen := map[uint64]bool{Derive(7): true}
+	for _, ids := range [][]uint64{{0}, {1}, {2}, {0, 0}, {0, 1}, {1, 0}, {1, 1}} {
+		s := Derive(7, ids...)
+		if seen[s] {
+			t.Errorf("Derive(7, %v) collides with an earlier derivation", ids)
+		}
+		seen[s] = true
+	}
+	if Derive(7, 3) == Derive(8, 3) {
+		t.Error("Derive ignores the master seed")
+	}
+	// Streams from derived seeds must not be correlated lockstep.
+	a, b := New(Derive(7, 0)), New(Derive(7, 1))
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same != 0 {
+		t.Errorf("%d/64 identical draws from sibling streams", same)
+	}
+}

@@ -1,0 +1,49 @@
+package sighash
+
+import (
+	"sync"
+	"testing"
+
+	"bayeslsh/internal/testutil"
+)
+
+// TestConcurrentEnsureMatchesSequential fills one store from many
+// goroutines with overlapping, ragged depths and checks the signatures
+// equal a sequentially filled store bit-for-bit — the store's
+// determinism guarantee under the engine's worker pool (and, under
+// -race, its synchronization).
+func TestConcurrentEnsureMatchesSequential(t *testing.T) {
+	c := testutil.SmallTextCorpus(t, 200, 41)
+	fam := func() *BlockFamily { return NewBlockFamily(c.Dim, 512, 128, 5) }
+
+	seq := NewStore(c, fam())
+	seq.EnsureAll(512)
+
+	par := NewStore(c, fam())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Overlapping ranges and depths across goroutines.
+			depth := 128 * (g%4 + 1)
+			for id := range par.Sigs() {
+				par.Ensure(int32(id), depth)
+			}
+		}(g)
+	}
+	wg.Wait()
+	par.EnsureAllParallel(512, 4)
+
+	for id := range seq.Sigs() {
+		if par.FilledBits(int32(id)) != 512 {
+			t.Fatalf("vector %d filled to %d bits", id, par.FilledBits(int32(id)))
+		}
+		s, p := seq.Sigs()[id], par.Sigs()[id]
+		for w := range s {
+			if s[w] != p[w] {
+				t.Fatalf("vector %d word %d: concurrent %x, sequential %x", id, w, p[w], s[w])
+			}
+		}
+	}
+}

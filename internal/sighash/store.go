@@ -1,9 +1,12 @@
 package sighash
 
 import (
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"bayeslsh/internal/rng"
+	"bayeslsh/internal/shard"
 	"bayeslsh/internal/vector"
 )
 
@@ -11,14 +14,21 @@ import (
 // blockBits, materializing each block's projection coefficients only
 // when some signature first needs it. Block b of feature f is derived
 // from an independent deterministic stream keyed by (seed, f, b), so
-// the family is identical regardless of materialization order.
+// the family is identical regardless of materialization order — this
+// per-work-item stream discipline is what keeps parallel hashing
+// deterministic. BlockFamily is safe for concurrent use; distinct
+// blocks materialize concurrently under per-block locks.
 type BlockFamily struct {
 	dim, maxBits, blockBits int
 	seed                    uint64
 	quantized               bool
 	// qblocks[b] (or fblocks[b]) is a flattened dim × blockBits matrix
 	// of projection coefficients for hash functions
-	// [b·blockBits, (b+1)·blockBits).
+	// [b·blockBits, (b+1)·blockBits). ready[b] is set (with release
+	// semantics) once block b is materialized; readers that observe it
+	// may read the block without holding mus[b].
+	mus     []sync.Mutex
+	ready   []atomic.Bool
 	qblocks [][]uint16
 	fblocks [][]float64
 }
@@ -43,6 +53,8 @@ func NewBlockFamily(dim, maxBits, blockBits int, seed uint64, opts ...Option) *B
 	}
 	f.quantized = probe.quantized
 	n := maxBits / blockBits
+	f.mus = make([]sync.Mutex, n)
+	f.ready = make([]atomic.Bool, n)
 	f.qblocks = make([][]uint16, n)
 	f.fblocks = make([][]float64, n)
 	return f
@@ -54,12 +66,20 @@ func (f *BlockFamily) MaxBits() int { return f.maxBits }
 // BlockBits returns the materialization granularity.
 func (f *BlockFamily) BlockBits() int { return f.blockBits }
 
-// ensureBlock materializes block b's projection rows.
+// ensureBlock materializes block b's projection rows. Safe for
+// concurrent use: the first caller materializes under the block's
+// lock, later callers return on the atomic fast path, and different
+// blocks materialize in parallel.
 func (f *BlockFamily) ensureBlock(b int) {
+	if f.ready[b].Load() {
+		return
+	}
+	f.mus[b].Lock()
+	defer f.mus[b].Unlock()
+	if f.ready[b].Load() {
+		return
+	}
 	if f.quantized {
-		if f.qblocks[b] != nil {
-			return
-		}
 		rows := make([]uint16, f.dim*f.blockBits)
 		for feat := 0; feat < f.dim; feat++ {
 			src := rng.New(rng.Mix64(f.seed ^ uint64(feat+1) ^ uint64(b+1)<<40))
@@ -69,20 +89,18 @@ func (f *BlockFamily) ensureBlock(b int) {
 			}
 		}
 		f.qblocks[b] = rows
-		return
-	}
-	if f.fblocks[b] != nil {
-		return
-	}
-	rows := make([]float64, f.dim*f.blockBits)
-	for feat := 0; feat < f.dim; feat++ {
-		src := rng.New(rng.Mix64(f.seed ^ uint64(feat+1) ^ uint64(b+1)<<40))
-		row := rows[feat*f.blockBits : (feat+1)*f.blockBits]
-		for i := range row {
-			row[i] = src.NormFloat64()
+	} else {
+		rows := make([]float64, f.dim*f.blockBits)
+		for feat := 0; feat < f.dim; feat++ {
+			src := rng.New(rng.Mix64(f.seed ^ uint64(feat+1) ^ uint64(b+1)<<40))
+			row := rows[feat*f.blockBits : (feat+1)*f.blockBits]
+			for i := range row {
+				row[i] = src.NormFloat64()
+			}
 		}
+		f.fblocks[b] = rows
 	}
-	f.fblocks[b] = rows
+	f.ready[b].Store(true)
 }
 
 // signBlock computes the signature bits of block b for v and writes
@@ -123,25 +141,30 @@ func (f *BlockFamily) signBlock(v vector.Vector, b int, sig []uint64, acc []floa
 // Store lazily computes and caches packed bit signatures per vector,
 // extending them block-by-block as verification demands deeper hash
 // prefixes — the paper's "each point is only hashed as many times as
-// is necessary". It is not safe for concurrent use.
+// is necessary". It is safe for concurrent use (synchronization via
+// shard.Fill): a reader that calls Ensure(id, n) first — even if
+// another goroutine did the fill — may read bits [0, n) of sigs[id]
+// without further locking.
 type Store struct {
 	fam     *BlockFamily
 	c       *vector.Collection
 	sigs    [][]uint64 // full capacity allocated; filled lazily
-	filled  []int32    // bits filled per vector (multiple of blockBits)
-	acc     []float64  // scratch accumulator
-	elapsed time.Duration
+	fill    *shard.Fill
+	scratch sync.Pool // per-fill accumulator, []float64 of blockBits
 }
 
 // NewStore creates a signature store over the collection.
 func NewStore(c *vector.Collection, fam *BlockFamily) *Store {
 	words := fam.maxBits / 64
 	s := &Store{
-		fam:    fam,
-		c:      c,
-		sigs:   make([][]uint64, len(c.Vecs)),
-		filled: make([]int32, len(c.Vecs)),
-		acc:    make([]float64, fam.blockBits),
+		fam:  fam,
+		c:    c,
+		sigs: make([][]uint64, len(c.Vecs)),
+		fill: shard.NewFill(len(c.Vecs)),
+	}
+	s.scratch.New = func() any {
+		acc := make([]float64, fam.blockBits)
+		return &acc
 	}
 	backing := make([]uint64, words*len(c.Vecs))
 	for i := range s.sigs {
@@ -159,29 +182,29 @@ func (s *Store) Sigs() [][]uint64 { return s.sigs }
 func (s *Store) MaxBits() int { return s.fam.maxBits }
 
 // FilledBits returns how many hash bits of vector id are computed.
-func (s *Store) FilledBits(id int32) int { return int(s.filled[id]) }
+func (s *Store) FilledBits(id int32) int { return s.fill.Filled(id) }
 
-// Elapsed returns the cumulative wall-clock time spent hashing.
-func (s *Store) Elapsed() time.Duration { return s.elapsed }
+// Elapsed returns the cumulative wall-clock time spent hashing. Under
+// concurrent fills it sums per-goroutine fill time, which can exceed
+// the wall-clock time of the enclosing phase.
+func (s *Store) Elapsed() time.Duration { return s.fill.Elapsed() }
 
 // Ensure fills vector id's signature up to at least nbits bits.
 func (s *Store) Ensure(id int32, nbits int) {
-	if int(s.filled[id]) >= nbits {
-		return
-	}
-	start := time.Now()
-	bb := s.fam.blockBits
-	from := int(s.filled[id]) / bb
-	to := (nbits + bb - 1) / bb
-	if to*bb > s.fam.maxBits {
-		panic("sighash: Ensure beyond family capacity")
-	}
-	v := s.c.Vecs[id]
-	for b := from; b < to; b++ {
-		s.fam.signBlock(v, b, s.sigs[id], s.acc)
-	}
-	s.filled[id] = int32(to * bb)
-	s.elapsed += time.Since(start)
+	s.fill.Ensure(id, nbits, func(from int) int {
+		bb := s.fam.blockBits
+		to := (nbits + bb - 1) / bb
+		if to*bb > s.fam.maxBits {
+			panic("sighash: Ensure beyond family capacity")
+		}
+		v := s.c.Vecs[id]
+		accp := s.scratch.Get().(*[]float64)
+		for b := from / bb; b < to; b++ {
+			s.fam.signBlock(v, b, s.sigs[id], *accp)
+		}
+		s.scratch.Put(accp)
+		return to * bb
+	})
 }
 
 // EnsureAll fills every vector's signature up to nbits bits.
@@ -189,4 +212,20 @@ func (s *Store) EnsureAll(nbits int) {
 	for id := range s.sigs {
 		s.Ensure(int32(id), nbits)
 	}
+}
+
+// EnsureAllParallel fills every vector's signature up to nbits bits
+// using a pool of workers goroutines. Hash blocks derive from streams
+// keyed by (seed, feature, block), so the signatures are identical to
+// a sequential fill for any worker count.
+func (s *Store) EnsureAllParallel(nbits, workers int) {
+	if workers <= 1 {
+		s.EnsureAll(nbits)
+		return
+	}
+	shard.Run(len(s.sigs), workers, shard.Chunk(len(s.sigs), workers, 16), func(lo, hi, _ int) {
+		for id := lo; id < hi; id++ {
+			s.Ensure(int32(id), nbits)
+		}
+	})
 }

@@ -1,0 +1,131 @@
+package bayeslsh
+
+import (
+	"fmt"
+	"testing"
+)
+
+// parallelTestDataset prepares a trimmed corpus for the measure, as
+// the pipelines expect it. 1000 vectors keep every pipeline (including
+// BruteForce) fast enough for the race detector while still producing
+// tens of thousands of candidates.
+func parallelTestDataset(t *testing.T, m Measure) *Dataset {
+	t.Helper()
+	ds := smallDataset(t, 1000)
+	if m == Cosine {
+		return ds.TfIdf().Normalize()
+	}
+	return ds.Binarize()
+}
+
+// searchWith runs one search on a fresh engine with the given worker
+// count (and default BatchSize unless batch > 0).
+func searchWith(t *testing.T, m Measure, opts Options, workers, batch int) *Output {
+	t.Helper()
+	eng, err := NewEngine(parallelTestDataset(t, m), m, EngineConfig{
+		Seed:        42,
+		Parallelism: workers,
+		BatchSize:   batch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := eng.Search(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// requireIdentical fails unless the two outputs carry the same results
+// in the same order and agree on every scheduling-independent counter.
+func requireIdentical(t *testing.T, seq, par *Output) {
+	t.Helper()
+	if len(seq.Results) != len(par.Results) {
+		t.Fatalf("parallel found %d pairs, sequential %d", len(par.Results), len(seq.Results))
+	}
+	for i := range seq.Results {
+		if seq.Results[i] != par.Results[i] {
+			t.Fatalf("result %d: parallel %+v, sequential %+v", i, par.Results[i], seq.Results[i])
+		}
+	}
+	if seq.Candidates != par.Candidates {
+		t.Errorf("candidates: parallel %d, sequential %d", par.Candidates, seq.Candidates)
+	}
+	if seq.Pruned != par.Pruned {
+		t.Errorf("pruned: parallel %d, sequential %d", par.Pruned, seq.Pruned)
+	}
+	if seq.ExactVerified != par.ExactVerified {
+		t.Errorf("exact verified: parallel %d, sequential %d", par.ExactVerified, seq.ExactVerified)
+	}
+	if seq.HashesCompared != par.HashesCompared {
+		t.Errorf("hashes compared: parallel %d, sequential %d", par.HashesCompared, seq.HashesCompared)
+	}
+	if len(seq.SurvivorsByRound) != len(par.SurvivorsByRound) {
+		t.Fatalf("survivor rounds: parallel %d, sequential %d",
+			len(par.SurvivorsByRound), len(seq.SurvivorsByRound))
+	}
+	for i := range seq.SurvivorsByRound {
+		if seq.SurvivorsByRound[i] != par.SurvivorsByRound[i] {
+			t.Errorf("survivors round %d: parallel %d, sequential %d",
+				i, par.SurvivorsByRound[i], seq.SurvivorsByRound[i])
+		}
+	}
+}
+
+// TestParallelMatchesSequential verifies the sharded pipeline's core
+// guarantee: for a fixed Seed, every pipeline produces identical
+// results (pairs, order, similarities, and cost counters) at
+// Parallelism 1 and Parallelism 4.
+func TestParallelMatchesSequential(t *testing.T) {
+	cases := []struct {
+		measure Measure
+		t       float64
+	}{
+		{Cosine, 0.7},
+		{Jaccard, 0.5},
+		{BinaryCosine, 0.7},
+	}
+	for _, tc := range cases {
+		for _, alg := range append(Algorithms(tc.measure), BruteForce) {
+			if alg == PPJoin {
+				continue // PPJoin has no parallel path yet
+			}
+			t.Run(fmt.Sprintf("%v/%v", tc.measure, alg), func(t *testing.T) {
+				opts := Options{Algorithm: alg, Threshold: tc.t}
+				seq := searchWith(t, tc.measure, opts, 1, 0)
+				par := searchWith(t, tc.measure, opts, 4, 0)
+				requireIdentical(t, seq, par)
+			})
+		}
+	}
+}
+
+// TestParallelMatchesSequentialOptions covers the option paths that
+// change the verification kernel: 1-bit minhash signatures and
+// multi-probe candidate generation.
+func TestParallelMatchesSequentialOptions(t *testing.T) {
+	t.Run("one-bit-minhash", func(t *testing.T) {
+		opts := Options{Algorithm: LSHBayesLSH, Threshold: 0.5, OneBitMinhash: true}
+		requireIdentical(t,
+			searchWith(t, Jaccard, opts, 1, 0),
+			searchWith(t, Jaccard, opts, 4, 0))
+	})
+	t.Run("multi-probe", func(t *testing.T) {
+		opts := Options{Algorithm: LSHBayesLSH, Threshold: 0.7, MultiProbe: true}
+		requireIdentical(t,
+			searchWith(t, Cosine, opts, 1, 0),
+			searchWith(t, Cosine, opts, 4, 0))
+	})
+}
+
+// TestParallelBatchSizeInvariance verifies that the verification batch
+// size never changes results, only scheduling granularity.
+func TestParallelBatchSizeInvariance(t *testing.T) {
+	opts := Options{Algorithm: LSHBayesLSH, Threshold: 0.7}
+	want := searchWith(t, Cosine, opts, 4, 0)
+	for _, batch := range []int{1, 7, 64} {
+		got := searchWith(t, Cosine, opts, 4, batch)
+		requireIdentical(t, want, got)
+	}
+}

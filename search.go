@@ -10,6 +10,7 @@ import (
 	"bayeslsh/internal/minhash"
 	"bayeslsh/internal/pair"
 	"bayeslsh/internal/ppjoin"
+	"bayeslsh/internal/shard"
 	"bayeslsh/internal/sighash"
 )
 
@@ -143,8 +144,10 @@ type Output struct {
 	// phases; Total is their sum (the paper's "full execution time").
 	// HashTime is the portion of those phases spent computing hash
 	// signatures (lazy signature blocks are materialized inside the
-	// phase that first needs them, so HashTime is a subset of Total,
-	// not an addition to it).
+	// phase that first needs them, so HashTime is part of Total, not
+	// an addition to it). With EngineConfig.Parallelism > 1, HashTime
+	// sums per-worker hashing time and can therefore exceed the
+	// enclosing phase's wall clock.
 	CandGenTime time.Duration
 	VerifyTime  time.Duration
 	HashTime    time.Duration
@@ -165,7 +168,7 @@ func (e *Engine) Search(opts Options) (*Output, error) {
 	switch o.Algorithm {
 	case BruteForce:
 		start := time.Now()
-		rs := exact.Search(e.workInput(), toExactMeasure(e.measure), o.Threshold)
+		rs := exact.SearchParallel(e.workInput(), toExactMeasure(e.measure), o.Threshold, e.workers())
 		out.VerifyTime = time.Since(start)
 		out.Results = fromResults(rs)
 		out.ExactVerified = e.ds.Len() * (e.ds.Len() - 1) / 2
@@ -206,7 +209,13 @@ func (e *Engine) Search(opts Options) (*Output, error) {
 }
 
 // searchTwoPhase runs the candidate-generation + verification
-// pipelines.
+// pipelines. Both phases shard over the engine's worker pool when
+// EngineConfig.Parallelism exceeds one; candidates are sorted between
+// the phases so that everything downstream of generation (prior
+// sampling, verification order, output order) is deterministic for a
+// fixed Seed regardless of worker count — and of Go's map iteration
+// order, which already shuffled the banded-LSH candidate stream
+// run-to-run in the sequential pipeline.
 func (e *Engine) searchTwoPhase(o Options, out *Output) error {
 	// Phase 1: candidates.
 	var (
@@ -223,14 +232,17 @@ func (e *Engine) searchTwoPhase(o Options, out *Output) error {
 	if err != nil {
 		return err
 	}
+	pair.SortPairs(cands)
 	out.CandGenTime = time.Since(start)
 	out.Candidates = len(cands)
+
+	workers, batch := e.workers(), e.cfg.BatchSize
 
 	// Phase 2: verification.
 	start = time.Now()
 	switch o.Algorithm {
 	case LSH:
-		rs := exact.Verify(e.workInput(), toExactMeasure(e.measure), o.Threshold, cands)
+		rs := exact.VerifyParallel(e.workInput(), toExactMeasure(e.measure), o.Threshold, cands, workers, batch)
 		out.Results = fromResults(rs)
 		out.ExactVerified = len(cands)
 
@@ -244,7 +256,7 @@ func (e *Engine) searchTwoPhase(o Options, out *Output) error {
 		if err != nil {
 			return err
 		}
-		rs, st := v.Verify(cands)
+		rs, st := v.VerifyParallel(cands, workers, batch)
 		out.Results = fromResults(rs)
 		fillStats(out, st)
 
@@ -253,7 +265,7 @@ func (e *Engine) searchTwoPhase(o Options, out *Output) error {
 		if err != nil {
 			return err
 		}
-		rs, st := v.VerifyLite(cands, o.LiteHashes, e.exactSim)
+		rs, st := v.VerifyLiteParallel(cands, o.LiteHashes, e.exactSim, workers, batch)
 		out.Results = fromResults(rs)
 		fillStats(out, st)
 	}
@@ -262,9 +274,10 @@ func (e *Engine) searchTwoPhase(o Options, out *Output) error {
 }
 
 // allPairsSearch runs the exact AllPairs baseline for the engine's
-// measure.
+// measure, sharding the probe and verification phases when the engine
+// is parallel.
 func allPairsSearch(e *Engine, o Options) ([]pair.Result, error) {
-	return allpairs.SearchMeasure(e.workInput(), toExactMeasure(e.measure), o.Threshold)
+	return allpairs.SearchMeasureParallel(e.workInput(), toExactMeasure(e.measure), o.Threshold, e.workers(), e.cfg.BatchSize)
 }
 
 // fillStats copies verifier statistics into the output.
@@ -279,42 +292,52 @@ func fillStats(out *Output, st core.Stats) {
 // §3: a fixed number of hashes per pair and the maximum-likelihood
 // estimate m/n, keeping pairs whose estimate meets the threshold. It
 // returns the results and the hash count actually used (the requested
-// count clamped to the signature budget).
+// count clamped to the signature budget). Estimation shards over the
+// engine's worker pool; each pair's estimate depends only on its two
+// signatures, so the output matches the sequential scan exactly.
 func (e *Engine) approxVerify(o Options, cands []pair.Pair) ([]Result, int) {
-	var out []Result
+	workers := e.workers()
 	if e.measure == Jaccard {
 		st := e.minSigStore()
 		n := o.ApproxHashes
 		if n > st.MaxHashes() {
 			n = st.MaxHashes()
 		}
-		st.EnsureAll(n)
+		st.EnsureAllParallel(n, workers)
 		sigs := st.Sigs()
-		for _, p := range cands {
+		return e.estimateBatches(cands, func(p pair.Pair) float64 {
 			m := minhash.Matches(sigs[p.A], sigs[p.B], 0, n)
-			est := float64(m) / float64(n)
-			if est >= o.Threshold {
-				out = append(out, Result{A: int(p.A), B: int(p.B), Sim: est})
-			}
-		}
-		return out, n
+			return float64(m) / float64(n)
+		}, o.Threshold), n
 	}
 	st := e.bitSigStore()
 	n := o.ApproxHashes
 	if n > st.MaxBits() {
 		n = st.MaxBits()
 	}
-	st.EnsureAll(n)
+	st.EnsureAllParallel(n, workers)
 	sigs := st.Sigs()
-	for _, p := range cands {
+	return e.estimateBatches(cands, func(p pair.Pair) float64 {
 		m := sighash.MatchCount(sigs[p.A], sigs[p.B], 0, n)
 		r := float64(m) / float64(n)
-		est := sighash.RToCosine(clamp(r, 0.5, 1))
-		if est >= o.Threshold {
-			out = append(out, Result{A: int(p.A), B: int(p.B), Sim: est})
+		return sighash.RToCosine(clamp(r, 0.5, 1))
+	}, o.Threshold), n
+}
+
+// estimateBatches applies est to every candidate over the engine's
+// worker pool, keeping pairs whose estimate meets the threshold.
+// Batches are concatenated in order, so the result is independent of
+// scheduling.
+func (e *Engine) estimateBatches(cands []pair.Pair, est func(pair.Pair) float64, t float64) []Result {
+	return shard.Collect(len(cands), e.workers(), e.cfg.BatchSize, func(lo, hi int) []Result {
+		var out []Result
+		for _, p := range cands[lo:hi] {
+			if s := est(p); s >= t {
+				out = append(out, Result{A: int(p.A), B: int(p.B), Sim: s})
+			}
 		}
-	}
-	return out, n
+		return out
+	})
 }
 
 func clamp(x, lo, hi float64) float64 {
