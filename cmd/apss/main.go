@@ -1,12 +1,18 @@
-// Command apss runs one all-pairs similarity search pipeline on a
+// Command apss runs all-pairs similarity search pipelines on a
 // dataset — either a built-in synthetic corpus or a file in the
-// library's vector format — and prints the result pairs and a cost
-// profile.
+// library's vector format.
 //
-// Usage:
+// The default (batch) mode runs one search and prints the result
+// pairs and a cost profile:
 //
 //	apss -dataset RCV1-sim -measure cosine -algorithm LSH+BayesLSH -t 0.7
 //	apss -file corpus.vec -measure jaccard -algorithm AP+BayesLSH-Lite -t 0.5 -pairs
+//
+// The query subcommand builds the index once and serves point
+// queries against it (see docs/QUERYING.md):
+//
+//	apss query -dataset RCV1-sim -t 0.7 -queries q.vec
+//	apss query -file corpus.vec -measure jaccard -t 0.5 -self 100 -topk 10
 package main
 
 import (
@@ -36,6 +42,10 @@ var measuresByName = map[string]bayeslsh.Measure{
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "query" {
+		queryMain(os.Args[2:])
+		return
+	}
 	datasetName := flag.String("dataset", "", "built-in synthetic dataset name")
 	file := flag.String("file", "", "dataset file in the library's vector format")
 	measureName := flag.String("measure", "cosine", "cosine | jaccard | binary-cosine")
@@ -61,32 +71,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	var (
-		ds  *bayeslsh.Dataset
-		err error
-	)
-	switch {
-	case *file != "":
-		f, ferr := os.Open(*file)
-		if ferr != nil {
-			fmt.Fprintln(os.Stderr, "apss:", ferr)
-			os.Exit(1)
-		}
-		ds, err = bayeslsh.ReadDataset(f)
-		f.Close()
-	case *datasetName != "":
-		ds, err = bayeslsh.Synthetic(*datasetName)
-		if err == nil && measure == bayeslsh.Cosine {
-			ds = ds.TfIdf().Normalize()
-		}
-	default:
-		fmt.Fprintln(os.Stderr, "apss: need -dataset or -file")
-		os.Exit(2)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "apss:", err)
-		os.Exit(1)
-	}
+	ds := loadDataset(*datasetName, *file, measure, "apss")
 
 	eng, err := bayeslsh.NewEngine(ds, measure, bayeslsh.EngineConfig{
 		Seed:        *seed,

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bayeslsh"
+)
+
+// queryMain implements the "apss query" subcommand: build the
+// query-serving index once, then answer point queries against it.
+// Queries come from a vector-format file (-queries) and/or the first
+// -self vectors of the corpus itself; each prints as lines of
+// "<query> <id> <sim>".
+func queryMain(args []string) {
+	fs := flag.NewFlagSet("apss query", flag.ExitOnError)
+	datasetName := fs.String("dataset", "", "built-in synthetic dataset name")
+	file := fs.String("file", "", "dataset file in the library's vector format")
+	measureName := fs.String("measure", "cosine", "cosine | jaccard | binary-cosine")
+	algName := fs.String("algorithm", "LSH+BayesLSH", "pipeline the index is built for")
+	threshold := fs.Float64("t", 0.7, "similarity threshold the index is built at")
+	qt := fs.Float64("qt", 0, "per-query threshold override (>= -t; 0 = use -t)")
+	topk := fs.Int("topk", 0, "return the k most similar vectors instead of a threshold query")
+	queriesFile := fs.String("queries", "", "query vectors in the library's vector format")
+	self := fs.Int("self", 0, "also query the first n corpus vectors against the index")
+	seed := fs.Uint64("seed", 42, "random seed")
+	parallel := fs.Int("parallel", 0, "batch-query workers (0 = NumCPU, 1 = sequential)")
+	fs.Parse(args)
+
+	measure, ok := measuresByName[*measureName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "apss query: unknown measure %q\n", *measureName)
+		os.Exit(2)
+	}
+	alg, ok := algorithmsByName[*algName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "apss query: unknown algorithm %q\n", *algName)
+		os.Exit(2)
+	}
+	if *topk > 0 && *qt != 0 {
+		fmt.Fprintln(os.Stderr, "apss query: -qt applies to threshold queries only; it cannot combine with -topk")
+		os.Exit(2)
+	}
+	ds := loadDataset(*datasetName, *file, measure, "apss query")
+
+	// Collect the queries before paying for the build.
+	var queries []bayeslsh.Vec
+	if *queriesFile != "" {
+		f, err := os.Open(*queriesFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "apss query:", err)
+			os.Exit(1)
+		}
+		qds, err := bayeslsh.ReadDataset(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "apss query:", err)
+			os.Exit(1)
+		}
+		for i := 0; i < qds.Len(); i++ {
+			queries = append(queries, qds.Vector(i))
+		}
+	}
+	if *self > ds.Len() {
+		*self = ds.Len()
+	}
+	for i := 0; i < *self; i++ {
+		queries = append(queries, ds.Vector(i))
+	}
+	if len(queries) == 0 {
+		fmt.Fprintln(os.Stderr, "apss query: need -queries and/or -self")
+		os.Exit(2)
+	}
+
+	ix, err := bayeslsh.NewIndex(ds, measure, bayeslsh.EngineConfig{
+		Seed:        *seed,
+		Parallelism: *parallel,
+	}, bayeslsh.Options{Algorithm: alg, Threshold: *threshold})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apss query:", err)
+		os.Exit(1)
+	}
+	st := ix.Stats()
+	fmt.Fprintf(os.Stderr, "apss query: %v index over %d vectors (%v, t=%.2f) built in %v (tables=%d bandk=%d)\n",
+		alg, ix.Len(), measure, *threshold, st.BuildTime.Round(time.Millisecond), st.Tables, st.BandK)
+
+	start := time.Now()
+	var results [][]bayeslsh.Match
+	if *topk > 0 {
+		results = make([][]bayeslsh.Match, len(queries))
+		for i, q := range queries {
+			if results[i], err = ix.TopK(q, *topk); err != nil {
+				fmt.Fprintln(os.Stderr, "apss query:", err)
+				os.Exit(1)
+			}
+		}
+	} else {
+		if results, err = ix.QueryBatch(queries, bayeslsh.QueryOptions{Threshold: *qt}); err != nil {
+			fmt.Fprintln(os.Stderr, "apss query:", err)
+			os.Exit(1)
+		}
+	}
+	elapsed := time.Since(start)
+
+	total := 0
+	for i, ms := range results {
+		for _, m := range ms {
+			fmt.Printf("%d\t%d\t%.4f\n", i, m.ID, m.Sim)
+		}
+		total += len(ms)
+	}
+	fmt.Fprintf(os.Stderr, "apss query: %d queries, %d matches in %v (%.0f queries/s)\n",
+		len(queries), total, elapsed.Round(time.Millisecond),
+		float64(len(queries))/elapsed.Seconds())
+}
+
+// loadDataset loads the corpus the way the batch mode does: a file in
+// the library's vector format, or a built-in synthetic corpus
+// (Tf-Idf-weighted and normalized for cosine).
+func loadDataset(datasetName, file string, measure bayeslsh.Measure, prog string) *bayeslsh.Dataset {
+	var (
+		ds  *bayeslsh.Dataset
+		err error
+	)
+	switch {
+	case file != "":
+		f, ferr := os.Open(file)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, prog+":", ferr)
+			os.Exit(1)
+		}
+		ds, err = bayeslsh.ReadDataset(f)
+		f.Close()
+	case datasetName != "":
+		ds, err = bayeslsh.Synthetic(datasetName)
+		if err == nil && measure == bayeslsh.Cosine {
+			ds = ds.TfIdf().Normalize()
+		}
+	default:
+		fmt.Fprintln(os.Stderr, prog+": need -dataset or -file")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, prog+":", err)
+		os.Exit(1)
+	}
+	return ds
+}

@@ -6,13 +6,17 @@
 //
 // # Problem and pipelines
 //
-// The package solves the all-pairs problem: given a collection of
-// sparse vectors, a similarity measure (cosine, Jaccard, or binary
-// cosine) and a threshold t, find every pair with similarity at least
-// t. Search pipelines pair a candidate generation algorithm (AllPairs
-// or LSH banding, §2 of the paper) with a verification algorithm
-// (exact, classical LSH estimation of §3, BayesLSH, or BayesLSH-Lite
-// of §4), mirroring the eight methods compared in §5:
+// The package serves two workloads over the same machinery. The batch
+// workload is the all-pairs problem: given a collection of sparse
+// vectors, a similarity measure (cosine, Jaccard, or binary cosine)
+// and a threshold t, find every pair with similarity at least t. The
+// online workload is query serving: build an Index over the
+// collection once, then ask which stored vectors are similar to a
+// given query vector — see the Querying section below. Batch search
+// pipelines pair a candidate generation algorithm (AllPairs or LSH
+// banding, §2 of the paper) with a verification algorithm (exact,
+// classical LSH estimation of §3, BayesLSH, or BayesLSH-Lite of §4),
+// mirroring the eight methods compared in §5:
 //
 //	ds := bayeslsh.NewDataset(dim)
 //	for _, doc := range docs {
@@ -32,6 +36,25 @@
 // least 1 − γ. BayesLSH-Lite prunes the same way but reports exact
 // similarities.
 //
+// # Querying (build once, query many)
+//
+// An Index splits the batch monolith into an ingest phase and a
+// reusable query phase: it builds signatures, LSH band tables and/or
+// the AllPairs inverted index once, then serves concurrent
+// Query(vec, opts), TopK(vec, k) and QueryBatch calls, each running
+// candidate generation against the prebuilt structure followed by
+// per-query BayesLSH verification:
+//
+//	ix, err := bayeslsh.NewIndex(ds, bayeslsh.Cosine,
+//		bayeslsh.EngineConfig{Seed: 42},
+//		bayeslsh.Options{Algorithm: bayeslsh.LSHBayesLSH, Threshold: 0.7})
+//	matches, err := ix.Query(bayeslsh.NewVec(features), bayeslsh.QueryOptions{})
+//
+// Queries are consistent with batch search: a query equal to dataset
+// vector i returns exactly the pairs involving i that Search finds at
+// the same threshold and Seed (see docs/QUERYING.md for the one
+// AllPairs+BayesLSH caveat and the cost model).
+//
 // # Parallelism and determinism
 //
 // An Engine runs a sharded, batched search pipeline: signature
@@ -47,11 +70,14 @@
 //
 // # Layout
 //
-// The exported API lives in this package (Dataset, Engine, Options,
-// Result). The algorithms live in internal packages: internal/core
-// holds the Bayesian verification kernel, internal/allpairs,
-// internal/lshindex and internal/ppjoin generate candidates,
-// internal/sighash and internal/minhash implement the LSH families,
-// and internal/harness regenerates the paper's tables and figures.
-// The README's architecture map walks through all of them.
+// The exported API lives in this package: Dataset, Engine, Options
+// and Result for batch search; Index, Vec, QueryOptions and Match for
+// query serving. The algorithms live in internal packages:
+// internal/core holds the Bayesian verification kernel (two-sided and
+// one-sided), internal/allpairs, internal/lshindex and
+// internal/ppjoin generate candidates (the first two also keep
+// query-servable structures), internal/sighash and internal/minhash
+// implement the LSH families, and internal/harness regenerates the
+// paper's tables and figures. The README's architecture map walks
+// through all of them.
 package bayeslsh

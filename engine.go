@@ -155,12 +155,16 @@ func (e *Engine) collisionProb(t float64) float64 {
 	}
 }
 
-// lshCandidates generates banded-LSH candidates at the options'
-// threshold. The number of tables follows l = ⌈log ε / log(1−p^k)⌉,
-// clamped to the configured signature budget.
-func (e *Engine) lshCandidates(o Options) ([]pair.Pair, error) {
+// lshPlan computes the banding shape for the options' threshold — l
+// tables of BandK hashes each, following l = ⌈log ε / log(1−p^k)⌉
+// (its multi-probe variant when enabled), clamped to the signature
+// budget — and fills every corpus signature deep enough to band it.
+// Batch candidate generation and index building share this one plan,
+// so a query-serving index probes exactly the tables the batch scan
+// would have enumerated.
+func (e *Engine) lshPlan(o Options) (bandK, l int) {
 	p := e.collisionProb(o.Threshold)
-	l := lshindex.NumTables(p, o.BandK, o.FalseNegativeRate)
+	l = lshindex.NumTables(p, o.BandK, o.FalseNegativeRate)
 	w := e.workers()
 	if e.measure == Jaccard {
 		st := e.minSigStore()
@@ -168,7 +172,7 @@ func (e *Engine) lshCandidates(o Options) ([]pair.Pair, error) {
 			l = max
 		}
 		st.EnsureAllParallel(o.BandK*l, w)
-		return lshindex.CandidatesMinhashParallel(st.Sigs(), o.BandK, l, w)
+		return o.BandK, l
 	}
 	st := e.bitSigStore()
 	if o.MultiProbe {
@@ -178,10 +182,21 @@ func (e *Engine) lshCandidates(o Options) ([]pair.Pair, error) {
 		l = max
 	}
 	st.EnsureAllParallel(o.BandK*l, w)
-	if o.MultiProbe {
-		return lshindex.CandidatesBitsMultiProbeParallel(st.Sigs(), o.BandK, l, w)
+	return o.BandK, l
+}
+
+// lshCandidates generates banded-LSH candidates at the options'
+// threshold, with the table count from lshPlan.
+func (e *Engine) lshCandidates(o Options) ([]pair.Pair, error) {
+	k, l := e.lshPlan(o)
+	w := e.workers()
+	if e.measure == Jaccard {
+		return lshindex.CandidatesMinhashParallel(e.minSigStore().Sigs(), k, l, w)
 	}
-	return lshindex.CandidatesBitsParallel(st.Sigs(), o.BandK, l, w)
+	if o.MultiProbe {
+		return lshindex.CandidatesBitsMultiProbeParallel(e.bitSigStore().Sigs(), k, l, w)
+	}
+	return lshindex.CandidatesBitsParallel(e.bitSigStore().Sigs(), k, l, w)
 }
 
 // allPairsCandidates generates AllPairs candidates at the options'
@@ -199,7 +214,9 @@ func (e *Engine) workInput() *vector.Collection {
 }
 
 // bayesVerifier constructs the measure-appropriate core verifier.
-func (e *Engine) bayesVerifier(o Options, cands []pair.Pair) (core.Verifier, error) {
+// The returned verifier also serves the one-sided query path (see
+// core.QueryVerifier); batch search uses only the Verifier half.
+func (e *Engine) bayesVerifier(o Options, cands []pair.Pair) (core.QueryVerifier, error) {
 	params := core.Params{
 		Threshold: o.Threshold,
 		Epsilon:   o.Epsilon,

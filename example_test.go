@@ -45,6 +45,61 @@ func Example() {
 	// (1, 3) 0.9999
 }
 
+// ExampleIndex_Query builds a query-serving index once and then asks
+// which stored vectors are similar to a new, out-of-corpus vector —
+// the build-once/query-many mode (see docs/QUERYING.md).
+func ExampleIndex_Query() {
+	ds := bayeslsh.NewDataset(8)
+	ds.Add(map[uint32]float64{0: 1, 1: 2, 2: 3})   // doc 0
+	ds.Add(map[uint32]float64{0: 1, 1: 2, 2: 3.1}) // doc 1: near-duplicate of 0
+	ds.Add(map[uint32]float64{5: 1, 6: 1})         // doc 2: unrelated
+	ds.Normalize()
+
+	ix, err := bayeslsh.NewIndex(ds, bayeslsh.Cosine, bayeslsh.EngineConfig{Seed: 1},
+		bayeslsh.Options{Algorithm: bayeslsh.AllPairs, Threshold: 0.9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The query never enters the dataset; it is hashed with the same
+	// seeds and verified against the prebuilt index.
+	matches, err := ix.Query(bayeslsh.NewVec(map[uint32]float64{0: 1, 1: 2.1, 2: 3}), bayeslsh.QueryOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range matches {
+		fmt.Printf("%d %.4f\n", m.ID, m.Sim)
+	}
+	// Output:
+	// 0 0.9998
+	// 1 0.9993
+}
+
+// ExampleIndex_TopK ranks the corpus by exact similarity to a query
+// over the index's candidate set.
+func ExampleIndex_TopK() {
+	ds := bayeslsh.NewDataset(100)
+	ds.AddSet([]uint32{1, 2, 3, 4})    // doc 0
+	ds.AddSet([]uint32{2, 3, 4, 5})    // doc 1
+	ds.AddSet([]uint32{1, 2, 3, 4, 9}) // doc 2
+	ds.AddSet([]uint32{50, 60})        // doc 3
+
+	ix, err := bayeslsh.NewIndex(ds, bayeslsh.Jaccard, bayeslsh.EngineConfig{Seed: 1},
+		bayeslsh.Options{Algorithm: bayeslsh.BruteForce, Threshold: 0.3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	top, err := ix.TopK(bayeslsh.NewSetVec([]uint32{1, 2, 3, 4}), 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range top {
+		fmt.Printf("%d %.2f\n", m.ID, m.Sim)
+	}
+	// Output:
+	// 0 1.00
+	// 2 0.80
+}
+
 // ExampleDataset_AddSet shows binary (set) data and Jaccard search.
 func ExampleDataset_AddSet() {
 	ds := bayeslsh.NewDataset(100)

@@ -1,4 +1,4 @@
-// Euclidean near-neighbor pruning: the §6 future-work item of the
+// Command euclidean demonstrates Euclidean near-neighbor pruning: the §6 future-work item of the
 // BayesLSH paper — a BayesLSH-Lite analogue for Euclidean distance
 // with p-stable LSH. Given clustered points, the verifier prunes
 // far-apart candidate pairs from a handful of hash comparisons and

@@ -1,4 +1,4 @@
-// Kernelized similarity search: the §6 future-work item of the
+// Command kernelsim demonstrates kernelized similarity search: the §6 future-work item of the
 // BayesLSH paper — BayesLSH-Lite over kernelized LSH (KLSH) for a
 // learned/non-linear similarity, here the Gaussian RBF kernel cosine.
 // The collision law of KLSH hashes is calibrated empirically, pruning

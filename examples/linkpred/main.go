@@ -1,4 +1,4 @@
-// Link prediction / friend recommendation: treat each node of a
+// Command linkpred demonstrates link prediction and friend recommendation: treat each node of a
 // social graph as the Tf-Idf-weighted vector of its neighbors and
 // find node pairs with high cosine similarity — pairs that share many
 // (rare) neighbors are the classic candidates for a missing link.

@@ -1,4 +1,4 @@
-// Near-duplicate detection: shingle a collection of short texts into
+// Command neardup demonstrates near-duplicate detection: shingle a collection of short texts into
 // binary sets and find near-duplicates with Jaccard similarity — the
 // web-crawling use case that motivates the paper's Jaccard
 // experiments. Uses AP+BayesLSH-Lite, so the reported similarities

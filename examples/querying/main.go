@@ -1,0 +1,90 @@
+// Command querying is the query-serving walkthrough: build an index
+// once over a corpus, then answer point queries — "which stored
+// vectors are
+// similar to this one?" — without recomputing the all-pairs join.
+// Demonstrates threshold queries, out-of-corpus queries, top-k
+// ranking, and sharded batch querying. See docs/QUERYING.md for the
+// full guide.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"bayeslsh"
+)
+
+func main() {
+	// 1. Load and preprocess a corpus exactly as for a batch search.
+	ds, err := bayeslsh.Synthetic("RCV1-sim")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds = ds.TfIdf().Normalize()
+	st := ds.Stats()
+	fmt.Printf("corpus: %d vectors, %d dims, avg length %.0f\n", st.Vectors, st.Dim, st.AvgLen)
+
+	// 2. Build the index once. Options select the candidate source and
+	// verification exactly as for Engine.Search; here LSH banding with
+	// BayesLSH-Lite verification (exact similarities) at t = 0.7.
+	ix, err := bayeslsh.NewIndex(ds, bayeslsh.Cosine, bayeslsh.EngineConfig{Seed: 42},
+		bayeslsh.Options{Algorithm: bayeslsh.LSHBayesLSHLite, Threshold: 0.7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bst := ix.Stats()
+	fmt.Printf("index: built in %v (%d tables of %d hashes)\n",
+		bst.BuildTime.Round(time.Millisecond), bst.Tables, bst.BandK)
+
+	// 3. Query with a corpus vector: returns the vector itself plus
+	// exactly the partners the batch search would pair it with.
+	ms, err := ix.Query(ds.Vector(0), bayeslsh.QueryOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query corpus[0]: %d matches at t=0.7\n", len(ms))
+	for _, m := range ms {
+		fmt.Printf("  id %d sim %.4f\n", m.ID, m.Sim)
+	}
+
+	// 4. Query with a vector that is NOT in the corpus. It is hashed
+	// with the same seeds and verified against the prebuilt index.
+	probe := bayeslsh.NewVec(map[uint32]float64{10: 0.6, 20: 1.1, 30: 0.4})
+	ms, err = ix.Query(probe, bayeslsh.QueryOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("out-of-corpus probe: %d matches\n", len(ms))
+
+	// 5. Top-k ranking: the k most similar among the index's
+	// candidates, with exact similarities.
+	top, err := ix.TopK(ds.Vector(1), 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("top-3 for corpus[1]:\n")
+	for _, m := range top {
+		fmt.Printf("  id %d sim %.4f\n", m.ID, m.Sim)
+	}
+
+	// 6. Batch querying shards over EngineConfig.Parallelism workers;
+	// results are identical to one-at-a-time Query calls.
+	queries := make([]bayeslsh.Vec, 200)
+	for i := range queries {
+		queries[i] = ds.Vector(i)
+	}
+	start := time.Now()
+	rs, err := ix.QueryBatch(queries, bayeslsh.QueryOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	total := 0
+	for _, r := range rs {
+		total += len(r)
+	}
+	fmt.Printf("batch: %d queries, %d matches in %v (%.0f queries/s)\n",
+		len(queries), total, elapsed.Round(time.Millisecond),
+		float64(len(queries))/elapsed.Seconds())
+}

@@ -1,4 +1,4 @@
-// Quickstart: find all pairs of documents with cosine similarity at
+// Command quickstart is the quickstart walkthrough: find all pairs of documents with cosine similarity at
 // least 0.7 in a small synthetic corpus, using the LSH+BayesLSH
 // pipeline, and compare against the exact AllPairs baseline.
 package main

@@ -1,4 +1,4 @@
-// Tuning: demonstrate the paper's §5.3 claim that BayesLSH's three
+// Command tuning demonstrates the paper's §5.3 claim that BayesLSH's three
 // parameters trade quality for speed in an intuitive, monotone way —
 // sweep ε (recall), δ and γ (accuracy) one at a time and report the
 // resulting recall, estimation error and running time against exact

@@ -1,0 +1,194 @@
+package bayeslsh
+
+import (
+	"fmt"
+	"time"
+
+	"bayeslsh/internal/allpairs"
+	"bayeslsh/internal/core"
+	"bayeslsh/internal/lshindex"
+	"bayeslsh/internal/pair"
+)
+
+// Index is a query-serving similarity index: it builds signatures,
+// LSH band tables and/or the AllPairs inverted index once from a
+// Dataset, then answers any number of Query, TopK and QueryBatch
+// calls without recomputing the join. Build one with NewIndex or
+// Engine.BuildIndex.
+//
+// The Options passed at build time select the candidate source and
+// verification exactly as they do for Engine.Search: LSH algorithms
+// keep the banded hash tables resident, AllPairs algorithms keep the
+// inverted index resident, and the Bayes variants share the batch
+// pipeline's verifier (pruning table, concentration cache, Jaccard
+// prior). PPJoin has no query-serving form and is rejected.
+//
+// An Index is immutable after construction and safe for concurrent
+// use: signature stores fill lazily under their own synchronization,
+// band tables and the inverted index are read-only, and every
+// per-candidate verification decision is a pure function of the
+// query's and candidate's hash signatures. For a fixed
+// EngineConfig.Seed, query results are bit-for-bit identical at any
+// Parallelism and BatchSize — and consistent with Engine.Search: a
+// query equal to dataset vector i returns, apart from the self-match,
+// exactly the pairs involving i that the batch search finds at the
+// same threshold (see docs/QUERYING.md for the one caveat on
+// AllPairs+BayesLSH estimates).
+type Index struct {
+	eng  *Engine
+	opts Options // resolved search options the index was built with
+
+	bits *lshindex.BitsTables    // LSH tables, cosine measures
+	mins *lshindex.MinhashTables // LSH tables, Jaccard
+	ap   *allpairs.Index         // AllPairs inverted index
+	vq   core.QueryVerifier      // Bayes / Lite verification
+
+	// Query-signature depths, split by representation and use so each
+	// call hashes only what it reads: banding depths feed the table
+	// probes, verification depths feed the per-candidate verifier
+	// (TopK skips the latter entirely). 0 means unused.
+	bandBits, verifyBits int  // packed-bit depths (cosine measures)
+	bandMin, verifyMin   int  // minhash depths (Jaccard)
+	packOneBit           bool // queries additionally pack minhashes to 1-bit
+	approxN              int  // fixed hash count of the LSHApprox estimator
+
+	stats IndexStats
+}
+
+// IndexStats reports what building the index cost and what it holds.
+type IndexStats struct {
+	// BuildTime is the wall-clock cost of NewIndex/BuildIndex,
+	// including signature hashing and table construction.
+	BuildTime time.Duration
+	// Tables and BandK describe the LSH banding plan (0 for AllPairs
+	// and BruteForce sources).
+	Tables, BandK int
+	// PriorCandidates is the number of candidate pairs enumerated at
+	// build time to fit the Jaccard Beta prior — the one build step
+	// that scans the corpus like a batch search does, paid once so
+	// that every query prunes with exactly the batch prior (0 when no
+	// prior is needed).
+	PriorCandidates int
+}
+
+// NewIndex builds a query-serving index over the dataset: a
+// convenience for NewEngine followed by BuildIndex. See NewEngine for
+// the dataset contract per measure.
+func NewIndex(ds *Dataset, m Measure, cfg EngineConfig, opts Options) (*Index, error) {
+	eng, err := NewEngine(ds, m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return eng.BuildIndex(opts)
+}
+
+// BuildIndex builds a query-serving index from the engine's cached
+// hashing substrate. The engine remains usable for batch searches;
+// index queries and batch searches share signature stores, so hashing
+// is paid once across both. Options are resolved with the same
+// defaults as Search.
+func (e *Engine) BuildIndex(opts Options) (*Index, error) {
+	o, err := opts.withDefaults(e.measure)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	ix := &Index{eng: e, opts: o}
+
+	// Candidate source.
+	switch o.Algorithm {
+	case BruteForce:
+		// Exhaustive scan per query; nothing to build.
+	case AllPairs, AllPairsBayesLSH, AllPairsBayesLSHLite:
+		ix.ap, err = allpairs.BuildIndexMeasure(e.workInput(), toExactMeasure(e.measure), o.Threshold)
+		if err != nil {
+			return nil, err
+		}
+	case LSH, LSHApprox, LSHBayesLSH, LSHBayesLSHLite:
+		k, l := e.lshPlan(o)
+		ix.stats.BandK, ix.stats.Tables = k, l
+		if e.measure == Jaccard {
+			ix.bandMin = k * l
+			ix.mins, err = lshindex.BuildMinhash(e.minSigStore().Sigs(), k, l, e.workers())
+		} else {
+			ix.bandBits = k * l
+			ix.bits, err = lshindex.BuildBits(e.bitSigStore().Sigs(), k, l, e.workers(), o.MultiProbe)
+		}
+		if err != nil {
+			return nil, err
+		}
+	case PPJoin:
+		return nil, fmt.Errorf("bayeslsh: PPJoin has no query-serving index (its prefix filter is join-order dependent); use an LSH or AllPairs algorithm")
+	default:
+		return nil, fmt.Errorf("bayeslsh: unknown algorithm %v", o.Algorithm)
+	}
+
+	// Verification.
+	switch o.Algorithm {
+	case AllPairsBayesLSH, AllPairsBayesLSHLite, LSHBayesLSH, LSHBayesLSHLite:
+		var cands []pair.Pair
+		if e.measure == Jaccard && !o.OneBitMinhash {
+			// The Jaccard verifier's pruning table depends on the Beta
+			// prior, which the batch pipeline fits from its candidate
+			// stream. Reproduce that stream once at build so every
+			// query shares the batch search's exact prior.
+			if o.Algorithm == AllPairsBayesLSH || o.Algorithm == AllPairsBayesLSHLite {
+				cands, err = e.allPairsCandidates(o)
+			} else {
+				cands, err = e.lshCandidates(o)
+			}
+			if err != nil {
+				return nil, err
+			}
+			pair.SortPairs(cands)
+			ix.stats.PriorCandidates = len(cands)
+		}
+		ix.vq, err = e.bayesVerifier(o, cands)
+		if err != nil {
+			return nil, err
+		}
+		if e.measure == Jaccard {
+			ix.verifyMin = ix.vq.Params().MaxHashes
+			ix.packOneBit = o.OneBitMinhash
+		} else {
+			ix.verifyBits = ix.vq.Params().MaxHashes
+		}
+	case LSHApprox:
+		n := o.ApproxHashes
+		if e.measure == Jaccard {
+			if max := e.minSigStore().MaxHashes(); n > max {
+				n = max
+			}
+			e.minSigStore().EnsureAllParallel(n, e.workers())
+			ix.verifyMin = n
+		} else {
+			if max := e.bitSigStore().MaxBits(); n > max {
+				n = max
+			}
+			e.bitSigStore().EnsureAllParallel(n, e.workers())
+			ix.verifyBits = n
+		}
+		ix.approxN = n
+	}
+
+	ix.stats.BuildTime = time.Since(start)
+	return ix, nil
+}
+
+// Measure returns the index's similarity measure.
+func (ix *Index) Measure() Measure { return ix.eng.measure }
+
+// Threshold returns the similarity threshold the index was built at —
+// the floor below which candidate generation gives no recall
+// guarantee, and the default threshold of Query.
+func (ix *Index) Threshold() float64 { return ix.opts.Threshold }
+
+// Options returns the resolved search options the index was built
+// with.
+func (ix *Index) Options() Options { return ix.opts }
+
+// Len returns the number of indexed corpus vectors.
+func (ix *Index) Len() int { return ix.eng.ds.Len() }
+
+// Stats returns build cost and shape statistics.
+func (ix *Index) Stats() IndexStats { return ix.stats }

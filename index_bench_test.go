@@ -1,0 +1,97 @@
+// Benchmarks of the query-serving Index: single-query latency per
+// pipeline and sharded batch throughput. Run with:
+//
+//	go test -bench Index -benchmem
+//
+// Build cost is excluded (paid once outside the loop); a reported
+// iteration is one Query or one full QueryBatch. docs/QUERYING.md
+// quotes the numbers from a reference run.
+package bayeslsh_test
+
+import (
+	"testing"
+
+	"bayeslsh"
+)
+
+// benchIndex builds an index over the synthetic RCV1 analogue.
+func benchIndex(b *testing.B, m bayeslsh.Measure, opts bayeslsh.Options, parallelism int) (*bayeslsh.Index, *bayeslsh.Dataset) {
+	b.Helper()
+	ds, err := bayeslsh.Synthetic("RCV1-sim")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if m == bayeslsh.Cosine {
+		ds = ds.TfIdf().Normalize()
+	} else {
+		ds = ds.Binarize()
+	}
+	cfg := bayeslsh.EngineConfig{Seed: 42, Parallelism: parallelism}
+	ix, err := bayeslsh.NewIndex(ds, m, cfg, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ix, ds
+}
+
+// benchQueries runs one query per iteration, cycling through the
+// corpus vectors so the lazy signature stores see a steady state.
+func benchQueries(b *testing.B, ix *bayeslsh.Index, ds *bayeslsh.Dataset) {
+	b.Helper()
+	// Warm the lazy stores so iterations measure steady-state serving.
+	if _, err := ix.Query(ds.Vector(0), bayeslsh.QueryOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.Query(ds.Vector(i%ds.Len()), bayeslsh.QueryOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIndexQueryLSHBayesCosine measures single-query latency of
+// the LSH+BayesLSH pipeline under cosine at t = 0.7.
+func BenchmarkIndexQueryLSHBayesCosine(b *testing.B) {
+	ix, ds := benchIndex(b, bayeslsh.Cosine,
+		bayeslsh.Options{Algorithm: bayeslsh.LSHBayesLSH, Threshold: 0.7}, 1)
+	benchQueries(b, ix, ds)
+}
+
+// BenchmarkIndexQueryLSHLiteCosine measures single-query latency of
+// LSH+BayesLSH-Lite (exact similarities) under cosine at t = 0.7.
+func BenchmarkIndexQueryLSHLiteCosine(b *testing.B) {
+	ix, ds := benchIndex(b, bayeslsh.Cosine,
+		bayeslsh.Options{Algorithm: bayeslsh.LSHBayesLSHLite, Threshold: 0.7}, 1)
+	benchQueries(b, ix, ds)
+}
+
+// BenchmarkIndexQueryAPLiteJaccard measures single-query latency of
+// AP+BayesLSH-Lite under Jaccard at t = 0.5.
+func BenchmarkIndexQueryAPLiteJaccard(b *testing.B) {
+	ix, ds := benchIndex(b, bayeslsh.Jaccard,
+		bayeslsh.Options{Algorithm: bayeslsh.AllPairsBayesLSHLite, Threshold: 0.5}, 1)
+	benchQueries(b, ix, ds)
+}
+
+// BenchmarkIndexQueryBatch measures sharded batch throughput: one
+// iteration answers every corpus vector as a query through
+// QueryBatch at the engine's default parallelism.
+func BenchmarkIndexQueryBatch(b *testing.B) {
+	ix, ds := benchIndex(b, bayeslsh.Cosine,
+		bayeslsh.Options{Algorithm: bayeslsh.LSHBayesLSH, Threshold: 0.7}, 0)
+	queries := make([]bayeslsh.Vec, ds.Len())
+	for i := range queries {
+		queries[i] = ds.Vector(i)
+	}
+	if _, err := ix.QueryBatch(queries[:8], bayeslsh.QueryOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.QueryBatch(queries, bayeslsh.QueryOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(queries))*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+}

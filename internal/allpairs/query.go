@@ -1,0 +1,143 @@
+// Query-serving AllPairs: the batch entry points interleave (or
+// stage) index building and probing and then throw the inverted index
+// away. Index keeps the fully built index resident so single
+// out-of-corpus vectors can be probed against it repeatedly — the
+// probe-only path of the engine's build-once/query-many mode. A query
+// probe replays the corpus probe of the sequential scan with one
+// difference: it has no processing-order position, so it sees every
+// corpus vector (a corpus vector only sees those processed before it).
+// Candidate bounds are upper bounds on the true similarity, so every
+// pair meeting the threshold is emitted by both the batch scan and the
+// query probe; the two can disagree only on sub-threshold false
+// candidates, which exact (and Lite) verification rejects on either
+// path.
+
+package allpairs
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"bayeslsh/internal/exact"
+	"bayeslsh/internal/vector"
+)
+
+// Index is an AllPairs inverted index built once over a corpus,
+// serving point probes for query vectors. It is immutable after
+// BuildIndex and safe for concurrent Probe calls.
+type Index struct {
+	s    *searcher
+	pool sync.Pool // *probeState, reused across probes
+}
+
+// BuildIndex builds the inverted index over the collection at
+// threshold t, indexing every vector to completion — the cheap, linear
+// phase of the AllPairs scan (see Search for the input contract:
+// unit-norm, non-negative weights).
+func BuildIndex(c *vector.Collection, t float64) (*Index, error) {
+	s, err := newSearcher(c, t)
+	if err != nil {
+		return nil, err
+	}
+	for _, xid := range s.order {
+		s.indexVector(xid)
+	}
+	ix := &Index{s: s}
+	ix.pool.New = func() any {
+		return &probeState{accs: make([]float64, len(c.Vecs))}
+	}
+	return ix, nil
+}
+
+// BuildIndexMeasure builds the index under the given measure, applying
+// the same input preprocessing and threshold mapping as the batch
+// SearchMeasure (binary measures are binarized, normalized and run at
+// the mapped cosine threshold). Query vectors passed to Probe must be
+// preprocessed the same way; TransformQuery does exactly that.
+func BuildIndexMeasure(c *vector.Collection, m exact.Measure, t float64) (*Index, error) {
+	in, tc, err := measureInput(c, m, t)
+	if err != nil {
+		return nil, err
+	}
+	return BuildIndex(in, tc)
+}
+
+// TransformQuery maps a raw query vector into the representation the
+// index's collection was built in: unchanged for Cosine (the caller
+// normalizes, as for the corpus), binarized and unit-normalized for
+// the binary measures.
+func TransformQuery(q vector.Vector, m exact.Measure) vector.Vector {
+	switch m {
+	case exact.Jaccard, exact.BinaryCosine:
+		return q.Binarize().Normalize()
+	default:
+		return q
+	}
+}
+
+// Threshold returns the (cosine-space) threshold the index was built
+// at.
+func (ix *Index) Threshold() float64 { return ix.s.t }
+
+// Probe returns the ids of corpus vectors that pass the AllPairs
+// candidate bound against q, in ascending id order. q must be in the
+// index's representation (see BuildIndexMeasure/TransformQuery). The
+// id set is a superset of the corpus vectors whose similarity to q
+// meets the built threshold; callers verify survivors under their
+// measure.
+func (ix *Index) Probe(q vector.Vector) []int32 {
+	var ids []int32
+	ix.probe(q, func(y int32, _ float64) { ids = append(ids, y) })
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// probe runs the index scan for q, calling emit(y, acc) for every
+// corpus vector passing the upper-bound check, where acc is the dot
+// product accumulated over y's indexed features. Unlike the corpus
+// probe it does not filter by processing-order position: a query sees
+// the whole corpus.
+func (ix *Index) probe(q vector.Vector, emit func(y int32, acc float64)) {
+	if q.Len() == 0 {
+		return
+	}
+	s := ix.s
+	ps := ix.pool.Get().(*probeState)
+	defer ix.pool.Put(ps)
+	qmax := q.MaxVal()
+	minsize := 0
+	if qmax > 0 {
+		minsize = int(math.Ceil(s.t/qmax - fpSlack))
+	}
+	touched := ps.touched[:0]
+	for j, f := range q.Ind {
+		if int(f) >= len(s.lists) {
+			continue // feature outside the corpus dimensionality
+		}
+		w := q.Val[j]
+		skipping := true
+		for _, p := range s.lists[f].entries {
+			if skipping {
+				if s.sizes[p.id] < minsize {
+					continue
+				}
+				skipping = false
+			}
+			if ps.accs[p.id] == 0 {
+				touched = append(touched, p.id)
+			}
+			ps.accs[p.id] += w * p.w
+		}
+	}
+	for _, y := range touched {
+		a := ps.accs[y]
+		ps.accs[y] = 0
+		yu := s.unidx[y]
+		bound := a + math.Min(float64(q.Len()), float64(yu.Len()))*qmax*s.unidxMax[y]
+		if bound >= s.t-fpSlack {
+			emit(y, a)
+		}
+	}
+	ps.touched = touched
+}

@@ -1,0 +1,100 @@
+package allpairs
+
+import (
+	"testing"
+
+	"bayeslsh/internal/exact"
+	"bayeslsh/internal/testutil"
+)
+
+// TestIndexProbeCoversTruePartners checks the probe's recall
+// contract: for an in-corpus query vector, the probed candidate set
+// contains every corpus vector whose similarity meets the threshold.
+func TestIndexProbeCoversTruePartners(t *testing.T) {
+	for _, m := range []exact.Measure{exact.Cosine, exact.Jaccard, exact.BinaryCosine} {
+		c := testutil.SmallTextCorpus(t, 120, 5)
+		th := 0.6
+		if m != exact.Cosine {
+			c = testutil.SmallBinaryCorpus(t, 120, 5)
+			th = 0.4
+		}
+		ix, err := BuildIndexMeasure(c, m, th)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		truth := exact.Search(c, m, th)
+		for i := range c.Vecs {
+			got := map[int32]bool{}
+			for _, id := range ix.Probe(TransformQuery(c.Vecs[i], m)) {
+				got[id] = true
+			}
+			for _, r := range truth {
+				if r.A == int32(i) && !got[r.B] {
+					t.Fatalf("%v: probe %d missed true partner %d (sim %v)", m, i, r.B, r.Sim)
+				}
+				if r.B == int32(i) && !got[r.A] {
+					t.Fatalf("%v: probe %d missed true partner %d (sim %v)", m, i, r.A, r.Sim)
+				}
+			}
+		}
+	}
+}
+
+// TestIndexProbeMatchesBatchDecisions checks that exact verification
+// of the probe's candidates reproduces the batch search exactly.
+func TestIndexProbeMatchesBatchDecisions(t *testing.T) {
+	c := testutil.SmallTextCorpus(t, 120, 6)
+	const th = 0.6
+	ix, err := BuildIndexMeasure(c, exact.Cosine, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := Search(c, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testutil.ResultKeySet(batch)
+	for i := range c.Vecs {
+		for _, id := range ix.Probe(c.Vecs[i]) {
+			if id == int32(i) {
+				continue
+			}
+			if s := exact.Cosine.Sim(c.Vecs[i], c.Vecs[id]); s >= th {
+				key := uint64(uint32(min32(int32(i), id)))<<32 | uint64(uint32(max32(int32(i), id)))
+				if _, ok := want[key]; !ok {
+					t.Fatalf("probe %d found pair with %d (sim %v) absent from batch", i, id, s)
+				}
+			}
+		}
+	}
+}
+
+// TestIndexProbeEmptyAndForeignFeatures covers degenerate queries: an
+// empty vector probes nothing, and features outside the corpus
+// dimensionality are ignored rather than panicking.
+func TestIndexProbeEmptyAndForeignFeatures(t *testing.T) {
+	c := testutil.SmallTextCorpus(t, 50, 7)
+	ix, err := BuildIndexMeasure(c, exact.Cosine, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids := ix.Probe(TransformQuery(c.Vecs[0].Binarize(), exact.Jaccard)); ids == nil {
+		// A binarized in-corpus vector is a fine query; just ensure no panic.
+		t.Log("binarized probe returned no candidates")
+	}
+	var empty = c.Vecs[0]
+	empty.Ind, empty.Val = nil, nil
+	if ids := ix.Probe(empty); len(ids) != 0 {
+		t.Fatalf("empty query produced %d candidates", len(ids))
+	}
+	foreign := c.Vecs[1].Clone()
+	for j := range foreign.Ind {
+		foreign.Ind[j] += uint32(c.Dim) // all features out of range
+	}
+	if ids := ix.Probe(foreign); len(ids) != 0 {
+		t.Fatalf("out-of-dimension query produced %d candidates", len(ids))
+	}
+	if ix.Threshold() != 0.5 {
+		t.Fatalf("threshold accessor: %v", ix.Threshold())
+	}
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"bayeslsh/internal/minhash"
+	"bayeslsh/internal/pair"
+	"bayeslsh/internal/sighash"
+)
+
+// One-sided verification: the batch verifiers compare the signatures
+// of two corpus vectors; the query-serving path compares one
+// out-of-corpus query signature against corpus signatures. The round
+// loop, pruning table and concentration cache are identical — only
+// the match hook changes — so for a query whose signature equals
+// corpus vector i's, every per-candidate decision (prune round, accept
+// round, estimate) is bit-identical to the batch verification of the
+// corresponding pair.
+
+// QuerySig carries a query's signature in whichever representation
+// the verifier compares: packed bits (cosine and 1-bit Jaccard) or
+// minhashes (Jaccard). Exactly one field is consulted per verifier.
+type QuerySig struct {
+	Bits []uint64
+	Min  []uint32
+}
+
+// QuerySimFunc computes the exact similarity of the query to corpus
+// vector id; it is supplied to Lite query verification by the caller.
+type QuerySimFunc func(id int32) float64
+
+// QueryVerifier extends Verifier with the one-sided (query versus
+// corpus) verification entry points. All verifiers in this package
+// implement it; query calls are safe concurrently with each other and
+// with batch Verify calls.
+type QueryVerifier interface {
+	Verifier
+	// Params returns the validated parameters in effect.
+	Params() Params
+	// VerifyQuery runs the BayesLSH round loop (Algorithm 1) for the
+	// query signature against each candidate corpus id, returning
+	// accepted hits in candidate order.
+	VerifyQuery(q QuerySig, ids []int32) ([]pair.Hit, Stats)
+	// VerifyQueryLite runs the pruning rounds of BayesLSH-Lite
+	// (Algorithm 2) within the first h hashes, then verifies survivors
+	// exactly with sim, keeping hits with similarity >= t.
+	VerifyQueryLite(q QuerySig, ids []int32, h int, sim QuerySimFunc) ([]pair.Hit, Stats)
+}
+
+// verifyQueryOne runs the full round loop for one candidate id against
+// the query, mirroring verifyOne with qmatch in place of the two-sided
+// match hook. Only the corpus side goes through params.Ensure; the
+// query signature is precomputed to MaxHashes by the caller.
+func (kr *kernel) verifyQueryOne(id int32, qmatch func(id int32, from, to int) int, st *Stats, out *[]pair.Hit) {
+	k := kr.params.K
+	m := 0
+	pruned := false
+	accepted := false
+	for round, n := range kr.ns {
+		if ensure := kr.params.Ensure; ensure != nil {
+			ensure(id, n)
+		}
+		m += qmatch(id, n-k, n)
+		st.HashesCompared += int64(k)
+		if m < kr.minM[round] {
+			pruned = true
+			st.Pruned++
+			break
+		}
+		st.SurvivorsByRound[round]++
+		if cached, ok := kr.conc.lookup(round, m); ok {
+			st.CacheHits++
+			accepted = cached
+		} else {
+			st.InferenceCalls++
+			cv := kr.concentrated(m, n)
+			kr.conc.store(round, m, cv)
+			accepted = cv
+		}
+		if accepted {
+			*out = append(*out, pair.Hit{ID: id, Sim: kr.estimate(m, n)})
+			for r := round + 1; r < len(kr.ns); r++ {
+				st.SurvivorsByRound[r]++
+			}
+			break
+		}
+	}
+	if !pruned && !accepted {
+		*out = append(*out, pair.Hit{ID: id, Sim: kr.estimate(m, kr.params.MaxHashes)})
+	}
+}
+
+// verifyQuery runs the one-sided BayesLSH loop over all candidate ids.
+func (kr *kernel) verifyQuery(ids []int32, qmatch func(id int32, from, to int) int) ([]pair.Hit, Stats) {
+	st := Stats{Candidates: len(ids), SurvivorsByRound: make([]int, len(kr.ns))}
+	out := make([]pair.Hit, 0, len(ids)/8+1)
+	for _, id := range ids {
+		kr.verifyQueryOne(id, qmatch, &st, &out)
+	}
+	st.Accepted = len(out)
+	return out, st
+}
+
+// verifyQueryLite runs the one-sided pruning rounds, then exact
+// verification of survivors.
+func (kr *kernel) verifyQueryLite(ids []int32, h int, qmatch func(id int32, from, to int) int, sim QuerySimFunc) ([]pair.Hit, Stats) {
+	k := kr.params.K
+	nRounds := liteRounds(h, k, len(kr.ns))
+	st := Stats{Candidates: len(ids), SurvivorsByRound: make([]int, nRounds)}
+	var out []pair.Hit
+	for _, id := range ids {
+		m := 0
+		survived := true
+		for round := 0; round < nRounds; round++ {
+			n := kr.ns[round]
+			if ensure := kr.params.Ensure; ensure != nil {
+				ensure(id, n)
+			}
+			m += qmatch(id, n-k, n)
+			st.HashesCompared += int64(k)
+			if m < kr.minM[round] {
+				st.Pruned++
+				survived = false
+				break
+			}
+			st.SurvivorsByRound[round]++
+		}
+		if !survived {
+			continue
+		}
+		st.ExactVerified++
+		if s := sim(id); s >= kr.params.Threshold {
+			out = append(out, pair.Hit{ID: id, Sim: s})
+		}
+	}
+	st.Accepted = len(out)
+	return out, st
+}
+
+// qmatch builds the Jaccard one-sided match hook.
+func (v *JaccardVerifier) qmatch(q QuerySig) func(id int32, from, to int) int {
+	return func(id int32, from, to int) int {
+		return minhash.Matches(q.Min, v.sigs[id], from, to)
+	}
+}
+
+// VerifyQuery runs BayesLSH for the query minhash signature (q.Min,
+// at least MaxHashes hashes) against the candidate corpus ids.
+func (v *JaccardVerifier) VerifyQuery(q QuerySig, ids []int32) ([]pair.Hit, Stats) {
+	return v.k.verifyQuery(ids, v.qmatch(q))
+}
+
+// VerifyQueryLite runs BayesLSH-Lite pruning for the query minhash
+// signature, then verifies survivors exactly with sim.
+func (v *JaccardVerifier) VerifyQueryLite(q QuerySig, ids []int32, h int, sim QuerySimFunc) ([]pair.Hit, Stats) {
+	return v.k.verifyQueryLite(ids, h, v.qmatch(q), sim)
+}
+
+// qmatch builds the cosine one-sided match hook.
+func (v *CosineVerifier) qmatch(q QuerySig) func(id int32, from, to int) int {
+	return func(id int32, from, to int) int {
+		return sighash.MatchCount(q.Bits, v.sigs[id], from, to)
+	}
+}
+
+// VerifyQuery runs BayesLSH for the query bit signature (q.Bits, at
+// least MaxHashes bits) against the candidate corpus ids.
+func (v *CosineVerifier) VerifyQuery(q QuerySig, ids []int32) ([]pair.Hit, Stats) {
+	return v.k.verifyQuery(ids, v.qmatch(q))
+}
+
+// VerifyQueryLite runs BayesLSH-Lite pruning for the query bit
+// signature, then verifies survivors exactly with sim.
+func (v *CosineVerifier) VerifyQueryLite(q QuerySig, ids []int32, h int, sim QuerySimFunc) ([]pair.Hit, Stats) {
+	return v.k.verifyQueryLite(ids, h, v.qmatch(q), sim)
+}
+
+// qmatch builds the 1-bit Jaccard one-sided match hook (the query's
+// minhashes packed to one bit each, see minhash.PackOneBit).
+func (v *OneBitJaccardVerifier) qmatch(q QuerySig) func(id int32, from, to int) int {
+	return func(id int32, from, to int) int {
+		return sighash.MatchCount(q.Bits, v.sigs[id], from, to)
+	}
+}
+
+// VerifyQuery runs BayesLSH for the packed 1-bit query signature
+// (q.Bits) against the candidate corpus ids.
+func (v *OneBitJaccardVerifier) VerifyQuery(q QuerySig, ids []int32) ([]pair.Hit, Stats) {
+	return v.k.verifyQuery(ids, v.qmatch(q))
+}
+
+// VerifyQueryLite runs BayesLSH-Lite pruning over packed 1-bit query
+// signatures, then verifies survivors exactly with sim.
+func (v *OneBitJaccardVerifier) VerifyQueryLite(q QuerySig, ids []int32, h int, sim QuerySimFunc) ([]pair.Hit, Stats) {
+	return v.k.verifyQueryLite(ids, h, v.qmatch(q), sim)
+}

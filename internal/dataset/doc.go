@@ -1,0 +1,29 @@
+// Package dataset synthesizes corpora that stand in for the six real
+// datasets of the BayesLSH paper (RCV1, WikiWords100K, WikiWords500K,
+// WikiLinks, Orkut, Twitter), which are not redistributable and are
+// far larger than this environment can process.
+//
+// # Generator families
+//
+// Two generator families are provided, matching the two families in
+// the paper:
+//
+//   - Text corpora: documents draw Zipf-distributed terms; a fraction
+//     of documents belong to planted near-duplicate clusters obtained
+//     by mutating a template, which produces the high-similarity tail
+//     that all-pairs similarity search is looking for.
+//   - Graph corpora: a preferential-attachment graph overlaid with
+//     planted communities. Rows of the adjacency matrix become
+//     vectors. Preferential attachment yields the heavy-tailed,
+//     high-variance degree distribution that makes AllPairs fast on
+//     the paper's graph datasets; communities yield node pairs with
+//     strongly overlapping neighborhoods.
+//
+// # Determinism
+//
+// Each generated corpus is deterministic in its Spec (including the
+// seed) — generation never depends on Go map iteration order or
+// scheduling — so every experiment and test in this repository is
+// reproducible. Standard lists the built-in scaled-down analogues
+// (Table 1's datasets); ByName and Generate build one.
+package dataset

@@ -1,8 +1,3 @@
-// Package exact provides brute-force all-pairs similarity search and
-// exact pair verification. It is the ground truth against which the
-// recall and accuracy of every approximate pipeline is measured
-// (Tables 3–5 of the paper), and the correctness oracle for the unit
-// tests of AllPairs, PPJoin and the LSH pipelines.
 package exact
 
 import (

@@ -1,0 +1,23 @@
+// Package harness drives the experiments of §5 of the BayesLSH paper:
+// it runs every (dataset, measure, algorithm, threshold) cell of the
+// evaluation matrix on the synthetic corpora, computes recall and
+// accuracy against exact ground truth, and formats the same rows and
+// series the paper's tables and figures report.
+//
+// # Experiments
+//
+// Every experiment has an id matching the paper's numbering — fig1
+// (hashes vs similarity), fig2 (parameter sweep), fig3 (timing across
+// all eight pipelines), fig4 (pruning curves), fig5 (prior vs
+// posterior), tab1..tab5 (dataset statistics, speedups, recall,
+// estimate errors, parameter quality) — plus ext1 for the 1-bit
+// minhash extension. Run dispatches on the id and writes the
+// formatted artifact to an io.Writer.
+//
+// # Entry points
+//
+// The cmd/experiments binary is a thin CLI over this package, and
+// bench_test.go at the module root wraps each experiment in a
+// testing.B benchmark; Config.Quick trims the matrices so the whole
+// suite completes in minutes on modest hardware.
+package harness

@@ -1,13 +1,3 @@
-// Package harness drives the experiments of §5 of the BayesLSH paper:
-// it runs every (dataset, measure, algorithm, threshold) cell of the
-// evaluation matrix on the synthetic corpora, computes recall and
-// accuracy against exact ground truth, and formats the same rows and
-// series the paper's tables and figures report.
-//
-// Every experiment has an id (fig1..fig5, tab1..tab5) matching the
-// paper's numbering; Run dispatches on it. The cmd/experiments binary
-// is a thin CLI over this package, and bench_test.go at the module
-// root wraps each experiment in a testing.B benchmark.
 package harness
 
 import (

@@ -110,15 +110,8 @@ func CandidatesMinhash(sigs [][]uint32, k, l int) ([]pair.Pair, error) {
 
 // fillMinhashBuckets hashes band band of every signature into buckets.
 func fillMinhashBuckets(buckets map[uint64][]int32, sigs [][]uint32, band, k int, scratch []uint64) {
-	from := band * k
 	for id, sig := range sigs {
-		for i := range scratch {
-			scratch[i] = 0
-		}
-		for i := 0; i < k; i++ {
-			scratch[i/2] |= uint64(sig[from+i]) << (32 * (i % 2))
-		}
-		key := fnv1a64(uint64(band)+1, scratch)
+		key := minhashBandKey(sig, band, k, scratch)
 		buckets[key] = append(buckets[key], int32(id))
 	}
 }

@@ -54,7 +54,18 @@ func (f *Family) Hash(i int, v vector.Vector) uint32 {
 // in the family. The weights of v are ignored; minwise hashing is a
 // set technique.
 func (f *Family) Signature(v vector.Vector) []uint32 {
-	sig := make([]uint32, len(f.seeds))
+	return f.SignatureN(v, len(f.seeds))
+}
+
+// SignatureN computes the first n hashes of v's signature — the
+// query-hashing path, which only pays for the depth a probe or
+// verification actually reads. Hash i depends only on its own seed,
+// so the result is the corresponding prefix of the full Signature.
+func (f *Family) SignatureN(v vector.Vector, n int) []uint32 {
+	if n > len(f.seeds) {
+		panic("minhash: SignatureN beyond family capacity")
+	}
+	sig := make([]uint32, n)
 	if v.Len() == 0 {
 		for i := range sig {
 			sig[i] = Empty
@@ -63,13 +74,13 @@ func (f *Family) Signature(v vector.Vector) []uint32 {
 	}
 	// One pass per element rather than per hash: mix each element once
 	// per hash function, tracking minima for all functions.
-	mins := make([]uint64, len(f.seeds))
+	mins := make([]uint64, n)
 	for i := range mins {
 		mins[i] = math.MaxUint64
 	}
 	for _, ind := range v.Ind {
 		e := (uint64(ind) + 1) * 0x9e3779b97f4a7c15
-		for i, seed := range f.seeds {
+		for i, seed := range f.seeds[:n] {
 			if h := rng.Mix64(seed ^ e); h < mins[i] {
 				mins[i] = h
 			}

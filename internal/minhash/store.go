@@ -55,6 +55,10 @@ func (s *Store) Sigs() [][]uint32 { return s.sigs }
 // MaxHashes returns the signature capacity.
 func (s *Store) MaxHashes() int { return s.fam.Size() }
 
+// Family returns the store's hash family, for hashing out-of-corpus
+// query vectors with the same seeds (see Family.Signature).
+func (s *Store) Family() *Family { return s.fam }
+
 // FilledHashes returns how many hashes of vector id are computed.
 func (s *Store) FilledHashes(id int32) int { return s.fill.Filled(id) }
 

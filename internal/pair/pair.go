@@ -1,6 +1,3 @@
-// Package pair defines the candidate-pair and result types shared by
-// the candidate generation algorithms (LSH, AllPairs, PPJoin) and the
-// verification algorithms (BayesLSH, BayesLSH-Lite, exact).
 package pair
 
 import "sort"
@@ -27,6 +24,26 @@ func (p Pair) Key() uint64 { return uint64(uint32(p.A))<<32 | uint64(uint32(p.B)
 type Result struct {
 	A, B int32
 	Sim  float64
+}
+
+// Hit is a one-sided (query versus corpus) result: the corpus id of a
+// vector similar to the query and its (exact or estimated) similarity.
+// It is the query-serving counterpart of Result, which pairs two
+// corpus ids.
+type Hit struct {
+	ID  int32
+	Sim float64
+}
+
+// SortHitsBySim orders hits by decreasing similarity, breaking ties by
+// ascending corpus id — the canonical order of top-k query results.
+func SortHitsBySim(hs []Hit) {
+	sort.Slice(hs, func(i, j int) bool {
+		if hs[i].Sim != hs[j].Sim {
+			return hs[i].Sim > hs[j].Sim
+		}
+		return hs[i].ID < hs[j].ID
+	})
 }
 
 // Pair returns the normalized pair of the result.

@@ -1,0 +1,35 @@
+// Package ppjoin implements the PPJoin algorithm of Xiao, Wang, Lin
+// and Yu (WWW 2008) for exact all-pairs similarity joins over binary
+// vectors (sets), the third baseline in the BayesLSH paper's binary
+// experiments.
+//
+// # The three filters
+//
+// PPJoin combines three exact filters:
+//
+//   - Prefix filtering: order tokens by increasing document frequency;
+//     if sets x and y satisfy overlap(x, y) >= α, their prefixes of
+//     length |x| − α_min + 1 must share a token, so only prefix tokens
+//     need to be indexed and probed.
+//   - Length filtering: |y| >= t·|x| (Jaccard) or |y| >= t²·|x|
+//     (binary cosine) is necessary, and processing records in
+//     increasing size order makes the bound monotone.
+//   - Positional filtering: a shared prefix token at positions (i, j)
+//     caps the achievable overlap at A + 1 + min(|x|−i−1, |y|−j−1);
+//     candidates whose cap falls below α are dropped before
+//     verification.
+//
+// # Verification
+//
+// Survivors are verified by an early-terminating merge of the full
+// token lists. The original paper's recursive suffix filtering
+// (PPJoin+) is a further refinement of the verification step; this
+// implementation relies on the early-terminating merge instead, which
+// preserves both exactness and the performance shape the BayesLSH
+// paper reports (fast at high thresholds, degrading as the threshold
+// drops and prefixes lengthen).
+//
+// PPJoin's prefix index is bound to one join's processing order and
+// threshold, so it has no query-serving (build-once/query-many) form;
+// the engine's Index rejects it.
+package ppjoin

@@ -1,0 +1,26 @@
+// Package rng provides small, fast, deterministic pseudo-random
+// number generators used throughout the library.
+//
+// # Generators
+//
+// All randomized components (hash function families, dataset
+// synthesis, prior sampling) take an explicit seed so that
+// experiments are reproducible run-to-run. The generators are a
+// splitmix64 stream (SplitMix64/Mix64, used for seeding and cheap
+// stateless hashing), an xoshiro256** stream (Source, the general
+// purpose source with uniform, Gaussian via polar Box-Muller,
+// exponential, permutation and Zipf sampling), and NewZipf's
+// table-based sampler for corpus synthesis.
+//
+// # Substream derivation
+//
+// Derive deterministically derives an independent sub-stream seed
+// from a master seed and a sequence of identifiers (shard, item id,
+// ...). Because the derived seed depends only on (seed, ids), never
+// on scheduling, a computation that keys its randomness per work item
+// stays deterministic for a fixed master seed under any degree of
+// parallelism — the discipline every parallel stage of the engine
+// follows. The engine derives each hash family's and the prior
+// sampler's master seed this way (additive seed offsets would make
+// engines with adjacent seeds share streams).
+package rng

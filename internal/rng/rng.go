@@ -1,12 +1,3 @@
-// Package rng provides small, fast, deterministic pseudo-random number
-// generators used throughout the library.
-//
-// All randomized components (hash function families, dataset synthesis,
-// sampling) take an explicit seed so that experiments are reproducible
-// run-to-run. The generators here are a splitmix64 stream (used for
-// seeding and cheap hashing) and an xoshiro256** stream (the general
-// purpose source), plus Gaussian sampling via the polar Box-Muller
-// transform.
 package rng
 
 import "math"

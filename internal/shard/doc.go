@@ -1,0 +1,31 @@
+// Package shard provides the batched worker-pool primitives behind
+// the library's parallel pipelines — both the batch search and the
+// query-serving index are built on them.
+//
+// # Run and Collect
+//
+// Run divides n work items into contiguous batches and feeds batch
+// indices through a channel to a fixed pool of workers; every batch
+// knows its slot, so callers write results into slot-owned state and
+// reassemble them in input order regardless of worker scheduling.
+// Collect wraps the common gather pattern: per-batch result slices
+// concatenated in batch order. Chunk picks a batch size that divides
+// work into roughly four batches per worker when no natural unit
+// exists.
+//
+// All parallel stages (LSH banding, AllPairs probing, signature
+// hashing, BayesLSH verification, exact verification, batch querying)
+// go through Run, which is what keeps them deterministic for a fixed
+// seed: the work a batch performs never depends on which worker
+// executes it or when — only the batch's position in the input does.
+//
+// # Fill
+//
+// Fill coordinates lazily filled per-item state shared by concurrent
+// readers and writers — the synchronization core of the signature
+// stores. Writers to an item serialize on a striped lock; readers
+// synchronize through an atomic per-item fill counter stored with
+// release semantics after the data writes complete, so a reader that
+// observes Filled(id) >= n may read the first n units of item id's
+// data without locking.
+package shard

@@ -1,13 +1,3 @@
-// Package shard provides the batched worker-pool primitive behind the
-// library's parallel search pipeline: work items are divided into
-// contiguous batches, fed through a channel to a fixed pool of
-// workers, and every batch writes into its own output slot, so callers
-// can reassemble results in input order regardless of worker
-// scheduling. All parallel stages (LSH banding, AllPairs probing,
-// signature hashing, BayesLSH verification, exact verification) are
-// built on Run, which keeps them deterministic for a fixed seed: the
-// work a batch performs never depends on which worker executes it or
-// when.
 package shard
 
 import "sync"

@@ -1,17 +1,3 @@
-// Package sighash implements the random-hyperplane LSH family for
-// cosine similarity (Charikar, STOC'02), used by §4.2 of the BayesLSH
-// paper: each hash function is a random Gaussian vector r, and
-// h(x) = 1 iff dot(r, x) >= 0. For any pair,
-//
-//	Pr[h(a) = h(b)] = 1 − θ(a, b)/π
-//
-// where θ is the angle between a and b.
-//
-// Signatures are packed bit vectors ([]uint64), so comparing hashes is
-// XOR + popcount. The package also implements the paper's §4.3 storage
-// optimization: the Gaussian projection entries are quantized to two
-// bytes each, x' = ⌊(x+8)·2¹⁶/16⌋, exploiting that standard normal
-// samples essentially never leave (−8, 8).
 package sighash
 
 import (

@@ -63,6 +63,9 @@ func NewBlockFamily(dim, maxBits, blockBits int, seed uint64, opts ...Option) *B
 // MaxBits returns the family size (maximum signature length in bits).
 func (f *BlockFamily) MaxBits() int { return f.maxBits }
 
+// Dim returns the feature-space dimensionality the family hashes.
+func (f *BlockFamily) Dim() int { return f.dim }
+
 // BlockBits returns the materialization granularity.
 func (f *BlockFamily) BlockBits() int { return f.blockBits }
 
@@ -138,6 +141,26 @@ func (f *BlockFamily) signBlock(v vector.Vector, b int, sig []uint64, acc []floa
 	}
 }
 
+// SignatureN computes bits [0, nbits) of v's signature in one call,
+// the hashing path for out-of-corpus query vectors. nbits is rounded
+// up to whole blocks and must not exceed MaxBits. Blocks derive from
+// the same (seed, feature, block) streams the lazy Store fills use, so
+// a query vector equal to a corpus vector yields a prefix bit-identical
+// to that vector's stored signature.
+func (f *BlockFamily) SignatureN(v vector.Vector, nbits int) []uint64 {
+	bb := f.blockBits
+	to := (nbits + bb - 1) / bb
+	if to*bb > f.maxBits {
+		panic("sighash: SignatureN beyond family capacity")
+	}
+	sig := make([]uint64, to*bb/64)
+	acc := make([]float64, bb)
+	for b := 0; b < to; b++ {
+		f.signBlock(v, b, sig, acc)
+	}
+	return sig
+}
+
 // Store lazily computes and caches packed bit signatures per vector,
 // extending them block-by-block as verification demands deeper hash
 // prefixes — the paper's "each point is only hashed as many times as
@@ -180,6 +203,10 @@ func (s *Store) Sigs() [][]uint64 { return s.sigs }
 
 // MaxBits returns the signature capacity in bits.
 func (s *Store) MaxBits() int { return s.fam.maxBits }
+
+// Family returns the store's hash family, for hashing out-of-corpus
+// query vectors against the same streams (see SignatureN).
+func (s *Store) Family() *BlockFamily { return s.fam }
 
 // FilledBits returns how many hash bits of vector id are computed.
 func (s *Store) FilledBits(id int32) int { return s.fill.Filled(id) }

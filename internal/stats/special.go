@@ -1,11 +1,3 @@
-// Package stats implements the special functions and probability
-// distributions that BayesLSH's inference relies on: log-gamma, the
-// regularized incomplete beta function (the Beta distribution CDF,
-// computed with continued fractions as the paper prescribes), Beta and
-// Binomial distributions, and method-of-moments fitting of Beta priors.
-//
-// Everything is implemented from scratch on top of package math; there
-// is no dependency on any external scientific library.
 package stats
 
 import (

@@ -1,11 +1,3 @@
-// Package vector implements the sparse-vector algebra that every
-// algorithm in this repository is built on: dot products, norms,
-// cosine and Jaccard similarity, Tf-Idf weighting and binarization.
-//
-// A Vector is a sorted list of (index, weight) pairs. All-pairs
-// similarity search treats a corpus as a Collection of such vectors:
-// documents as bags of weighted terms, or graph nodes as weighted
-// adjacency rows.
 package vector
 
 import (

@@ -1,0 +1,290 @@
+package bayeslsh
+
+import (
+	"fmt"
+	"sort"
+
+	"bayeslsh/internal/core"
+	"bayeslsh/internal/minhash"
+	"bayeslsh/internal/pair"
+	"bayeslsh/internal/shard"
+	"bayeslsh/internal/sighash"
+	"bayeslsh/internal/vector"
+)
+
+// Vec is a single query vector, the input of Index.Query and
+// Index.TopK. Build one with NewVec or NewSetVec, or take one out of a
+// dataset with Dataset.Vector. A Vec is immutable and safe to share.
+type Vec struct {
+	v vector.Vector
+}
+
+// NewVec builds a query vector from a feature→weight map, the same
+// input format as Dataset.Add. Zero weights are dropped.
+func NewVec(features map[uint32]float64) Vec {
+	return Vec{v: vector.FromMap(features)}
+}
+
+// NewSetVec builds a binary query vector from a set of feature
+// indices, the same input format as Dataset.AddSet.
+func NewSetVec(indices []uint32) Vec {
+	m := make(map[uint32]float64, len(indices))
+	for _, i := range indices {
+		m[i] = 1
+	}
+	return NewVec(m)
+}
+
+// Len returns the number of non-zero features.
+func (q Vec) Len() int { return q.v.Len() }
+
+// Vector returns vector i as a query vector. Querying an index with
+// its own dataset's vector i returns i itself (similarity 1) plus the
+// partners the batch search pairs i with.
+func (d *Dataset) Vector(i int) Vec { return Vec{v: d.c.Vecs[i]} }
+
+// Match is one query result: the dataset id of a similar corpus
+// vector and the reported similarity (exact or estimated, depending
+// on the index's algorithm — the same semantics as the batch
+// pipeline's Result.Sim).
+type Match struct {
+	ID  int
+	Sim float64
+}
+
+// QueryOptions configures one query against a built index.
+type QueryOptions struct {
+	// Threshold overrides the index's built threshold for this query.
+	// It must be at least the built threshold: candidate generation
+	// was provisioned at build time, so lower thresholds would
+	// silently lose recall. Raising it filters the result stream; for
+	// the estimate-reporting pipelines the filter applies to the
+	// estimates (inference still runs at the built threshold). 0
+	// selects the built threshold.
+	Threshold float64
+}
+
+// querySigs carries one query's preprocessed forms: the raw vector
+// (exact similarity), the measure-transformed vector (AllPairs
+// probing), and whichever hash signatures the index compares.
+type querySigs struct {
+	raw  vector.Vector
+	work vector.Vector
+	bits []uint64
+	min  []uint32
+}
+
+// prepare transforms and hashes the query the way the corpus was
+// transformed and hashed at build: for Cosine the query is normalized
+// (idempotent if already unit-norm), for the binary measures it is
+// binarized and normalized; signatures derive from the engine's
+// seeded families, so a query equal to corpus vector i hashes to
+// exactly i's stored signature prefix. Only the depth the call reads
+// is hashed: banding depth always, verification depth unless the
+// caller (TopK) verifies with exact similarities only.
+func (ix *Index) prepare(q Vec, topK bool) querySigs {
+	qs := querySigs{raw: q.v}
+	if ix.eng.measure == Cosine {
+		qs.work = q.v.Clone().Normalize()
+	} else {
+		qs.work = q.v.Binarize().Normalize()
+	}
+	minDepth, bitsDepth := ix.bandMin, ix.bandBits
+	if !topK {
+		minDepth = max(minDepth, ix.verifyMin)
+		bitsDepth = max(bitsDepth, ix.verifyBits)
+	}
+	if minDepth > 0 {
+		qs.min = ix.eng.minSigStore().Family().SignatureN(qs.work, minDepth)
+	}
+	if ix.packOneBit && !topK {
+		qs.bits = minhash.PackOneBit(qs.min)
+	} else if bitsDepth > 0 {
+		fam := ix.eng.bitSigStore().Family()
+		// Features outside the corpus dimensionality contribute nothing
+		// to any dot product with a corpus vector, so the hyperplane
+		// family hashes the query's projection onto the corpus feature
+		// space; exact verification still uses the full vector.
+		qs.bits = fam.SignatureN(restrictToDim(qs.work, fam.Dim()), bitsDepth)
+	}
+	return qs
+}
+
+// restrictToDim returns v limited to features below dim, sharing the
+// input's backing arrays. Vectors carry strictly increasing indices,
+// so the restriction is a prefix.
+func restrictToDim(v vector.Vector, dim int) vector.Vector {
+	if v.Len() == 0 || int(v.Ind[v.Len()-1]) < dim {
+		return v
+	}
+	k := sort.Search(v.Len(), func(i int) bool { return int(v.Ind[i]) >= dim })
+	return vector.Vector{Ind: v.Ind[:k], Val: v.Val[:k]}
+}
+
+// candidates generates the query's candidate corpus ids from the
+// prebuilt structure, in ascending id order.
+func (ix *Index) candidates(qs querySigs) []int32 {
+	switch {
+	case ix.ap != nil:
+		return ix.ap.Probe(qs.work)
+	case ix.mins != nil:
+		return ix.mins.Probe(qs.min)
+	case ix.bits != nil:
+		return ix.bits.Probe(qs.bits)
+	default: // BruteForce: every non-empty corpus vector
+		vecs := ix.eng.ds.c.Vecs
+		ids := make([]int32, 0, len(vecs))
+		for id, v := range vecs {
+			if v.Len() > 0 {
+				ids = append(ids, int32(id))
+			}
+		}
+		return ids
+	}
+}
+
+// exactSim computes the exact similarity of the raw query to corpus
+// vector id under the index's measure.
+func (ix *Index) exactSim(qraw vector.Vector, id int32) float64 {
+	return toExactMeasure(ix.eng.measure).Sim(qraw, ix.eng.ds.c.Vecs[id])
+}
+
+// Query returns the corpus vectors similar to q at the index's
+// threshold (or opts.Threshold, if higher), in ascending id order. It
+// runs candidate generation against the prebuilt index followed by
+// the built algorithm's verification — exact, fixed-hash estimation,
+// BayesLSH, or BayesLSH-Lite. Safe for any number of concurrent
+// callers; results are deterministic for the engine's Seed.
+func (ix *Index) Query(q Vec, opts QueryOptions) ([]Match, error) {
+	t, err := ix.queryThreshold(opts)
+	if err != nil {
+		return nil, err
+	}
+	if q.Len() == 0 {
+		return nil, nil
+	}
+	qs := ix.prepare(q, false)
+	hits := ix.verify(qs, ix.candidates(qs))
+	if t > ix.opts.Threshold {
+		kept := hits[:0]
+		for _, h := range hits {
+			if h.Sim >= t {
+				kept = append(kept, h)
+			}
+		}
+		hits = kept
+	}
+	return toMatches(hits), nil
+}
+
+// queryThreshold resolves and validates the per-query threshold.
+func (ix *Index) queryThreshold(opts QueryOptions) (float64, error) {
+	t := opts.Threshold
+	if t == 0 {
+		return ix.opts.Threshold, nil
+	}
+	if t < ix.opts.Threshold || t > 1 {
+		return 0, fmt.Errorf("bayeslsh: query threshold %v outside [built threshold %v, 1]", t, ix.opts.Threshold)
+	}
+	return t, nil
+}
+
+// verify runs the built algorithm's verification over the candidate
+// ids at the built threshold, returning hits in candidate (ascending
+// id) order.
+func (ix *Index) verify(qs querySigs, ids []int32) []pair.Hit {
+	o := ix.opts
+	switch o.Algorithm {
+	case BruteForce, AllPairs, LSH:
+		var hits []pair.Hit
+		for _, id := range ids {
+			if s := ix.exactSim(qs.raw, id); s >= o.Threshold {
+				hits = append(hits, pair.Hit{ID: id, Sim: s})
+			}
+		}
+		return hits
+
+	case LSHApprox:
+		n := ix.approxN
+		var hits []pair.Hit
+		for _, id := range ids {
+			s := ix.approxEstimate(qs, id, n)
+			if s >= o.Threshold {
+				hits = append(hits, pair.Hit{ID: id, Sim: s})
+			}
+		}
+		return hits
+
+	case AllPairsBayesLSH, LSHBayesLSH:
+		hits, _ := ix.vq.VerifyQuery(core.QuerySig{Bits: qs.bits, Min: qs.min}, ids)
+		return hits
+
+	default: // AllPairsBayesLSHLite, LSHBayesLSHLite
+		hits, _ := ix.vq.VerifyQueryLite(core.QuerySig{Bits: qs.bits, Min: qs.min}, ids, o.LiteHashes,
+			func(id int32) float64 { return ix.exactSim(qs.raw, id) })
+		return hits
+	}
+}
+
+// approxEstimate is the classical fixed-n LSH estimator of §3 for one
+// query-candidate pair, sharing the batch approxVerify formulas.
+func (ix *Index) approxEstimate(qs querySigs, id int32, n int) float64 {
+	if ix.eng.measure == Jaccard {
+		return approxJaccardEstimate(minhash.Matches(qs.min, ix.eng.minSigStore().Sigs()[id], 0, n), n)
+	}
+	return approxCosineEstimate(sighash.MatchCount(qs.bits, ix.eng.bitSigStore().Sigs()[id], 0, n), n)
+}
+
+// TopK returns the k corpus vectors most similar to q among the
+// index's candidates, ordered by decreasing exact similarity (ties by
+// ascending id). Candidate generation runs at the built threshold, so
+// vectors whose similarity falls below it may be absent — TopK is
+// "top k of everything the index can see", not an exact k-nearest
+// scan (build with Algorithm BruteForce for that). Similarities are
+// always exact; the build algorithm only determines the candidate
+// source.
+func (ix *Index) TopK(q Vec, k int) ([]Match, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("bayeslsh: TopK needs k > 0, got %d", k)
+	}
+	if q.Len() == 0 {
+		return nil, nil
+	}
+	qs := ix.prepare(q, true)
+	ids := ix.candidates(qs)
+	hits := make([]pair.Hit, 0, len(ids))
+	for _, id := range ids {
+		hits = append(hits, pair.Hit{ID: id, Sim: ix.exactSim(qs.raw, id)})
+	}
+	pair.SortHitsBySim(hits)
+	if len(hits) > k {
+		hits = hits[:k]
+	}
+	return toMatches(hits), nil
+}
+
+// QueryBatch answers many queries, sharding them over the engine's
+// worker pool (EngineConfig.Parallelism). Result i corresponds to
+// queries[i]; each is identical to a standalone Query call, so the
+// output is independent of worker count and batching.
+func (ix *Index) QueryBatch(queries []Vec, opts QueryOptions) ([][]Match, error) {
+	if _, err := ix.queryThreshold(opts); err != nil {
+		return nil, err
+	}
+	out := make([][]Match, len(queries))
+	workers := ix.eng.workers()
+	shard.Run(len(queries), workers, shard.Chunk(len(queries), workers, 1), func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			out[i], _ = ix.Query(queries[i], opts)
+		}
+	})
+	return out, nil
+}
+
+func toMatches(hits []pair.Hit) []Match {
+	out := make([]Match, len(hits))
+	for i, h := range hits {
+		out[i] = Match{ID: int(h.ID), Sim: h.Sim}
+	}
+	return out
+}

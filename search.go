@@ -306,8 +306,7 @@ func (e *Engine) approxVerify(o Options, cands []pair.Pair) ([]Result, int) {
 		st.EnsureAllParallel(n, workers)
 		sigs := st.Sigs()
 		return e.estimateBatches(cands, func(p pair.Pair) float64 {
-			m := minhash.Matches(sigs[p.A], sigs[p.B], 0, n)
-			return float64(m) / float64(n)
+			return approxJaccardEstimate(minhash.Matches(sigs[p.A], sigs[p.B], 0, n), n)
 		}, o.Threshold), n
 	}
 	st := e.bitSigStore()
@@ -318,10 +317,20 @@ func (e *Engine) approxVerify(o Options, cands []pair.Pair) ([]Result, int) {
 	st.EnsureAllParallel(n, workers)
 	sigs := st.Sigs()
 	return e.estimateBatches(cands, func(p pair.Pair) float64 {
-		m := sighash.MatchCount(sigs[p.A], sigs[p.B], 0, n)
-		r := float64(m) / float64(n)
-		return sighash.RToCosine(clamp(r, 0.5, 1))
+		return approxCosineEstimate(sighash.MatchCount(sigs[p.A], sigs[p.B], 0, n), n)
 	}, o.Threshold), n
+}
+
+// approxJaccardEstimate is the §3 maximum-likelihood Jaccard estimate
+// after m of n minhashes matched. Shared by the batch LSHApprox
+// pipeline and the index's query path so the two cannot drift.
+func approxJaccardEstimate(m, n int) float64 { return float64(m) / float64(n) }
+
+// approxCosineEstimate is the §3 estimate for cosine: the match rate
+// clamped to the collision-probability support [0.5, 1], mapped back
+// to cosine space.
+func approxCosineEstimate(m, n int) float64 {
+	return sighash.RToCosine(clamp(float64(m)/float64(n), 0.5, 1))
 }
 
 // estimateBatches applies est to every candidate over the engine's
