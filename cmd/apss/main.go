@@ -13,6 +13,13 @@
 //
 //	apss query -dataset RCV1-sim -t 0.7 -queries q.vec
 //	apss query -file corpus.vec -measure jaccard -t 0.5 -self 100 -topk 10
+//
+// The build subcommand is the offline half of the production split:
+// it builds the index once and saves a snapshot that any number of
+// serving processes load in milliseconds (see docs/PERSISTENCE.md):
+//
+//	apss build -dataset RCV1-sim -t 0.7 -out index.snap
+//	apss query -index index.snap -self 100
 package main
 
 import (
@@ -41,10 +48,35 @@ var measuresByName = map[string]bayeslsh.Measure{
 	"binary-cosine": bayeslsh.BinaryCosine,
 }
 
+// usageError prints a one-line message to stderr and exits with
+// status 2 — the shared flag-validation contract of every apss
+// subcommand: bad flag values never panic and never proceed with
+// garbage.
+func usageError(prog, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, prog+": "+format+"\n", args...)
+	os.Exit(2)
+}
+
+// validateCommon rejects the flag values every subcommand shares.
+func validateCommon(prog string, threshold float64, parallel int) {
+	if threshold <= 0 || threshold > 1 {
+		usageError(prog, "-t %v outside (0, 1]", threshold)
+	}
+	if parallel < 0 {
+		usageError(prog, "-parallel %d must be >= 0 (0 = all CPUs)", parallel)
+	}
+}
+
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "query" {
-		queryMain(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "query":
+			queryMain(os.Args[2:])
+			return
+		case "build":
+			buildMain(os.Args[2:])
+			return
+		}
 	}
 	datasetName := flag.String("dataset", "", "built-in synthetic dataset name")
 	file := flag.String("file", "", "dataset file in the library's vector format")
@@ -62,13 +94,15 @@ func main() {
 
 	measure, ok := measuresByName[*measureName]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "apss: unknown measure %q\n", *measureName)
-		os.Exit(2)
+		usageError("apss", "unknown measure %q", *measureName)
 	}
 	alg, ok := algorithmsByName[*algName]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "apss: unknown algorithm %q\n", *algName)
-		os.Exit(2)
+		usageError("apss", "unknown algorithm %q", *algName)
+	}
+	validateCommon("apss", *threshold, *parallel)
+	if *batch < 0 {
+		usageError("apss", "-batch %d must be >= 0 (0 = default)", *batch)
 	}
 
 	ds := loadDataset(*datasetName, *file, measure, "apss")

@@ -9,11 +9,12 @@ import (
 	"bayeslsh"
 )
 
-// queryMain implements the "apss query" subcommand: build the
-// query-serving index once, then answer point queries against it.
-// Queries come from a vector-format file (-queries) and/or the first
-// -self vectors of the corpus itself; each prints as lines of
-// "<query> <id> <sim>".
+// queryMain implements the "apss query" subcommand: serve point
+// queries against the query-serving index — built in-process from a
+// dataset, or loaded from a snapshot written by "apss build -out"
+// (-index), the online half of the offline/online split. Queries come
+// from a vector-format file (-queries) and/or the first -self vectors
+// of the corpus itself; each prints as lines of "<query> <id> <sim>".
 func queryMain(args []string) {
 	fs := flag.NewFlagSet("apss query", flag.ExitOnError)
 	datasetName := fs.String("dataset", "", "built-in synthetic dataset name")
@@ -21,7 +22,8 @@ func queryMain(args []string) {
 	measureName := fs.String("measure", "cosine", "cosine | jaccard | binary-cosine")
 	algName := fs.String("algorithm", "LSH+BayesLSH", "pipeline the index is built for")
 	threshold := fs.Float64("t", 0.7, "similarity threshold the index is built at")
-	qt := fs.Float64("qt", 0, "per-query threshold override (>= -t; 0 = use -t)")
+	index := fs.String("index", "", "load a prebuilt index snapshot instead of building (see apss build)")
+	qt := fs.Float64("qt", 0, "per-query threshold override (>= the built threshold; 0 = built threshold)")
 	topk := fs.Int("topk", 0, "return the k most similar vectors instead of a threshold query")
 	queriesFile := fs.String("queries", "", "query vectors in the library's vector format")
 	self := fs.Int("self", 0, "also query the first n corpus vectors against the index")
@@ -29,34 +31,71 @@ func queryMain(args []string) {
 	parallel := fs.Int("parallel", 0, "batch-query workers (0 = NumCPU, 1 = sequential)")
 	fs.Parse(args)
 
+	const prog = "apss query"
 	measure, ok := measuresByName[*measureName]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "apss query: unknown measure %q\n", *measureName)
-		os.Exit(2)
+		usageError(prog, "unknown measure %q", *measureName)
 	}
 	alg, ok := algorithmsByName[*algName]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "apss query: unknown algorithm %q\n", *algName)
-		os.Exit(2)
+		usageError(prog, "unknown algorithm %q", *algName)
+	}
+	validateCommon(prog, *threshold, *parallel)
+	if *topk < 0 {
+		usageError(prog, "-topk %d must be >= 0 (0 = threshold query)", *topk)
+	}
+	if *qt != 0 && (*qt <= 0 || *qt > 1) {
+		usageError(prog, "-qt %v outside (0, 1]", *qt)
 	}
 	if *topk > 0 && *qt != 0 {
-		fmt.Fprintln(os.Stderr, "apss query: -qt applies to threshold queries only; it cannot combine with -topk")
-		os.Exit(2)
+		usageError(prog, "-qt applies to threshold queries only; it cannot combine with -topk")
 	}
-	ds := loadDataset(*datasetName, *file, measure, "apss query")
+	if *self < 0 {
+		usageError(prog, "-self %d must be >= 0", *self)
+	}
+	if *index != "" {
+		// A snapshot fixes corpus, measure, algorithm and threshold;
+		// flags that would contradict it are rejected, not ignored.
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "dataset", "file", "measure", "algorithm", "t", "seed":
+				usageError(prog, "-%s cannot combine with -index (the snapshot fixes it)", f.Name)
+			}
+		})
+	}
 
-	// Collect the queries before paying for the build.
+	var (
+		ix  *bayeslsh.Index
+		ds  *bayeslsh.Dataset
+		err error
+	)
+	if *index != "" {
+		start := time.Now()
+		if ix, err = bayeslsh.LoadFile(*index); err != nil {
+			fmt.Fprintln(os.Stderr, prog+":", err)
+			os.Exit(1)
+		}
+		ix.SetRuntime(*parallel, 0)
+		ds = ix.Dataset()
+		fmt.Fprintf(os.Stderr, "apss query: %v index over %d vectors (%v, t=%.2f) loaded from %s in %v\n",
+			ix.Options().Algorithm, ix.Len(), ix.Measure(), ix.Threshold(),
+			*index, time.Since(start).Round(time.Millisecond))
+	} else {
+		ds = loadDataset(*datasetName, *file, measure, prog)
+	}
+
+	// Collect the queries before paying for any build.
 	var queries []bayeslsh.Vec
 	if *queriesFile != "" {
 		f, err := os.Open(*queriesFile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "apss query:", err)
+			fmt.Fprintln(os.Stderr, prog+":", err)
 			os.Exit(1)
 		}
 		qds, err := bayeslsh.ReadDataset(f)
 		f.Close()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "apss query:", err)
+			fmt.Fprintln(os.Stderr, prog+":", err)
 			os.Exit(1)
 		}
 		for i := 0; i < qds.Len(); i++ {
@@ -70,21 +109,21 @@ func queryMain(args []string) {
 		queries = append(queries, ds.Vector(i))
 	}
 	if len(queries) == 0 {
-		fmt.Fprintln(os.Stderr, "apss query: need -queries and/or -self")
-		os.Exit(2)
+		usageError(prog, "need -queries and/or -self")
 	}
 
-	ix, err := bayeslsh.NewIndex(ds, measure, bayeslsh.EngineConfig{
-		Seed:        *seed,
-		Parallelism: *parallel,
-	}, bayeslsh.Options{Algorithm: alg, Threshold: *threshold})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "apss query:", err)
-		os.Exit(1)
+	if ix == nil {
+		if ix, err = bayeslsh.NewIndex(ds, measure, bayeslsh.EngineConfig{
+			Seed:        *seed,
+			Parallelism: *parallel,
+		}, bayeslsh.Options{Algorithm: alg, Threshold: *threshold}); err != nil {
+			fmt.Fprintln(os.Stderr, prog+":", err)
+			os.Exit(1)
+		}
+		st := ix.Stats()
+		fmt.Fprintf(os.Stderr, "apss query: %v index over %d vectors (%v, t=%.2f) built in %v (tables=%d bandk=%d)\n",
+			alg, ix.Len(), measure, *threshold, st.BuildTime.Round(time.Millisecond), st.Tables, st.BandK)
 	}
-	st := ix.Stats()
-	fmt.Fprintf(os.Stderr, "apss query: %v index over %d vectors (%v, t=%.2f) built in %v (tables=%d bandk=%d)\n",
-		alg, ix.Len(), measure, *threshold, st.BuildTime.Round(time.Millisecond), st.Tables, st.BandK)
 
 	start := time.Now()
 	var results [][]bayeslsh.Match

@@ -50,10 +50,26 @@
 //		bayeslsh.Options{Algorithm: bayeslsh.LSHBayesLSH, Threshold: 0.7})
 //	matches, err := ix.Query(bayeslsh.NewVec(features), bayeslsh.QueryOptions{})
 //
-// Queries are consistent with batch search: a query equal to dataset
-// vector i returns exactly the pairs involving i that Search finds at
-// the same threshold and Seed (see docs/QUERYING.md for the one
-// AllPairs+BayesLSH caveat and the cost model).
+// Queries are consistent with batch search for every pipeline: a
+// query equal to dataset vector i returns exactly the pairs involving
+// i that Search finds at the same threshold and Seed (docs/QUERYING.md
+// has the guarantee and the cost model).
+//
+// # Persistence (build offline, serve online)
+//
+// A built Index snapshots to a versioned, checksummed binary stream
+// and loads back without rebuilding — the offline-build/online-serve
+// split of production systems, where one builder writes a snapshot
+// and a fleet of serving processes load it at startup:
+//
+//	err := ix.SaveFile("index.snap")     // offline (atomic replace)
+//	ix, err := bayeslsh.LoadFile("index.snap") // online, milliseconds
+//
+// A loaded index serves Query, TopK and QueryBatch results
+// bit-identical to the index that wrote the snapshot, at any
+// Parallelism and BatchSize (set per process with Index.SetRuntime).
+// WriteTo and ReadIndex are the io.Writer/io.Reader forms;
+// docs/PERSISTENCE.md documents the format and versioning policy.
 //
 // # Parallelism and determinism
 //
@@ -77,7 +93,8 @@
 // one-sided), internal/allpairs, internal/lshindex and
 // internal/ppjoin generate candidates (the first two also keep
 // query-servable structures), internal/sighash and internal/minhash
-// implement the LSH families, and internal/harness regenerates the
-// paper's tables and figures. The README's architecture map walks
-// through all of them.
+// implement the LSH families, internal/snapshot holds the binary
+// snapshot primitives behind Index persistence, and internal/harness
+// regenerates the paper's tables and figures. The README's
+// architecture map walks through all of them.
 package bayeslsh

@@ -1,6 +1,7 @@
 package bayeslsh
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"bayeslsh/internal/pair"
 	"bayeslsh/internal/rng"
 	"bayeslsh/internal/sighash"
+	"bayeslsh/internal/stats"
 	"bayeslsh/internal/vector"
 )
 
@@ -74,13 +76,18 @@ type Engine struct {
 	minStore *minhash.Store
 }
 
+// ErrEmptyDataset reports an engine or index built over a nil or
+// zero-length dataset — there is nothing to search, so construction
+// fails rather than every later call.
+var ErrEmptyDataset = errors.New("bayeslsh: empty dataset")
+
 // NewEngine creates an engine for the dataset under the measure. For
 // Cosine the dataset should already be normalized (Dataset.Normalize);
 // for Jaccard and BinaryCosine weights are ignored or binarized
-// internally.
+// internally. A nil or empty dataset returns ErrEmptyDataset.
 func NewEngine(ds *Dataset, m Measure, cfg EngineConfig) (*Engine, error) {
 	if ds == nil || ds.Len() == 0 {
-		return nil, fmt.Errorf("bayeslsh: empty dataset")
+		return nil, ErrEmptyDataset
 	}
 	e := &Engine{ds: ds, measure: m, cfg: cfg.withDefaults()}
 	switch m {
@@ -213,10 +220,31 @@ func (e *Engine) workInput() *vector.Collection {
 	return e.ds.c
 }
 
-// bayesVerifier constructs the measure-appropriate core verifier.
-// The returned verifier also serves the one-sided query path (see
-// core.QueryVerifier); batch search uses only the Verifier half.
+// bayesVerifier constructs the measure-appropriate core verifier,
+// fitting the Jaccard Beta prior from the candidate stream when the
+// pipeline needs one. The returned verifier also serves the one-sided
+// query path (see core.QueryVerifier); batch search uses only the
+// Verifier half.
 func (e *Engine) bayesVerifier(o Options, cands []pair.Pair) (core.QueryVerifier, error) {
+	return e.bayesVerifierWithPrior(o, e.fitPrior(o, cands))
+}
+
+// fitPrior learns the Jaccard Beta prior from the candidate stream,
+// exactly as §4.1 prescribes. Configurations whose verifier takes no
+// prior (cosine measures, 1-bit minhash) get the uniform placeholder.
+func (e *Engine) fitPrior(o Options, cands []pair.Pair) stats.Beta {
+	if e.measure != Jaccard || o.OneBitMinhash {
+		return stats.Beta{Alpha: 1, Beta: 1}
+	}
+	return core.FitJaccardPrior(e.work, cands, o.PriorSample, rng.Derive(e.cfg.Seed, 3))
+}
+
+// bayesVerifierWithPrior constructs the verifier for an
+// already-determined prior — the path shared by fresh builds (which
+// fit the prior from candidates) and snapshot loads (which restore the
+// fitted prior verbatim, so a loaded index prunes with the exact
+// table the saved one did).
+func (e *Engine) bayesVerifierWithPrior(o Options, prior stats.Beta) (core.QueryVerifier, error) {
 	params := core.Params{
 		Threshold: o.Threshold,
 		Epsilon:   o.Epsilon,
@@ -238,7 +266,6 @@ func (e *Engine) bayesVerifier(o Options, cands []pair.Pair) (core.QueryVerifier
 			return core.NewOneBitJaccard(sigs, params.MaxHashes, params)
 		}
 		params.Ensure = st.Ensure
-		prior := core.FitJaccardPrior(e.work, cands, o.PriorSample, rng.Derive(e.cfg.Seed, 3))
 		return core.NewJaccard(st.Sigs(), prior, params)
 	}
 	st := e.bitSigStore()

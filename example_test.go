@@ -1,6 +1,7 @@
 package bayeslsh_test
 
 import (
+	"bytes"
 	"fmt"
 	"log"
 	"sort"
@@ -123,4 +124,43 @@ func ExampleDataset_AddSet() {
 	}
 	// Output:
 	// (0, 1) 0.60
+}
+
+// ExampleIndex_WriteTo snapshots a built index and loads it back —
+// the offline-build/online-serve split. The loaded index answers
+// queries bit-identically to the one that wrote the snapshot.
+func ExampleIndex_WriteTo() {
+	ds := bayeslsh.NewDataset(8)
+	ds.Add(map[uint32]float64{0: 1, 1: 2, 2: 3})   // doc 0
+	ds.Add(map[uint32]float64{0: 1, 1: 2, 2: 3.1}) // doc 1: near-duplicate of 0
+	ds.Add(map[uint32]float64{5: 1, 6: 1})         // doc 2: unrelated
+	ds.Normalize()
+
+	built, err := bayeslsh.NewIndex(ds, bayeslsh.Cosine, bayeslsh.EngineConfig{Seed: 1},
+		bayeslsh.Options{Algorithm: bayeslsh.AllPairs, Threshold: 0.9})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Offline: serialize the build. SaveFile is the file-backed form.
+	var snap bytes.Buffer
+	if _, err := built.WriteTo(&snap); err != nil {
+		log.Fatal(err)
+	}
+
+	// Online: a serving process loads the snapshot instead of rebuilding.
+	ix, err := bayeslsh.ReadIndex(&snap)
+	if err != nil {
+		log.Fatal(err)
+	}
+	matches, err := ix.Query(bayeslsh.NewVec(map[uint32]float64{0: 1, 1: 2.1, 2: 3}), bayeslsh.QueryOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range matches {
+		fmt.Printf("%d %.4f\n", m.ID, m.Sim)
+	}
+	// Output:
+	// 0 0.9998
+	// 1 0.9993
 }

@@ -8,6 +8,7 @@ import (
 	"bayeslsh/internal/core"
 	"bayeslsh/internal/lshindex"
 	"bayeslsh/internal/pair"
+	"bayeslsh/internal/stats"
 )
 
 // Index is a query-serving similarity index: it builds signatures,
@@ -32,8 +33,7 @@ import (
 // Parallelism and BatchSize — and consistent with Engine.Search: a
 // query equal to dataset vector i returns, apart from the self-match,
 // exactly the pairs involving i that the batch search finds at the
-// same threshold (see docs/QUERYING.md for the one caveat on
-// AllPairs+BayesLSH estimates).
+// same threshold, for every pipeline (see docs/QUERYING.md).
 type Index struct {
 	eng  *Engine
 	opts Options // resolved search options the index was built with
@@ -42,6 +42,12 @@ type Index struct {
 	mins *lshindex.MinhashTables // LSH tables, Jaccard
 	ap   *allpairs.Index         // AllPairs inverted index
 	vq   core.QueryVerifier      // Bayes / Lite verification
+
+	// prior is the fitted Jaccard Beta prior behind vq (the uniform
+	// placeholder when the verifier takes none), kept so snapshots can
+	// persist it and a loaded index can rebuild the identical verifier
+	// without re-enumerating the candidate stream.
+	prior stats.Beta
 
 	// Query-signature depths, split by representation and use so each
 	// call hashes only what it reads: banding depths feed the table
@@ -93,7 +99,9 @@ func (e *Engine) BuildIndex(opts Options) (*Index, error) {
 		return nil, err
 	}
 	start := time.Now()
-	ix := &Index{eng: e, opts: o}
+	// The prior defaults to the uniform placeholder so every index —
+	// including the non-Bayes pipelines — snapshots a valid one.
+	ix := &Index{eng: e, opts: o, prior: stats.Beta{Alpha: 1, Beta: 1}}
 
 	// Candidate source.
 	switch o.Algorithm {
@@ -143,7 +151,8 @@ func (e *Engine) BuildIndex(opts Options) (*Index, error) {
 			pair.SortPairs(cands)
 			ix.stats.PriorCandidates = len(cands)
 		}
-		ix.vq, err = e.bayesVerifier(o, cands)
+		ix.prior = e.fitPrior(o, cands)
+		ix.vq, err = e.bayesVerifierWithPrior(o, ix.prior)
 		if err != nil {
 			return nil, err
 		}
@@ -189,6 +198,12 @@ func (ix *Index) Options() Options { return ix.opts }
 
 // Len returns the number of indexed corpus vectors.
 func (ix *Index) Len() int { return ix.eng.ds.Len() }
+
+// Dataset returns the indexed corpus. An index loaded from a snapshot
+// carries its corpus with it, so serving processes can, for example,
+// query the index with stored vectors (Dataset.Vector) without
+// shipping the dataset separately.
+func (ix *Index) Dataset() *Dataset { return ix.eng.ds }
 
 // Stats returns build cost and shape statistics.
 func (ix *Index) Stats() IndexStats { return ix.stats }

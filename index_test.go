@@ -37,14 +37,15 @@ func batchPartners(out *Output, n int) []map[int]float64 {
 	return ps
 }
 
-// queryAlgorithms are the pipelines whose query path is exactly
-// consistent with the batch search (see docs/QUERYING.md:
-// AllPairsBayesLSH can differ on sub-threshold estimated pairs, so it
-// is checked separately with a recall bound).
+// queryAlgorithms are the query-serving pipelines; every one of them
+// is exactly consistent with the batch search (the AllPairs candidate
+// test is symmetric in the pair, so even the estimate-reporting
+// AllPairsBayesLSH pipeline agrees strictly — see docs/QUERYING.md).
 func queryAlgorithms() []Algorithm {
 	return []Algorithm{
 		BruteForce, AllPairs, LSH, LSHApprox,
-		LSHBayesLSH, LSHBayesLSHLite, AllPairsBayesLSHLite,
+		LSHBayesLSH, LSHBayesLSHLite,
+		AllPairsBayesLSH, AllPairsBayesLSHLite,
 	}
 }
 
@@ -115,53 +116,6 @@ func TestQueryMatchesBatch(t *testing.T) {
 				}
 			}
 		})
-	}
-}
-
-// TestQueryAllPairsBayesRecall covers the one documented
-// inconsistency: AllPairs+BayesLSH query candidates are generated by
-// a symmetric probe, so results can differ from the batch search on
-// sub-threshold estimated pairs — but never on pairs at or above the
-// threshold.
-func TestQueryAllPairsBayesRecall(t *testing.T) {
-	ds := smallDataset(t, 300).TfIdf().Normalize()
-	eng, err := NewEngine(ds, Cosine, EngineConfig{Seed: 7, SignatureBits: 1024})
-	if err != nil {
-		t.Fatal(err)
-	}
-	opts := Options{Algorithm: AllPairsBayesLSH, Threshold: 0.7}
-	batch, err := eng.Search(opts)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ix, err := eng.BuildIndex(opts)
-	if err != nil {
-		t.Fatal(err)
-	}
-	partners := batchPartners(batch, ds.Len())
-	for i := 0; i < ds.Len(); i++ {
-		ms, err := ix.Query(ds.Vector(i), QueryOptions{})
-		if err != nil {
-			t.Fatal(err)
-		}
-		got := map[int]float64{}
-		for _, m := range ms {
-			if m.ID != i {
-				got[m.ID] = m.Sim
-			}
-		}
-		for id, ws := range partners[i] {
-			if ws < 0.7 {
-				continue // sub-threshold estimates may legitimately differ
-			}
-			gs, ok := got[id]
-			if !ok {
-				t.Fatalf("query %d missing above-threshold partner %d (batch estimate %v)", i, id, ws)
-			}
-			if gs != ws {
-				t.Fatalf("query %d partner %d estimate %v, batch %v", i, id, gs, ws)
-			}
-		}
 	}
 }
 

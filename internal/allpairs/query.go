@@ -9,8 +9,10 @@
 // Candidate bounds are upper bounds on the true similarity, so every
 // pair meeting the threshold is emitted by both the batch scan and the
 // query probe; the two can disagree only on sub-threshold false
-// candidates, which exact (and Lite) verification rejects on either
-// path.
+// candidates. Exact (and Lite) verification rejects those on either
+// path, and the full-Bayes caller closes the same gap by
+// exact-checking only its accepted hits on both paths — so query
+// results equal batch results for every AllPairs pipeline.
 
 package allpairs
 
@@ -43,11 +45,17 @@ func BuildIndex(c *vector.Collection, t float64) (*Index, error) {
 	for _, xid := range s.order {
 		s.indexVector(xid)
 	}
+	return newIndex(s), nil
+}
+
+// newIndex wraps a fully indexed searcher in the probe-serving Index —
+// shared by BuildIndex and the snapshot loader.
+func newIndex(s *searcher) *Index {
 	ix := &Index{s: s}
 	ix.pool.New = func() any {
-		return &probeState{accs: make([]float64, len(c.Vecs))}
+		return &probeState{accs: make([]float64, len(s.c.Vecs))}
 	}
-	return ix, nil
+	return ix
 }
 
 // BuildIndexMeasure builds the index under the given measure, applying

@@ -33,6 +33,15 @@ func (f *Fill) Filled(id int32) int { return int(atomic.LoadInt32(&f.filled[id])
 // the wall clock of the enclosing phase.
 func (f *Fill) Elapsed() time.Duration { return time.Duration(f.nanos.Load()) }
 
+// Restore sets item id's fill count directly — the snapshot-loading
+// path, which repopulates item data wholesale and then declares it
+// filled. It must run before the Fill is shared with concurrent
+// Ensure/Filled callers (loading is single-goroutine), and after the
+// item's first n data units have been written.
+func (f *Fill) Restore(id int32, n int) {
+	atomic.StoreInt32(&f.filled[id], int32(n))
+}
+
 // Ensure guarantees item id is filled to at least n units. If it is
 // not, fill(from) runs under the item's stripe lock; it must extend
 // the item's data from `from` units and return the new fill count

@@ -1,0 +1,210 @@
+package snapshot
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrCorrupt is the base error of every structural decode failure:
+// truncated input, a length prefix larger than the bytes present, or
+// a section tag other than the expected one. Callers wrap it with
+// context; errors.Is(err, ErrCorrupt) identifies decode failures.
+var ErrCorrupt = errors.New("corrupt snapshot")
+
+// Reader decodes snapshot bytes from an in-memory buffer. Working on a
+// buffer (rather than an io.Reader) makes hostile input safe by
+// construction: every length prefix is validated against the bytes
+// actually remaining before any allocation, so a corrupt snapshot can
+// fail to decode but cannot cause huge allocations or panics. Errors
+// are sticky, mirroring Writer; after the first failure every method
+// returns zero values and Err reports the failure.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader decodes from buf. The caller is expected to have verified
+// the file checksum first (see Checksum).
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Err returns the first decode error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of undecoded bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+func (r *Reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+	}
+}
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > r.Remaining() {
+		r.fail("need %d bytes, have %d", n, r.Remaining())
+		return nil
+	}
+	p := r.buf[r.off : r.off+n]
+	r.off += n
+	return p
+}
+
+// Raw reads n verbatim bytes (used for the file magic).
+func (r *Reader) Raw(n int) []byte { return r.take(n) }
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	p := r.take(1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+// Bool reads a one-byte bool, rejecting values other than 0 and 1.
+func (r *Reader) Bool() bool {
+	switch v := r.U8(); v {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.fail("bad bool byte %d", v)
+		return false
+	}
+}
+
+// U32 reads a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	p := r.take(4)
+	if p == nil {
+		return 0
+	}
+	return uint32(p[0]) | uint32(p[1])<<8 | uint32(p[2])<<16 | uint32(p[3])<<24
+}
+
+// U64 reads a little-endian uint64.
+func (r *Reader) U64() uint64 {
+	p := r.take(8)
+	if p == nil {
+		return 0
+	}
+	return uint64(p[0]) | uint64(p[1])<<8 | uint64(p[2])<<16 | uint64(p[3])<<24 |
+		uint64(p[4])<<32 | uint64(p[5])<<40 | uint64(p[6])<<48 | uint64(p[7])<<56
+}
+
+// I64 reads an int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// F64 reads a float64.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Len reads a length prefix and validates that at least elemSize bytes
+// per element remain, so the caller may allocate length-sized slices
+// without an over-allocation risk on corrupt input.
+func (r *Reader) Len(elemSize int) int {
+	n := r.U64()
+	if r.err != nil {
+		return 0
+	}
+	if n > uint64(r.Remaining())/uint64(elemSize) {
+		r.fail("length %d exceeds remaining %d bytes", n, r.Remaining())
+		return 0
+	}
+	return int(n)
+}
+
+// U32s reads a length-prefixed []uint32. A zero-length slice decodes
+// as nil.
+func (r *Reader) U32s() []uint32 {
+	n := r.Len(4)
+	if n == 0 {
+		return nil
+	}
+	vs := make([]uint32, n)
+	for i := range vs {
+		vs[i] = r.U32()
+	}
+	return vs
+}
+
+// U64s reads a length-prefixed []uint64. A zero-length slice decodes
+// as nil.
+func (r *Reader) U64s() []uint64 {
+	n := r.Len(8)
+	if n == 0 {
+		return nil
+	}
+	vs := make([]uint64, n)
+	for i := range vs {
+		vs[i] = r.U64()
+	}
+	return vs
+}
+
+// I32s reads a length-prefixed []int32. A zero-length slice decodes as
+// nil.
+func (r *Reader) I32s() []int32 {
+	n := r.Len(4)
+	if n == 0 {
+		return nil
+	}
+	vs := make([]int32, n)
+	for i := range vs {
+		vs[i] = int32(r.U32())
+	}
+	return vs
+}
+
+// F64s reads a length-prefixed []float64. A zero-length slice decodes
+// as nil.
+func (r *Reader) F64s() []float64 {
+	n := r.Len(8)
+	if n == 0 {
+		return nil
+	}
+	vs := make([]float64, n)
+	for i := range vs {
+		vs[i] = r.F64()
+	}
+	return vs
+}
+
+// Section opens the next section, which must carry the given tag, and
+// returns a sub-reader limited to its payload. The parent reader
+// advances past the whole section; Close on the sub-reader reports
+// whether the payload was fully and cleanly consumed.
+func (r *Reader) Section(tag uint32) *Reader {
+	got := r.U32()
+	if r.err == nil && got != tag {
+		r.fail("section tag %d, expected %d", got, tag)
+	}
+	n := r.Len(1)
+	return &Reader{buf: r.take(n), err: r.err}
+}
+
+// Close verifies a section sub-reader decoded without error and left
+// no trailing bytes.
+func (r *Reader) Close() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.Remaining() != 0 {
+		r.fail("%d trailing bytes in section", r.Remaining())
+	}
+	return r.err
+}
+
+// Failf records a corruption error on r (unless one is already set)
+// and returns r's error — the hook decoders use to report semantic
+// validation failures with the same sticky-error discipline as
+// structural ones.
+func Failf(r *Reader, format string, args ...any) error {
+	r.fail(format, args...)
+	return r.Err()
+}

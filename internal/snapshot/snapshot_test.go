@@ -1,0 +1,155 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestPrimitivesRoundTrip writes every primitive and reads it back.
+func TestPrimitivesRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Raw([]byte("MAGI"))
+	w.U8(7)
+	w.Bool(true)
+	w.Bool(false)
+	w.U32(0xdeadbeef)
+	w.U64(1 << 60)
+	w.I64(-42)
+	w.F64(math.Pi)
+	w.U32s([]uint32{1, 2, 3})
+	w.U64s(nil)
+	w.I32s([]int32{-1, 0, 5})
+	w.F64s([]float64{0.5, -0.25})
+	n, err := w.Sum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("Sum reported %d bytes, wrote %d", n, buf.Len())
+	}
+
+	b := buf.Bytes()
+	if Checksum(b[:len(b)-4]) != uint32(b[len(b)-4])|uint32(b[len(b)-3])<<8|
+		uint32(b[len(b)-2])<<16|uint32(b[len(b)-1])<<24 {
+		t.Fatal("trailing checksum does not match contents")
+	}
+
+	r := NewReader(b[:len(b)-4])
+	if got := r.Raw(4); string(got) != "MAGI" {
+		t.Fatalf("Raw = %q", got)
+	}
+	if r.U8() != 7 || !r.Bool() || r.Bool() {
+		t.Fatal("U8/Bool mismatch")
+	}
+	if r.U32() != 0xdeadbeef || r.U64() != 1<<60 || r.I64() != -42 || r.F64() != math.Pi {
+		t.Fatal("scalar mismatch")
+	}
+	if got := r.U32s(); len(got) != 3 || got[2] != 3 {
+		t.Fatalf("U32s = %v", got)
+	}
+	if got := r.U64s(); got != nil {
+		t.Fatalf("empty U64s = %v", got)
+	}
+	if got := r.I32s(); len(got) != 3 || got[0] != -1 {
+		t.Fatalf("I32s = %v", got)
+	}
+	if got := r.F64s(); len(got) != 2 || got[1] != -0.25 {
+		t.Fatalf("F64s = %v", got)
+	}
+	if r.Err() != nil || r.Remaining() != 0 {
+		t.Fatalf("err %v, remaining %d", r.Err(), r.Remaining())
+	}
+}
+
+// TestSectionFraming checks tag validation and payload limits.
+func TestSectionFraming(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Section(1, func(sw *Writer) { sw.U32(11) })
+	w.Section(2, func(sw *Writer) { sw.U64s([]uint64{9}) })
+	if _, err := w.Sum(); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()[:buf.Len()-4]
+
+	r := NewReader(b)
+	s1 := r.Section(1)
+	if s1.U32() != 11 {
+		t.Fatal("section 1 payload")
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := r.Section(2)
+	if got := s2.U64s(); len(got) != 1 || got[0] != 9 {
+		t.Fatalf("section 2 payload %v", got)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("remaining %d", r.Remaining())
+	}
+
+	// Wrong expected tag.
+	r = NewReader(b)
+	bad := r.Section(9)
+	if err := bad.Close(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("tag mismatch: %v", err)
+	}
+
+	// Partially consumed section payload is flagged by Close.
+	r = NewReader(b)
+	s1 = r.Section(1)
+	if err := s1.Close(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("unconsumed payload: %v", err)
+	}
+}
+
+// TestReaderHostileLengths ensures oversized length prefixes fail
+// before allocation instead of over-allocating.
+func TestReaderHostileLengths(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.U64(math.MaxUint64) // length prefix far beyond the data
+	w.Sum()
+	r := NewReader(buf.Bytes())
+	if got := r.U64s(); got != nil {
+		t.Fatalf("hostile length produced %v", got)
+	}
+	if !errors.Is(r.Err(), ErrCorrupt) {
+		t.Fatalf("err = %v", r.Err())
+	}
+
+	// Truncation mid-scalar.
+	r = NewReader([]byte{1, 2})
+	if r.U32(); !errors.Is(r.Err(), ErrCorrupt) {
+		t.Fatalf("truncated scalar: %v", r.Err())
+	}
+
+	// A bad bool byte is rejected.
+	r = NewReader([]byte{3})
+	if r.Bool(); !errors.Is(r.Err(), ErrCorrupt) {
+		t.Fatalf("bad bool: %v", r.Err())
+	}
+}
+
+// TestStickyErrors verifies that reads after a failure stay inert and
+// Failf preserves the first error.
+func TestStickyErrors(t *testing.T) {
+	r := NewReader([]byte{1})
+	r.U64() // fails: only one byte
+	first := r.Err()
+	if first == nil {
+		t.Fatal("expected error")
+	}
+	if r.U32() != 0 || r.U8() != 0 {
+		t.Fatal("reads after failure returned data")
+	}
+	if err := Failf(r, "later"); !errors.Is(err, first) {
+		t.Fatalf("Failf replaced the first error: %v", err)
+	}
+}

@@ -1,0 +1,152 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// castagnoli is the CRC-32C polynomial table shared by Writer and
+// Checksum; CRC-32C has hardware support on common platforms.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum returns the CRC-32C checksum of buf, the whole-file
+// integrity check of the snapshot format.
+func Checksum(buf []byte) uint32 { return crc32.Checksum(buf, castagnoli) }
+
+// Writer streams snapshot bytes to an io.Writer, little-endian,
+// keeping a running CRC-32C of everything written so the caller can
+// finish the file with Sum. Errors are sticky: after the first write
+// failure every method is a no-op and Err reports the failure, so
+// encoding code can run straight-line without per-call checks.
+type Writer struct {
+	w   io.Writer
+	crc hash.Hash32 // nil for section sub-writers
+	n   int64
+	err error
+	b   [8]byte
+}
+
+// NewWriter starts a snapshot stream on w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w, crc: crc32.New(castagnoli)}
+}
+
+// Err returns the first error encountered, if any.
+func (w *Writer) Err() error { return w.err }
+
+// Len returns the number of bytes written so far, including the
+// checksum once Sum has run.
+func (w *Writer) Len() int64 { return w.n }
+
+func (w *Writer) write(p []byte) {
+	if w.err != nil {
+		return
+	}
+	n, err := w.w.Write(p)
+	w.n += int64(n)
+	if err == nil && n != len(p) {
+		err = io.ErrShortWrite
+	}
+	w.err = err
+	if w.err == nil && w.crc != nil {
+		w.crc.Write(p)
+	}
+}
+
+// Raw writes p verbatim (used for the file magic).
+func (w *Writer) Raw(p []byte) { w.write(p) }
+
+// U8 writes one byte.
+func (w *Writer) U8(v uint8) { w.b[0] = v; w.write(w.b[:1]) }
+
+// Bool writes a bool as one byte (0 or 1).
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// U32 writes a little-endian uint32.
+func (w *Writer) U32(v uint32) { binary.LittleEndian.PutUint32(w.b[:4], v); w.write(w.b[:4]) }
+
+// U64 writes a little-endian uint64.
+func (w *Writer) U64(v uint64) { binary.LittleEndian.PutUint64(w.b[:8], v); w.write(w.b[:8]) }
+
+// I64 writes an int64 as its two's-complement uint64.
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// F64 writes a float64 as its IEEE-754 bits.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// U32s writes a length-prefixed []uint32.
+func (w *Writer) U32s(vs []uint32) {
+	w.U64(uint64(len(vs)))
+	for _, v := range vs {
+		w.U32(v)
+	}
+}
+
+// U64s writes a length-prefixed []uint64.
+func (w *Writer) U64s(vs []uint64) {
+	w.U64(uint64(len(vs)))
+	for _, v := range vs {
+		w.U64(v)
+	}
+}
+
+// I32s writes a length-prefixed []int32 (two's-complement uint32s).
+func (w *Writer) I32s(vs []int32) {
+	w.U64(uint64(len(vs)))
+	for _, v := range vs {
+		w.U32(uint32(v))
+	}
+}
+
+// F64s writes a length-prefixed []float64.
+func (w *Writer) F64s(vs []float64) {
+	w.U64(uint64(len(vs)))
+	for _, v := range vs {
+		w.F64(v)
+	}
+}
+
+// Section frames a tagged, length-prefixed section: build runs against
+// a sub-writer whose bytes are buffered, then tag, payload length and
+// payload are written to the stream. The frame lets a reader verify it
+// is looking at the section it expects and attribute decode errors to
+// a section by name.
+func (w *Writer) Section(tag uint32, build func(sw *Writer)) {
+	if w.err != nil {
+		return
+	}
+	var buf bytes.Buffer
+	sw := &Writer{w: &buf}
+	build(sw)
+	if sw.err != nil {
+		w.err = fmt.Errorf("snapshot: section %d: %w", tag, sw.err)
+		return
+	}
+	w.U32(tag)
+	w.U64(uint64(buf.Len()))
+	w.write(buf.Bytes())
+}
+
+// Sum appends the CRC-32C of everything written so far and returns the
+// total byte count. The checksum itself is excluded from the sum, so a
+// reader verifies by checksumming all bytes before the final four.
+func (w *Writer) Sum() (int64, error) {
+	if w.err != nil {
+		return w.n, w.err
+	}
+	sum := w.crc.Sum32()
+	w.crc = nil // the trailing checksum is not part of the sum
+	w.U32(sum)
+	return w.n, w.err
+}

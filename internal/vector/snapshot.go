@@ -1,0 +1,70 @@
+package vector
+
+import (
+	"fmt"
+
+	"bayeslsh/internal/snapshot"
+)
+
+// WriteSnapshot serializes v as parallel index/weight slices.
+func (v Vector) WriteSnapshot(w *snapshot.Writer) {
+	w.U32s(v.Ind)
+	w.F64s(v.Val)
+}
+
+// ReadVectorSnapshot decodes one vector, validating the structural
+// invariants (parallel slices, strictly increasing indices, finite
+// non-zero weights) so downstream code can rely on them.
+func ReadVectorSnapshot(r *snapshot.Reader) (Vector, error) {
+	v := Vector{Ind: r.U32s(), Val: r.F64s()}
+	if err := r.Err(); err != nil {
+		return Vector{}, err
+	}
+	if err := v.Validate(); err != nil {
+		return Vector{}, fmt.Errorf("%w: %v", snapshot.ErrCorrupt, err)
+	}
+	return v, nil
+}
+
+// MaxSnapshotDim caps the dimensionality a collection snapshot may
+// declare. Dim sizes per-feature allocations in several consumers
+// (hash projections, postings lists), so the decoder bounds it the
+// way every slice length is bounded — a corrupt or hostile snapshot
+// must fail cleanly, not drive multi-gigabyte allocations.
+const MaxSnapshotDim = 1 << 27
+
+// WriteSnapshot serializes the collection: dimensionality, vector
+// count, then each vector.
+func (c *Collection) WriteSnapshot(w *snapshot.Writer) {
+	w.U32(uint32(c.Dim))
+	w.U64(uint64(len(c.Vecs)))
+	for _, v := range c.Vecs {
+		v.WriteSnapshot(w)
+	}
+}
+
+// ReadCollectionSnapshot decodes a collection and validates it: a
+// positive, bounded dimensionality and every vector well-formed with
+// indices inside it.
+func ReadCollectionSnapshot(r *snapshot.Reader) (*Collection, error) {
+	c := &Collection{Dim: int(r.U32())}
+	if r.Err() == nil && (c.Dim < 1 || c.Dim > MaxSnapshotDim) {
+		return nil, snapshot.Failf(r, "dimensionality %d outside [1, %d]", c.Dim, MaxSnapshotDim)
+	}
+	n := r.Len(16) // each vector is at least two length prefixes
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	c.Vecs = make([]Vector, n)
+	for i := range c.Vecs {
+		v, err := ReadVectorSnapshot(r)
+		if err != nil {
+			return nil, fmt.Errorf("vector %d: %w", i, err)
+		}
+		c.Vecs[i] = v
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", snapshot.ErrCorrupt, err)
+	}
+	return c, nil
+}

@@ -1,6 +1,7 @@
 package bayeslsh
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -11,6 +12,9 @@ import (
 	"bayeslsh/internal/sighash"
 	"bayeslsh/internal/vector"
 )
+
+// ErrBadK reports TopK called with k <= 0.
+var ErrBadK = errors.New("bayeslsh: TopK needs k > 0")
 
 // Vec is a single query vector, the input of Index.Query and
 // Index.TopK. Build one with NewVec or NewSetVec, or take one out of a
@@ -217,6 +221,22 @@ func (ix *Index) verify(qs querySigs, ids []int32) []pair.Hit {
 
 	case AllPairsBayesLSH, LSHBayesLSH:
 		hits, _ := ix.vq.VerifyQuery(core.QuerySig{Bits: qs.bits, Min: qs.min}, ids)
+		if o.Algorithm == AllPairsBayesLSH {
+			// The AllPairs probe and the batch scan evaluate the cheap
+			// candidate bound from different sides, so their candidate
+			// sets can differ on (and only on) sub-threshold pairs.
+			// Exact-verifying the accepted hits removes those from both
+			// paths — the query-side twin of Engine.dropSubThreshold —
+			// so query results equal batch results strictly. Survivors
+			// keep their estimated similarity.
+			kept := hits[:0]
+			for _, h := range hits {
+				if ix.exactSim(qs.raw, h.ID) >= o.Threshold {
+					kept = append(kept, h)
+				}
+			}
+			hits = kept
+		}
 		return hits
 
 	default: // AllPairsBayesLSHLite, LSHBayesLSHLite
@@ -245,7 +265,7 @@ func (ix *Index) approxEstimate(qs querySigs, id int32, n int) float64 {
 // source.
 func (ix *Index) TopK(q Vec, k int) ([]Match, error) {
 	if k <= 0 {
-		return nil, fmt.Errorf("bayeslsh: TopK needs k > 0, got %d", k)
+		return nil, fmt.Errorf("%w (got %d)", ErrBadK, k)
 	}
 	if q.Len() == 0 {
 		return nil, nil

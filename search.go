@@ -257,6 +257,9 @@ func (e *Engine) searchTwoPhase(o Options, out *Output) error {
 			return err
 		}
 		rs, st := v.VerifyParallel(cands, workers, batch)
+		if o.Algorithm == AllPairsBayesLSH {
+			rs = e.dropSubThreshold(rs, o.Threshold, &st)
+		}
 		out.Results = fromResults(rs)
 		fillStats(out, st)
 
@@ -271,6 +274,32 @@ func (e *Engine) searchTwoPhase(o Options, out *Output) error {
 	}
 	out.VerifyTime = time.Since(start)
 	return nil
+}
+
+// dropSubThreshold removes accepted pairs whose exact similarity is
+// below the threshold, counting each exact computation in st. The
+// AllPairs candidate stream is the one direction-dependent stage of
+// the two-phase pipelines: the batch scan evaluates the cheap
+// candidate bound in processing order, while a query probe evaluates
+// it from the query's side, so the two candidate sets can differ — but
+// only on sub-threshold pairs, because the bound is an upper bound on
+// similarity. Exact-verifying the accepted pairs (an output-sized
+// cost, not a candidate-sized one; pruning still avoids exact
+// similarities for the overwhelming majority of candidates) removes
+// exactly those pairs from both paths, which is what makes
+// AllPairsBayesLSH query results strictly equal to batch results.
+// Accepted survivors keep their estimated similarity — acceptance,
+// not reporting, uses the exact value. See Index.verify for the
+// query-side twin of this filter, and docs/QUERYING.md.
+func (e *Engine) dropSubThreshold(rs []pair.Result, t float64, st *core.Stats) []pair.Result {
+	kept := rs[:0]
+	for _, r := range rs {
+		st.ExactVerified++
+		if e.exactSim(r.A, r.B) >= t {
+			kept = append(kept, r)
+		}
+	}
+	return kept
 }
 
 // allPairsSearch runs the exact AllPairs baseline for the engine's

@@ -1,0 +1,503 @@
+package bayeslsh
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"bayeslsh/internal/allpairs"
+	"bayeslsh/internal/lshindex"
+	"bayeslsh/internal/snapshot"
+	"bayeslsh/internal/stats"
+	"bayeslsh/internal/vector"
+)
+
+// Index snapshots split the pipeline the way production serving does:
+// build the index once, offline, where the hashing and table
+// construction cost is paid; snapshot it; and let any number of
+// serving processes load the snapshot and answer queries immediately,
+// surviving restarts without a rebuild. A snapshot carries everything
+// a query touches — the corpus, the resolved options, the lazily
+// filled signature prefixes, the LSH band tables or AllPairs inverted
+// index, and the fitted Jaccard prior — so a loaded Index serves
+// Query/TopK/QueryBatch results bit-identical to the Index that wrote
+// it, at any Parallelism and BatchSize (see docs/PERSISTENCE.md for
+// the format and the guarantees).
+//
+// The format is versioned and checksummed: little-endian throughout,
+// an 8-byte magic, a format version, tagged length-prefixed sections
+// encoded by explicit per-type codecs (no reflection, no gob), and a
+// trailing CRC-32C of the whole file.
+
+// snapshotMagic begins every index snapshot.
+const snapshotMagic = "BLSHSNAP"
+
+// SnapshotVersion is the format version this build writes. Readers
+// accept exactly the versions they know; the magic and version fields
+// are fixed for all time, so any future version still reports a clean
+// ErrSnapshotVersion from older builds.
+const SnapshotVersion = 1
+
+// Section tags of the version-1 layout, in file order.
+const (
+	sectMeta uint32 = iota + 1
+	sectVectors
+	sectBitStore
+	sectMinStore
+	sectBitTables
+	sectMinhashTables
+	sectAllPairs
+)
+
+var (
+	// ErrSnapshotFormat reports input that is not a readable index
+	// snapshot: wrong magic, a malformed or truncated section, or
+	// structurally inconsistent contents.
+	ErrSnapshotFormat = errors.New("bayeslsh: not a readable index snapshot")
+	// ErrSnapshotVersion reports a snapshot written by a format version
+	// this build does not read.
+	ErrSnapshotVersion = errors.New("bayeslsh: unsupported snapshot version")
+	// ErrSnapshotChecksum reports a snapshot whose CRC-32C does not
+	// match its contents — truncation or corruption in storage.
+	ErrSnapshotChecksum = errors.New("bayeslsh: snapshot checksum mismatch")
+)
+
+// WriteTo serializes the index as a snapshot. It implements
+// io.WriterTo. The writer is not buffered internally; wrap files in a
+// bufio.Writer (SaveFile does).
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	e := ix.eng
+	sw := snapshot.NewWriter(w)
+	sw.Raw([]byte(snapshotMagic))
+	sw.U32(SnapshotVersion)
+	sw.Section(sectMeta, ix.writeMeta)
+	sw.Section(sectVectors, e.ds.c.WriteSnapshot)
+	sw.Section(sectBitStore, func(s *snapshot.Writer) {
+		s.Bool(e.bitStore != nil)
+		if e.bitStore != nil {
+			e.bitStore.WriteSnapshot(s)
+		}
+	})
+	sw.Section(sectMinStore, func(s *snapshot.Writer) {
+		s.Bool(e.minStore != nil)
+		if e.minStore != nil {
+			e.minStore.WriteSnapshot(s)
+		}
+	})
+	sw.Section(sectBitTables, func(s *snapshot.Writer) {
+		s.Bool(ix.bits != nil)
+		if ix.bits != nil {
+			ix.bits.WriteSnapshot(s)
+		}
+	})
+	sw.Section(sectMinhashTables, func(s *snapshot.Writer) {
+		s.Bool(ix.mins != nil)
+		if ix.mins != nil {
+			ix.mins.WriteSnapshot(s)
+		}
+	})
+	sw.Section(sectAllPairs, func(s *snapshot.Writer) {
+		s.Bool(ix.ap != nil)
+		if ix.ap != nil {
+			ix.ap.WriteSnapshot(s)
+		}
+	})
+	return sw.Sum()
+}
+
+// writeMeta serializes the scalar state: measure, engine config (minus
+// the runtime knobs Parallelism and BatchSize, which belong to the
+// serving process), the resolved options, build statistics and the
+// fitted prior.
+func (ix *Index) writeMeta(w *snapshot.Writer) {
+	w.U8(uint8(ix.eng.measure))
+	cfg := ix.eng.cfg
+	w.U64(cfg.Seed)
+	w.U32(uint32(cfg.SignatureBits))
+	w.U32(uint32(cfg.MinHashes))
+	w.Bool(cfg.ExactProjections)
+	o := ix.opts
+	w.U8(uint8(o.Algorithm))
+	w.F64(o.Threshold)
+	w.F64(o.Epsilon)
+	w.F64(o.Delta)
+	w.F64(o.Gamma)
+	w.U32(uint32(o.K))
+	w.U32(uint32(o.LiteHashes))
+	w.U32(uint32(o.MaxHashes))
+	w.U32(uint32(o.PriorSample))
+	w.Bool(o.OneBitMinhash)
+	w.U32(uint32(o.BandK))
+	w.Bool(o.MultiProbe)
+	w.F64(o.FalseNegativeRate)
+	w.U32(uint32(o.ApproxHashes))
+	st := ix.stats
+	w.U32(uint32(st.Tables))
+	w.U32(uint32(st.BandK))
+	w.U64(uint64(st.PriorCandidates))
+	w.I64(int64(st.BuildTime))
+	w.F64(ix.prior.Alpha)
+	w.F64(ix.prior.Beta)
+}
+
+// snapMeta is the decoded counterpart of writeMeta.
+type snapMeta struct {
+	measure Measure
+	cfg     EngineConfig
+	opts    Options
+	stats   IndexStats
+	prior   stats.Beta
+}
+
+// maxSnapshotHashes caps the deserialized signature budgets so a
+// corrupt (but checksum-passing) snapshot cannot demand absurd
+// allocations before decoding fails.
+const maxSnapshotHashes = 1 << 24
+
+func readMeta(r *snapshot.Reader) (snapMeta, error) {
+	var m snapMeta
+	m.measure = Measure(r.U8())
+	m.cfg = EngineConfig{
+		Seed:             r.U64(),
+		SignatureBits:    int(r.U32()),
+		MinHashes:        int(r.U32()),
+		ExactProjections: r.Bool(),
+	}
+	m.opts = Options{
+		Algorithm:         Algorithm(r.U8()),
+		Threshold:         r.F64(),
+		Epsilon:           r.F64(),
+		Delta:             r.F64(),
+		Gamma:             r.F64(),
+		K:                 int(r.U32()),
+		LiteHashes:        int(r.U32()),
+		MaxHashes:         int(r.U32()),
+		PriorSample:       int(r.U32()),
+		OneBitMinhash:     r.Bool(),
+		BandK:             int(r.U32()),
+		MultiProbe:        r.Bool(),
+		FalseNegativeRate: r.F64(),
+		ApproxHashes:      int(r.U32()),
+	}
+	m.stats = IndexStats{
+		Tables:          int(r.U32()),
+		BandK:           int(r.U32()),
+		PriorCandidates: int(r.U64()),
+	}
+	m.stats.BuildTime = time.Duration(r.I64())
+	m.prior = stats.Beta{Alpha: r.F64(), Beta: r.F64()}
+	if err := r.Err(); err != nil {
+		return m, err
+	}
+	switch m.measure {
+	case Cosine, Jaccard, BinaryCosine:
+	default:
+		return m, snapshot.Failf(r, "unknown measure %d", int(m.measure))
+	}
+	switch m.opts.Algorithm {
+	case BruteForce, AllPairs, AllPairsBayesLSH, AllPairsBayesLSHLite,
+		LSH, LSHApprox, LSHBayesLSH, LSHBayesLSHLite:
+	default:
+		return m, snapshot.Failf(r, "algorithm %d has no query-serving index", int(m.opts.Algorithm))
+	}
+	if m.cfg.SignatureBits <= 0 || m.cfg.SignatureBits > maxSnapshotHashes ||
+		m.cfg.MinHashes <= 0 || m.cfg.MinHashes > maxSnapshotHashes {
+		return m, snapshot.Failf(r, "signature budgets %d/%d out of range",
+			m.cfg.SignatureBits, m.cfg.MinHashes)
+	}
+	if _, err := m.opts.withDefaults(m.measure); err != nil {
+		return m, snapshot.Failf(r, "options: %v", err)
+	}
+	if !m.prior.Valid() {
+		return m, snapshot.Failf(r, "invalid prior %v", m.prior)
+	}
+	return m, nil
+}
+
+// ReadIndex loads an index snapshot written by WriteTo and returns a
+// ready-to-serve Index. The runtime knobs EngineConfig.Parallelism and
+// BatchSize are not part of a snapshot; the loaded index uses their
+// defaults (all CPUs, default batch). Results served by the loaded
+// index are bit-identical to the index that wrote the snapshot.
+//
+// Errors distinguish the failure: ErrSnapshotFormat for input that is
+// not a snapshot or is structurally broken, ErrSnapshotVersion for an
+// unknown format version, ErrSnapshotChecksum for corruption.
+func ReadIndex(r io.Reader) (*Index, error) {
+	buf, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("bayeslsh: reading snapshot: %w", err)
+	}
+	return readIndexBytes(buf)
+}
+
+// readIndexBytes decodes a whole snapshot held in memory — the shared
+// back end of ReadIndex and LoadFile (which reads the file in one
+// stat-sized allocation instead of growing through io.ReadAll).
+func readIndexBytes(buf []byte) (*Index, error) {
+	// Fixed prologue first: magic, then version, so mismatches report
+	// cleanly regardless of what follows.
+	if len(buf) < len(snapshotMagic)+4 || string(buf[:len(snapshotMagic)]) != snapshotMagic {
+		return nil, fmt.Errorf("%w: missing magic", ErrSnapshotFormat)
+	}
+	if v := binary.LittleEndian.Uint32(buf[len(snapshotMagic):]); v != SnapshotVersion {
+		return nil, fmt.Errorf("%w: snapshot version %d, this build reads %d",
+			ErrSnapshotVersion, v, SnapshotVersion)
+	}
+	if len(buf) < len(snapshotMagic)+8 {
+		return nil, fmt.Errorf("%w: truncated before checksum", ErrSnapshotFormat)
+	}
+	body, tail := buf[:len(buf)-4], buf[len(buf)-4:]
+	if snapshot.Checksum(body) != binary.LittleEndian.Uint32(tail) {
+		return nil, ErrSnapshotChecksum
+	}
+	ix, err := decodeIndex(snapshot.NewReader(body[len(snapshotMagic)+4:]))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSnapshotFormat, err)
+	}
+	return ix, nil
+}
+
+// decodeIndex decodes the section sequence and rebuilds the serving
+// wiring the way Engine.BuildIndex wires a fresh build — same store
+// accessors, same verifier constructor (with the persisted prior in
+// place of refitting), same depth bookkeeping — so the two paths
+// cannot drift apart.
+func decodeIndex(sr *snapshot.Reader) (*Index, error) {
+	mr := sr.Section(sectMeta)
+	meta, err := readMeta(mr)
+	if err != nil {
+		return nil, err
+	}
+	if err := mr.Close(); err != nil {
+		return nil, err
+	}
+
+	vr := sr.Section(sectVectors)
+	coll, err := vector.ReadCollectionSnapshot(vr)
+	if err != nil {
+		return nil, err
+	}
+	if err := vr.Close(); err != nil {
+		return nil, err
+	}
+
+	eng, err := NewEngine(&Dataset{c: coll}, meta.measure, meta.cfg)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{eng: eng, opts: meta.opts, stats: meta.stats, prior: meta.prior}
+
+	br := sr.Section(sectBitStore)
+	if br.Bool() {
+		if err := eng.bitSigStore().ReadSnapshot(br); err != nil {
+			return nil, err
+		}
+	}
+	if err := br.Close(); err != nil {
+		return nil, err
+	}
+	nr := sr.Section(sectMinStore)
+	if nr.Bool() {
+		if err := eng.minSigStore().ReadSnapshot(nr); err != nil {
+			return nil, err
+		}
+	}
+	if err := nr.Close(); err != nil {
+		return nil, err
+	}
+
+	tr := sr.Section(sectBitTables)
+	if tr.Bool() {
+		if ix.bits, err = lshindex.ReadBitsTablesSnapshot(tr, len(coll.Vecs)); err != nil {
+			return nil, err
+		}
+	}
+	if err := tr.Close(); err != nil {
+		return nil, err
+	}
+	hr := sr.Section(sectMinhashTables)
+	if hr.Bool() {
+		if ix.mins, err = lshindex.ReadMinhashTablesSnapshot(hr, len(coll.Vecs)); err != nil {
+			return nil, err
+		}
+	}
+	if err := hr.Close(); err != nil {
+		return nil, err
+	}
+	ar := sr.Section(sectAllPairs)
+	if ar.Bool() {
+		ix.ap, err = allpairs.ReadIndexSnapshot(ar, eng.workInput(),
+			toExactMeasure(meta.measure), meta.opts.Threshold)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := ar.Close(); err != nil {
+		return nil, err
+	}
+	if sr.Remaining() != 0 || sr.Err() != nil {
+		if err := sr.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%d trailing bytes after sections", sr.Remaining())
+	}
+
+	if err := ix.rewire(); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// rewire rebuilds the derived serving state of a decoded index:
+// validates that the candidate structure the algorithm probes was
+// present, recomputes the banding depths from the decoded tables, and
+// reconstructs the verifier from the restored stores and persisted
+// prior — mirroring the wiring half of Engine.BuildIndex.
+func (ix *Index) rewire() error {
+	e, o := ix.eng, ix.opts
+	switch o.Algorithm {
+	case BruteForce:
+	case AllPairs, AllPairsBayesLSH, AllPairsBayesLSHLite:
+		if ix.ap == nil {
+			return fmt.Errorf("algorithm %v without its AllPairs index section", o.Algorithm)
+		}
+	default: // the LSH pipelines
+		// The decoded banding depth must fit the signature budget the
+		// engine re-derives from the config — otherwise the first query
+		// would ask the hash family for more hashes than it has.
+		if e.measure == Jaccard {
+			if ix.mins == nil {
+				return fmt.Errorf("algorithm %v without its minhash table section", o.Algorithm)
+			}
+			ix.bandMin = ix.mins.BandK() * ix.mins.Bands()
+			if max := e.minSigStore().MaxHashes(); ix.bandMin > max {
+				return fmt.Errorf("band tables need %d minhashes, signature budget is %d", ix.bandMin, max)
+			}
+		} else {
+			if ix.bits == nil {
+				return fmt.Errorf("algorithm %v without its band table section", o.Algorithm)
+			}
+			ix.bandBits = ix.bits.BandK() * ix.bits.Bands()
+			if max := e.bitSigStore().MaxBits(); ix.bandBits > max {
+				return fmt.Errorf("band tables need %d bits, signature budget is %d", ix.bandBits, max)
+			}
+		}
+	}
+
+	var err error
+	switch o.Algorithm {
+	case AllPairsBayesLSH, AllPairsBayesLSHLite, LSHBayesLSH, LSHBayesLSHLite:
+		ix.vq, err = e.bayesVerifierWithPrior(o, ix.prior)
+		if err != nil {
+			return err
+		}
+		if e.measure == Jaccard {
+			ix.verifyMin = ix.vq.Params().MaxHashes
+			ix.packOneBit = o.OneBitMinhash
+		} else {
+			ix.verifyBits = ix.vq.Params().MaxHashes
+		}
+	case LSHApprox:
+		n := o.ApproxHashes
+		if e.measure == Jaccard {
+			if max := e.minSigStore().MaxHashes(); n > max {
+				n = max
+			}
+			e.minSigStore().EnsureAllParallel(n, e.workers())
+			ix.verifyMin = n
+		} else {
+			if max := e.bitSigStore().MaxBits(); n > max {
+				n = max
+			}
+			e.bitSigStore().EnsureAllParallel(n, e.workers())
+			ix.verifyBits = n
+		}
+		ix.approxN = n
+	}
+	return nil
+}
+
+// SetRuntime sets the runtime knobs a snapshot deliberately omits —
+// EngineConfig.Parallelism and BatchSize, with the same semantics
+// (0 selects the default). They shard QueryBatch and any lazy
+// signature fills; results are bit-identical at every setting. Call it
+// after ReadIndex/LoadFile (or BuildIndex) and before the index is
+// shared with concurrent queriers.
+//
+// The knobs apply to this index only: an index built from a live
+// Engine detaches onto its own engine view first, so the engine the
+// caller still holds — and any sibling Index sharing it — keeps its
+// configured Parallelism and BatchSize. The detached view shares the
+// dataset and signature stores, so no hashing is repaid.
+func (ix *Index) SetRuntime(parallelism, batchSize int) {
+	own := *ix.eng // shallow copy: shares dataset, work view and stores
+	own.cfg.Parallelism = parallelism
+	own.cfg.BatchSize = batchSize
+	own.cfg = own.cfg.withDefaults()
+	ix.eng = &own
+}
+
+// SaveFile writes the index snapshot to path atomically: the bytes go
+// to a temporary file in the same directory, which replaces path only
+// after a successful write — a serving fleet never observes a
+// half-written snapshot. The snapshot keeps the permissions of the
+// file it replaces (0644 for a fresh one), not the 0600 of the
+// temporary file, so builder and serving processes can run as
+// different users.
+func (ix *Index) SaveFile(path string) error {
+	f, err := os.CreateTemp(filepath.Dir(path), ".snap-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	mode := os.FileMode(0o644)
+	if fi, err := os.Stat(path); err == nil {
+		mode = fi.Mode().Perm()
+	}
+	werr := f.Chmod(mode)
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if werr == nil {
+		_, werr = ix.WriteTo(bw)
+	}
+	if werr == nil {
+		werr = bw.Flush()
+	}
+	if werr == nil {
+		// Data must be durable before the rename publishes it —
+		// otherwise a crash can leave the rename on disk ahead of the
+		// bytes, replacing a good snapshot with a truncated one.
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return werr
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Best-effort directory sync makes the rename itself durable.
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// LoadFile loads an index snapshot from a file written by SaveFile.
+func LoadFile(path string) (*Index, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return readIndexBytes(buf)
+}

@@ -1,0 +1,85 @@
+// Benchmarks of index persistence: snapshot write cost, load cost,
+// and — the number the offline/online split is about — load versus
+// rebuild. Run with:
+//
+//	go test -bench Snapshot -benchmem
+//
+// Snapshot size is reported as the "bytes" metric of the write
+// benchmark. docs/PERSISTENCE.md quotes the numbers from a reference
+// run.
+package bayeslsh_test
+
+import (
+	"bytes"
+	"testing"
+
+	"bayeslsh"
+)
+
+// benchSnapshotIndex builds the index the persistence benchmarks
+// serialize: LSH+BayesLSH over the RCV1 analogue, queried once so the
+// verification-depth signatures are materialized as they would be in
+// a warmed serving process.
+func benchSnapshotIndex(b *testing.B) (*bayeslsh.Index, *bayeslsh.Dataset) {
+	b.Helper()
+	ix, ds := benchIndex(b, bayeslsh.Cosine,
+		bayeslsh.Options{Algorithm: bayeslsh.LSHBayesLSH, Threshold: 0.7}, 0)
+	if _, err := ix.Query(ds.Vector(0), bayeslsh.QueryOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	return ix, ds
+}
+
+// BenchmarkSnapshotWrite measures Index.WriteTo into memory.
+func BenchmarkSnapshotWrite(b *testing.B) {
+	ix, _ := benchSnapshotIndex(b)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		b.Fatal(err)
+	}
+	size := buf.Len()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if _, err := ix.WriteTo(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(size), "snapshot-bytes")
+}
+
+// BenchmarkSnapshotLoad measures ReadIndex from memory — the cost a
+// serving process pays at startup instead of a full rebuild.
+func BenchmarkSnapshotLoad(b *testing.B) {
+	ix, _ := benchSnapshotIndex(b)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bayeslsh.ReadIndex(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotRebuild is the baseline BenchmarkSnapshotLoad
+// replaces: building the same index from the dataset (hashing, band
+// tables) without a snapshot.
+func BenchmarkSnapshotRebuild(b *testing.B) {
+	_, ds := benchSnapshotIndex(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix, err := bayeslsh.NewIndex(ds, bayeslsh.Cosine,
+			bayeslsh.EngineConfig{Seed: 42},
+			bayeslsh.Options{Algorithm: bayeslsh.LSHBayesLSH, Threshold: 0.7})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ix.Query(ds.Vector(0), bayeslsh.QueryOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

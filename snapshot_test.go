@@ -1,0 +1,500 @@
+package bayeslsh
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bayeslsh/internal/snapshot"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden snapshots")
+
+// snapshotConfigs is the measure side of the round-trip matrix,
+// matching the thresholds of the query consistency tests.
+func snapshotConfigs() []queryTestConfig {
+	return queryTestConfigs()
+}
+
+// buildTestIndex builds an index over a small corpus for one
+// measure × algorithm cell.
+func buildTestIndex(t *testing.T, tc queryTestConfig, alg Algorithm, n int) (*Dataset, *Index) {
+	t.Helper()
+	ds := tc.prep(smallDataset(t, n))
+	ix, err := NewIndex(ds, tc.measure, tc.cfg, Options{Algorithm: alg, Threshold: tc.threshold})
+	if err != nil {
+		t.Fatalf("%v/%v: %v", tc.measure, alg, err)
+	}
+	return ds, ix
+}
+
+// roundTrip serializes ix and loads it back.
+func roundTrip(t *testing.T, ix *Index) *Index {
+	t.Helper()
+	var buf bytes.Buffer
+	n, err := ix.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	loaded, err := ReadIndex(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadIndex: %v", err)
+	}
+	return loaded
+}
+
+// TestSnapshotRoundTrip is the persistence guarantee: for every
+// measure and pipeline, an index loaded from a snapshot serves
+// Query, TopK and QueryBatch results bit-identical to the index that
+// wrote it — including queries that trigger lazy signature fills and
+// out-of-corpus queries hashed after the load.
+func TestSnapshotRoundTrip(t *testing.T) {
+	const n = 200
+	for _, tc := range snapshotConfigs() {
+		tc := tc
+		t.Run(tc.measure.String(), func(t *testing.T) {
+			for _, alg := range queryAlgorithms() {
+				ds, ix := buildTestIndex(t, tc, alg, n)
+				loaded := roundTrip(t, ix)
+
+				if loaded.Measure() != ix.Measure() || loaded.Threshold() != ix.Threshold() ||
+					loaded.Len() != ix.Len() || loaded.Options() != ix.Options() {
+					t.Fatalf("%v: loaded index metadata differs: %+v vs %+v",
+						alg, loaded.Options(), ix.Options())
+				}
+				if ls, ws := loaded.Stats(), ix.Stats(); ls.Tables != ws.Tables ||
+					ls.BandK != ws.BandK || ls.PriorCandidates != ws.PriorCandidates {
+					t.Fatalf("%v: loaded stats %+v, want %+v", alg, ls, ws)
+				}
+
+				queries := make([]Vec, ds.Len())
+				for i := range queries {
+					queries[i] = ds.Vector(i)
+				}
+				want, err := ix.QueryBatch(queries, QueryOptions{})
+				if err != nil {
+					t.Fatalf("%v: %v", alg, err)
+				}
+				got, err := loaded.QueryBatch(queries, QueryOptions{})
+				if err != nil {
+					t.Fatalf("%v: %v", alg, err)
+				}
+				requireSameMatches(t, got, want)
+
+				// Out-of-corpus query: hashed from the re-derived seed
+				// streams on both sides.
+				oov := NewVec(map[uint32]float64{1: 0.7, 5: 0.3, 9: 0.65})
+				a, err := ix.Query(oov, QueryOptions{})
+				if err != nil {
+					t.Fatalf("%v: %v", alg, err)
+				}
+				b, err := loaded.Query(oov, QueryOptions{})
+				if err != nil {
+					t.Fatalf("%v: %v", alg, err)
+				}
+				requireSameMatches(t, [][]Match{b}, [][]Match{a})
+
+				for i := 0; i < 10; i++ {
+					wk, err := ix.TopK(ds.Vector(i), 5)
+					if err != nil {
+						t.Fatalf("%v: %v", alg, err)
+					}
+					gk, err := loaded.TopK(ds.Vector(i), 5)
+					if err != nil {
+						t.Fatalf("%v: %v", alg, err)
+					}
+					requireSameMatches(t, [][]Match{gk}, [][]Match{wk})
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotRoundTripVariants covers the option-dependent paths the
+// main matrix skips: multi-probe banding and 1-bit minhash.
+func TestSnapshotRoundTripVariants(t *testing.T) {
+	cases := []struct {
+		name string
+		m    Measure
+		cfg  EngineConfig
+		prep func(*Dataset) *Dataset
+		opts Options
+	}{
+		{"multiprobe", Cosine, EngineConfig{Seed: 7, SignatureBits: 1024},
+			func(d *Dataset) *Dataset { return d.TfIdf().Normalize() },
+			Options{Algorithm: LSHBayesLSHLite, Threshold: 0.7, MultiProbe: true}},
+		{"onebit", Jaccard, EngineConfig{Seed: 8},
+			func(d *Dataset) *Dataset { return d.Binarize() },
+			Options{Algorithm: LSHBayesLSH, Threshold: 0.4, OneBitMinhash: true}},
+		{"exactproj", Cosine, EngineConfig{Seed: 9, SignatureBits: 1024, ExactProjections: true},
+			func(d *Dataset) *Dataset { return d.TfIdf().Normalize() },
+			Options{Algorithm: LSHBayesLSH, Threshold: 0.7}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			ds := c.prep(smallDataset(t, 200))
+			ix, err := NewIndex(ds, c.m, c.cfg, c.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			loaded := roundTrip(t, ix)
+			queries := make([]Vec, ds.Len())
+			for i := range queries {
+				queries[i] = ds.Vector(i)
+			}
+			want, err := ix.QueryBatch(queries, QueryOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := loaded.QueryBatch(queries, QueryOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameMatches(t, got, want)
+		})
+	}
+}
+
+// TestSnapshotRuntimeKnobs verifies a loaded index is deterministic
+// across SetRuntime settings: Parallelism and BatchSize shard the
+// work, never change the answers — the same guarantee the in-memory
+// index makes.
+func TestSnapshotRuntimeKnobs(t *testing.T) {
+	ds := smallDataset(t, 200).TfIdf().Normalize()
+	ix, err := NewIndex(ds, Cosine, EngineConfig{Seed: 7, SignatureBits: 1024},
+		Options{Algorithm: LSHBayesLSH, Threshold: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]Vec, ds.Len())
+	for i := range queries {
+		queries[i] = ds.Vector(i)
+	}
+	var want [][]Match
+	for i, knobs := range []struct{ p, b int }{{1, 1}, {4, 16}, {0, 0}} {
+		loaded, err := ReadIndex(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		loaded.SetRuntime(knobs.p, knobs.b)
+		got, err := loaded.QueryBatch(queries, QueryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			want = got
+			continue
+		}
+		requireSameMatches(t, got, want)
+	}
+}
+
+// TestSnapshotLazyFillAfterLoad saves an index whose stores are only
+// partially filled (no queries ran before the save), then drives the
+// loaded index so the remaining fills happen post-load — they must
+// extend the restored prefixes from the identical seed streams.
+func TestSnapshotLazyFillAfterLoad(t *testing.T) {
+	ds := smallDataset(t, 200).TfIdf().Normalize()
+	build := func() *Index {
+		ix, err := NewIndex(ds, Cosine, EngineConfig{Seed: 7, SignatureBits: 1024},
+			Options{Algorithm: LSHBayesLSH, Threshold: 0.7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ix
+	}
+	// Saved immediately after build: band depth is filled, verification
+	// depth is not.
+	loaded := roundTrip(t, build())
+	fresh := build()
+	for i := 0; i < ds.Len(); i++ {
+		want, err := fresh.Query(ds.Vector(i), QueryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := loaded.Query(ds.Vector(i), QueryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameMatches(t, [][]Match{got}, [][]Match{want})
+	}
+}
+
+// TestSnapshotFileHelpers exercises SaveFile/LoadFile, including the
+// atomic-replace contract (the destination appears only complete).
+func TestSnapshotFileHelpers(t *testing.T) {
+	ds := smallDataset(t, 120).TfIdf().Normalize()
+	ix, err := NewIndex(ds, Cosine, EngineConfig{Seed: 7, SignatureBits: 1024},
+		Options{Algorithm: LSH, Threshold: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "index.snap")
+	if err := ix.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != ix.Len() {
+		t.Fatalf("loaded %d vectors, want %d", loaded.Len(), ix.Len())
+	}
+	want, err := ix.Query(ds.Vector(0), QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.Query(ds.Vector(0), QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameMatches(t, [][]Match{got}, [][]Match{want})
+	// Saving over an existing snapshot replaces it.
+	if err := ix.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "absent.snap")); err == nil {
+		t.Fatal("loading a missing file should fail")
+	}
+}
+
+// TestSetRuntimeDoesNotTouchSharedEngine pins SetRuntime's isolation
+// contract: an index built from a live engine detaches onto its own
+// engine view, so the engine the caller holds — and its batch
+// searches — keep their configured knobs, while the index serves
+// identical results under its new ones.
+func TestSetRuntimeDoesNotTouchSharedEngine(t *testing.T) {
+	ds := smallDataset(t, 150).TfIdf().Normalize()
+	eng, err := NewEngine(ds, Cosine, EngineConfig{Seed: 7, SignatureBits: 512, Parallelism: 3, BatchSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := eng.BuildIndex(Options{Algorithm: LSHBayesLSH, Threshold: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ix.Query(ds.Vector(0), QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ix.SetRuntime(1, 1)
+	if eng.cfg.Parallelism != 3 || eng.cfg.BatchSize != 256 {
+		t.Fatalf("SetRuntime mutated the shared engine: %+v", eng.cfg)
+	}
+	if ix.eng.cfg.Parallelism != 1 || ix.eng.cfg.BatchSize != 1 {
+		t.Fatalf("SetRuntime did not apply to the index: %+v", ix.eng.cfg)
+	}
+	got, err := ix.Query(ds.Vector(0), QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameMatches(t, [][]Match{got}, [][]Match{want})
+	// The detached view shares the stores — no re-hashing happened.
+	if ix.eng.bitStore != eng.bitStore {
+		t.Fatal("SetRuntime cloned the signature store")
+	}
+}
+
+// TestSaveFilePermissions pins the fleet-deployment contract: a fresh
+// snapshot is world-readable (0644, not the temp file's 0600), and
+// re-saving preserves the permissions of the file it replaces.
+func TestSaveFilePermissions(t *testing.T) {
+	ds := smallDataset(t, 60).TfIdf().Normalize()
+	ix, err := NewIndex(ds, Cosine, EngineConfig{Seed: 2, SignatureBits: 256},
+		Options{Algorithm: LSH, Threshold: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "index.snap")
+	if err := ix.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Mode().Perm() != 0o644 {
+		t.Fatalf("fresh snapshot mode %v (%v), want 0644", fi.Mode().Perm(), err)
+	}
+	if err := os.Chmod(path, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Mode().Perm() != 0o600 {
+		t.Fatalf("re-saved snapshot mode %v (%v), want preserved 0600", fi.Mode().Perm(), err)
+	}
+}
+
+// snapshotBytes serializes a small index for the error-path tests.
+func snapshotBytes(t *testing.T) []byte {
+	t.Helper()
+	ds := smallDataset(t, 80).TfIdf().Normalize()
+	ix, err := NewIndex(ds, Cosine, EngineConfig{Seed: 3, SignatureBits: 512},
+		Options{Algorithm: LSHBayesLSH, Threshold: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSnapshotErrors drives the decoder through the documented failure
+// classes: wrong magic, unknown version, corruption, truncation.
+func TestSnapshotErrors(t *testing.T) {
+	good := snapshotBytes(t)
+	if _, err := ReadIndex(bytes.NewReader(good)); err != nil {
+		t.Fatalf("pristine snapshot failed: %v", err)
+	}
+
+	bad := append([]byte("NOTASNAP"), good[8:]...)
+	if _, err := ReadIndex(bytes.NewReader(bad)); !errors.Is(err, ErrSnapshotFormat) {
+		t.Fatalf("bad magic: %v, want ErrSnapshotFormat", err)
+	}
+	if _, err := ReadIndex(bytes.NewReader(nil)); !errors.Is(err, ErrSnapshotFormat) {
+		t.Fatalf("empty input: %v, want ErrSnapshotFormat", err)
+	}
+
+	future := append([]byte{}, good...)
+	future[8] = 99 // version field
+	if _, err := ReadIndex(bytes.NewReader(future)); !errors.Is(err, ErrSnapshotVersion) {
+		t.Fatalf("future version: %v, want ErrSnapshotVersion", err)
+	}
+
+	flipped := append([]byte{}, good...)
+	flipped[len(flipped)/2] ^= 0x40
+	if _, err := ReadIndex(bytes.NewReader(flipped)); !errors.Is(err, ErrSnapshotChecksum) {
+		t.Fatalf("flipped byte: %v, want ErrSnapshotChecksum", err)
+	}
+
+	// Every truncation must fail cleanly — never panic, never succeed.
+	for cut := 0; cut < len(good); cut += 97 {
+		if _, err := ReadIndex(bytes.NewReader(good[:cut])); err == nil {
+			t.Fatalf("truncation at %d bytes succeeded", cut)
+		}
+	}
+}
+
+// FuzzReadIndex fuzzes the snapshot decoder: any input may fail but
+// must never panic, and a pristine snapshot must load.
+func FuzzReadIndex(f *testing.F) {
+	ds := NewDataset(16)
+	ds.Add(map[uint32]float64{1: 0.8, 3: 0.6})
+	ds.Add(map[uint32]float64{1: 0.6, 3: 0.8})
+	ds.Add(map[uint32]float64{2: 1})
+	ds.Normalize()
+	ix, err := NewIndex(ds, Cosine, EngineConfig{Seed: 1, SignatureBits: 128},
+		Options{Algorithm: AllPairsBayesLSH, Threshold: 0.6})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:len(buf.Bytes())/2])
+	f.Add([]byte(snapshotMagic))
+	serve := func(t *testing.T, data []byte) {
+		ix, err := ReadIndex(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever decoded must be servable without panicking.
+		if _, err := ix.Query(ds.Vector(0), QueryOptions{}); err != nil {
+			t.Logf("query on decoded index: %v", err)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		serve(t, data)
+		// Raw mutations almost never pass the CRC gate, which would
+		// leave the section decoders unfuzzed — so also re-seal the
+		// mutated bytes with a valid prologue and checksum, the way a
+		// deliberate forger would, and require the decoders themselves
+		// to hold the never-panic line.
+		if len(data) < len(snapshotMagic)+8 {
+			return
+		}
+		sealed := append([]byte{}, data...)
+		copy(sealed, snapshotMagic)
+		binary.LittleEndian.PutUint32(sealed[len(snapshotMagic):], SnapshotVersion)
+		binary.LittleEndian.PutUint32(sealed[len(sealed)-4:],
+			snapshot.Checksum(sealed[:len(sealed)-4]))
+		serve(t, sealed)
+	})
+}
+
+// TestGoldenSnapshot reads the committed version-1 snapshot, the
+// compatibility contract of the format: if HEAD can no longer read
+// it, version 1 has been broken and SnapshotVersion must be bumped
+// instead. Regenerate deliberately with -update after such a bump.
+func TestGoldenSnapshot(t *testing.T) {
+	const path = "testdata/v1.snap"
+	if *updateGolden {
+		ds := goldenDataset()
+		ix, err := NewIndex(ds, Cosine, EngineConfig{Seed: 41, SignatureBits: 256},
+			Options{Algorithm: LSHBayesLSH, Threshold: 0.6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := ix.SaveFile(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("HEAD cannot read the committed v1 snapshot: %v", err)
+	}
+	// The golden index must also still serve: rebuild the same index
+	// from source data and require identical results.
+	fresh, err := NewIndex(goldenDataset(), Cosine, EngineConfig{Seed: 41, SignatureBits: 256},
+		Options{Algorithm: LSHBayesLSH, Threshold: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := goldenDataset()
+	for i := 0; i < ds.Len(); i++ {
+		want, err := fresh.Query(ds.Vector(i), QueryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ix.Query(ds.Vector(i), QueryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameMatches(t, [][]Match{got}, [][]Match{want})
+	}
+}
+
+// goldenDataset is the tiny fixed corpus behind testdata/v1.snap,
+// constructed in code so the golden test needs no second data file.
+func goldenDataset() *Dataset {
+	ds := NewDataset(32)
+	for i := 0; i < 24; i++ {
+		v := map[uint32]float64{}
+		for j := 0; j < 6; j++ {
+			v[uint32((i*5+j*7)%32)] = float64(1+(i+j)%4) / 2
+		}
+		ds.Add(v)
+	}
+	return ds.TfIdf().Normalize()
+}
