@@ -8,6 +8,16 @@
 //	apss -dataset RCV1-sim -measure cosine -algorithm LSH+BayesLSH -t 0.7
 //	apss -file corpus.vec -measure jaccard -algorithm AP+BayesLSH-Lite -t 0.5 -pairs
 //
+// Every subcommand is cancelable: Ctrl-C (SIGINT) or an elapsed
+// -timeout aborts the in-flight search through the library's
+// context-aware API and exits with status 130, printing partial
+// statistics to stderr. With -stream, result pairs reach stdout as
+// verification batches complete, so a canceled long-running join
+// still delivers everything verified up to that point (see
+// docs/CONTEXTS.md):
+//
+//	apss -dataset RCV1-sim -t 0.7 -stream -timeout 30s
+//
 // The query subcommand builds the index once and serves point
 // queries against it (see docs/QUERYING.md):
 //
@@ -23,9 +33,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"time"
 
 	"bayeslsh"
 )
@@ -67,6 +81,31 @@ func validateCommon(prog string, threshold float64, parallel int) {
 	}
 }
 
+// signalContext returns the context every subcommand's work runs
+// under: canceled by Ctrl-C (SIGINT), and additionally bounded by
+// -timeout when positive. A negative -timeout is a usage error.
+func signalContext(prog string, timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout < 0 {
+		usageError(prog, "-timeout %v must be >= 0 (0 = no limit)", timeout)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		return ctx, func() { cancel(); stop() }
+	}
+	return ctx, stop
+}
+
+// abortReason names the cancellation cause for the partial-stats
+// message: SIGINT or the -timeout deadline.
+func abortReason(err error) string {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return "timeout"
+	}
+	return "interrupted"
+}
+
 func main() {
 	if len(os.Args) > 1 {
 		switch os.Args[1] {
@@ -90,6 +129,8 @@ func main() {
 	parallel := flag.Int("parallel", 0, "pipeline workers (0 = NumCPU, 1 = sequential)")
 	batch := flag.Int("batch", 0, "candidate pairs per verification work unit (0 = default 1024)")
 	pairs := flag.Bool("pairs", false, "print every result pair")
+	timeout := flag.Duration("timeout", 0, "abort the search after this duration (0 = no limit)")
+	stream := flag.Bool("stream", false, "print pairs as they are verified (streaming API; pairs already printed survive cancellation)")
 	flag.Parse()
 
 	measure, ok := measuresByName[*measureName]
@@ -104,6 +145,8 @@ func main() {
 	if *batch < 0 {
 		usageError("apss", "-batch %d must be >= 0 (0 = default)", *batch)
 	}
+	ctx, cancel := signalContext("apss", *timeout)
+	defer cancel()
 
 	ds := loadDataset(*datasetName, *file, measure, "apss")
 
@@ -116,14 +159,49 @@ func main() {
 		fmt.Fprintln(os.Stderr, "apss:", err)
 		os.Exit(1)
 	}
-	out, err := eng.Search(bayeslsh.Options{
+	opts := bayeslsh.Options{
 		Algorithm: alg,
 		Threshold: *threshold,
 		Epsilon:   *eps,
 		Delta:     *delta,
 		Gamma:     *gamma,
-	})
+	}
+	start := time.Now()
+
+	if *stream {
+		// Streaming mode: pairs reach stdout as verification batches
+		// complete, so a canceled search still delivered everything
+		// printed so far (in unspecified order).
+		n := 0
+		for r, err := range eng.Stream(ctx, opts) {
+			if err != nil {
+				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					fmt.Fprintf(os.Stderr,
+						"apss: search aborted (%s) after %v: %v\n"+
+							"      partial: %d pairs streamed before cancellation\n",
+						abortReason(err), time.Since(start).Round(1e6), err, n)
+					os.Exit(130) // interrupted/expired: 128 + SIGINT
+				}
+				fmt.Fprintln(os.Stderr, "apss:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%d\t%d\t%.4f\n", r.A, r.B, r.Sim)
+			n++
+		}
+		fmt.Fprintf(os.Stderr, "apss: %v on %d vectors (%v, t=%.2f): %d pairs streamed in %v\n",
+			alg, ds.Len(), measure, *threshold, n, time.Since(start).Round(1e6))
+		return
+	}
+
+	out, err := eng.SearchContext(ctx, opts)
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr,
+				"apss: search aborted (%s) after %v: %v\n"+
+					"      partial: no pairs delivered (use -stream for incremental delivery)\n",
+				abortReason(err), time.Since(start).Round(1e6), err)
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "apss:", err)
 		os.Exit(1)
 	}

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +31,7 @@ func queryMain(args []string) {
 	self := fs.Int("self", 0, "also query the first n corpus vectors against the index")
 	seed := fs.Uint64("seed", 42, "random seed")
 	parallel := fs.Int("parallel", 0, "batch-query workers (0 = NumCPU, 1 = sequential)")
+	timeout := fs.Duration("timeout", 0, "abort query serving after this duration (0 = no limit)")
 	fs.Parse(args)
 
 	const prog = "apss query"
@@ -53,6 +56,8 @@ func queryMain(args []string) {
 	if *self < 0 {
 		usageError(prog, "-self %d must be >= 0", *self)
 	}
+	ctx, cancel := signalContext(prog, *timeout)
+	defer cancel()
 	if *index != "" {
 		// A snapshot fixes corpus, measure, algorithm and threshold;
 		// flags that would contradict it are rejected, not ignored.
@@ -130,15 +135,13 @@ func queryMain(args []string) {
 	if *topk > 0 {
 		results = make([][]bayeslsh.Match, len(queries))
 		for i, q := range queries {
-			if results[i], err = ix.TopK(q, *topk); err != nil {
-				fmt.Fprintln(os.Stderr, "apss query:", err)
-				os.Exit(1)
+			if results[i], err = ix.TopKContext(ctx, q, *topk); err != nil {
+				queryAbort(start, i, err)
 			}
 		}
 	} else {
-		if results, err = ix.QueryBatch(queries, bayeslsh.QueryOptions{Threshold: *qt}); err != nil {
-			fmt.Fprintln(os.Stderr, "apss query:", err)
-			os.Exit(1)
+		if results, err = ix.QueryBatchContext(ctx, queries, bayeslsh.QueryOptions{Threshold: *qt}); err != nil {
+			queryAbort(start, 0, err)
 		}
 	}
 	elapsed := time.Since(start)
@@ -153,6 +156,22 @@ func queryMain(args []string) {
 	fmt.Fprintf(os.Stderr, "apss query: %d queries, %d matches in %v (%.0f queries/s)\n",
 		len(queries), total, elapsed.Round(time.Millisecond),
 		float64(len(queries))/elapsed.Seconds())
+}
+
+// queryAbort reports a failed or canceled serving run. done is the
+// number of queries fully answered before the failure (0 for the
+// all-or-nothing batch path); cancellation exits 130, everything else
+// exits 1.
+func queryAbort(start time.Time, done int, err error) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr,
+			"apss query: aborted (%s) after %v: %v\n"+
+				"            partial: %d queries answered before cancellation (results discarded)\n",
+			abortReason(err), time.Since(start).Round(time.Millisecond), err, done)
+		os.Exit(130)
+	}
+	fmt.Fprintln(os.Stderr, "apss query:", err)
+	os.Exit(1)
 }
 
 // loadDataset loads the corpus the way the batch mode does: a file in

@@ -10,9 +10,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -37,14 +40,23 @@ func main() {
 		cfg.Datasets = strings.Split(*datasets, ",")
 	}
 
+	// Ctrl-C cancels the run through the ctx-aware search API: the
+	// in-flight cell aborts with its pipeline goroutines drained,
+	// instead of the process dying mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	ids := harness.Experiments()
 	if *run != "all" {
 		ids = strings.Split(*run, ",")
 	}
 	for _, id := range ids {
 		start := time.Now()
-		if err := harness.Run(id, os.Stdout, cfg); err != nil {
+		if err := harness.RunContext(ctx, id, os.Stdout, cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			if errors.Is(err, context.Canceled) {
+				os.Exit(130) // interrupted: 128 + SIGINT
+			}
 			os.Exit(1)
 		}
 		fmt.Printf("# [%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))

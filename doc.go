@@ -71,6 +71,27 @@
 // WriteTo and ReadIndex are the io.Writer/io.Reader forms;
 // docs/PERSISTENCE.md documents the format and versioning policy.
 //
+// # Cancellation and streaming
+//
+// Every search and query has a context-aware form — SearchContext,
+// QueryContext, TopKContext, QueryBatchContext — whose cancellation
+// is plumbed through all pipeline layers: a canceled context aborts
+// signature fills, candidate generation, BayesLSH rounds and exact
+// verification promptly, drains every goroutine, and surfaces an
+// error wrapping context.Canceled or context.DeadlineExceeded. The
+// blocking forms are unchanged wrappers over context.Background().
+// Engine.Stream additionally delivers batch-search results as an
+// iter.Seq2[Result, error] while verification runs, bounding resident
+// result memory for huge joins:
+//
+//	for r, err := range eng.Stream(ctx, opts) {
+//		if err != nil { break } // canceled or failed
+//		use(r)
+//	}
+//
+// docs/CONTEXTS.md documents the semantics, the per-layer check
+// granularity and the streaming memory model.
+//
 // # Parallelism and determinism
 //
 // An Engine runs a sharded, batched search pipeline: signature

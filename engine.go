@@ -1,6 +1,7 @@
 package bayeslsh
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -34,17 +35,26 @@ type EngineConfig struct {
 	// Parallelism is the worker count of the sharded search pipeline:
 	// signature hashing, candidate generation (LSH banding and the
 	// AllPairs probe phase) and verification are divided over this
-	// many goroutines. 0 (the zero value) selects runtime.NumCPU();
-	// 1 or any negative value forces the fully sequential pipeline.
-	// For a fixed Seed the result set is identical at every setting.
+	// many goroutines. Both runtime knobs follow one normalization
+	// rule — zero selects the adaptive default, negative clamps to the
+	// minimum: 0 selects runtime.NumCPU(), negative (like 1) forces
+	// the fully sequential pipeline. For a fixed Seed the result set
+	// is identical at every setting.
 	Parallelism int
 	// BatchSize is the number of candidate pairs per unit of work fed
-	// to verification workers through the pipeline's channel stage
-	// (default 1024). Smaller batches balance load better; larger
-	// batches amortize scheduling overhead over more pairs.
+	// to verification workers through the pipeline's channel stage,
+	// under the same rule as Parallelism: 0 selects the default 1024,
+	// negative clamps to single-pair batches. Smaller batches balance
+	// load better; larger batches amortize scheduling overhead over
+	// more pairs.
 	BatchSize int
 }
 
+// withDefaults normalizes the runtime knobs under one rule (zero =
+// adaptive default, negative = clamp to the minimum of 1) and fills
+// the hashing defaults. Engine construction and Index.SetRuntime both
+// go through it, so a loaded snapshot normalizes exactly like a fresh
+// engine.
 func (c EngineConfig) withDefaults() EngineConfig {
 	if c.SignatureBits == 0 {
 		c.SignatureBits = 2048
@@ -58,8 +68,11 @@ func (c EngineConfig) withDefaults() EngineConfig {
 	if c.Parallelism < 1 {
 		c.Parallelism = 1
 	}
-	if c.BatchSize <= 0 {
+	if c.BatchSize == 0 {
 		c.BatchSize = 1024
+	}
+	if c.BatchSize < 1 {
+		c.BatchSize = 1
 	}
 	return c
 }
@@ -165,11 +178,13 @@ func (e *Engine) collisionProb(t float64) float64 {
 // lshPlan computes the banding shape for the options' threshold — l
 // tables of BandK hashes each, following l = ⌈log ε / log(1−p^k)⌉
 // (its multi-probe variant when enabled), clamped to the signature
-// budget — and fills every corpus signature deep enough to band it.
+// budget — and fills every corpus signature deep enough to band it,
+// with cancellation polled between vectors (hashing dominates a cold
+// engine's cost, so a canceled search must be able to escape it).
 // Batch candidate generation and index building share this one plan,
 // so a query-serving index probes exactly the tables the batch scan
 // would have enumerated.
-func (e *Engine) lshPlan(o Options) (bandK, l int) {
+func (e *Engine) lshPlan(ctx context.Context, o Options) (bandK, l int, err error) {
 	p := e.collisionProb(o.Threshold)
 	l = lshindex.NumTables(p, o.BandK, o.FalseNegativeRate)
 	w := e.workers()
@@ -178,8 +193,10 @@ func (e *Engine) lshPlan(o Options) (bandK, l int) {
 		if max := st.MaxHashes() / o.BandK; l > max {
 			l = max
 		}
-		st.EnsureAllParallel(o.BandK*l, w)
-		return o.BandK, l
+		if err := st.EnsureAllCtx(ctx, o.BandK*l, w); err != nil {
+			return 0, 0, err
+		}
+		return o.BandK, l, nil
 	}
 	st := e.bitSigStore()
 	if o.MultiProbe {
@@ -188,28 +205,36 @@ func (e *Engine) lshPlan(o Options) (bandK, l int) {
 	if max := st.MaxBits() / o.BandK; l > max {
 		l = max
 	}
-	st.EnsureAllParallel(o.BandK*l, w)
-	return o.BandK, l
+	if err := st.EnsureAllCtx(ctx, o.BandK*l, w); err != nil {
+		return 0, 0, err
+	}
+	return o.BandK, l, nil
 }
 
 // lshCandidates generates banded-LSH candidates at the options'
-// threshold, with the table count from lshPlan.
-func (e *Engine) lshCandidates(o Options) ([]pair.Pair, error) {
-	k, l := e.lshPlan(o)
+// threshold, with the table count from lshPlan. Cancellation is
+// polled throughout: between per-vector signature fills inside
+// lshPlan, then between bands and within the collision enumeration.
+func (e *Engine) lshCandidates(ctx context.Context, o Options) ([]pair.Pair, error) {
+	k, l, err := e.lshPlan(ctx, o)
+	if err != nil {
+		return nil, err
+	}
 	w := e.workers()
 	if e.measure == Jaccard {
-		return lshindex.CandidatesMinhashParallel(e.minSigStore().Sigs(), k, l, w)
+		return lshindex.CandidatesMinhashCtx(ctx, e.minSigStore().Sigs(), k, l, w)
 	}
 	if o.MultiProbe {
-		return lshindex.CandidatesBitsMultiProbeParallel(e.bitSigStore().Sigs(), k, l, w)
+		return lshindex.CandidatesBitsMultiProbeCtx(ctx, e.bitSigStore().Sigs(), k, l, w)
 	}
-	return lshindex.CandidatesBitsParallel(e.bitSigStore().Sigs(), k, l, w)
+	return lshindex.CandidatesBitsCtx(ctx, e.bitSigStore().Sigs(), k, l, w)
 }
 
 // allPairsCandidates generates AllPairs candidates at the options'
-// threshold, sharding the probe phase when the engine is parallel.
-func (e *Engine) allPairsCandidates(o Options) ([]pair.Pair, error) {
-	return allpairs.CandidatesMeasureParallel(e.workInput(), toExactMeasure(e.measure), o.Threshold, e.workers())
+// threshold, sharding the probe phase when the engine is parallel and
+// polling cancellation between indexed vectors and posting lists.
+func (e *Engine) allPairsCandidates(ctx context.Context, o Options) ([]pair.Pair, error) {
+	return allpairs.CandidatesMeasureCtx(ctx, e.workInput(), toExactMeasure(e.measure), o.Threshold, e.workers())
 }
 
 // workInput returns the collection in the representation AllPairs and
@@ -224,9 +249,10 @@ func (e *Engine) workInput() *vector.Collection {
 // fitting the Jaccard Beta prior from the candidate stream when the
 // pipeline needs one. The returned verifier also serves the one-sided
 // query path (see core.QueryVerifier); batch search uses only the
-// Verifier half.
-func (e *Engine) bayesVerifier(o Options, cands []pair.Pair) (core.QueryVerifier, error) {
-	return e.bayesVerifierWithPrior(o, e.fitPrior(o, cands))
+// Verifier half. ctx cancels the signature fills the construction may
+// trigger (the 1-bit packing path).
+func (e *Engine) bayesVerifier(ctx context.Context, o Options, cands []pair.Pair) (core.QueryVerifier, error) {
+	return e.bayesVerifierWithPrior(ctx, o, e.fitPrior(o, cands))
 }
 
 // fitPrior learns the Jaccard Beta prior from the candidate stream,
@@ -244,7 +270,7 @@ func (e *Engine) fitPrior(o Options, cands []pair.Pair) stats.Beta {
 // fit the prior from candidates) and snapshot loads (which restore the
 // fitted prior verbatim, so a loaded index prunes with the exact
 // table the saved one did).
-func (e *Engine) bayesVerifierWithPrior(o Options, prior stats.Beta) (core.QueryVerifier, error) {
+func (e *Engine) bayesVerifierWithPrior(ctx context.Context, o Options, prior stats.Beta) (core.QueryVerifier, error) {
 	params := core.Params{
 		Threshold: o.Threshold,
 		Epsilon:   o.Epsilon,
@@ -261,7 +287,9 @@ func (e *Engine) bayesVerifierWithPrior(o Options, prior stats.Beta) (core.Query
 		if o.OneBitMinhash {
 			// 1-bit signatures are packed eagerly from the minhash
 			// store (they are 32× smaller, so the packing is cheap).
-			st.EnsureAllParallel(params.MaxHashes, e.workers())
+			if err := st.EnsureAllCtx(ctx, params.MaxHashes, e.workers()); err != nil {
+				return nil, err
+			}
 			sigs := minhash.PackOneBitAll(st.Sigs())
 			return core.NewOneBitJaccard(sigs, params.MaxHashes, params)
 		}

@@ -2,9 +2,12 @@ package bayeslsh_test
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"sort"
+	"time"
 
 	"bayeslsh"
 )
@@ -99,6 +102,88 @@ func ExampleIndex_TopK() {
 	// Output:
 	// 0 1.00
 	// 2 0.80
+}
+
+// ExampleEngine_Stream consumes a search as a stream: pairs arrive as
+// verification batches complete (in unspecified order — sort if order
+// matters), so the full result set is never resident and the range
+// loop can stop — or the context can cancel — at any time (see
+// docs/CONTEXTS.md).
+func ExampleEngine_Stream() {
+	ds := bayeslsh.NewDataset(8)
+	ds.Add(map[uint32]float64{0: 1, 1: 2, 2: 3})    // doc 0
+	ds.Add(map[uint32]float64{0: 1, 1: 2, 2: 3.1})  // doc 1: near-duplicate of 0
+	ds.Add(map[uint32]float64{5: 1, 6: 1})          // doc 2: unrelated
+	ds.Add(map[uint32]float64{0: 10, 1: 20, 2: 30}) // doc 3: scaled copy of 0
+	ds.Normalize()
+
+	eng, err := bayeslsh.NewEngine(ds, bayeslsh.Cosine, bayeslsh.EngineConfig{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var found []bayeslsh.Result
+	for r, err := range eng.Stream(context.Background(), bayeslsh.Options{
+		Algorithm: bayeslsh.AllPairs,
+		Threshold: 0.99,
+	}) {
+		if err != nil {
+			log.Fatal(err) // a canceled stream ends with one error element
+		}
+		found = append(found, r)
+	}
+	sort.Slice(found, func(i, j int) bool {
+		if found[i].A != found[j].A {
+			return found[i].A < found[j].A
+		}
+		return found[i].B < found[j].B
+	})
+	for _, r := range found {
+		fmt.Printf("(%d, %d) %.4f\n", r.A, r.B, r.Sim)
+	}
+	// Output:
+	// (0, 1) 0.9999
+	// (0, 3) 1.0000
+	// (1, 3) 0.9999
+}
+
+// ExampleIndex_QueryContext serves a query under a context, the shape
+// of a production request handler: the caller's deadline or
+// disconnect cancels the in-flight verification, and the error wraps
+// context.Canceled / context.DeadlineExceeded.
+func ExampleIndex_QueryContext() {
+	ds := bayeslsh.NewDataset(8)
+	ds.Add(map[uint32]float64{0: 1, 1: 2, 2: 3})   // doc 0
+	ds.Add(map[uint32]float64{0: 1, 1: 2, 2: 3.1}) // doc 1: near-duplicate of 0
+	ds.Add(map[uint32]float64{5: 1, 6: 1})         // doc 2: unrelated
+	ds.Normalize()
+
+	ix, err := bayeslsh.NewIndex(ds, bayeslsh.Cosine, bayeslsh.EngineConfig{Seed: 1},
+		bayeslsh.Options{Algorithm: bayeslsh.AllPairs, Threshold: 0.9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := bayeslsh.NewVec(map[uint32]float64{0: 1, 1: 2.1, 2: 3})
+
+	// A live context: identical results to Query.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	matches, err := ix.QueryContext(ctx, q, bayeslsh.QueryOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range matches {
+		fmt.Printf("%d %.4f\n", m.ID, m.Sim)
+	}
+
+	// A dead context: the query refuses before doing any work.
+	done, cancelNow := context.WithCancel(context.Background())
+	cancelNow()
+	_, err = ix.QueryContext(done, q, bayeslsh.QueryOptions{})
+	fmt.Println(errors.Is(err, context.Canceled))
+	// Output:
+	// 0 0.9998
+	// 1 0.9993
+	// true
 }
 
 // ExampleDataset_AddSet shows binary (set) data and Jaccard search.

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -69,15 +70,20 @@ func main() {
 	}
 
 	// 6. Batch querying shards over EngineConfig.Parallelism workers;
-	// results are identical to one-at-a-time Query calls.
+	// results are identical to one-at-a-time Query calls. The serving
+	// calls all have ...Context forms — here the batch runs under a
+	// deadline, the shape of a production request handler (see
+	// docs/CONTEXTS.md).
 	queries := make([]bayeslsh.Vec, 200)
 	for i := range queries {
 		queries[i] = ds.Vector(i)
 	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
 	start := time.Now()
-	rs, err := ix.QueryBatch(queries, bayeslsh.QueryOptions{})
+	rs, err := ix.QueryBatchContext(ctx, queries, bayeslsh.QueryOptions{})
 	if err != nil {
-		log.Fatal(err)
+		log.Fatal(err) // wraps context.DeadlineExceeded if the budget ran out
 	}
 	elapsed := time.Since(start)
 	total := 0

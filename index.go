@@ -1,6 +1,7 @@
 package bayeslsh
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -113,7 +114,10 @@ func (e *Engine) BuildIndex(opts Options) (*Index, error) {
 			return nil, err
 		}
 	case LSH, LSHApprox, LSHBayesLSH, LSHBayesLSHLite:
-		k, l := e.lshPlan(o)
+		k, l, err := e.lshPlan(context.Background(), o)
+		if err != nil {
+			return nil, err
+		}
 		ix.stats.BandK, ix.stats.Tables = k, l
 		if e.measure == Jaccard {
 			ix.bandMin = k * l
@@ -140,11 +144,7 @@ func (e *Engine) BuildIndex(opts Options) (*Index, error) {
 			// prior, which the batch pipeline fits from its candidate
 			// stream. Reproduce that stream once at build so every
 			// query shares the batch search's exact prior.
-			if o.Algorithm == AllPairsBayesLSH || o.Algorithm == AllPairsBayesLSHLite {
-				cands, err = e.allPairsCandidates(o)
-			} else {
-				cands, err = e.lshCandidates(o)
-			}
+			cands, err = e.candidates(context.Background(), o)
 			if err != nil {
 				return nil, err
 			}
@@ -152,7 +152,7 @@ func (e *Engine) BuildIndex(opts Options) (*Index, error) {
 			ix.stats.PriorCandidates = len(cands)
 		}
 		ix.prior = e.fitPrior(o, cands)
-		ix.vq, err = e.bayesVerifierWithPrior(o, ix.prior)
+		ix.vq, err = e.bayesVerifierWithPrior(context.Background(), o, ix.prior)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,166 @@
+package allpairs
+
+import (
+	"context"
+	"sync"
+
+	"bayeslsh/internal/exact"
+	"bayeslsh/internal/pair"
+	"bayeslsh/internal/shard"
+	"bayeslsh/internal/vector"
+)
+
+// Context-aware and streaming forms of the AllPairs scan. All of them
+// run the build-then-probe split of parallel.go (which reproduces the
+// sequential stream exactly), because it gives natural abort points:
+// cancellation is polled between indexed vectors during the build and
+// between posting lists during each probe, and the probe batches go
+// through shard.RunCtx/StreamCtx so no new probe starts once the
+// context is done. A canceled call returns (nil, ctx.Err()) with all
+// workers drained; a non-cancelable ctx takes the plain code paths.
+
+// runParallelCtx is runParallel with cooperative cancellation (the
+// collect contract is unchanged; collected output must be discarded by
+// the caller when an error is returned).
+func (s *searcher) runParallelCtx(ctx context.Context, workers int, collect func(slot int, x, y int32, acc float64)) error {
+	stop := shard.NewStopper(ctx)
+	defer stop.Close()
+	for _, xid := range s.order {
+		if stop.Stopped() {
+			return ctx.Err()
+		}
+		s.indexVector(xid)
+	}
+	pool := sync.Pool{New: func() any {
+		return &probeState{accs: make([]float64, len(s.c.Vecs))}
+	}}
+	return shard.RunCtx(ctx, len(s.order), workers, shard.Chunk(len(s.order), workers, 16), func(lo, hi, _ int) {
+		ps := pool.Get().(*probeState)
+		for p := lo; p < hi; p++ {
+			if stop.Stopped() {
+				break
+			}
+			xid := s.order[p]
+			s.probeFull(xid, ps, stop, func(y int32, acc float64) {
+				collect(p, int32(xid), y, acc)
+			})
+		}
+		pool.Put(ps)
+	})
+}
+
+// CandidatesMeasureCtx is CandidatesMeasureParallel with cooperative
+// cancellation.
+func CandidatesMeasureCtx(ctx context.Context, c *vector.Collection, m exact.Measure, t float64, workers int) ([]pair.Pair, error) {
+	if ctx.Done() == nil {
+		return CandidatesMeasureParallel(c, m, t, workers)
+	}
+	in, tc, err := measureInput(c, m, t)
+	if err != nil {
+		return nil, err
+	}
+	s, err := newSearcher(in, tc)
+	if err != nil {
+		return nil, err
+	}
+	perX := make([][]pair.Pair, len(s.order))
+	if err := s.runParallelCtx(ctx, workers, func(slot int, x, y int32, _ float64) {
+		perX[slot] = append(perX[slot], pair.Make(x, y))
+	}); err != nil {
+		return nil, err
+	}
+	var out []pair.Pair
+	for _, ps := range perX {
+		out = append(out, ps...)
+	}
+	return out, nil
+}
+
+// SearchMeasureCtx is SearchMeasureParallel with cooperative
+// cancellation.
+func SearchMeasureCtx(ctx context.Context, c *vector.Collection, m exact.Measure, t float64, workers, batch int) ([]pair.Result, error) {
+	if ctx.Done() == nil {
+		return SearchMeasureParallel(c, m, t, workers, batch)
+	}
+	switch m {
+	case exact.Cosine:
+		s, err := newSearcher(c, t)
+		if err != nil {
+			return nil, err
+		}
+		perX := make([][]pair.Result, len(s.order))
+		if err := s.runParallelCtx(ctx, workers, func(slot int, x, y int32, acc float64) {
+			if r, ok := s.finish(x, y, acc); ok {
+				perX[slot] = append(perX[slot], r)
+			}
+		}); err != nil {
+			return nil, err
+		}
+		var out []pair.Result
+		for _, rs := range perX {
+			out = append(out, rs...)
+		}
+		return out, nil
+	default:
+		cands, err := CandidatesMeasureCtx(ctx, c, m, t, workers)
+		if err != nil {
+			return nil, err
+		}
+		return exact.VerifyCtx(ctx, c, m, t, cands, workers, batch)
+	}
+}
+
+// SearchMeasureStream is the streaming form of SearchMeasureParallel:
+// each probe batch's verified results go to emit as the batch
+// completes (shard.StreamCtx contract). For the binary measures the
+// candidate set is still materialized — the scan's correctness depends
+// on the full candidate stream — and only verification streams.
+func SearchMeasureStream(ctx context.Context, c *vector.Collection, m exact.Measure, t float64, workers, batch int, emit func([]pair.Result) error) error {
+	switch m {
+	case exact.Cosine:
+		s, err := newSearcher(c, t)
+		if err != nil {
+			return err
+		}
+		return s.streamResults(ctx, workers, emit)
+	default:
+		cands, err := CandidatesMeasureCtx(ctx, c, m, t, workers)
+		if err != nil {
+			return err
+		}
+		return exact.VerifyStream(ctx, c, m, t, cands, workers, batch, emit)
+	}
+}
+
+// streamResults runs the build-then-probe scan, delivering each probe
+// batch's results through emit instead of accumulating them.
+func (s *searcher) streamResults(ctx context.Context, workers int, emit func([]pair.Result) error) error {
+	stop := shard.NewStopper(ctx)
+	defer stop.Close()
+	for _, xid := range s.order {
+		if stop.Stopped() {
+			return ctx.Err()
+		}
+		s.indexVector(xid)
+	}
+	pool := sync.Pool{New: func() any {
+		return &probeState{accs: make([]float64, len(s.c.Vecs))}
+	}}
+	return shard.StreamCtx(ctx, len(s.order), workers, shard.Chunk(len(s.order), workers, 16), func(lo, hi int) []pair.Result {
+		ps := pool.Get().(*probeState)
+		var out []pair.Result
+		for p := lo; p < hi; p++ {
+			if stop.Stopped() {
+				break
+			}
+			xid := s.order[p]
+			s.probeFull(xid, ps, stop, func(y int32, acc float64) {
+				if r, ok := s.finish(int32(xid), y, acc); ok {
+					out = append(out, r)
+				}
+			})
+		}
+		pool.Put(ps)
+		return out
+	}, emit)
+}

@@ -37,8 +37,11 @@ type probeState struct {
 
 // probeFull replays x's sequential probe against the fully built
 // index, calling emit(y, acc) for every candidate that passes the
-// upper-bound check.
-func (s *searcher) probeFull(xid int, ps *probeState, emit func(y int32, acc float64)) {
+// upper-bound check. stop (nil for "not cancelable") is polled between
+// the probe's posting lists; an aborted probe emits nothing but still
+// zeroes its accumulators, so a pooled probeState stays clean for
+// whoever draws it next.
+func (s *searcher) probeFull(xid int, ps *probeState, stop *shard.Stopper, emit func(y int32, acc float64)) {
 	x := s.c.Vecs[xid]
 	if x.Len() == 0 {
 		return
@@ -52,7 +55,12 @@ func (s *searcher) probeFull(xid int, ps *probeState, emit func(y int32, acc flo
 	}
 	xpos := s.pos[xid]
 	touched := ps.touched[:0]
+	aborted := false
 	for j, f := range x.Ind {
+		if stop.Stopped() {
+			aborted = true
+			break
+		}
 		w := x.Val[j]
 		skipping := true
 		for _, p := range s.lists[f].entries {
@@ -74,6 +82,9 @@ func (s *searcher) probeFull(xid int, ps *probeState, emit func(y int32, acc flo
 	for _, y := range touched {
 		a := ps.accs[y]
 		ps.accs[y] = 0
+		if aborted {
+			continue // cleanup only; the probe's output is discarded
+		}
 		yu := s.unidx[y]
 		bound := a + math.Min(float64(x.Len()), float64(yu.Len()))*xmax*s.unidxMax[y]
 		if bound >= s.t-fpSlack {
@@ -98,7 +109,7 @@ func (s *searcher) runParallel(workers int, collect func(slot int, x, y int32, a
 		ps := pool.Get().(*probeState)
 		for p := lo; p < hi; p++ {
 			xid := s.order[p]
-			s.probeFull(xid, ps, func(y int32, acc float64) {
+			s.probeFull(xid, ps, nil, func(y int32, acc float64) {
 				collect(p, int32(xid), y, acc)
 			})
 		}

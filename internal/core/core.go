@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -185,4 +186,21 @@ type Verifier interface {
 	// VerifyLiteParallel is VerifyLite sharded over workers goroutines;
 	// sim must be safe for concurrent use.
 	VerifyLiteParallel(cands []pair.Pair, h int, sim ExactSimFunc, workers, batch int) ([]pair.Result, Stats)
+	// VerifyParallelCtx is VerifyParallel with cooperative
+	// cancellation: no batch starts after ctx is done, the round loop
+	// polls cancellation between rounds, and a canceled run returns
+	// (nil, Stats{}, ctx.Err()) with all workers drained. A
+	// non-cancelable ctx takes VerifyParallel's code path unchanged.
+	VerifyParallelCtx(ctx context.Context, cands []pair.Pair, workers, batch int) ([]pair.Result, Stats, error)
+	// VerifyLiteParallelCtx is VerifyLiteParallel under the
+	// VerifyParallelCtx contract.
+	VerifyLiteParallelCtx(ctx context.Context, cands []pair.Pair, h int, sim ExactSimFunc, workers, batch int) ([]pair.Result, Stats, error)
+	// VerifyStream runs BayesLSH over the candidates and delivers each
+	// batch's accepted results to emit (on the calling goroutine, in
+	// batch completion order) as soon as the batch finishes, instead of
+	// accumulating one result slice. emit returning a non-nil error or
+	// ctx being canceled stops the run (shard.StreamCtx contract).
+	VerifyStream(ctx context.Context, cands []pair.Pair, workers, batch int, emit func([]pair.Result) error) error
+	// VerifyLiteStream is the streaming form of VerifyLite.
+	VerifyLiteStream(ctx context.Context, cands []pair.Pair, h int, sim ExactSimFunc, workers, batch int, emit func([]pair.Result) error) error
 }

@@ -57,12 +57,18 @@ func newKernel(params Params,
 
 // verifyOne runs the full BayesLSH round loop (Algorithm 1) for one
 // candidate pair, updating st and appending accepted pairs to out.
-func (kr *kernel) verifyOne(c pair.Pair, st *Stats, out *[]pair.Result) {
+// stop (nil for "not cancelable") is polled between rounds; a stopped
+// pair is abandoned mid-loop, which is safe because the caller
+// discards all output once it observes the cancellation.
+func (kr *kernel) verifyOne(c pair.Pair, stop *shard.Stopper, st *Stats, out *[]pair.Result) {
 	k := kr.params.K
 	m := 0
 	pruned := false
 	accepted := false
 	for round, n := range kr.ns {
+		if stop.Stopped() {
+			return
+		}
 		if ensure := kr.params.Ensure; ensure != nil {
 			ensure(c.A, n)
 			ensure(c.B, n)
@@ -104,11 +110,14 @@ func (kr *kernel) verifyOne(c pair.Pair, st *Stats, out *[]pair.Result) {
 // verifyOneLite runs the pruning-only round loop of BayesLSH-Lite
 // (Algorithm 2) for one candidate pair over nRounds rounds, updating
 // st. It reports whether the pair survived pruning (and so needs exact
-// verification).
-func (kr *kernel) verifyOneLite(c pair.Pair, nRounds int, st *Stats) bool {
+// verification). stop follows the verifyOne contract.
+func (kr *kernel) verifyOneLite(c pair.Pair, nRounds int, stop *shard.Stopper, st *Stats) bool {
 	k := kr.params.K
 	m := 0
 	for round := 0; round < nRounds; round++ {
+		if stop.Stopped() {
+			return false
+		}
 		n := kr.ns[round]
 		if ensure := kr.params.Ensure; ensure != nil {
 			ensure(c.A, n)
@@ -130,7 +139,7 @@ func (kr *kernel) verify(cands []pair.Pair) ([]pair.Result, Stats) {
 	st := Stats{Candidates: len(cands), SurvivorsByRound: make([]int, len(kr.ns))}
 	out := make([]pair.Result, 0, len(cands)/8+1)
 	for _, c := range cands {
-		kr.verifyOne(c, &st, &out)
+		kr.verifyOne(c, nil, &st, &out)
 	}
 	st.Accepted = len(out)
 	return out, st
@@ -142,7 +151,7 @@ func (kr *kernel) verifyLite(cands []pair.Pair, h int, sim ExactSimFunc) ([]pair
 	st := Stats{Candidates: len(cands), SurvivorsByRound: make([]int, nRounds)}
 	var out []pair.Result
 	for _, c := range cands {
-		if !kr.verifyOneLite(c, nRounds, &st) {
+		if !kr.verifyOneLite(c, nRounds, nil, &st) {
 			continue
 		}
 		st.ExactVerified++
@@ -172,7 +181,7 @@ func (kr *kernel) verifyParallel(cands []pair.Pair, workers, batch int) ([]pair.
 		st := Stats{SurvivorsByRound: make([]int, len(kr.ns))}
 		out := make([]pair.Result, 0, (hi-lo)/8+1)
 		for _, c := range cands[lo:hi] {
-			kr.verifyOne(c, &st, &out)
+			kr.verifyOne(c, nil, &st, &out)
 		}
 		outs[slot] = out
 		stats[slot] = st
@@ -197,7 +206,7 @@ func (kr *kernel) verifyLiteParallel(cands []pair.Pair, h int, sim ExactSimFunc,
 		st := Stats{SurvivorsByRound: make([]int, nRounds)}
 		var out []pair.Result
 		for _, c := range cands[lo:hi] {
-			if !kr.verifyOneLite(c, nRounds, &st) {
+			if !kr.verifyOneLite(c, nRounds, nil, &st) {
 				continue
 			}
 			st.ExactVerified++

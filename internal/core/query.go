@@ -3,6 +3,7 @@ package core
 import (
 	"bayeslsh/internal/minhash"
 	"bayeslsh/internal/pair"
+	"bayeslsh/internal/shard"
 	"bayeslsh/internal/sighash"
 )
 
@@ -43,18 +44,40 @@ type QueryVerifier interface {
 	// (Algorithm 2) within the first h hashes, then verifies survivors
 	// exactly with sim, keeping hits with similarity >= t.
 	VerifyQueryLite(q QuerySig, ids []int32, h int, sim QuerySimFunc) ([]pair.Hit, Stats)
+	// VerifyQueryStop is VerifyQuery with cooperative cancellation:
+	// stop (nil for "not cancelable") is polled between candidates and
+	// between rounds; once it trips, partial output is discarded and
+	// stop.Err() is returned.
+	VerifyQueryStop(q QuerySig, ids []int32, stop *shard.Stopper) ([]pair.Hit, Stats, error)
+	// VerifyQueryLiteStop is VerifyQueryLite with cooperative
+	// cancellation, under the VerifyQueryStop contract.
+	VerifyQueryLiteStop(q QuerySig, ids []int32, h int, sim QuerySimFunc, stop *shard.Stopper) ([]pair.Hit, Stats, error)
+}
+
+// stopResultHits discards partial query output once the stopper has
+// tripped, so a canceled query never returns a half-verified hit list.
+func stopResultHits(hits []pair.Hit, st Stats, stop *shard.Stopper) ([]pair.Hit, Stats, error) {
+	if stop.Stopped() {
+		return nil, Stats{}, stop.Err()
+	}
+	return hits, st, nil
 }
 
 // verifyQueryOne runs the full round loop for one candidate id against
 // the query, mirroring verifyOne with qmatch in place of the two-sided
 // match hook. Only the corpus side goes through params.Ensure; the
-// query signature is precomputed to MaxHashes by the caller.
-func (kr *kernel) verifyQueryOne(id int32, qmatch func(id int32, from, to int) int, st *Stats, out *[]pair.Hit) {
+// query signature is precomputed to MaxHashes by the caller. stop
+// (nil for "not cancelable") follows the verifyOne contract: polled
+// between rounds, output discarded by the caller on cancellation.
+func (kr *kernel) verifyQueryOne(id int32, qmatch func(id int32, from, to int) int, stop *shard.Stopper, st *Stats, out *[]pair.Hit) {
 	k := kr.params.K
 	m := 0
 	pruned := false
 	accepted := false
 	for round, n := range kr.ns {
+		if stop.Stopped() {
+			return
+		}
 		if ensure := kr.params.Ensure; ensure != nil {
 			ensure(id, n)
 		}
@@ -89,27 +112,42 @@ func (kr *kernel) verifyQueryOne(id int32, qmatch func(id int32, from, to int) i
 }
 
 // verifyQuery runs the one-sided BayesLSH loop over all candidate ids.
-func (kr *kernel) verifyQuery(ids []int32, qmatch func(id int32, from, to int) int) ([]pair.Hit, Stats) {
+// stop is polled between candidates and rounds; on cancellation the
+// partial output must be discarded by the caller (VerifyQueryStop
+// does).
+func (kr *kernel) verifyQuery(ids []int32, qmatch func(id int32, from, to int) int, stop *shard.Stopper) ([]pair.Hit, Stats) {
 	st := Stats{Candidates: len(ids), SurvivorsByRound: make([]int, len(kr.ns))}
 	out := make([]pair.Hit, 0, len(ids)/8+1)
 	for _, id := range ids {
-		kr.verifyQueryOne(id, qmatch, &st, &out)
+		if stop.Stopped() {
+			break
+		}
+		kr.verifyQueryOne(id, qmatch, stop, &st, &out)
 	}
 	st.Accepted = len(out)
 	return out, st
 }
 
 // verifyQueryLite runs the one-sided pruning rounds, then exact
-// verification of survivors.
-func (kr *kernel) verifyQueryLite(ids []int32, h int, qmatch func(id int32, from, to int) int, sim QuerySimFunc) ([]pair.Hit, Stats) {
+// verification of survivors. stop follows the verifyQuery contract.
+func (kr *kernel) verifyQueryLite(ids []int32, h int, qmatch func(id int32, from, to int) int, sim QuerySimFunc, stop *shard.Stopper) ([]pair.Hit, Stats) {
 	k := kr.params.K
 	nRounds := liteRounds(h, k, len(kr.ns))
 	st := Stats{Candidates: len(ids), SurvivorsByRound: make([]int, nRounds)}
 	var out []pair.Hit
 	for _, id := range ids {
+		if stop.Stopped() {
+			break
+		}
 		m := 0
 		survived := true
 		for round := 0; round < nRounds; round++ {
+			if stop.Stopped() {
+				// Abandon mid-candidate; the caller discards the
+				// partial output (stopResultHits).
+				st.Accepted = len(out)
+				return out, st
+			}
 			n := kr.ns[round]
 			if ensure := kr.params.Ensure; ensure != nil {
 				ensure(id, n)
@@ -145,13 +183,25 @@ func (v *JaccardVerifier) qmatch(q QuerySig) func(id int32, from, to int) int {
 // VerifyQuery runs BayesLSH for the query minhash signature (q.Min,
 // at least MaxHashes hashes) against the candidate corpus ids.
 func (v *JaccardVerifier) VerifyQuery(q QuerySig, ids []int32) ([]pair.Hit, Stats) {
-	return v.k.verifyQuery(ids, v.qmatch(q))
+	return v.k.verifyQuery(ids, v.qmatch(q), nil)
 }
 
 // VerifyQueryLite runs BayesLSH-Lite pruning for the query minhash
 // signature, then verifies survivors exactly with sim.
 func (v *JaccardVerifier) VerifyQueryLite(q QuerySig, ids []int32, h int, sim QuerySimFunc) ([]pair.Hit, Stats) {
-	return v.k.verifyQueryLite(ids, h, v.qmatch(q), sim)
+	return v.k.verifyQueryLite(ids, h, v.qmatch(q), sim, nil)
+}
+
+// VerifyQueryStop is VerifyQuery with cooperative cancellation.
+func (v *JaccardVerifier) VerifyQueryStop(q QuerySig, ids []int32, stop *shard.Stopper) ([]pair.Hit, Stats, error) {
+	hits, st := v.k.verifyQuery(ids, v.qmatch(q), stop)
+	return stopResultHits(hits, st, stop)
+}
+
+// VerifyQueryLiteStop is VerifyQueryLite with cooperative cancellation.
+func (v *JaccardVerifier) VerifyQueryLiteStop(q QuerySig, ids []int32, h int, sim QuerySimFunc, stop *shard.Stopper) ([]pair.Hit, Stats, error) {
+	hits, st := v.k.verifyQueryLite(ids, h, v.qmatch(q), sim, stop)
+	return stopResultHits(hits, st, stop)
 }
 
 // qmatch builds the cosine one-sided match hook.
@@ -164,13 +214,25 @@ func (v *CosineVerifier) qmatch(q QuerySig) func(id int32, from, to int) int {
 // VerifyQuery runs BayesLSH for the query bit signature (q.Bits, at
 // least MaxHashes bits) against the candidate corpus ids.
 func (v *CosineVerifier) VerifyQuery(q QuerySig, ids []int32) ([]pair.Hit, Stats) {
-	return v.k.verifyQuery(ids, v.qmatch(q))
+	return v.k.verifyQuery(ids, v.qmatch(q), nil)
 }
 
 // VerifyQueryLite runs BayesLSH-Lite pruning for the query bit
 // signature, then verifies survivors exactly with sim.
 func (v *CosineVerifier) VerifyQueryLite(q QuerySig, ids []int32, h int, sim QuerySimFunc) ([]pair.Hit, Stats) {
-	return v.k.verifyQueryLite(ids, h, v.qmatch(q), sim)
+	return v.k.verifyQueryLite(ids, h, v.qmatch(q), sim, nil)
+}
+
+// VerifyQueryStop is VerifyQuery with cooperative cancellation.
+func (v *CosineVerifier) VerifyQueryStop(q QuerySig, ids []int32, stop *shard.Stopper) ([]pair.Hit, Stats, error) {
+	hits, st := v.k.verifyQuery(ids, v.qmatch(q), stop)
+	return stopResultHits(hits, st, stop)
+}
+
+// VerifyQueryLiteStop is VerifyQueryLite with cooperative cancellation.
+func (v *CosineVerifier) VerifyQueryLiteStop(q QuerySig, ids []int32, h int, sim QuerySimFunc, stop *shard.Stopper) ([]pair.Hit, Stats, error) {
+	hits, st := v.k.verifyQueryLite(ids, h, v.qmatch(q), sim, stop)
+	return stopResultHits(hits, st, stop)
 }
 
 // qmatch builds the 1-bit Jaccard one-sided match hook (the query's
@@ -184,11 +246,23 @@ func (v *OneBitJaccardVerifier) qmatch(q QuerySig) func(id int32, from, to int) 
 // VerifyQuery runs BayesLSH for the packed 1-bit query signature
 // (q.Bits) against the candidate corpus ids.
 func (v *OneBitJaccardVerifier) VerifyQuery(q QuerySig, ids []int32) ([]pair.Hit, Stats) {
-	return v.k.verifyQuery(ids, v.qmatch(q))
+	return v.k.verifyQuery(ids, v.qmatch(q), nil)
 }
 
 // VerifyQueryLite runs BayesLSH-Lite pruning over packed 1-bit query
 // signatures, then verifies survivors exactly with sim.
 func (v *OneBitJaccardVerifier) VerifyQueryLite(q QuerySig, ids []int32, h int, sim QuerySimFunc) ([]pair.Hit, Stats) {
-	return v.k.verifyQueryLite(ids, h, v.qmatch(q), sim)
+	return v.k.verifyQueryLite(ids, h, v.qmatch(q), sim, nil)
+}
+
+// VerifyQueryStop is VerifyQuery with cooperative cancellation.
+func (v *OneBitJaccardVerifier) VerifyQueryStop(q QuerySig, ids []int32, stop *shard.Stopper) ([]pair.Hit, Stats, error) {
+	hits, st := v.k.verifyQuery(ids, v.qmatch(q), stop)
+	return stopResultHits(hits, st, stop)
+}
+
+// VerifyQueryLiteStop is VerifyQueryLite with cooperative cancellation.
+func (v *OneBitJaccardVerifier) VerifyQueryLiteStop(q QuerySig, ids []int32, h int, sim QuerySimFunc, stop *shard.Stopper) ([]pair.Hit, Stats, error) {
+	hits, st := v.k.verifyQueryLite(ids, h, v.qmatch(q), sim, stop)
+	return stopResultHits(hits, st, stop)
 }

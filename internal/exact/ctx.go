@@ -1,0 +1,104 @@
+package exact
+
+import (
+	"context"
+
+	"bayeslsh/internal/pair"
+	"bayeslsh/internal/shard"
+	"bayeslsh/internal/vector"
+)
+
+// Context-aware and streaming forms of the exact scans. Cancellation
+// is polled between row/candidate blocks by the shard dispatch and
+// between individual rows (a row of the O(n²) scan compares against
+// every later vector, so rows are the natural abort points within a
+// block). A canceled call returns (nil, ctx.Err()) with all workers
+// drained; a non-cancelable ctx takes the plain code paths.
+
+// SearchCtx is SearchParallel with cooperative cancellation.
+func SearchCtx(ctx context.Context, c *vector.Collection, m Measure, t float64, workers int) ([]pair.Result, error) {
+	if ctx.Done() == nil {
+		return SearchParallel(c, m, t, workers), nil
+	}
+	stop := shard.NewStopper(ctx)
+	defer stop.Close()
+	n := len(c.Vecs)
+	return shard.CollectCtx(ctx, n, workers, 16, func(lo, hi int) []pair.Result {
+		return searchRows(c, m, t, lo, hi, stop)
+	})
+}
+
+// searchRows scans rows [lo, hi) of the triangular all-pairs matrix,
+// aborting between rows once stop trips (the partial block is
+// discarded by the ctx-aware callers).
+func searchRows(c *vector.Collection, m Measure, t float64, lo, hi int, stop *shard.Stopper) []pair.Result {
+	n := len(c.Vecs)
+	var out []pair.Result
+	for i := lo; i < hi; i++ {
+		if stop.Stopped() {
+			return nil
+		}
+		if c.Vecs[i].Len() == 0 {
+			continue
+		}
+		for j := i + 1; j < n; j++ {
+			if s := m.Sim(c.Vecs[i], c.Vecs[j]); s >= t {
+				out = append(out, pair.Result{A: int32(i), B: int32(j), Sim: s})
+			}
+		}
+	}
+	return out
+}
+
+// VerifyCtx is VerifyParallel with cooperative cancellation.
+func VerifyCtx(ctx context.Context, c *vector.Collection, m Measure, t float64, cands []pair.Pair, workers, batch int) ([]pair.Result, error) {
+	if ctx.Done() == nil {
+		return VerifyParallel(c, m, t, cands, workers, batch), nil
+	}
+	if batch < 1 {
+		batch = 1024
+	}
+	stop := shard.NewStopper(ctx)
+	defer stop.Close()
+	return shard.CollectCtx(ctx, len(cands), workers, batch, func(lo, hi int) []pair.Result {
+		return verifyBlock(c, m, t, cands[lo:hi], stop)
+	})
+}
+
+// verifyBlock verifies one candidate block, polling stop per pair.
+func verifyBlock(c *vector.Collection, m Measure, t float64, cands []pair.Pair, stop *shard.Stopper) []pair.Result {
+	var out []pair.Result
+	for _, p := range cands {
+		if stop.Stopped() {
+			return nil
+		}
+		if s := m.Sim(c.Vecs[p.A], c.Vecs[p.B]); s >= t {
+			out = append(out, pair.Result{A: p.A, B: p.B, Sim: s})
+		}
+	}
+	return out
+}
+
+// SearchStream is the streaming form of SearchParallel: each row
+// block's results go to emit as the block completes (shard.StreamCtx
+// contract), so no full result set is ever resident.
+func SearchStream(ctx context.Context, c *vector.Collection, m Measure, t float64, workers int, emit func([]pair.Result) error) error {
+	stop := shard.NewStopper(ctx)
+	defer stop.Close()
+	n := len(c.Vecs)
+	return shard.StreamCtx(ctx, n, workers, 16, func(lo, hi int) []pair.Result {
+		return searchRows(c, m, t, lo, hi, stop)
+	}, emit)
+}
+
+// VerifyStream is the streaming form of VerifyParallel.
+func VerifyStream(ctx context.Context, c *vector.Collection, m Measure, t float64, cands []pair.Pair, workers, batch int, emit func([]pair.Result) error) error {
+	if batch < 1 {
+		batch = 1024
+	}
+	stop := shard.NewStopper(ctx)
+	defer stop.Close()
+	return shard.StreamCtx(ctx, len(cands), workers, batch, func(lo, hi int) []pair.Result {
+		return verifyBlock(c, m, t, cands[lo:hi], stop)
+	}, emit)
+}

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -28,8 +30,23 @@ type Config struct {
 	// the scaled-down analogue of the paper's 50-hour per-run cap.
 	// Cells that exceed it are reported as timed out, exactly as the
 	// paper reports missing lines and "≥" speedups. Default 2 minutes
-	// (30 s with Quick).
+	// (30 s with Quick). Timed-out searches are genuinely aborted via
+	// the ctx-aware search API — not abandoned to finish in the
+	// background.
 	CellTimeout time.Duration
+
+	// ctx cancels the whole run (RunContext sets it); experiment
+	// functions thread it into every search.
+	ctx context.Context
+}
+
+// context returns the run's context, Background when Run (rather than
+// RunContext) started it.
+func (c Config) context() context.Context {
+	if c.ctx == nil {
+		return context.Background()
+	}
+	return c.ctx
 }
 
 func (c Config) cellTimeout() time.Duration {
@@ -50,7 +67,18 @@ func Experiments() []string {
 }
 
 // Run executes one experiment by id, writing its rows/series to w.
+// It cannot be canceled; use RunContext to bound or interrupt a run.
 func Run(id string, w io.Writer, cfg Config) error {
+	return RunContext(context.Background(), id, w, cfg)
+}
+
+// RunContext is Run with cooperative cancellation: every search of
+// every cell goes through the ctx-aware search API, so canceling ctx
+// (Ctrl-C in cmd/experiments) aborts the matrix mid-cell with all
+// pipeline goroutines drained, returning an error that wraps
+// context.Canceled or context.DeadlineExceeded.
+func RunContext(ctx context.Context, id string, w io.Writer, cfg Config) error {
+	cfg.ctx = ctx
 	switch id {
 	case "fig1":
 		return Fig1(w)
@@ -206,7 +234,7 @@ func (r *matrixRunner) groundTruth(name string, t float64) (map[[2]int]float64, 
 	if err != nil {
 		return nil, err
 	}
-	out, err := eng.Search(bayeslsh.Options{Algorithm: bayeslsh.AllPairs, Threshold: t})
+	out, err := eng.SearchContext(r.cfg.context(), bayeslsh.Options{Algorithm: bayeslsh.AllPairs, Threshold: t})
 	if err != nil {
 		return nil, err
 	}
@@ -219,7 +247,9 @@ func (r *matrixRunner) groundTruth(name string, t float64) (map[[2]int]float64, 
 // is included in the timing, matching the paper's full execution
 // times) and computes quality metrics. Cells exceeding the configured
 // timeout return a Cell with TimedOut set and no output — the
-// scaled-down version of the paper's 50-hour kill rule.
+// scaled-down version of the paper's 50-hour kill rule, enforced with
+// context.WithTimeout so the timed-out search is actually torn down
+// (it used to be abandoned to finish in the background).
 func (r *matrixRunner) runCell(name string, alg bayeslsh.Algorithm, t float64, opts bayeslsh.Options) (*Cell, error) {
 	d, err := r.dataset(name)
 	if err != nil {
@@ -231,31 +261,22 @@ func (r *matrixRunner) runCell(name string, alg bayeslsh.Algorithm, t float64, o
 	}
 	opts.Algorithm = alg
 	opts.Threshold = t
-	type res struct {
-		out *bayeslsh.Output
-		err error
-	}
-	ch := make(chan res, 1)
-	go func() {
-		out, err := eng.Search(opts)
-		ch <- res{out, err}
-	}()
 	timeout := r.cfg.cellTimeout()
-	var out *bayeslsh.Output
-	select {
-	case rr := <-ch:
-		if rr.err != nil {
-			return nil, rr.err
+	parent := r.cfg.context()
+	cellCtx, cancel := context.WithTimeout(parent, timeout)
+	defer cancel()
+	out, err := eng.SearchContext(cellCtx, opts)
+	if err != nil {
+		if parent.Err() == nil && errors.Is(err, context.DeadlineExceeded) {
+			return &Cell{
+				Dataset: name, Measure: r.measure, Algorithm: alg, Threshold: t,
+				TimedOut: true,
+				Output:   &bayeslsh.Output{Algorithm: alg, Threshold: t, Total: timeout},
+			}, nil
 		}
-		out = rr.out
-	case <-time.After(timeout):
-		// Abandon the search goroutine (it completes in the
-		// background and is then garbage collected with its engine).
-		return &Cell{
-			Dataset: name, Measure: r.measure, Algorithm: alg, Threshold: t,
-			TimedOut: true,
-			Output:   &bayeslsh.Output{Algorithm: alg, Threshold: t, Total: timeout},
-		}, nil
+		// The run itself was canceled (or the search failed): surface
+		// the error instead of mislabeling the cell as timed out.
+		return nil, err
 	}
 	cell := &Cell{Dataset: name, Measure: r.measure, Algorithm: alg, Threshold: t, Output: out}
 	truth, err := r.groundTruth(name, t)

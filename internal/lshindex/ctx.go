@@ -1,0 +1,96 @@
+package lshindex
+
+import (
+	"context"
+	"sync"
+
+	"bayeslsh/internal/pair"
+	"bayeslsh/internal/shard"
+)
+
+// Context-aware candidate generation. Cancellation is polled between
+// bands by the shard dispatch and, within a band, between buckets of
+// the collision enumeration — the stage whose volume explodes as the
+// threshold drops (the paper's §5 worst case), and therefore the stage
+// a canceled low-threshold join most needs to escape from. A canceled
+// call returns (nil, ctx.Err()) with all band workers drained; a
+// non-cancelable ctx takes the plain code paths unchanged.
+
+// CandidatesBitsCtx is CandidatesBitsParallel with cooperative
+// cancellation.
+func CandidatesBitsCtx(ctx context.Context, sigs [][]uint64, k, l, workers int) ([]pair.Pair, error) {
+	if ctx.Done() == nil {
+		return CandidatesBitsParallel(sigs, k, l, workers)
+	}
+	if err := validateBits(sigs, k, l); err != nil {
+		return nil, err
+	}
+	return runBandsCtx(ctx, len(sigs), l, workers, func(band int, stop *shard.Stopper) []pair.Pair {
+		buckets := make(map[uint64][]int32)
+		fillBitsBuckets(buckets, sigs, band, k)
+		return appendBucketPairs(nil, buckets, stop)
+	})
+}
+
+// CandidatesBitsMultiProbeCtx is CandidatesBitsMultiProbeParallel with
+// cooperative cancellation.
+func CandidatesBitsMultiProbeCtx(ctx context.Context, sigs [][]uint64, k, l, workers int) ([]pair.Pair, error) {
+	if ctx.Done() == nil {
+		return CandidatesBitsMultiProbeParallel(sigs, k, l, workers)
+	}
+	if err := validateBits(sigs, k, l); err != nil {
+		return nil, err
+	}
+	return runBandsCtx(ctx, len(sigs), l, workers, func(band int, stop *shard.Stopper) []pair.Pair {
+		buckets := make(map[uint64][]int32)
+		fillBitsBuckets(buckets, sigs, band, k)
+		ps := appendBucketPairs(nil, buckets, stop)
+		forProbePairs(buckets, k, stop, func(a, b int32) { ps = append(ps, pair.Make(a, b)) })
+		return ps
+	})
+}
+
+// CandidatesMinhashCtx is CandidatesMinhashParallel with cooperative
+// cancellation.
+func CandidatesMinhashCtx(ctx context.Context, sigs [][]uint32, k, l, workers int) ([]pair.Pair, error) {
+	if ctx.Done() == nil {
+		return CandidatesMinhashParallel(sigs, k, l, workers)
+	}
+	if err := validateMinhash(sigs, k, l); err != nil {
+		return nil, err
+	}
+	return runBandsCtx(ctx, len(sigs), l, workers, func(band int, stop *shard.Stopper) []pair.Pair {
+		buckets := make(map[uint64][]int32)
+		scratch := make([]uint64, (k+1)/2)
+		fillMinhashBuckets(buckets, sigs, band, k, scratch)
+		return appendBucketPairs(nil, buckets, stop)
+	})
+}
+
+// runBandsCtx is runBands with cooperative cancellation: bands stop
+// being dispatched once ctx is done, a band abandoned mid-enumeration
+// contributes nothing, and the partially merged candidate set is
+// discarded. The surviving-path output is identical to runBands (the
+// deduplicating set makes merge order irrelevant and the engine sorts
+// afterwards).
+func runBandsCtx(ctx context.Context, n, l, workers int, bandPairs func(band int, stop *shard.Stopper) []pair.Pair) ([]pair.Pair, error) {
+	stop := shard.NewStopper(ctx)
+	defer stop.Close()
+	var mu sync.Mutex
+	set := pair.NewSet(n)
+	err := shard.RunCtx(ctx, l, workers, 1, func(_, _, band int) {
+		ps := bandPairs(band, stop)
+		if stop.Stopped() {
+			return
+		}
+		mu.Lock()
+		for _, p := range ps {
+			set.Add(p.A, p.B)
+		}
+		mu.Unlock()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return set.Pairs(), nil
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"bayeslsh/internal/pair"
+	"bayeslsh/internal/shard"
 )
 
 // NumTables returns l = ⌈log ε / log(1 − p^k)⌉, the number of banded
@@ -117,17 +118,24 @@ func fillMinhashBuckets(buckets map[uint64][]int32, sigs [][]uint32, band, k int
 }
 
 func collectBuckets(set *pair.Set, buckets map[uint64][]int32) {
-	forBucketPairs(buckets, func(a, b int32) { set.Add(a, b) })
+	forBucketPairs(buckets, nil, func(a, b int32) { set.Add(a, b) })
 }
 
 // forBucketPairs enumerates every within-bucket pair of ids. Each id
-// appears in exactly one bucket, so no pair is emitted twice.
-func forBucketPairs(buckets map[uint64][]int32, emit func(a, b int32)) {
+// appears in exactly one bucket, so no pair is emitted twice. stop
+// (nil for "not cancelable") is polled between buckets and between
+// rows of one bucket's quadratic enumeration — the stage whose volume
+// explodes as the threshold drops; an aborted enumeration's output is
+// discarded by the ctx-aware callers.
+func forBucketPairs(buckets map[uint64][]int32, stop *shard.Stopper, emit func(a, b int32)) {
 	for _, ids := range buckets {
 		if len(ids) < 2 {
 			continue
 		}
 		for i := 0; i < len(ids); i++ {
+			if stop.Stopped() {
+				return
+			}
 			for j := i + 1; j < len(ids); j++ {
 				emit(ids[i], ids[j])
 			}

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"bayeslsh/internal/pair"
+	"bayeslsh/internal/shard"
 )
 
 // Multi-probe LSH (Lv, Josephson, Wang, Charikar, Li, VLDB 2007 —
@@ -57,7 +58,7 @@ func CandidatesBitsMultiProbe(sigs [][]uint64, k, l int) ([]pair.Pair, error) {
 		// Exact-key collisions.
 		collectBuckets(set, buckets)
 		// One-bit probes.
-		forProbePairs(buckets, k, func(a, b int32) { set.Add(a, b) })
+		forProbePairs(buckets, k, nil, func(a, b int32) { set.Add(a, b) })
 	}
 	return set.Pairs(), nil
 }
@@ -66,10 +67,14 @@ func CandidatesBitsMultiProbe(sigs [][]uint64, k, l int) ([]pair.Pair, error) {
 // every bucket at Hamming distance one from its key. Each unordered
 // (key, key^bit) bucket pair is handled once, from the lower-key side,
 // and two keys differ in exactly one bit position, so no pair is
-// emitted twice.
-func forProbePairs(buckets map[uint64][]int32, k int, emit func(a, b int32)) {
+// emitted twice. stop (nil for "not cancelable") is polled between
+// bucket neighbor pairs, under the forBucketPairs contract.
+func forProbePairs(buckets map[uint64][]int32, k int, stop *shard.Stopper, emit func(a, b int32)) {
 	for key, ids := range buckets {
 		for b := 0; b < k; b++ {
+			if stop.Stopped() {
+				return
+			}
 			neighbor := key ^ (1 << b)
 			if neighbor < key {
 				continue

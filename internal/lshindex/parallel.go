@@ -33,7 +33,7 @@ func CandidatesBitsParallel(sigs [][]uint64, k, l, workers int) ([]pair.Pair, er
 	return runBands(len(sigs), l, workers, func(band int) []pair.Pair {
 		buckets := make(map[uint64][]int32)
 		fillBitsBuckets(buckets, sigs, band, k)
-		return appendBucketPairs(nil, buckets)
+		return appendBucketPairs(nil, buckets, nil)
 	}), nil
 }
 
@@ -49,8 +49,8 @@ func CandidatesBitsMultiProbeParallel(sigs [][]uint64, k, l, workers int) ([]pai
 	return runBands(len(sigs), l, workers, func(band int) []pair.Pair {
 		buckets := make(map[uint64][]int32)
 		fillBitsBuckets(buckets, sigs, band, k)
-		ps := appendBucketPairs(nil, buckets)
-		forProbePairs(buckets, k, func(a, b int32) { ps = append(ps, pair.Make(a, b)) })
+		ps := appendBucketPairs(nil, buckets, nil)
+		forProbePairs(buckets, k, nil, func(a, b int32) { ps = append(ps, pair.Make(a, b)) })
 		return ps
 	}), nil
 }
@@ -68,15 +68,16 @@ func CandidatesMinhashParallel(sigs [][]uint32, k, l, workers int) ([]pair.Pair,
 		buckets := make(map[uint64][]int32)
 		scratch := make([]uint64, (k+1)/2)
 		fillMinhashBuckets(buckets, sigs, band, k, scratch)
-		return appendBucketPairs(nil, buckets)
+		return appendBucketPairs(nil, buckets, nil)
 	}), nil
 }
 
-// appendBucketPairs appends every within-bucket pair to ps. Within one
-// band each id occupies exactly one bucket, so the result needs no
-// per-band deduplication.
-func appendBucketPairs(ps []pair.Pair, buckets map[uint64][]int32) []pair.Pair {
-	forBucketPairs(buckets, func(a, b int32) { ps = append(ps, pair.Make(a, b)) })
+// appendBucketPairs appends every within-bucket pair to ps, polling
+// stop (nil for "not cancelable") under the forBucketPairs contract.
+// Within one band each id occupies exactly one bucket, so the result
+// needs no per-band deduplication.
+func appendBucketPairs(ps []pair.Pair, buckets map[uint64][]int32, stop *shard.Stopper) []pair.Pair {
+	forBucketPairs(buckets, stop, func(a, b int32) { ps = append(ps, pair.Make(a, b)) })
 	return ps
 }
 

@@ -1,6 +1,7 @@
 package minhash
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -121,6 +122,27 @@ func (s *Store) EnsureAllParallel(n, workers int) {
 	}
 	shard.Run(len(s.sigs), workers, shard.Chunk(len(s.sigs), workers, 16), func(lo, hi, _ int) {
 		for id := lo; id < hi; id++ {
+			s.Ensure(int32(id), n)
+		}
+	})
+}
+
+// EnsureAllCtx is EnsureAllParallel with cooperative cancellation,
+// polled between vectors. Vectors already filled stay filled — the
+// lazy fill state remains consistent — so a later call resumes where
+// a canceled one stopped.
+func (s *Store) EnsureAllCtx(ctx context.Context, n, workers int) error {
+	if ctx.Done() == nil {
+		s.EnsureAllParallel(n, workers)
+		return nil
+	}
+	stop := shard.NewStopper(ctx)
+	defer stop.Close()
+	return shard.RunCtx(ctx, len(s.sigs), workers, shard.Chunk(len(s.sigs), workers, 16), func(lo, hi, _ int) {
+		for id := lo; id < hi; id++ {
+			if stop.Stopped() {
+				return
+			}
 			s.Ensure(int32(id), n)
 		}
 	})

@@ -1,12 +1,14 @@
 package ppjoin
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"bayeslsh/internal/exact"
 	"bayeslsh/internal/pair"
+	"bayeslsh/internal/shard"
 	"bayeslsh/internal/vector"
 )
 
@@ -27,8 +29,93 @@ type entry struct {
 // sets of c under measure m (Jaccard or BinaryCosine) with threshold
 // t in (0, 1]. Weights are ignored.
 func Search(c *vector.Collection, m exact.Measure, t float64) ([]pair.Result, error) {
+	var out []pair.Result
+	if err := scan(c, m, t, nil, func(r pair.Result) bool {
+		out = append(out, r)
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SearchCtx is Search with cooperative cancellation: the scan is
+// inherently sequential (each record probes the index of the records
+// before it), so cancellation is polled between probing records and
+// between posting lists, and a canceled call returns (nil, ctx.Err()).
+func SearchCtx(ctx context.Context, c *vector.Collection, m exact.Measure, t float64) ([]pair.Result, error) {
+	if ctx.Done() == nil {
+		return Search(c, m, t)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	stop := shard.NewStopper(ctx)
+	defer stop.Close()
+	var out []pair.Result
+	if err := scan(c, m, t, stop, func(r pair.Result) bool {
+		out = append(out, r)
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SearchStream is the streaming form of Search: each probing record's
+// verified results go to emit as the record completes, so no full
+// result set is ever resident. emit runs on the calling goroutine; a
+// non-nil error from emit stops the scan and is returned.
+func SearchStream(ctx context.Context, c *vector.Collection, m exact.Measure, t float64, emit func([]pair.Result) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	stop := shard.NewStopper(ctx)
+	defer stop.Close()
+	// The scan's per-record result batches are tiny, so streaming
+	// record by record would be all call overhead; results are flushed
+	// in blocks instead. The scan itself holds only its index and
+	// accumulators — the block size is what bounds buffered results.
+	const block = 1024
+	var (
+		buf     []pair.Result
+		emitErr error
+	)
+	err := scan(c, m, t, stop, func(r pair.Result) bool {
+		buf = append(buf, r)
+		if len(buf) >= block {
+			emitErr = emit(buf)
+			buf = nil // emit may have retained the slice
+		}
+		return emitErr == nil
+	})
+	switch {
+	case err != nil:
+		return err
+	case emitErr != nil:
+		return emitErr
+	case ctx.Err() != nil:
+		return ctx.Err()
+	}
+	if len(buf) > 0 {
+		if err := emit(buf); err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
+}
+
+// scan runs the PPJoin+ join, emitting each verified pair in
+// processing order. stop (nil for "not cancelable") is polled between
+// probing records and between posting lists; once it trips — or emit
+// returns false — the scan returns early and the caller discards or
+// ignores what was emitted.
+func scan(c *vector.Collection, m exact.Measure, t float64, stop *shard.Stopper, emit func(pair.Result) bool) error {
 	if t <= 0 || t > 1 {
-		return nil, fmt.Errorf("ppjoin: threshold %v outside (0, 1]", t)
+		return fmt.Errorf("ppjoin: threshold %v outside (0, 1]", t)
 	}
 	var (
 		// minLen returns the smallest |y| that can reach t with |x|.
@@ -62,7 +149,7 @@ func Search(c *vector.Collection, m exact.Measure, t float64) ([]pair.Result, er
 			return float64(o) / math.Sqrt(float64(x)*float64(y))
 		}
 	default:
-		return nil, fmt.Errorf("ppjoin: measure %v not supported (binary measures only)", m)
+		return fmt.Errorf("ppjoin: measure %v not supported (binary measures only)", m)
 	}
 
 	records := canonicalize(c)
@@ -75,8 +162,10 @@ func Search(c *vector.Collection, m exact.Measure, t float64) ([]pair.Result, er
 	pruned := make([]bool, n)
 	var touched []int32
 
-	var out []pair.Result
 	for xi := 0; xi < n; xi++ {
+		if stop.Stopped() {
+			return nil
+		}
 		x := records[xi]
 		xlen := len(x.tokens)
 		if xlen == 0 {
@@ -94,6 +183,9 @@ func Search(c *vector.Collection, m exact.Measure, t float64) ([]pair.Result, er
 		}
 		touched = touched[:0]
 		for i := 0; i < probePrefix; i++ {
+			if stop.Stopped() {
+				return nil
+			}
 			w := x.tokens[i]
 			postings := index[w]
 			// Lazy length filter: records are processed in increasing
@@ -141,7 +233,9 @@ func Search(c *vector.Collection, m exact.Measure, t float64) ([]pair.Result, er
 			total := mergeCount(x.tokens, y.tokens, int(lp[0])+1, int(lp[1])+1, int(o), a)
 			if s := sim(total, xlen, len(y.tokens)); total >= a && s >= t {
 				p := pair.Make(x.id, y.id)
-				out = append(out, pair.Result{A: p.A, B: p.B, Sim: s})
+				if !emit(pair.Result{A: p.A, B: p.B, Sim: s}) {
+					return nil
+				}
 			}
 		}
 		// Index x's prefix.
@@ -150,7 +244,7 @@ func Search(c *vector.Collection, m exact.Measure, t float64) ([]pair.Result, er
 			index[w] = append(index[w], entry{rec: int32(xi), pos: int32(i)})
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // mergeCount merges x[xi:] and y[yi:], returning base plus the number

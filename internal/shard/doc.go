@@ -19,6 +19,19 @@
 // seed: the work a batch performs never depends on which worker
 // executes it or when — only the batch's position in the input does.
 //
+// # Cancellation and streaming (RunCtx, CollectCtx, StreamCtx, Stopper)
+//
+// Every primitive has a context-aware form that stops dispatching
+// batches the moment the context is done, drains its workers, and
+// returns ctx.Err(). For abort points finer than a batch, a Stopper
+// turns the context into an atomic flag (set by context.AfterFunc)
+// that hot loops poll between individual items at ~1 ns per check —
+// the per-round and per-posting abort points of the verification and
+// candidate-generation kernels. StreamCtx inverts Collect: instead of
+// gathering all batch outputs it hands each one to an emit callback
+// on the calling goroutine as the batch completes, which is what
+// bounds resident results in the streaming search API.
+//
 // # Fill
 //
 // Fill coordinates lazily filled per-item state shared by concurrent

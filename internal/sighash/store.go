@@ -1,6 +1,7 @@
 package sighash
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -252,6 +253,28 @@ func (s *Store) EnsureAllParallel(nbits, workers int) {
 	}
 	shard.Run(len(s.sigs), workers, shard.Chunk(len(s.sigs), workers, 16), func(lo, hi, _ int) {
 		for id := lo; id < hi; id++ {
+			s.Ensure(int32(id), nbits)
+		}
+	})
+}
+
+// EnsureAllCtx is EnsureAllParallel with cooperative cancellation,
+// polled between vectors. Vectors already filled stay filled — the
+// lazy fill state remains consistent — so a later call resumes where
+// a canceled one stopped, and a canceled fill wastes at most the
+// blocks in flight.
+func (s *Store) EnsureAllCtx(ctx context.Context, nbits, workers int) error {
+	if ctx.Done() == nil {
+		s.EnsureAllParallel(nbits, workers)
+		return nil
+	}
+	stop := shard.NewStopper(ctx)
+	defer stop.Close()
+	return shard.RunCtx(ctx, len(s.sigs), workers, shard.Chunk(len(s.sigs), workers, 16), func(lo, hi, _ int) {
+		for id := lo; id < hi; id++ {
+			if stop.Stopped() {
+				return
+			}
 			s.Ensure(int32(id), nbits)
 		}
 	})

@@ -1,6 +1,7 @@
 package bayeslsh
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -158,17 +159,47 @@ func (ix *Index) exactSim(qraw vector.Vector, id int32) float64 {
 // runs candidate generation against the prebuilt index followed by
 // the built algorithm's verification — exact, fixed-hash estimation,
 // BayesLSH, or BayesLSH-Lite. Safe for any number of concurrent
-// callers; results are deterministic for the engine's Seed.
+// callers; results are deterministic for the engine's Seed. Query is
+// QueryContext with context.Background() — it cannot be canceled.
 func (ix *Index) Query(q Vec, opts QueryOptions) ([]Match, error) {
+	return ix.QueryContext(context.Background(), q, opts)
+}
+
+// QueryContext is Query with cooperative cancellation: verification
+// polls ctx between candidates (and, for the Bayes algorithms,
+// between hash rounds), so even a query with a pathologically large
+// candidate set aborts promptly. A canceled query returns an error
+// wrapping context.Canceled or context.DeadlineExceeded and no
+// matches. For a ctx that is never canceled the result is
+// bit-identical to Query's.
+func (ix *Index) QueryContext(ctx context.Context, q Vec, opts QueryOptions) ([]Match, error) {
 	t, err := ix.queryThreshold(opts)
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, ctxWrap(err)
+	}
+	var stop *shard.Stopper
+	if ctx.Done() != nil {
+		stop = shard.NewStopper(ctx)
+		defer stop.Close()
+	}
+	return ix.queryStop(q, t, stop)
+}
+
+// queryStop runs one threshold query at the resolved threshold t.
+// stop is nil for "not cancelable", or a watcher owned by the caller
+// (QueryContext per query, QueryBatchContext shared across a batch).
+func (ix *Index) queryStop(q Vec, t float64, stop *shard.Stopper) ([]Match, error) {
 	if q.Len() == 0 {
 		return nil, nil
 	}
 	qs := ix.prepare(q, false)
-	hits := ix.verify(qs, ix.candidates(qs))
+	hits, err := ix.verify(qs, ix.candidates(qs), stop)
+	if err != nil {
+		return nil, ctxWrap(err)
+	}
 	if t > ix.opts.Threshold {
 		kept := hits[:0]
 		for _, h := range hits {
@@ -195,32 +226,43 @@ func (ix *Index) queryThreshold(opts QueryOptions) (float64, error) {
 
 // verify runs the built algorithm's verification over the candidate
 // ids at the built threshold, returning hits in candidate (ascending
-// id) order.
-func (ix *Index) verify(qs querySigs, ids []int32) []pair.Hit {
+// id) order. stop (nil for "not cancelable") is polled between
+// candidates; a stopped verification returns the context's error and
+// no hits.
+func (ix *Index) verify(qs querySigs, ids []int32, stop *shard.Stopper) ([]pair.Hit, error) {
 	o := ix.opts
 	switch o.Algorithm {
 	case BruteForce, AllPairs, LSH:
 		var hits []pair.Hit
 		for _, id := range ids {
+			if stop.Stopped() {
+				return nil, stop.Err()
+			}
 			if s := ix.exactSim(qs.raw, id); s >= o.Threshold {
 				hits = append(hits, pair.Hit{ID: id, Sim: s})
 			}
 		}
-		return hits
+		return hits, nil
 
 	case LSHApprox:
 		n := ix.approxN
 		var hits []pair.Hit
 		for _, id := range ids {
+			if stop.Stopped() {
+				return nil, stop.Err()
+			}
 			s := ix.approxEstimate(qs, id, n)
 			if s >= o.Threshold {
 				hits = append(hits, pair.Hit{ID: id, Sim: s})
 			}
 		}
-		return hits
+		return hits, nil
 
 	case AllPairsBayesLSH, LSHBayesLSH:
-		hits, _ := ix.vq.VerifyQuery(core.QuerySig{Bits: qs.bits, Min: qs.min}, ids)
+		hits, _, err := ix.vq.VerifyQueryStop(core.QuerySig{Bits: qs.bits, Min: qs.min}, ids, stop)
+		if err != nil {
+			return nil, err
+		}
 		if o.Algorithm == AllPairsBayesLSH {
 			// The AllPairs probe and the batch scan evaluate the cheap
 			// candidate bound from different sides, so their candidate
@@ -231,18 +273,24 @@ func (ix *Index) verify(qs querySigs, ids []int32) []pair.Hit {
 			// keep their estimated similarity.
 			kept := hits[:0]
 			for _, h := range hits {
+				if stop.Stopped() {
+					return nil, stop.Err()
+				}
 				if ix.exactSim(qs.raw, h.ID) >= o.Threshold {
 					kept = append(kept, h)
 				}
 			}
 			hits = kept
 		}
-		return hits
+		return hits, nil
 
 	default: // AllPairsBayesLSHLite, LSHBayesLSHLite
-		hits, _ := ix.vq.VerifyQueryLite(core.QuerySig{Bits: qs.bits, Min: qs.min}, ids, o.LiteHashes,
-			func(id int32) float64 { return ix.exactSim(qs.raw, id) })
-		return hits
+		hits, _, err := ix.vq.VerifyQueryLiteStop(core.QuerySig{Bits: qs.bits, Min: qs.min}, ids, o.LiteHashes,
+			func(id int32) float64 { return ix.exactSim(qs.raw, id) }, stop)
+		if err != nil {
+			return nil, err
+		}
+		return hits, nil
 	}
 }
 
@@ -264,16 +312,33 @@ func (ix *Index) approxEstimate(qs querySigs, id int32, n int) float64 {
 // always exact; the build algorithm only determines the candidate
 // source.
 func (ix *Index) TopK(q Vec, k int) ([]Match, error) {
+	return ix.TopKContext(context.Background(), q, k)
+}
+
+// TopKContext is TopK with cooperative cancellation, under the
+// QueryContext contract.
+func (ix *Index) TopKContext(ctx context.Context, q Vec, k int) ([]Match, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("%w (got %d)", ErrBadK, k)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, ctxWrap(err)
+	}
 	if q.Len() == 0 {
 		return nil, nil
+	}
+	var stop *shard.Stopper
+	if ctx.Done() != nil {
+		stop = shard.NewStopper(ctx)
+		defer stop.Close()
 	}
 	qs := ix.prepare(q, true)
 	ids := ix.candidates(qs)
 	hits := make([]pair.Hit, 0, len(ids))
 	for _, id := range ids {
+		if stop.Stopped() {
+			return nil, ctxWrap(stop.Err())
+		}
 		hits = append(hits, pair.Hit{ID: id, Sim: ix.exactSim(qs.raw, id)})
 	}
 	pair.SortHitsBySim(hits)
@@ -286,18 +351,48 @@ func (ix *Index) TopK(q Vec, k int) ([]Match, error) {
 // QueryBatch answers many queries, sharding them over the engine's
 // worker pool (EngineConfig.Parallelism). Result i corresponds to
 // queries[i]; each is identical to a standalone Query call, so the
-// output is independent of worker count and batching.
+// output is independent of worker count and batching. QueryBatch is
+// QueryBatchContext with context.Background() — it cannot be
+// canceled.
 func (ix *Index) QueryBatch(queries []Vec, opts QueryOptions) ([][]Match, error) {
-	if _, err := ix.queryThreshold(opts); err != nil {
+	return ix.QueryBatchContext(context.Background(), queries, opts)
+}
+
+// QueryBatchContext is QueryBatch with cooperative cancellation: one
+// watcher is shared by the whole batch, queries stop being dispatched
+// once ctx is done, and the query in flight on each worker aborts
+// between candidates. A canceled batch returns an error wrapping
+// context.Canceled or context.DeadlineExceeded and no results — a
+// batch is one request, so partial delivery would be
+// indistinguishable from empty result sets.
+func (ix *Index) QueryBatchContext(ctx context.Context, queries []Vec, opts QueryOptions) ([][]Match, error) {
+	t, err := ix.queryThreshold(opts)
+	if err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, ctxWrap(err)
+	}
+	var stop *shard.Stopper
+	if ctx.Done() != nil {
+		stop = shard.NewStopper(ctx)
+		defer stop.Close()
 	}
 	out := make([][]Match, len(queries))
 	workers := ix.eng.workers()
-	shard.Run(len(queries), workers, shard.Chunk(len(queries), workers, 1), func(lo, hi, _ int) {
+	err = shard.RunCtx(ctx, len(queries), workers, shard.Chunk(len(queries), workers, 1), func(lo, hi, _ int) {
 		for i := lo; i < hi; i++ {
-			out[i], _ = ix.Query(queries[i], opts)
+			if stop.Stopped() {
+				return
+			}
+			// Per-query errors cannot occur here: the threshold was
+			// validated above and cancellation surfaces via RunCtx.
+			out[i], _ = ix.queryStop(queries[i], t, stop)
 		}
 	})
+	if err != nil {
+		return nil, ctxWrap(err)
+	}
 	return out, nil
 }
 

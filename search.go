@@ -1,6 +1,8 @@
 package bayeslsh
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -156,11 +158,27 @@ type Output struct {
 
 // Search runs one pipeline. Engines cache hash signatures, so
 // repeated searches (e.g. threshold sweeps) only pay hashing once;
-// HashTime reports the hashing cost incurred by this call.
+// HashTime reports the hashing cost incurred by this call. Search is
+// SearchContext with context.Background() — it cannot be canceled.
 func (e *Engine) Search(opts Options) (*Output, error) {
+	return e.SearchContext(context.Background(), opts)
+}
+
+// SearchContext is Search with cooperative cancellation: every phase
+// of every pipeline — candidate generation, BayesLSH rounds, exact
+// verification — polls ctx and aborts promptly once it is done (see
+// docs/CONTEXTS.md for the exact check granularity). A canceled
+// search returns an error wrapping context.Canceled or
+// context.DeadlineExceeded, with no partial Output and every pipeline
+// goroutine drained. For a ctx that is never canceled the Output is
+// bit-identical to Search's.
+func (e *Engine) SearchContext(ctx context.Context, opts Options) (*Output, error) {
 	o, err := opts.withDefaults(e.measure)
 	if err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, ctxWrap(err)
 	}
 	out := &Output{Algorithm: o.Algorithm, Threshold: o.Threshold}
 	hashBefore := e.hashElapsed()
@@ -168,16 +186,19 @@ func (e *Engine) Search(opts Options) (*Output, error) {
 	switch o.Algorithm {
 	case BruteForce:
 		start := time.Now()
-		rs := exact.SearchParallel(e.workInput(), toExactMeasure(e.measure), o.Threshold, e.workers())
+		rs, err := exact.SearchCtx(ctx, e.workInput(), toExactMeasure(e.measure), o.Threshold, e.workers())
+		if err != nil {
+			return nil, ctxWrap(err)
+		}
 		out.VerifyTime = time.Since(start)
 		out.Results = fromResults(rs)
 		out.ExactVerified = e.ds.Len() * (e.ds.Len() - 1) / 2
 
 	case AllPairs:
 		start := time.Now()
-		rs, err := allPairsSearch(e, o)
+		rs, err := allpairs.SearchMeasureCtx(ctx, e.workInput(), toExactMeasure(e.measure), o.Threshold, e.workers(), e.cfg.BatchSize)
 		if err != nil {
-			return nil, err
+			return nil, ctxWrap(err)
 		}
 		out.VerifyTime = time.Since(start)
 		out.Results = fromResults(rs)
@@ -187,16 +208,16 @@ func (e *Engine) Search(opts Options) (*Output, error) {
 			return nil, fmt.Errorf("bayeslsh: PPJoin supports binary measures only")
 		}
 		start := time.Now()
-		rs, err := ppjoin.Search(e.workInput(), toExactMeasure(e.measure), o.Threshold)
+		rs, err := ppjoin.SearchCtx(ctx, e.workInput(), toExactMeasure(e.measure), o.Threshold)
 		if err != nil {
-			return nil, err
+			return nil, ctxWrap(err)
 		}
 		out.VerifyTime = time.Since(start)
 		out.Results = fromResults(rs)
 
 	case AllPairsBayesLSH, AllPairsBayesLSHLite, LSH, LSHApprox, LSHBayesLSH, LSHBayesLSHLite:
-		if err := e.searchTwoPhase(o, out); err != nil {
-			return nil, err
+		if err := e.searchTwoPhase(ctx, o, out); err != nil {
+			return nil, ctxWrap(err)
 		}
 
 	default:
@@ -208,6 +229,16 @@ func (e *Engine) Search(opts Options) (*Output, error) {
 	return out, nil
 }
 
+// ctxWrap moves a cancellation error into the library's error space,
+// preserving errors.Is(err, context.Canceled / DeadlineExceeded).
+// Non-cancellation errors pass through untouched.
+func ctxWrap(err error) error {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("bayeslsh: search aborted: %w", err)
+	}
+	return err
+}
+
 // searchTwoPhase runs the candidate-generation + verification
 // pipelines. Both phases shard over the engine's worker pool when
 // EngineConfig.Parallelism exceeds one; candidates are sorted between
@@ -215,20 +246,12 @@ func (e *Engine) Search(opts Options) (*Output, error) {
 // sampling, verification order, output order) is deterministic for a
 // fixed Seed regardless of worker count — and of Go's map iteration
 // order, which already shuffled the banded-LSH candidate stream
-// run-to-run in the sequential pipeline.
-func (e *Engine) searchTwoPhase(o Options, out *Output) error {
+// run-to-run in the sequential pipeline. Cancellation aborts either
+// phase (raw ctx errors; SearchContext wraps them).
+func (e *Engine) searchTwoPhase(ctx context.Context, o Options, out *Output) error {
 	// Phase 1: candidates.
-	var (
-		cands []pair.Pair
-		err   error
-	)
 	start := time.Now()
-	switch o.Algorithm {
-	case AllPairsBayesLSH, AllPairsBayesLSHLite:
-		cands, err = e.allPairsCandidates(o)
-	default:
-		cands, err = e.lshCandidates(o)
-	}
+	cands, err := e.candidates(ctx, o)
 	if err != nil {
 		return err
 	}
@@ -242,21 +265,30 @@ func (e *Engine) searchTwoPhase(o Options, out *Output) error {
 	start = time.Now()
 	switch o.Algorithm {
 	case LSH:
-		rs := exact.VerifyParallel(e.workInput(), toExactMeasure(e.measure), o.Threshold, cands, workers, batch)
+		rs, err := exact.VerifyCtx(ctx, e.workInput(), toExactMeasure(e.measure), o.Threshold, cands, workers, batch)
+		if err != nil {
+			return err
+		}
 		out.Results = fromResults(rs)
 		out.ExactVerified = len(cands)
 
 	case LSHApprox:
-		var used int
-		out.Results, used = e.approxVerify(o, cands)
-		out.HashesCompared = int64(len(cands)) * int64(used)
-
-	case AllPairsBayesLSH, LSHBayesLSH:
-		v, err := e.bayesVerifier(o, cands)
+		rs, used, err := e.approxVerifyCtx(ctx, o, cands)
 		if err != nil {
 			return err
 		}
-		rs, st := v.VerifyParallel(cands, workers, batch)
+		out.Results = rs
+		out.HashesCompared = int64(len(cands)) * int64(used)
+
+	case AllPairsBayesLSH, LSHBayesLSH:
+		v, err := e.bayesVerifier(ctx, o, cands)
+		if err != nil {
+			return err
+		}
+		rs, st, err := v.VerifyParallelCtx(ctx, cands, workers, batch)
+		if err != nil {
+			return err
+		}
 		if o.Algorithm == AllPairsBayesLSH {
 			rs = e.dropSubThreshold(rs, o.Threshold, &st)
 		}
@@ -264,16 +296,32 @@ func (e *Engine) searchTwoPhase(o Options, out *Output) error {
 		fillStats(out, st)
 
 	case AllPairsBayesLSHLite, LSHBayesLSHLite:
-		v, err := e.bayesVerifier(o, cands)
+		v, err := e.bayesVerifier(ctx, o, cands)
 		if err != nil {
 			return err
 		}
-		rs, st := v.VerifyLiteParallel(cands, o.LiteHashes, e.exactSim, workers, batch)
+		rs, st, err := v.VerifyLiteParallelCtx(ctx, cands, o.LiteHashes, e.exactSim, workers, batch)
+		if err != nil {
+			return err
+		}
 		out.Results = fromResults(rs)
 		fillStats(out, st)
 	}
 	out.VerifyTime = time.Since(start)
-	return nil
+	return ctx.Err()
+}
+
+// candidates runs the two-phase pipelines' candidate-generation phase
+// for the options' algorithm: the AllPairs scan for the AP pipelines,
+// banded LSH otherwise. Shared by SearchContext, Stream and
+// BuildIndex so the candidate stream cannot drift between them.
+func (e *Engine) candidates(ctx context.Context, o Options) ([]pair.Pair, error) {
+	switch o.Algorithm {
+	case AllPairsBayesLSH, AllPairsBayesLSHLite:
+		return e.allPairsCandidates(ctx, o)
+	default:
+		return e.lshCandidates(ctx, o)
+	}
 }
 
 // dropSubThreshold removes accepted pairs whose exact similarity is
@@ -302,13 +350,6 @@ func (e *Engine) dropSubThreshold(rs []pair.Result, t float64, st *core.Stats) [
 	return kept
 }
 
-// allPairsSearch runs the exact AllPairs baseline for the engine's
-// measure, sharding the probe and verification phases when the engine
-// is parallel.
-func allPairsSearch(e *Engine, o Options) ([]pair.Result, error) {
-	return allpairs.SearchMeasureParallel(e.workInput(), toExactMeasure(e.measure), o.Threshold, e.workers(), e.cfg.BatchSize)
-}
-
 // fillStats copies verifier statistics into the output.
 func fillStats(out *Output, st core.Stats) {
 	out.Pruned = st.Pruned
@@ -317,37 +358,68 @@ func fillStats(out *Output, st core.Stats) {
 	out.SurvivorsByRound = st.SurvivorsByRound
 }
 
-// approxVerify implements the classical LSH similarity estimation of
-// §3: a fixed number of hashes per pair and the maximum-likelihood
-// estimate m/n, keeping pairs whose estimate meets the threshold. It
-// returns the results and the hash count actually used (the requested
-// count clamped to the signature budget). Estimation shards over the
-// engine's worker pool; each pair's estimate depends only on its two
-// signatures, so the output matches the sequential scan exactly.
-func (e *Engine) approxVerify(o Options, cands []pair.Pair) ([]Result, int) {
+// approxEstimator prepares the classical LSH estimation of §3: it
+// clamps the requested hash count to the signature budget, fills every
+// signature that deep (cancelable between vectors), and returns the
+// per-pair estimator plus the hash count actually used. Batch,
+// ctx-aware and streaming estimation all share this one setup so they
+// cannot drift.
+func (e *Engine) approxEstimator(ctx context.Context, o Options) (func(pair.Pair) float64, int, error) {
 	workers := e.workers()
 	if e.measure == Jaccard {
 		st := e.minSigStore()
-		n := o.ApproxHashes
-		if n > st.MaxHashes() {
-			n = st.MaxHashes()
+		n := min(o.ApproxHashes, st.MaxHashes())
+		if err := st.EnsureAllCtx(ctx, n, workers); err != nil {
+			return nil, 0, err
 		}
-		st.EnsureAllParallel(n, workers)
 		sigs := st.Sigs()
-		return e.estimateBatches(cands, func(p pair.Pair) float64 {
+		return func(p pair.Pair) float64 {
 			return approxJaccardEstimate(minhash.Matches(sigs[p.A], sigs[p.B], 0, n), n)
-		}, o.Threshold), n
+		}, n, nil
 	}
 	st := e.bitSigStore()
-	n := o.ApproxHashes
-	if n > st.MaxBits() {
-		n = st.MaxBits()
+	n := min(o.ApproxHashes, st.MaxBits())
+	if err := st.EnsureAllCtx(ctx, n, workers); err != nil {
+		return nil, 0, err
 	}
-	st.EnsureAllParallel(n, workers)
 	sigs := st.Sigs()
-	return e.estimateBatches(cands, func(p pair.Pair) float64 {
+	return func(p pair.Pair) float64 {
 		return approxCosineEstimate(sighash.MatchCount(sigs[p.A], sigs[p.B], 0, n), n)
-	}, o.Threshold), n
+	}, n, nil
+}
+
+// approxVerifyCtx runs §3 fixed-hash estimation over the candidates,
+// keeping pairs whose estimate meets the threshold, with cooperative
+// cancellation (polled per pair). It returns the results and the hash
+// count actually used. Estimation shards over the engine's worker
+// pool; each pair's estimate depends only on its two signatures, so
+// the output matches the sequential scan exactly.
+func (e *Engine) approxVerifyCtx(ctx context.Context, o Options, cands []pair.Pair) ([]Result, int, error) {
+	est, n, err := e.approxEstimator(ctx, o)
+	if err != nil {
+		return nil, 0, err
+	}
+	if ctx.Done() == nil {
+		return e.estimateBatches(cands, est, o.Threshold), n, nil
+	}
+	stop := shard.NewStopper(ctx)
+	defer stop.Close()
+	rs, err := shard.CollectCtx(ctx, len(cands), e.workers(), e.cfg.BatchSize, func(lo, hi int) []Result {
+		var out []Result
+		for _, p := range cands[lo:hi] {
+			if stop.Stopped() {
+				return nil
+			}
+			if s := est(p); s >= o.Threshold {
+				out = append(out, Result{A: int(p.A), B: int(p.B), Sim: s})
+			}
+		}
+		return out
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return rs, n, nil
 }
 
 // approxJaccardEstimate is the §3 maximum-likelihood Jaccard estimate

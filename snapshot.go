@@ -2,6 +2,7 @@ package bayeslsh
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -393,7 +394,7 @@ func (ix *Index) rewire() error {
 	var err error
 	switch o.Algorithm {
 	case AllPairsBayesLSH, AllPairsBayesLSHLite, LSHBayesLSH, LSHBayesLSHLite:
-		ix.vq, err = e.bayesVerifierWithPrior(o, ix.prior)
+		ix.vq, err = e.bayesVerifierWithPrior(context.Background(), o, ix.prior)
 		if err != nil {
 			return err
 		}
@@ -424,11 +425,12 @@ func (ix *Index) rewire() error {
 }
 
 // SetRuntime sets the runtime knobs a snapshot deliberately omits —
-// EngineConfig.Parallelism and BatchSize, with the same semantics
-// (0 selects the default). They shard QueryBatch and any lazy
-// signature fills; results are bit-identical at every setting. Call it
-// after ReadIndex/LoadFile (or BuildIndex) and before the index is
-// shared with concurrent queriers.
+// EngineConfig.Parallelism and BatchSize, normalized under the same
+// rule as engine construction (0 selects the adaptive default,
+// negative clamps to 1; see docs/TUNING.md). They shard QueryBatch and
+// any lazy signature fills; results are bit-identical at every
+// setting. Call it after ReadIndex/LoadFile (or BuildIndex) and
+// before the index is shared with concurrent queriers.
 //
 // The knobs apply to this index only: an index built from a live
 // Engine detaches onto its own engine view first, so the engine the
