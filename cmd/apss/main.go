@@ -30,6 +30,15 @@
 //
 //	apss build -dataset RCV1-sim -t 0.7 -out index.snap
 //	apss query -index index.snap -self 100
+//
+// The serve subcommand runs the live (ingest-while-serving) index: a
+// line-oriented loop on stdin that accepts add/del mutations next to
+// query/topk reads, merges in the background, and saves live
+// snapshots that a later serve session resumes from (see
+// docs/LIVE.md):
+//
+//	apss serve -dataset RCV1-sim -t 0.7
+//	apss serve -index index.snap -maxdelta 1024
 package main
 
 import (
@@ -114,6 +123,9 @@ func main() {
 			return
 		case "build":
 			buildMain(os.Args[2:])
+			return
+		case "serve":
+			serveMain(os.Args[2:])
 			return
 		}
 	}

@@ -1,0 +1,238 @@
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"bayeslsh"
+)
+
+// serveMain implements the "apss serve" subcommand: an interactive
+// (line-oriented) serving loop over a LiveIndex, the ingest-while-
+// serving half of the production story. The corpus comes from a
+// dataset flag pair, a base-index snapshot ("apss build -out", which
+// is wrapped via LiveFrom), or a live snapshot written by a previous
+// serve session's save command. Commands arrive on stdin, one per
+// line; results go to stdout, diagnostics to stderr:
+//
+//	add <f>[:<w>] ...    ingest a vector; prints "added <id>"
+//	del <id>             tombstone a vector; prints "deleted" or "absent"
+//	query <f>[:<w>] ...  threshold query; prints "<id>\t<sim>" lines
+//	topk <k> <f>[:<w>] ...  k best matches, same output shape
+//	stats                segment shape and merge counters
+//	compact              force a merge and wait for it
+//	save <path>          write a live snapshot atomically
+//	quit                 exit (EOF works too)
+func serveMain(args []string) {
+	fs := flag.NewFlagSet("apss serve", flag.ExitOnError)
+	datasetName := fs.String("dataset", "", "built-in synthetic dataset name")
+	file := fs.String("file", "", "dataset file in the library's vector format")
+	measureName := fs.String("measure", "cosine", "cosine | jaccard | binary-cosine")
+	algName := fs.String("algorithm", "LSH+BayesLSH", "pipeline the index is built for")
+	threshold := fs.Float64("t", 0.7, "similarity threshold the index serves at")
+	index := fs.String("index", "", "load an index snapshot (base or live) instead of building")
+	seed := fs.Uint64("seed", 42, "random seed")
+	parallel := fs.Int("parallel", 0, "batch/merge workers (0 = NumCPU, 1 = sequential)")
+	maxDelta := fs.Int("maxdelta", 0, "merge once the delta holds this many vectors (0 = default 4096, negative = off)")
+	maxRatio := fs.Float64("maxratio", 0, "merge once (delta+tombstones)/base exceeds this (0 = default 0.25, negative = off)")
+	fs.Parse(args)
+
+	const prog = "apss serve"
+	measure, ok := measuresByName[*measureName]
+	if !ok {
+		usageError(prog, "unknown measure %q", *measureName)
+	}
+	alg, ok := algorithmsByName[*algName]
+	if !ok {
+		usageError(prog, "unknown algorithm %q", *algName)
+	}
+	validateCommon(prog, *threshold, *parallel)
+	lc := bayeslsh.LiveConfig{MaxDelta: *maxDelta, MaxRatio: *maxRatio}
+	if *index != "" {
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "dataset", "file", "measure", "algorithm", "t", "seed":
+				usageError(prog, "-%s cannot combine with -index (the snapshot fixes it)", f.Name)
+			}
+		})
+	}
+
+	var (
+		li  *bayeslsh.LiveIndex
+		err error
+	)
+	start := time.Now()
+	switch {
+	case *index != "":
+		// A live snapshot restores the whole generation state; a base
+		// snapshot becomes the base segment of a fresh live index. The
+		// fallback runs only on a version mismatch — any other failure
+		// (corruption, truncation) keeps its original diagnosis.
+		li, err = bayeslsh.LoadLiveFile(*index, lc)
+		if errors.Is(err, bayeslsh.ErrSnapshotVersion) {
+			var ix *bayeslsh.Index
+			if ix, err = bayeslsh.LoadFile(*index); err == nil {
+				li, err = bayeslsh.LiveFrom(ix, lc)
+			}
+		}
+	default:
+		ds := loadDataset(*datasetName, *file, measure, prog)
+		li, err = bayeslsh.NewLiveIndex(ds, measure, bayeslsh.EngineConfig{
+			Seed:        *seed,
+			Parallelism: *parallel,
+		}, bayeslsh.Options{Algorithm: alg, Threshold: *threshold}, lc)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, prog+":", err)
+		os.Exit(1)
+	}
+	defer li.Close()
+	li.SetRuntime(*parallel, 0)
+	st := li.Stats()
+	fmt.Fprintf(os.Stderr, "apss serve: %v live index (%v, t=%.2f): %d vectors ready in %v; commands on stdin (add/del/query/topk/stats/compact/save/quit)\n",
+		li.Options().Algorithm, li.Measure(), li.Threshold(), st.Live, time.Since(start).Round(time.Millisecond))
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	for in.Scan() {
+		serveCommand(li, strings.Fields(in.Text()), out)
+		out.Flush()
+	}
+}
+
+// serveCommand executes one serve-loop command; malformed input
+// prints an err line and keeps the loop alive.
+func serveCommand(li *bayeslsh.LiveIndex, fields []string, out *bufio.Writer) {
+	if len(fields) == 0 {
+		return
+	}
+	switch cmd := fields[0]; cmd {
+	case "quit":
+		out.Flush()
+		os.Exit(0)
+	case "add":
+		q, err := parseVec(fields[1:])
+		if err != nil {
+			fmt.Fprintln(out, "err:", err)
+			return
+		}
+		id, err := li.Add(q)
+		if err != nil {
+			fmt.Fprintln(out, "err:", err)
+			return
+		}
+		fmt.Fprintln(out, "added", id)
+	case "del":
+		if len(fields) != 2 {
+			fmt.Fprintln(out, "err: usage: del <id>")
+			return
+		}
+		id, err := strconv.Atoi(fields[1])
+		if err != nil {
+			fmt.Fprintln(out, "err: bad id:", fields[1])
+			return
+		}
+		if li.Delete(id) {
+			fmt.Fprintln(out, "deleted", id)
+		} else {
+			fmt.Fprintln(out, "absent", id)
+		}
+	case "query":
+		q, err := parseVec(fields[1:])
+		if err != nil {
+			fmt.Fprintln(out, "err:", err)
+			return
+		}
+		ms, err := li.Query(q, bayeslsh.QueryOptions{})
+		if err != nil {
+			fmt.Fprintln(out, "err:", err)
+			return
+		}
+		printMatches(out, ms)
+	case "topk":
+		if len(fields) < 2 {
+			fmt.Fprintln(out, "err: usage: topk <k> <f>[:<w>] ...")
+			return
+		}
+		k, err := strconv.Atoi(fields[1])
+		if err != nil || k <= 0 {
+			fmt.Fprintln(out, "err: bad k:", fields[1])
+			return
+		}
+		q, err := parseVec(fields[2:])
+		if err != nil {
+			fmt.Fprintln(out, "err:", err)
+			return
+		}
+		ms, err := li.TopK(q, k)
+		if err != nil {
+			fmt.Fprintln(out, "err:", err)
+			return
+		}
+		printMatches(out, ms)
+	case "stats":
+		st := li.Stats()
+		fmt.Fprintf(out, "stats base=%d delta=%d live=%d dead=%d next=%d merges=%d last_merge=%v\n",
+			st.Base, st.Delta, st.Live, st.Dead, st.NextID, st.Merges, st.LastMerge.Round(time.Millisecond))
+	case "compact":
+		start := time.Now()
+		if err := li.Compact(); err != nil {
+			fmt.Fprintln(out, "err:", err)
+			return
+		}
+		fmt.Fprintf(out, "compacted in %v\n", time.Since(start).Round(time.Millisecond))
+	case "save":
+		if len(fields) != 2 {
+			fmt.Fprintln(out, "err: usage: save <path>")
+			return
+		}
+		if err := li.SaveFile(fields[1]); err != nil {
+			fmt.Fprintln(out, "err:", err)
+			return
+		}
+		fmt.Fprintln(out, "saved", fields[1])
+	default:
+		fmt.Fprintf(out, "err: unknown command %q (add/del/query/topk/stats/compact/save/quit)\n", cmd)
+	}
+}
+
+// printMatches writes query results followed by a terminator line, so
+// a driving process can frame variable-length responses.
+func printMatches(out *bufio.Writer, ms []bayeslsh.Match) {
+	for _, m := range ms {
+		fmt.Fprintf(out, "%d\t%.6f\n", m.ID, m.Sim)
+	}
+	fmt.Fprintln(out, "ok", len(ms))
+}
+
+// parseVec parses "<feature>[:<weight>]" tokens (weight 1 when
+// omitted) into a query vector.
+func parseVec(tokens []string) (bayeslsh.Vec, error) {
+	if len(tokens) == 0 {
+		return bayeslsh.Vec{}, fmt.Errorf("empty vector: need <f>[:<w>] tokens")
+	}
+	m := make(map[uint32]float64, len(tokens))
+	for _, tok := range tokens {
+		fs, ws, hasW := strings.Cut(tok, ":")
+		f, err := strconv.ParseUint(fs, 10, 32)
+		if err != nil {
+			return bayeslsh.Vec{}, fmt.Errorf("bad feature %q", tok)
+		}
+		w := 1.0
+		if hasW {
+			if w, err = strconv.ParseFloat(ws, 64); err != nil {
+				return bayeslsh.Vec{}, fmt.Errorf("bad weight %q", tok)
+			}
+		}
+		m[uint32(f)] += w
+	}
+	return bayeslsh.NewVec(m), nil
+}

@@ -397,11 +397,11 @@ func TestRuntimeKnobNormalization(t *testing.T) {
 		t.Fatal(err)
 	}
 	ix.SetRuntime(-2, -9)
-	if got := ix.eng.cfg; got.Parallelism != 1 || got.BatchSize != 1 {
+	if got := ix.engine().cfg; got.Parallelism != 1 || got.BatchSize != 1 {
 		t.Errorf("SetRuntime(-2, -9) normalized to %+v, want Parallelism=1 BatchSize=1", got)
 	}
 	ix.SetRuntime(0, 0)
-	if got := ix.eng.cfg; got.Parallelism != runtime.NumCPU() || got.BatchSize != 1024 {
+	if got := ix.engine().cfg; got.Parallelism != runtime.NumCPU() || got.BatchSize != 1024 {
 		t.Errorf("SetRuntime(0, 0) normalized to %+v, want NumCPU/1024", got)
 	}
 	// The knobs must never change results: negative (clamped) versus

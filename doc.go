@@ -71,6 +71,26 @@
 // WriteTo and ReadIndex are the io.Writer/io.Reader forms;
 // docs/PERSISTENCE.md documents the format and versioning policy.
 //
+// # Live serving (ingest while querying)
+//
+// A LiveIndex serves the same query surface while Add and Delete
+// mutate the corpus — no rebuild on the caller's path. It pairs the
+// immutable base Index with a small mutable delta segment (new
+// vectors hash once, at ingest, against the same seeded families), a
+// monotone tombstone set masking deletions, and a background merge
+// that folds both into a fresh base and publishes it by atomic
+// generation swap:
+//
+//	li, err := bayeslsh.NewLiveIndex(ds, m, cfg, opts, bayeslsh.LiveConfig{})
+//	id, err := li.Add(vec)   // visible to queries from now on
+//	ok := li.Delete(id)      // masked from now on
+//
+// Determinism extends to mutation: after any interleaving of adds,
+// deletes and merges, results are bit-identical to a cold Index built
+// over the equivalent corpus. Live state snapshots as a version-2
+// stream (LiveIndex.WriteTo, ReadLiveIndex, LoadLiveFile); see
+// docs/LIVE.md for the segment model and merge policy.
+//
 // # Cancellation and streaming
 //
 // Every search and query has a context-aware form — SearchContext,
@@ -109,7 +129,9 @@
 //
 // The exported API lives in this package: Dataset, Engine, Options
 // and Result for batch search; Index, Vec, QueryOptions and Match for
-// query serving. The algorithms live in internal packages:
+// query serving; LiveIndex and LiveConfig for ingest-while-serving
+// (internal/live holds its memtable, tombstones and merge policy).
+// The algorithms live in internal packages:
 // internal/core holds the Bayesian verification kernel (two-sided and
 // one-sided), internal/allpairs, internal/lshindex and
 // internal/ppjoin generate candidates (the first two also keep

@@ -96,3 +96,61 @@ func TestDegenerateQueries(t *testing.T) {
 		})
 	}
 }
+
+// TestQueryClampedInputs pins the well-defined degenerate results of
+// the query surface: an empty batch returns an empty (non-nil) result
+// with no error, and TopK with k at or beyond the corpus size clamps
+// to "everything qualifying" — never a panic, never an error, for
+// both candidate sources.
+func TestQueryClampedInputs(t *testing.T) {
+	ds := smallDataset(t, 80).TfIdf().Normalize()
+	for _, alg := range []Algorithm{BruteForce, LSH, AllPairsBayesLSH} {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			ix, err := NewIndex(ds, Cosine, EngineConfig{Seed: 5, SignatureBits: 512},
+				Options{Algorithm: alg, Threshold: 0.7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			batches := []struct {
+				name    string
+				queries []Vec
+			}{
+				{"nil slice", nil},
+				{"empty slice", []Vec{}},
+				{"all-empty queries", []Vec{{}, {}}},
+			}
+			for _, b := range batches {
+				got, err := ix.QueryBatch(b.queries, QueryOptions{})
+				if err != nil {
+					t.Fatalf("QueryBatch(%s): %v", b.name, err)
+				}
+				if got == nil || len(got) != len(b.queries) {
+					t.Fatalf("QueryBatch(%s) = %v, want %d empty result slots", b.name, got, len(b.queries))
+				}
+			}
+			ks := []struct {
+				name string
+				k    int
+			}{
+				{"k == Len", ds.Len()},
+				{"k == Len+1", ds.Len() + 1},
+				{"k huge", 1 << 30},
+			}
+			for _, c := range ks {
+				got, err := ix.TopK(ds.Vector(0), c.k)
+				if err != nil {
+					t.Fatalf("TopK(%s): %v", c.name, err)
+				}
+				if len(got) > ds.Len() {
+					t.Fatalf("TopK(%s) returned %d matches over a %d-vector corpus", c.name, len(got), ds.Len())
+				}
+				for _, m := range got {
+					if m.Sim < ix.Threshold() {
+						t.Fatalf("TopK(%s) leaked sub-threshold match %+v", c.name, m)
+					}
+				}
+			}
+		})
+	}
+}

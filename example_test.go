@@ -249,3 +249,48 @@ func ExampleIndex_WriteTo() {
 	// 0 0.9998
 	// 1 0.9993
 }
+
+// ExampleLiveIndex demonstrates the live (ingest-while-serving)
+// index: mutations next to queries, a forced merge, and a delete.
+func ExampleLiveIndex() {
+	ds := bayeslsh.NewDataset(8)
+	ds.Add(map[uint32]float64{0: 1, 1: 2, 2: 3}) // doc 0
+	ds.Add(map[uint32]float64{5: 1, 6: 1})       // doc 1: unrelated
+	ds.Normalize()
+
+	li, err := bayeslsh.NewLiveIndex(ds, bayeslsh.Cosine,
+		bayeslsh.EngineConfig{Seed: 1},
+		bayeslsh.Options{Algorithm: bayeslsh.AllPairs, Threshold: 0.9},
+		bayeslsh.LiveConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer li.Close()
+
+	// Re-ingest doc 0 under a new id (an exact duplicate; cosine
+	// corpora must be unit-normalized, like Dataset.Normalize leaves
+	// them) and query for it immediately.
+	id, err := li.Add(ds.Vector(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("added id:", id)
+
+	matches, err := li.Query(ds.Vector(0), bayeslsh.QueryOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range matches {
+		fmt.Printf("match %d sim %.2f\n", m.ID, m.Sim)
+	}
+
+	li.Compact() // fold the delta into a fresh base (normally automatic)
+	li.Delete(id)
+	matches, _ = li.Query(ds.Vector(0), bayeslsh.QueryOptions{})
+	fmt.Println("matches after delete:", len(matches))
+	// Output:
+	// added id: 2
+	// match 0 sim 1.00
+	// match 2 sim 1.00
+	// matches after delete: 1
+}

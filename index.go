@@ -3,6 +3,7 @@ package bayeslsh
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"bayeslsh/internal/allpairs"
@@ -36,7 +37,13 @@ import (
 // exactly the pairs involving i that the batch search finds at the
 // same threshold, for every pipeline (see docs/QUERYING.md).
 type Index struct {
-	eng  *Engine
+	// eng is the engine view serving this index's queries. It is an
+	// atomic pointer so SetRuntime can swap in a detached view (with
+	// different runtime knobs) while queries are in flight: a query
+	// loads the pointer once per engine access and every view shares
+	// the same dataset and signature stores, so any interleaving is
+	// valid.
+	eng  atomic.Pointer[Engine]
 	opts Options // resolved search options the index was built with
 
 	bits *lshindex.BitsTables    // LSH tables, cosine measures
@@ -93,8 +100,33 @@ func NewIndex(ds *Dataset, m Measure, cfg EngineConfig, opts Options) (*Index, e
 // hashing substrate. The engine remains usable for batch searches;
 // index queries and batch searches share signature stores, so hashing
 // is paid once across both. Options are resolved with the same
-// defaults as Search.
+// defaults as Search. BuildIndex is BuildIndexContext with
+// context.Background() — it cannot be canceled.
 func (e *Engine) BuildIndex(opts Options) (*Index, error) {
+	return e.BuildIndexContext(context.Background(), opts)
+}
+
+// BuildIndexContext is BuildIndex with cooperative cancellation:
+// signature fills, candidate enumeration (the prior-fitting step of
+// the Jaccard Bayes pipelines) and verifier construction all poll ctx,
+// so a long build — for example a background LiveIndex merge — aborts
+// promptly once ctx is done. A canceled build returns an error
+// wrapping context.Canceled or context.DeadlineExceeded; for a ctx
+// that is never canceled the index is bit-identical to BuildIndex's.
+func (e *Engine) BuildIndexContext(ctx context.Context, opts Options) (*Index, error) {
+	ix, err := e.buildIndexCtx(ctx, opts, nil)
+	if err != nil {
+		return nil, ctxWrap(err)
+	}
+	return ix, nil
+}
+
+// buildIndexCtx is the shared index-construction path. When prior is
+// non-nil it is used verbatim in place of fitting one from the
+// candidate stream — the merge path of a LiveIndex, which already
+// maintains the corpus prior and must not pay a second enumeration
+// (the snapshot loader's rewire serves the same purpose for loads).
+func (e *Engine) buildIndexCtx(ctx context.Context, opts Options, prior *stats.Beta) (*Index, error) {
 	o, err := opts.withDefaults(e.measure)
 	if err != nil {
 		return nil, err
@@ -102,7 +134,8 @@ func (e *Engine) BuildIndex(opts Options) (*Index, error) {
 	start := time.Now()
 	// The prior defaults to the uniform placeholder so every index —
 	// including the non-Bayes pipelines — snapshots a valid one.
-	ix := &Index{eng: e, opts: o, prior: stats.Beta{Alpha: 1, Beta: 1}}
+	ix := &Index{opts: o, prior: stats.Beta{Alpha: 1, Beta: 1}}
+	ix.eng.Store(e)
 
 	// Candidate source.
 	switch o.Algorithm {
@@ -114,7 +147,7 @@ func (e *Engine) BuildIndex(opts Options) (*Index, error) {
 			return nil, err
 		}
 	case LSH, LSHApprox, LSHBayesLSH, LSHBayesLSHLite:
-		k, l, err := e.lshPlan(context.Background(), o)
+		k, l, err := e.lshPlan(ctx, o)
 		if err != nil {
 			return nil, err
 		}
@@ -138,21 +171,25 @@ func (e *Engine) BuildIndex(opts Options) (*Index, error) {
 	// Verification.
 	switch o.Algorithm {
 	case AllPairsBayesLSH, AllPairsBayesLSHLite, LSHBayesLSH, LSHBayesLSHLite:
-		var cands []pair.Pair
-		if e.measure == Jaccard && !o.OneBitMinhash {
-			// The Jaccard verifier's pruning table depends on the Beta
-			// prior, which the batch pipeline fits from its candidate
-			// stream. Reproduce that stream once at build so every
-			// query shares the batch search's exact prior.
-			cands, err = e.candidates(context.Background(), o)
-			if err != nil {
-				return nil, err
+		if prior != nil {
+			ix.prior = *prior
+		} else {
+			var cands []pair.Pair
+			if e.measure == Jaccard && !o.OneBitMinhash {
+				// The Jaccard verifier's pruning table depends on the Beta
+				// prior, which the batch pipeline fits from its candidate
+				// stream. Reproduce that stream once at build so every
+				// query shares the batch search's exact prior.
+				cands, err = e.candidates(ctx, o)
+				if err != nil {
+					return nil, err
+				}
+				pair.SortPairs(cands)
+				ix.stats.PriorCandidates = len(cands)
 			}
-			pair.SortPairs(cands)
-			ix.stats.PriorCandidates = len(cands)
+			ix.prior = e.fitPrior(o, cands)
 		}
-		ix.prior = e.fitPrior(o, cands)
-		ix.vq, err = e.bayesVerifierWithPrior(context.Background(), o, ix.prior)
+		ix.vq, err = e.bayesVerifierWithPrior(ctx, o, ix.prior)
 		if err != nil {
 			return nil, err
 		}
@@ -168,13 +205,17 @@ func (e *Engine) BuildIndex(opts Options) (*Index, error) {
 			if max := e.minSigStore().MaxHashes(); n > max {
 				n = max
 			}
-			e.minSigStore().EnsureAllParallel(n, e.workers())
+			if err := e.minSigStore().EnsureAllCtx(ctx, n, e.workers()); err != nil {
+				return nil, err
+			}
 			ix.verifyMin = n
 		} else {
 			if max := e.bitSigStore().MaxBits(); n > max {
 				n = max
 			}
-			e.bitSigStore().EnsureAllParallel(n, e.workers())
+			if err := e.bitSigStore().EnsureAllCtx(ctx, n, e.workers()); err != nil {
+				return nil, err
+			}
 			ix.verifyBits = n
 		}
 		ix.approxN = n
@@ -184,8 +225,12 @@ func (e *Engine) BuildIndex(opts Options) (*Index, error) {
 	return ix, nil
 }
 
+// engine returns the engine view currently serving the index (see the
+// eng field and SetRuntime).
+func (ix *Index) engine() *Engine { return ix.eng.Load() }
+
 // Measure returns the index's similarity measure.
-func (ix *Index) Measure() Measure { return ix.eng.measure }
+func (ix *Index) Measure() Measure { return ix.engine().measure }
 
 // Threshold returns the similarity threshold the index was built at —
 // the floor below which candidate generation gives no recall
@@ -197,13 +242,13 @@ func (ix *Index) Threshold() float64 { return ix.opts.Threshold }
 func (ix *Index) Options() Options { return ix.opts }
 
 // Len returns the number of indexed corpus vectors.
-func (ix *Index) Len() int { return ix.eng.ds.Len() }
+func (ix *Index) Len() int { return ix.engine().ds.Len() }
 
 // Dataset returns the indexed corpus. An index loaded from a snapshot
 // carries its corpus with it, so serving processes can, for example,
 // query the index with stored vectors (Dataset.Vector) without
 // shipping the dataset separately.
-func (ix *Index) Dataset() *Dataset { return ix.eng.ds }
+func (ix *Index) Dataset() *Dataset { return ix.engine().ds }
 
 // Stats returns build cost and shape statistics.
 func (ix *Index) Stats() IndexStats { return ix.stats }

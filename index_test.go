@@ -264,8 +264,21 @@ func TestTopK(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if len(got) != k {
-			t.Fatalf("query %d: %d matches, want %d", i, len(got), k)
+		// TopK reports the top k among vectors meeting the built
+		// threshold — possibly fewer than k.
+		qualifying := 0
+		for j := 0; j < ds.Len(); j++ {
+			if ds.Similarity(Cosine, i, j) >= 0.5 {
+				qualifying++
+			}
+		}
+		if want := min(k, qualifying); len(got) != want {
+			t.Fatalf("query %d: %d matches, want %d (of %d qualifying)", i, len(got), want, qualifying)
+		}
+		for _, m := range got {
+			if m.Sim < 0.5 {
+				t.Fatalf("query %d: sub-threshold match %+v", i, m)
+			}
 		}
 		// The query vector itself must rank first with similarity 1.
 		if got[0].ID != i || got[0].Sim < 0.999999 {

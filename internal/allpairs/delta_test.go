@@ -1,0 +1,79 @@
+package allpairs
+
+import (
+	"testing"
+
+	"bayeslsh/internal/exact"
+	"bayeslsh/internal/vector"
+)
+
+// TestDeltaProbeLossless is the delta recall property the live index
+// rests on: every vector sharing at least one feature with the query
+// is returned (a lossless superset of any bound-filtered candidate
+// set), ascending, deduplicated, and bounded by the visibility limit.
+func TestDeltaProbeLossless(t *testing.T) {
+	vecs := []vector.Vector{
+		vector.FromMap(map[uint32]float64{0: 1, 1: 1}),
+		vector.FromMap(map[uint32]float64{2: 1}),
+		vector.FromMap(map[uint32]float64{1: 1, 2: 1}),
+		{}, // empty: never a candidate
+		vector.FromMap(map[uint32]float64{0: 1, 2: 1}),
+	}
+	d := NewDelta()
+	for i, v := range vecs {
+		d.Add(int32(i), v)
+	}
+	q := vector.FromMap(map[uint32]float64{1: 1, 2: 1})
+	if got := d.Probe(q, 5); len(got) != 4 || got[0] != 0 || got[1] != 1 || got[2] != 2 || got[3] != 4 {
+		t.Fatalf("Probe = %v, want [0 1 2 4]", got)
+	}
+	if got := d.Probe(q, 2); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("bounded Probe = %v, want [0 1]", got)
+	}
+	if got := d.Probe(vector.Vector{}, 5); got != nil {
+		t.Fatalf("empty-query Probe = %v, want nil", got)
+	}
+	if got := d.Probe(vector.FromMap(map[uint32]float64{9: 1}), 5); got != nil {
+		t.Fatalf("disjoint-query Probe = %v, want nil", got)
+	}
+}
+
+// TestDeltaSupersetOfIndex checks the delta probe against the built
+// index's bound-filtered probe: every candidate the built index
+// emits, the delta emits too (the direction the live index needs),
+// and every above-threshold neighbor appears in both.
+func TestDeltaSupersetOfIndex(t *testing.T) {
+	var vecs []vector.Vector
+	for i := 0; i < 40; i++ {
+		m := map[uint32]float64{}
+		for j := 0; j < 5; j++ {
+			m[uint32((i*3+j*5)%23)] = float64(1+(i+j)%3) / 2
+		}
+		vecs = append(vecs, vector.FromMap(m))
+	}
+	c := (&vector.Collection{Dim: 23, Vecs: vecs}).Normalize()
+	vecs = c.Vecs
+	const threshold = 0.6
+	ix, err := BuildIndexMeasure(c, exact.Cosine, threshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDelta()
+	for i, v := range vecs {
+		d.Add(int32(i), TransformQuery(v, exact.Cosine))
+	}
+	for i, v := range vecs {
+		q := TransformQuery(v, exact.Cosine)
+		built := ix.Probe(q)
+		delta := d.Probe(q, int32(len(vecs)))
+		inDelta := map[int32]bool{}
+		for _, id := range delta {
+			inDelta[id] = true
+		}
+		for _, id := range built {
+			if !inDelta[id] {
+				t.Fatalf("query %d: built-index candidate %d missing from delta probe", i, id)
+			}
+		}
+	}
+}

@@ -1,0 +1,21 @@
+// Package live holds the mutable half of the live (ingest-while-
+// serving) index: the append-only memtable that receives new vectors
+// and their signatures, the lock-free monotone tombstone set that
+// masks deletions out of every segment, and the merge policy that
+// decides when the delta is folded into a fresh immutable base.
+//
+// The package is deliberately mechanism-only. Everything that knows
+// about measures, hash families, verifiers or the determinism
+// contract lives in the root package's LiveIndex, which feeds the
+// memtable fully prepared entries (raw and work vectors plus whatever
+// signature representations the built pipeline compares) and wraps
+// the probe results in the same verification switch the immutable
+// Index uses. See docs/LIVE.md for the segment model.
+//
+// Concurrency model: a Memtable is written by one mutator at a time
+// (the LiveIndex serializes mutations) and read by any number of
+// concurrent queries; its RWMutex protects the incremental bucket and
+// posting structures, while the entry arrays are append-only and read
+// through pinned prefix views. Tombstones is monotone (bits are only
+// ever set) and therefore entirely lock-free on the read side.
+package live

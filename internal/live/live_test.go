@@ -1,0 +1,137 @@
+package live
+
+import (
+	"sync"
+	"testing"
+
+	"bayeslsh/internal/vector"
+)
+
+// TestTombstones covers the monotone bitset: set-once semantics,
+// growth across chunks, ordered enumeration, and lock-free reads
+// racing a writer.
+func TestTombstones(t *testing.T) {
+	ts := NewTombstones()
+	ids := []int{0, 63, 64, 4095, 4096, 70000}
+	for _, id := range ids {
+		if ts.Has(id) {
+			t.Fatalf("fresh set Has(%d)", id)
+		}
+		if !ts.Set(id) {
+			t.Fatalf("Set(%d) reported already set", id)
+		}
+		if ts.Set(id) {
+			t.Fatalf("second Set(%d) reported newly set", id)
+		}
+		if !ts.Has(id) {
+			t.Fatalf("Has(%d) after Set", id)
+		}
+	}
+	if ts.Count() != len(ids) {
+		t.Fatalf("Count = %d, want %d", ts.Count(), len(ids))
+	}
+	if got := ts.IDs(70001); len(got) != len(ids) {
+		t.Fatalf("IDs = %v", got)
+	} else {
+		for i := 1; i < len(got); i++ {
+			if got[i] <= got[i-1] {
+				t.Fatalf("IDs not ascending: %v", got)
+			}
+		}
+	}
+	if got := ts.IDs(4096); len(got) != 4 {
+		t.Fatalf("IDs(4096) = %v, want the 4 ids below 4096", got)
+	}
+	if ts.Has(-1) || ts.Has(1<<30) {
+		t.Fatal("Has out of range")
+	}
+}
+
+// TestTombstonesConcurrentReads races Has against a serialized Set
+// stream — the live index's query-versus-delete pattern, run under
+// -race in CI.
+func TestTombstonesConcurrentReads(t *testing.T) {
+	ts := NewTombstones()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+					ts.Has(i % 100000)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 50000; i += 7 {
+		ts.Set(i)
+	}
+	close(done)
+	wg.Wait()
+	for i := 0; i < 50000; i += 7 {
+		if !ts.Has(i) {
+			t.Fatalf("lost tombstone %d", i)
+		}
+	}
+}
+
+// TestPolicy pins the trigger semantics: defaults, disabled triggers,
+// and the two thresholds.
+func TestPolicy(t *testing.T) {
+	p := Policy{}.WithDefaults()
+	if p.MaxDelta != 4096 || p.MaxRatio != 0.25 {
+		t.Fatalf("defaults = %+v", p)
+	}
+	cases := []struct {
+		p                 Policy
+		base, delta, dead int
+		want              bool
+	}{
+		{p, 10000, 0, 0, false},     // nothing to fold
+		{p, 10000, 4096, 0, true},   // size trigger
+		{p, 10000, 4095, 0, true},   // ratio trigger (4095 > 0.25*10000)
+		{p, 100000, 100, 50, false}, // both below bounds
+		{p, 100, 10, 20, true},      // ratio via tombstones
+		{Policy{MaxDelta: -1, MaxRatio: -1}, 10, 1000000, 1000000, false}, // disabled
+		{Policy{MaxDelta: 5, MaxRatio: -1}.WithDefaults(), 1000000, 5, 0, true},
+	}
+	for i, c := range cases {
+		if got := c.p.Due(c.base, c.delta, c.dead); got != c.want {
+			t.Fatalf("case %d: Due(%d, %d, %d) = %v, want %v", i, c.base, c.delta, c.dead, got, c.want)
+		}
+	}
+}
+
+// TestMemtableViews checks append-only visibility: a view pinned at n
+// sees exactly the first n entries however far the memtable grows,
+// and Candidates respects the bound.
+func TestMemtableViews(t *testing.T) {
+	m := NewMemtable(nil, nil, nil) // brute-force arm
+	v1 := vector.FromMap(map[uint32]float64{1: 1})
+	v2 := vector.FromMap(map[uint32]float64{2: 1})
+	empty := vector.Vector{}
+	if slot := m.Append(Entry{Raw: v1, Work: v1}); slot != 0 {
+		t.Fatalf("first slot = %d", slot)
+	}
+	view := m.View(1)
+	m.Append(Entry{Raw: empty, Work: empty})
+	m.Append(Entry{Raw: v2, Work: v2})
+	if len(view.Raw) != 1 || view.Raw[0].Len() != 1 {
+		t.Fatalf("pinned view changed: %v", view.Raw)
+	}
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	// Brute-force candidates: non-empty slots below the bound.
+	if ids := m.Candidates(nil, nil, vector.Vector{}, 3); len(ids) != 2 || ids[0] != 0 || ids[1] != 2 {
+		t.Fatalf("Candidates(3) = %v, want [0 2] (empty slot skipped)", ids)
+	}
+	if ids := m.Candidates(nil, nil, vector.Vector{}, 1); len(ids) != 1 || ids[0] != 0 {
+		t.Fatalf("Candidates(1) = %v, want [0]", ids)
+	}
+}

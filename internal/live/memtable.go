@@ -1,0 +1,130 @@
+package live
+
+import (
+	"sync"
+
+	"bayeslsh/internal/allpairs"
+	"bayeslsh/internal/lshindex"
+	"bayeslsh/internal/vector"
+)
+
+// Entry is one ingested vector in every representation the built
+// pipeline compares: the raw vector (exact verification), the
+// measure-transformed work vector (AllPairs probing, hashing input),
+// and whichever signatures the index's candidate generation and
+// verification read. Unused representations are nil. Entries are
+// immutable once appended.
+type Entry struct {
+	Raw, Work vector.Vector
+	Min       []uint32 // minhash signature (Jaccard pipelines)
+	Bits      []uint64 // packed hyperplane bits (cosine measures)
+	One       []uint64 // 1-bit packed minhashes (OneBitMinhash)
+}
+
+// Memtable is the mutable delta segment of a live index: an
+// append-only log of entries plus the incremental candidate structure
+// of the built pipeline — banded LSH delta tables, an unfiltered
+// AllPairs delta posting index, or nothing (BruteForce scans the
+// view). One mutator appends at a time (callers serialize); any
+// number of queries probe concurrently.
+type Memtable struct {
+	mu   sync.RWMutex
+	raw  []vector.Vector
+	work []vector.Vector
+	min  [][]uint32
+	bits [][]uint64
+	one  [][]uint64
+
+	bitsD *lshindex.BitsDelta
+	minsD *lshindex.MinhashDelta
+	apD   *allpairs.Delta
+}
+
+// NewMemtable creates a memtable over the given candidate structure;
+// at most one of bitsD, minsD and apD is non-nil (all nil selects the
+// brute-force scan).
+func NewMemtable(bitsD *lshindex.BitsDelta, minsD *lshindex.MinhashDelta, apD *allpairs.Delta) *Memtable {
+	return &Memtable{bitsD: bitsD, minsD: minsD, apD: apD}
+}
+
+// Append adds the entry to the log and candidate structure, returning
+// its slot. Appends must be serialized by the caller; the new slot
+// becomes visible to queries only when the caller publishes a
+// generation whose view covers it.
+func (m *Memtable) Append(e Entry) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	slot := len(m.raw)
+	m.raw = append(m.raw, e.Raw)
+	m.work = append(m.work, e.Work)
+	m.min = append(m.min, e.Min)
+	m.bits = append(m.bits, e.Bits)
+	m.one = append(m.one, e.One)
+	switch {
+	case m.bitsD != nil:
+		m.bitsD.Add(int32(slot), e.Bits)
+	case m.minsD != nil:
+		m.minsD.Add(int32(slot), e.Min)
+	case m.apD != nil:
+		m.apD.Add(int32(slot), e.Work)
+	}
+	return slot
+}
+
+// Len returns the number of appended entries.
+func (m *Memtable) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.raw)
+}
+
+// View is an immutable prefix of the memtable, pinned by a
+// generation: slices share the memtable's append-only backing, so a
+// view stays valid (and unchanged) however far the memtable grows
+// after it was taken.
+type View struct {
+	Raw, Work []vector.Vector
+	Min       [][]uint32
+	Bits      [][]uint64
+	One       [][]uint64
+}
+
+// View returns the first n entries as an immutable view.
+func (m *Memtable) View(n int) View {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return View{
+		Raw:  m.raw[:n:n],
+		Work: m.work[:n:n],
+		Min:  m.min[:n:n],
+		Bits: m.bits[:n:n],
+		One:  m.one[:n:n],
+	}
+}
+
+// Candidates returns the delta slots < n that the built pipeline's
+// candidate generation pairs with a query carrying the given
+// signatures (bits for the cosine LSH tables, min for the Jaccard
+// tables, work for AllPairs postings), ascending and deduplicated.
+// With no candidate structure (BruteForce) every non-empty slot
+// qualifies, matching Index.candidates' brute-force arm.
+func (m *Memtable) Candidates(bits []uint64, min []uint32, work vector.Vector, n int) []int32 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	switch {
+	case m.bitsD != nil:
+		return m.bitsD.Probe(bits, int32(n))
+	case m.minsD != nil:
+		return m.minsD.Probe(min, int32(n))
+	case m.apD != nil:
+		return m.apD.Probe(work, int32(n))
+	default:
+		ids := make([]int32, 0, n)
+		for slot := 0; slot < n; slot++ {
+			if m.raw[slot].Len() > 0 {
+				ids = append(ids, int32(slot))
+			}
+		}
+		return ids
+	}
+}

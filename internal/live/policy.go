@@ -1,0 +1,42 @@
+package live
+
+// Policy decides when the delta segment is folded into a fresh base —
+// the write-amplification versus query-cost dial of the live index.
+// A merge rebuilds the base in the background at roughly the cost of
+// one offline build (minus hashing, which is adopted), so the policy
+// bounds how large the delta and the tombstone shadow may grow before
+// that price is paid.
+type Policy struct {
+	// MaxDelta triggers a merge once the delta holds this many
+	// vectors. 0 selects the default 4096; negative disables the
+	// size trigger.
+	MaxDelta int
+	// MaxRatio triggers a merge once delta vectors plus live
+	// tombstones exceed this fraction of the base size. 0 selects the
+	// default 0.25; negative disables the ratio trigger.
+	MaxRatio float64
+}
+
+// WithDefaults fills the zero-value triggers.
+func (p Policy) WithDefaults() Policy {
+	if p.MaxDelta == 0 {
+		p.MaxDelta = 4096
+	}
+	if p.MaxRatio == 0 {
+		p.MaxRatio = 0.25
+	}
+	return p
+}
+
+// Due reports whether a merge should be scheduled for a generation
+// with base vectors, delta delta vectors and dead tombstoned-but-
+// present vectors.
+func (p Policy) Due(base, delta, dead int) bool {
+	if delta+dead == 0 {
+		return false
+	}
+	if p.MaxDelta > 0 && delta >= p.MaxDelta {
+		return true
+	}
+	return p.MaxRatio > 0 && float64(delta+dead) >= p.MaxRatio*float64(base)
+}

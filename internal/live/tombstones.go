@@ -1,0 +1,98 @@
+package live
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// tombChunkWords is the size of one tombstone bitset chunk; 64 words
+// cover 4096 ids.
+const tombChunkWords = 64
+
+const tombChunkBits = tombChunkWords * 64
+
+type tombChunk [tombChunkWords]atomic.Uint64
+
+// Tombstones is a monotone concurrent bitset over external vector
+// ids: bits are only ever set, never cleared, and ids are never
+// reused, so readers need no lock — Has is a pointer load plus an
+// atomic word load. Set calls must be serialized by the caller (the
+// LiveIndex mutation lock); Has may run concurrently with Set, and a
+// query overlapping a delete observes it either way, both of which
+// are valid linearizations.
+type Tombstones struct {
+	chunks atomic.Pointer[[]*tombChunk]
+	count  atomic.Int64
+}
+
+// NewTombstones returns an empty set.
+func NewTombstones() *Tombstones {
+	t := &Tombstones{}
+	empty := make([]*tombChunk, 0)
+	t.chunks.Store(&empty)
+	return t
+}
+
+// Set marks id deleted, growing the chunk list as needed, and reports
+// whether the bit was newly set. Callers must serialize Set calls.
+func (t *Tombstones) Set(id int) bool {
+	ci, wi, bit := id/tombChunkBits, (id%tombChunkBits)/64, uint(id%64)
+	chunks := *t.chunks.Load()
+	if ci >= len(chunks) {
+		grown := make([]*tombChunk, ci+1)
+		copy(grown, chunks)
+		for i := len(chunks); i <= ci; i++ {
+			grown[i] = new(tombChunk)
+		}
+		t.chunks.Store(&grown)
+		chunks = grown
+	}
+	w := &chunks[ci][wi]
+	old := w.Load()
+	if old&(1<<bit) != 0 {
+		return false
+	}
+	w.Store(old | 1<<bit)
+	t.count.Add(1)
+	return true
+}
+
+// Has reports whether id is deleted. Safe for any number of
+// concurrent callers, including concurrently with Set.
+func (t *Tombstones) Has(id int) bool {
+	if id < 0 {
+		return false
+	}
+	ci := id / tombChunkBits
+	chunks := *t.chunks.Load()
+	if ci >= len(chunks) {
+		return false
+	}
+	return chunks[ci][(id%tombChunkBits)/64].Load()&(1<<uint(id%64)) != 0
+}
+
+// Count returns the number of ids ever deleted (including ids whose
+// vectors have since been compacted away by a merge).
+func (t *Tombstones) Count() int { return int(t.count.Load()) }
+
+// IDs returns the deleted ids below limit, ascending — the snapshot
+// encoding of the set. Call it from the mutation lock (or any other
+// point of quiescence) for a consistent cut.
+func (t *Tombstones) IDs(limit int) []int {
+	var out []int
+	chunks := *t.chunks.Load()
+	for ci, c := range chunks {
+		for wi := range c {
+			w := c[wi].Load()
+			for w != 0 {
+				id := ci*tombChunkBits + wi*64 + bits.TrailingZeros64(w)
+				if id >= limit {
+					return out
+				}
+				out = append(out, id)
+				w &= w - 1
+			}
+		}
+	}
+	return out
+}

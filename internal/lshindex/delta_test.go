@@ -1,0 +1,82 @@
+package lshindex
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBitsDeltaMatchesTables is the delta determinism property: a
+// query probing delta tables grown one vector at a time sees exactly
+// the candidates the batch-built tables over the same signatures
+// produce — with and without multi-probe.
+func TestBitsDeltaMatchesTables(t *testing.T) {
+	const n, k, l, words = 60, 8, 4, 2
+	rng := rand.New(rand.NewSource(1))
+	sigs := make([][]uint64, n)
+	for i := range sigs {
+		sigs[i] = []uint64{rng.Uint64(), rng.Uint64()}
+	}
+	for _, mp := range []bool{false, true} {
+		tables, err := BuildBits(sigs, k, l, 1, mp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		delta := NewBitsDelta(k, l, mp)
+		for i, s := range sigs {
+			delta.Add(int32(i), s)
+		}
+		for i, s := range sigs {
+			want := tables.Probe(s)
+			got := delta.Probe(s, n)
+			if len(got) != len(want) {
+				t.Fatalf("mp=%v query %d: delta %v, tables %v", mp, i, got, want)
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					t.Fatalf("mp=%v query %d: delta %v, tables %v", mp, i, got, want)
+				}
+			}
+		}
+		// The visibility bound hides later appends from pinned readers.
+		if ids := delta.Probe(sigs[0], 1); len(ids) != 1 || ids[0] != 0 {
+			t.Fatalf("mp=%v bounded probe = %v, want [0] (self)", mp, ids)
+		}
+	}
+}
+
+// TestMinhashDeltaMatchesTables is the minhash twin of the bits test.
+func TestMinhashDeltaMatchesTables(t *testing.T) {
+	const n, k, l = 60, 4, 5
+	rng := rand.New(rand.NewSource(2))
+	sigs := make([][]uint32, n)
+	for i := range sigs {
+		s := make([]uint32, k*l)
+		for j := range s {
+			s[j] = rng.Uint32() % 16 // small alphabet: frequent collisions
+		}
+		sigs[i] = s
+	}
+	tables, err := BuildMinhash(sigs, k, l, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := NewMinhashDelta(k, l)
+	for i, s := range sigs {
+		delta.Add(int32(i), s)
+	}
+	for i, s := range sigs {
+		want := tables.Probe(s)
+		got := delta.Probe(s, n)
+		if len(got) != len(want) {
+			t.Fatalf("query %d: delta %v, tables %v", i, got, want)
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("query %d: delta %v, tables %v", i, got, want)
+			}
+		}
+	}
+	if ids := delta.Probe(sigs[0], 1); len(ids) != 1 || ids[0] != 0 {
+		t.Fatalf("bounded probe = %v, want [0]", ids)
+	}
+}

@@ -105,6 +105,28 @@ func (s *Store) Ensure(id int32, n int) {
 	})
 }
 
+// Adopt copies an already-computed signature prefix of n hashes into
+// vector id's slot and marks it filled — the live index's merge path,
+// which moves signatures from the outgoing base store and memtable
+// into a fresh store instead of re-hashing the corpus. The source may
+// keep being used (and deepened) independently: the prefix is copied,
+// not aliased. Like the snapshot loader's restore, Adopt must run
+// before the store is shared with concurrent Ensure/Sigs readers.
+// Deeper demand later resumes hashing at n through the ordinary lazy
+// fill, and each hash function's stream is keyed by its own seed, so
+// the result is bit-identical to a store that hashed everything
+// itself.
+func (s *Store) Adopt(id int32, sig []uint32, n int) {
+	if n <= 0 {
+		return
+	}
+	if n > s.fam.Size() || n > len(sig) {
+		panic("minhash: Adopt needs a prefix within the family budget")
+	}
+	copy(s.sigs[id][:n], sig[:n])
+	s.fill.Restore(id, n)
+}
+
 // EnsureAll fills every vector's signature up to n hashes.
 func (s *Store) EnsureAll(n int) {
 	for id := range s.sigs {

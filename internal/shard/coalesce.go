@@ -1,0 +1,115 @@
+package shard
+
+import (
+	"context"
+	"sync"
+)
+
+// Coalescer schedules a background task with single-flight,
+// trigger-coalescing semantics: at most one run is in flight at a
+// time, Trigger during a run schedules exactly one follow-up run (no
+// matter how many triggers arrive), and Close cancels the in-flight
+// run's context and waits for the worker goroutine to exit. It is the
+// merge scheduler of the live index: mutations fire cheap Triggers,
+// and compactions serialize and coalesce behind one worker.
+type Coalescer struct {
+	run    func(ctx context.Context)
+	cancel context.CancelFunc
+	kick   chan struct{} // capacity 1: a pending trigger
+	done   chan struct{} // closed when the worker exits
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	busy    bool // a run is in flight
+	pending bool // a trigger has not been consumed yet
+	closed  bool
+}
+
+// NewCoalescer starts the worker goroutine for run. run receives a
+// context that is canceled by Close; it must return promptly once the
+// context is done.
+func NewCoalescer(run func(ctx context.Context)) *Coalescer {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Coalescer{
+		run:    run,
+		cancel: cancel,
+		kick:   make(chan struct{}, 1),
+		done:   make(chan struct{}),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	go c.loop(ctx)
+	return c
+}
+
+// Trigger requests a run. It never blocks: if a run is in flight the
+// request coalesces into the single pending follow-up; after Close it
+// is a no-op.
+func (c *Coalescer) Trigger() {
+	c.mu.Lock()
+	if !c.closed {
+		c.pending = true
+	}
+	c.mu.Unlock()
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Quiesce blocks until no run is in flight and no trigger is pending —
+// the point at which every mutation issued before the call has had its
+// scheduled run completed. It does not prevent new triggers; callers
+// wanting a stable quiescent state stop mutating first.
+func (c *Coalescer) Quiesce() {
+	c.mu.Lock()
+	for (c.busy || c.pending) && !c.closed {
+		c.cond.Wait()
+	}
+	c.mu.Unlock()
+}
+
+// Close cancels the in-flight run (if any), stops the worker and
+// waits for it to exit. Triggers after Close are dropped. Close is
+// idempotent.
+func (c *Coalescer) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		<-c.done
+		return
+	}
+	c.closed = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	c.cancel()
+	<-c.done
+}
+
+func (c *Coalescer) loop(ctx context.Context) {
+	defer close(c.done)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-c.kick:
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return
+		}
+		if !c.pending {
+			c.mu.Unlock()
+			continue
+		}
+		c.pending, c.busy = false, true
+		c.mu.Unlock()
+
+		c.run(ctx)
+
+		c.mu.Lock()
+		c.busy = false
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	}
+}

@@ -1,0 +1,96 @@
+package shard
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCoalescerSingleFlight checks that overlapping triggers coalesce:
+// many triggers during one slow run schedule exactly one follow-up.
+func TestCoalescerSingleFlight(t *testing.T) {
+	var runs atomic.Int64
+	var inFlight atomic.Int64
+	started := make(chan struct{}, 16)
+	release := make(chan struct{})
+	c := NewCoalescer(func(ctx context.Context) {
+		if inFlight.Add(1) != 1 {
+			t.Error("two runs in flight")
+		}
+		runs.Add(1)
+		started <- struct{}{}
+		<-release
+		inFlight.Add(-1)
+	})
+	defer c.Close()
+
+	c.Trigger()
+	<-started // run 1 is in flight
+	for i := 0; i < 50; i++ {
+		c.Trigger() // all coalesce into one pending follow-up
+	}
+	release <- struct{}{}
+	<-started // run 2 (the coalesced follow-up)
+	release <- struct{}{}
+	c.Quiesce()
+	if got := runs.Load(); got != 2 {
+		t.Fatalf("%d runs, want 2 (one in-flight + one coalesced)", got)
+	}
+}
+
+// TestCoalescerQuiesce checks that Quiesce waits for both the
+// in-flight run and the pending trigger.
+func TestCoalescerQuiesce(t *testing.T) {
+	var done atomic.Int64
+	c := NewCoalescer(func(ctx context.Context) {
+		time.Sleep(time.Millisecond)
+		done.Add(1)
+	})
+	defer c.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Trigger()
+		}()
+	}
+	wg.Wait()
+	c.Quiesce()
+	if done.Load() == 0 {
+		t.Fatal("Quiesce returned before any triggered run completed")
+	}
+}
+
+// TestCoalescerClose checks that Close cancels the in-flight run's
+// context, waits for the worker, drops later triggers, and is
+// idempotent (including concurrently).
+func TestCoalescerClose(t *testing.T) {
+	canceled := make(chan struct{})
+	started := make(chan struct{})
+	c := NewCoalescer(func(ctx context.Context) {
+		close(started)
+		<-ctx.Done()
+		close(canceled)
+	})
+	c.Trigger()
+	<-started
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Close()
+		}()
+	}
+	wg.Wait()
+	select {
+	case <-canceled:
+	default:
+		t.Fatal("Close returned before the in-flight run observed cancellation")
+	}
+	c.Trigger() // dropped, must not panic or hang
+	c.Quiesce() // returns immediately when closed
+}

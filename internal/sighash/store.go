@@ -235,6 +235,28 @@ func (s *Store) Ensure(id int32, nbits int) {
 	})
 }
 
+// Adopt copies an already-computed signature prefix of nbits bits
+// (a whole number of family blocks, as every fill produces) into
+// vector id's slot and marks it filled — the live index's merge path,
+// which moves signatures from the outgoing base store and memtable
+// into a fresh store instead of re-hashing the corpus. The source may
+// keep being used (and deepened) independently: the prefix is copied,
+// not aliased. Like the snapshot loader's restore, Adopt must run
+// before the store is shared with concurrent Ensure/Sigs readers.
+// Deeper demand later resumes hashing at nbits through the ordinary
+// lazy fill, and the per-block hash streams are position-keyed, so the
+// result is bit-identical to a store that hashed everything itself.
+func (s *Store) Adopt(id int32, sig []uint64, nbits int) {
+	if nbits <= 0 {
+		return
+	}
+	if nbits%s.fam.blockBits != 0 || nbits > s.fam.maxBits || nbits > len(sig)*64 {
+		panic("sighash: Adopt needs a block-aligned prefix within the family budget")
+	}
+	copy(s.sigs[id][:nbits/64], sig[:nbits/64])
+	s.fill.Restore(id, nbits)
+}
+
 // EnsureAll fills every vector's signature up to nbits bits.
 func (s *Store) EnsureAll(nbits int) {
 	for id := range s.sigs {

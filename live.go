@@ -1,0 +1,1060 @@
+package bayeslsh
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bayeslsh/internal/allpairs"
+	"bayeslsh/internal/core"
+	"bayeslsh/internal/live"
+	"bayeslsh/internal/lshindex"
+	"bayeslsh/internal/minhash"
+	"bayeslsh/internal/pair"
+	"bayeslsh/internal/shard"
+	"bayeslsh/internal/sighash"
+	"bayeslsh/internal/stats"
+	"bayeslsh/internal/vector"
+)
+
+// LiveIndex is the ingest-while-serving form of Index: it answers the
+// same Query, TopK and QueryBatch calls (plus their Context forms)
+// while Add and Delete mutate the corpus, with no downtime and no
+// full rebuild on the caller's critical path. Build one with
+// NewLiveIndex over a seed corpus, or wrap a prebuilt or
+// snapshot-loaded Index with LiveFrom.
+//
+// Architecture (see docs/LIVE.md): an LSM-style generation list. The
+// current generation pairs an immutable base segment — an ordinary
+// Index — with a small mutable delta segment (the memtable) that
+// receives new vectors, hashes them against the same seeded families,
+// and maintains its own LSH buckets or AllPairs postings. Deletes set
+// bits in a shared monotone tombstone set that masks both segments.
+// A background merge folds the delta and the tombstoned vectors into
+// a fresh base (built by the exact offline BuildIndex code path, with
+// signatures adopted rather than re-hashed) and publishes it by an
+// atomic epoch swap: in-flight queries finish on the generation they
+// pinned, and the query hot path takes no lock beyond one atomic
+// pointer load plus a read-lock on the delta tables.
+//
+// Determinism contract: after any interleaving of Add, Delete and
+// merges, query results are bit-identical to a cold Index built with
+// the same EngineConfig and Options over the equivalent corpus — the
+// live vectors in ingestion order, compacted (ids map through the
+// compaction; similarities match to the last bit). The one
+// corpus-global quantity the contract forces the live index to
+// maintain is the Jaccard Beta prior of the full-BayesLSH pipelines,
+// which is refit through the cold-build code path on every mutation;
+// see the Add documentation for the cost.
+//
+// A LiveIndex is safe for concurrent use: any number of queries may
+// overlap each other, mutations, and merges. Mutations serialize among
+// themselves. A query overlapping a mutation observes the corpus
+// either before or after it — both valid linearizations.
+type LiveIndex struct {
+	measure Measure
+	cfg     EngineConfig
+	opts    Options // resolved
+	policy  live.Policy
+	dim     int // declared feature-space dimensionality, fixed for life
+
+	// gen is the current generation; queries pin it with one atomic
+	// load. tombs is shared by all generations: bits are only ever set
+	// and ids are never reused, so for the pipelines without a
+	// corpus-global prior, reading it live is a valid linearization
+	// for any pinned generation (a delete is visible to every query
+	// that starts after it, immediately). The prior-bearing pipelines
+	// instead read the generation-pinned liveGen.dead set, so a
+	// delete's mask and its refit prior publish atomically.
+	gen   atomic.Pointer[liveGen]
+	tombs *live.Tombstones
+
+	// mu serializes mutations (Add, Delete, merge publish, snapshot
+	// cuts). Queries never take it.
+	mu        sync.Mutex
+	dead      int // live-present tombstoned vectors
+	liveCount int // vectors neither deleted nor compacted away
+	closed    bool
+
+	merger *shard.Coalescer
+
+	// dvq caches the delta segment's Bayes verifier; see deltaVerifier.
+	dvq atomic.Pointer[deltaVQCache]
+
+	merges    atomic.Int64
+	lastMerge atomic.Int64          // wall-clock ns of the last completed merge
+	mergeErr  atomic.Pointer[error] // last merge failure; nil after a success
+}
+
+// liveGen is one immutable generation: everything a query needs,
+// published as a unit. Mutations and merges copy-and-swap it; the
+// memtable pointer is shared across copies (it is append-only, and
+// memN bounds what each generation sees).
+type liveGen struct {
+	// epoch increments whenever per-candidate verification decisions
+	// may change — a prior refit or a merge — and keys the delta
+	// verifier cache.
+	epoch   uint64
+	base    *Index
+	baseIDs []int // base row -> external id, strictly increasing
+	mem     *live.Memtable
+	start   int // external id of memtable slot 0
+	memN    int // visible memtable prefix
+	prior   stats.Beta
+
+	// dead is the generation-pinned deletion mask of the prior-bearing
+	// pipelines (nil otherwise; those read the shared tombstone set
+	// live). It is copy-on-write: Delete publishes a new map together
+	// with the refit prior, so a pinned query can never see a masked
+	// corpus verified under the wrong prior.
+	dead map[int]struct{}
+}
+
+// deleted reports whether external id ext is masked for queries
+// pinned to this generation.
+func (g *liveGen) deleted(tombs *live.Tombstones, ext int) bool {
+	if g.dead != nil {
+		_, ok := g.dead[ext]
+		return ok
+	}
+	return tombs.Has(ext)
+}
+
+// nextID returns the external id the next Add will receive.
+func (g *liveGen) nextID() int { return g.start + g.memN }
+
+// LiveConfig sets the merge policy knobs of a live index; the zero
+// value selects the defaults (see docs/TUNING.md).
+type LiveConfig struct {
+	// MaxDelta triggers a background merge once the delta segment
+	// holds this many vectors. 0 selects the default 4096; negative
+	// disables the size trigger.
+	MaxDelta int
+	// MaxRatio triggers a background merge once delta vectors plus
+	// live tombstones exceed this fraction of the base size. 0 selects
+	// the default 0.25; negative disables the ratio trigger.
+	MaxRatio float64
+}
+
+// ErrLiveClosed reports a mutation against a closed live index.
+// Queries keep working after Close; only Add and Delete are refused.
+var ErrLiveClosed = errors.New("bayeslsh: live index is closed")
+
+// ErrVecOutOfRange reports an Add whose vector has a feature index at
+// or beyond the index's declared feature-space dimensionality — the
+// same contract Dataset construction declares via NewDataset(dim).
+var ErrVecOutOfRange = errors.New("bayeslsh: vector feature outside the index feature space")
+
+// ErrVecNotNormalized reports an Add of a non-unit-norm or
+// negatively-weighted vector into a cosine index whose AllPairs
+// candidate structure requires unit-normalized, non-negative input —
+// the same validation an offline AllPairs build applies, enforced at
+// ingest so a background merge can never fail on a vector a query is
+// already being served from.
+var ErrVecNotNormalized = errors.New("bayeslsh: AllPairs cosine index requires unit-normalized, non-negatively weighted vectors")
+
+// NewLiveIndex builds a live index: an offline base build over the
+// seed dataset (exactly NewIndex), wrapped with an empty delta
+// segment. The seed corpus must be non-empty (ErrEmptyDataset
+// otherwise); its vectors receive external ids 0..ds.Len()-1 and
+// every later Add continues the sequence. For Cosine the seed dataset
+// and every added vector should be unit-normalized, the same contract
+// as NewEngine.
+func NewLiveIndex(ds *Dataset, m Measure, cfg EngineConfig, opts Options, lc LiveConfig) (*LiveIndex, error) {
+	ix, err := NewIndex(ds, m, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	return LiveFrom(ix, lc)
+}
+
+// LiveFrom wraps a prebuilt Index — fresh from BuildIndex or loaded
+// from a snapshot — as the base segment of a new live index, without
+// rebuilding anything. The Index must not be mutated through any
+// other handle afterwards (its SetRuntime excepted, which is safe
+// anywhere).
+func LiveFrom(ix *Index, lc LiveConfig) (*LiveIndex, error) {
+	if ix == nil {
+		return nil, errors.New("bayeslsh: LiveFrom over a nil index")
+	}
+	ids := make([]int, ix.Len())
+	for i := range ids {
+		ids[i] = i
+	}
+	return newLiveOver(ix, lc, ids, ix.Len()), nil
+}
+
+// newLiveOver assembles a live index around a base: the shared
+// constructor of NewLiveIndex/LiveFrom (identity ids) and the
+// snapshot loader (persisted ids). The caller finishes initialization
+// (memtable replay, tombstones) before sharing the index.
+func newLiveOver(ix *Index, lc LiveConfig, baseIDs []int, start int) *LiveIndex {
+	e := ix.engine()
+	li := &LiveIndex{
+		measure:   e.measure,
+		cfg:       e.cfg,
+		opts:      ix.opts,
+		policy:    live.Policy{MaxDelta: lc.MaxDelta, MaxRatio: lc.MaxRatio}.WithDefaults(),
+		dim:       e.ds.c.Dim,
+		tombs:     live.NewTombstones(),
+		liveCount: len(baseIDs),
+	}
+	gen := &liveGen{
+		base:    ix,
+		baseIDs: baseIDs,
+		mem:     newMemtableFor(ix),
+		start:   start,
+		prior:   ix.prior,
+	}
+	if li.priorBearing() {
+		gen.dead = map[int]struct{}{}
+	}
+	li.gen.Store(gen)
+	li.merger = shard.NewCoalescer(li.mergeRun)
+	return li
+}
+
+// newMemtableFor creates a delta segment matching the base's candidate
+// structure: banded delta tables under the base tables' plan, an
+// unfiltered delta posting index, or nothing (BruteForce).
+func newMemtableFor(ix *Index) *live.Memtable {
+	switch {
+	case ix.ap != nil:
+		return live.NewMemtable(nil, nil, allpairs.NewDelta())
+	case ix.mins != nil:
+		return live.NewMemtable(nil, lshindex.NewMinhashDelta(ix.mins.BandK(), ix.mins.Bands()), nil)
+	case ix.bits != nil:
+		return live.NewMemtable(lshindex.NewBitsDelta(ix.bits.BandK(), ix.bits.Bands(), ix.opts.MultiProbe), nil, nil)
+	default:
+		return live.NewMemtable(nil, nil, nil)
+	}
+}
+
+// Measure returns the index's similarity measure.
+func (li *LiveIndex) Measure() Measure { return li.measure }
+
+// Threshold returns the similarity threshold the index serves at.
+func (li *LiveIndex) Threshold() float64 { return li.opts.Threshold }
+
+// Options returns the resolved search options.
+func (li *LiveIndex) Options() Options { return li.opts }
+
+// Len returns the number of live vectors: ingested and not deleted.
+func (li *LiveIndex) Len() int {
+	li.mu.Lock()
+	defer li.mu.Unlock()
+	return li.liveCount
+}
+
+// LiveStats reports the segment shape and merge history.
+type LiveStats struct {
+	// Base and Delta are the vector counts of the two segments
+	// (including tombstoned vectors not yet compacted away).
+	Base, Delta int
+	// Live is the number of servable vectors; Dead the number of
+	// tombstoned vectors still occupying segment slots.
+	Live, Dead int
+	// NextID is the external id the next Add will return.
+	NextID int
+	// Merges counts completed background merges; LastMerge is the
+	// wall-clock duration of the most recent one.
+	Merges    int64
+	LastMerge time.Duration
+	// LastMergeErr is the failure of the most recent merge attempt,
+	// nil after a success. A failed merge leaves the index serving its
+	// previous generation — correct but uncompacted — and is retried
+	// on the next policy trigger or Compact.
+	LastMergeErr error
+}
+
+// Stats returns a consistent snapshot of the index shape.
+func (li *LiveIndex) Stats() LiveStats {
+	li.mu.Lock()
+	gen := li.gen.Load()
+	st := LiveStats{
+		Base:   len(gen.baseIDs),
+		Delta:  gen.memN,
+		Live:   li.liveCount,
+		Dead:   li.dead,
+		NextID: gen.nextID(),
+	}
+	li.mu.Unlock()
+	st.Merges = li.merges.Load()
+	st.LastMerge = time.Duration(li.lastMerge.Load())
+	if p := li.mergeErr.Load(); p != nil {
+		st.LastMergeErr = *p
+	}
+	return st
+}
+
+// SetRuntime sets the runtime knobs — EngineConfig.Parallelism and
+// BatchSize — under the Index.SetRuntime contract: safe against
+// concurrent queries, results unchanged at every setting. The knobs
+// also carry over to the engines future merges build.
+func (li *LiveIndex) SetRuntime(parallelism, batchSize int) {
+	li.mu.Lock()
+	defer li.mu.Unlock()
+	li.cfg.Parallelism = parallelism
+	li.cfg.BatchSize = batchSize
+	li.cfg = li.cfg.withDefaults()
+	li.gen.Load().base.SetRuntime(parallelism, batchSize)
+}
+
+// Close stops the background merger, canceling any merge in flight
+// and waiting for it to exit. Mutations after Close return
+// ErrLiveClosed; queries keep serving the last published generation.
+// Close is idempotent.
+func (li *LiveIndex) Close() {
+	li.mu.Lock()
+	li.closed = true
+	li.mu.Unlock()
+	li.merger.Close()
+}
+
+// Compact runs a merge now and waits for it: the delta segment and
+// every tombstoned vector are folded into a fresh base. A no-op when
+// there is nothing to fold or the index is closed. Compact does not
+// block queries or mutations (beyond the brief publish step) — it
+// blocks only its caller. A non-nil error reports that the merge
+// failed and the index is still serving its previous (uncompacted but
+// correct) generation.
+func (li *LiveIndex) Compact() error {
+	li.mu.Lock()
+	closed := li.closed
+	li.mu.Unlock()
+	if closed {
+		return nil
+	}
+	li.merger.Trigger()
+	li.merger.Quiesce()
+	if p := li.mergeErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Add ingests a vector, returning its permanent external id. The
+// vector becomes visible to queries that start after Add returns; it
+// is hashed once, at ingest, against the same seeded families as the
+// base corpus, so results involving it are bit-identical to a cold
+// build. Features must lie inside the feature space declared by the
+// seed dataset (ErrVecOutOfRange otherwise — the same bound
+// Dataset/NewDataset declares).
+//
+// Cost: hashing the one vector to the depths the built pipeline
+// compares, plus an O(delta) structure insert — except under the
+// full-BayesLSH Jaccard pipelines, whose corpus-wide Beta prior (§4.1
+// of the paper) the determinism contract forces to be refit on every
+// mutation: there each Add or Delete additionally pays one
+// candidate-generation pass over the corpus (signatures are adopted,
+// not re-hashed). Batch mutations or choose OneBitMinhash, the Lite
+// cosine pipelines, or a non-Bayes pipeline when sustained ingest
+// matters; see docs/LIVE.md.
+func (li *LiveIndex) Add(q Vec) (int, error) {
+	li.mu.Lock()
+	defer li.mu.Unlock()
+	if li.closed {
+		return 0, ErrLiveClosed
+	}
+	if q.Len() > 0 && int(q.v.Ind[q.Len()-1]) >= li.dim {
+		return 0, fmt.Errorf("%w: feature %d, feature space [0, %d)",
+			ErrVecOutOfRange, q.v.Ind[q.Len()-1], li.dim)
+	}
+	gen := li.gen.Load()
+	if li.measure == Cosine && gen.base.ap != nil && q.Len() > 0 {
+		// Mirror the AllPairs build validation (its pruning bounds
+		// assume unit-norm, non-negative vectors): rejecting here keeps
+		// every ingested vector mergeable.
+		if n := q.v.Norm(); math.Abs(n-1) > 1e-6 {
+			return 0, fmt.Errorf("%w (norm %v)", ErrVecNotNormalized, n)
+		}
+		for _, w := range q.v.Val {
+			if w < 0 {
+				return 0, fmt.Errorf("%w (negative weight)", ErrVecNotNormalized)
+			}
+		}
+	}
+	ent := li.prepareEntry(gen.base, q)
+
+	ng := *gen
+	ng.memN = gen.memN + 1
+	if li.priorBearing() {
+		// Refit before appending so a (theoretical) failure leaves the
+		// index exactly as it was.
+		view := gen.mem.View(gen.memN)
+		src := li.collect(gen, -1, view)
+		prior, err := li.coldPrior(gen, src, view, &ent)
+		if err != nil {
+			return 0, err
+		}
+		if err := li.applyPrior(&ng, prior); err != nil {
+			return 0, err
+		}
+	}
+	slot := gen.mem.Append(ent)
+	id := gen.start + slot
+	li.liveCount++
+	li.gen.Store(&ng)
+	li.maybeMerge(&ng)
+	return id, nil
+}
+
+// Delete removes the vector with the given external id from every
+// future query's view, reporting whether it was present (false for
+// ids never issued or already deleted). The vector's segment slot is
+// reclaimed by the next merge; until then a tombstone masks it.
+// Delete shares Add's prior-refit cost under the full-BayesLSH
+// Jaccard pipelines.
+func (li *LiveIndex) Delete(id int) bool {
+	li.mu.Lock()
+	defer li.mu.Unlock()
+	if li.closed {
+		return false
+	}
+	gen := li.gen.Load()
+	if id < 0 || id >= gen.nextID() || li.tombs.Has(id) {
+		return false
+	}
+	if li.priorBearing() {
+		// The mask and the refit prior must become visible as one
+		// generation: a query pinning either side of the swap sees a
+		// consistent (corpus, prior) pair — before-delete or
+		// after-delete, never a mix.
+		ng := *gen
+		nd := make(map[int]struct{}, len(gen.dead)+1)
+		for k := range gen.dead {
+			nd[k] = struct{}{}
+		}
+		nd[id] = struct{}{}
+		ng.dead = nd
+		if li.liveCount > 1 {
+			view := gen.mem.View(gen.memN)
+			src := li.collect(gen, id, view)
+			prior, err := li.coldPrior(gen, src, view, nil)
+			if err != nil {
+				return false
+			}
+			if err := li.applyPrior(&ng, prior); err != nil {
+				return false
+			}
+		}
+		li.tombs.Set(id)
+		li.dead++
+		li.liveCount--
+		li.gen.Store(&ng)
+		li.maybeMerge(&ng)
+		return true
+	}
+	li.tombs.Set(id)
+	li.dead++
+	li.liveCount--
+	li.maybeMerge(gen)
+	return true
+}
+
+// maybeMerge schedules a background merge when the policy says the
+// delta or tombstone shadow has grown past its bounds. Called under
+// mu; Trigger never blocks.
+func (li *LiveIndex) maybeMerge(gen *liveGen) {
+	if li.policy.Due(len(gen.baseIDs), gen.memN, li.dead) {
+		li.merger.Trigger()
+	}
+}
+
+// priorBearing reports whether the built pipeline's verification
+// depends on the corpus-fitted Jaccard Beta prior — the one
+// corpus-global quantity mutations must keep in sync (see Add).
+func (li *LiveIndex) priorBearing() bool {
+	switch li.opts.Algorithm {
+	case AllPairsBayesLSH, AllPairsBayesLSHLite, LSHBayesLSH, LSHBayesLSHLite:
+		return li.measure == Jaccard && !li.opts.OneBitMinhash
+	}
+	return false
+}
+
+// prepareEntry builds a memtable entry for q: the work representation
+// the measure indexes and the signature prefixes the built pipeline
+// compares, hashed by the base engine's seeded families to exactly
+// the depths the base corpus is hashed to — the ingest-side half of
+// the determinism contract.
+func (li *LiveIndex) prepareEntry(ix *Index, q Vec) live.Entry {
+	e := ix.engine()
+	ent := live.Entry{Raw: q.v}
+	if e.measure == Cosine {
+		ent.Work = q.v
+	} else {
+		ent.Work = q.v.Binarize().Normalize()
+	}
+	if minD := max(ix.bandMin, ix.verifyMin); minD > 0 {
+		ent.Min = e.minSigStore().Family().SignatureN(ent.Work, minD)
+	}
+	if ix.packOneBit {
+		ent.One = minhash.PackOneBit(ent.Min)
+	}
+	if bitsD := max(ix.bandBits, ix.verifyBits); bitsD > 0 {
+		ent.Bits = e.bitSigStore().Family().SignatureN(ent.Work, bitsD)
+	}
+	return ent
+}
+
+// compactSrc is a consistent cut of the live corpus in compacted
+// (external-id) order: for each surviving vector, its raw form and
+// where it came from — a base row or a memtable slot.
+type compactSrc struct {
+	vecs     []vector.Vector
+	baseRows []int32 // source base row, -1 when from the memtable
+	memSlots []int32 // source memtable slot, -1 when from the base
+	extIDs   []int   // external id, strictly increasing
+}
+
+// collect enumerates the live vectors of a generation (skipping the
+// external id skip, -1 for none) in external-id order. Called under
+// mu, or from the merge worker against an immutable cut.
+func (li *LiveIndex) collect(gen *liveGen, skip int, view live.View) compactSrc {
+	var src compactSrc
+	vecs := gen.base.engine().ds.c.Vecs
+	for row, ext := range gen.baseIDs {
+		if ext != skip && !li.tombs.Has(ext) {
+			src.vecs = append(src.vecs, vecs[row])
+			src.baseRows = append(src.baseRows, int32(row))
+			src.memSlots = append(src.memSlots, -1)
+			src.extIDs = append(src.extIDs, ext)
+		}
+	}
+	for slot := 0; slot < len(view.Raw); slot++ {
+		ext := gen.start + slot
+		if ext != skip && !li.tombs.Has(ext) {
+			src.vecs = append(src.vecs, view.Raw[slot])
+			src.baseRows = append(src.baseRows, -1)
+			src.memSlots = append(src.memSlots, int32(slot))
+			src.extIDs = append(src.extIDs, ext)
+		}
+	}
+	return src
+}
+
+// compactEngine builds an engine over the compacted corpus and adopts
+// every already-computed signature prefix from the base stores and
+// the memtable, so nothing is hashed twice. The engine is exactly
+// what a cold NewEngine over the equivalent corpus constructs —
+// adopted prefixes are bit-identical to what its lazy fills would
+// compute, deeper demand resumes hashing where the prefix ends.
+func (li *LiveIndex) compactEngine(cfg EngineConfig, gen *liveGen, src compactSrc, view live.View, extra *live.Entry) (*Engine, error) {
+	vecs := src.vecs
+	if extra != nil {
+		vecs = append(vecs[:len(vecs):len(vecs)], extra.Raw)
+	}
+	ds := &Dataset{c: &vector.Collection{Dim: li.dim, Vecs: vecs}}
+	e2, err := NewEngine(ds, li.measure, cfg)
+	if err != nil {
+		return nil, err
+	}
+	be := gen.base.engine()
+	if be.minStore != nil {
+		st := e2.minSigStore()
+		for i := range src.vecs {
+			if r := src.baseRows[i]; r >= 0 {
+				// Filled is monotone and the filled prefix immutable, so
+				// reading it concurrently with query-driven fills is safe.
+				st.Adopt(int32(i), be.minStore.Sigs()[r], be.minStore.FilledHashes(r))
+			} else if s := src.memSlots[i]; len(view.Min[s]) > 0 {
+				st.Adopt(int32(i), view.Min[s], len(view.Min[s]))
+			}
+		}
+		if extra != nil && len(extra.Min) > 0 {
+			st.Adopt(int32(len(vecs)-1), extra.Min, len(extra.Min))
+		}
+	}
+	if be.bitStore != nil {
+		st := e2.bitSigStore()
+		for i := range src.vecs {
+			if r := src.baseRows[i]; r >= 0 {
+				st.Adopt(int32(i), be.bitStore.Sigs()[r], be.bitStore.FilledBits(r))
+			} else if s := src.memSlots[i]; len(view.Bits[s]) > 0 {
+				st.Adopt(int32(i), view.Bits[s], len(view.Bits[s])*64)
+			}
+		}
+		if extra != nil && len(extra.Bits) > 0 {
+			st.Adopt(int32(len(vecs)-1), extra.Bits, len(extra.Bits)*64)
+		}
+	}
+	return e2, nil
+}
+
+// coldPrior computes the Jaccard Beta prior a cold build over the
+// generation's live corpus (plus extra, the vector an Add is about to
+// ingest) would fit: the same candidate enumeration, the same sort,
+// the same sampling stream — so live verification prunes with exactly
+// the prior a cold index over the equivalent corpus would use.
+func (li *LiveIndex) coldPrior(gen *liveGen, src compactSrc, view live.View, extra *live.Entry) (stats.Beta, error) {
+	// Called under mu, so reading li.cfg here is race-free.
+	e2, err := li.compactEngine(li.cfg, gen, src, view, extra)
+	if err != nil {
+		return stats.Beta{}, err
+	}
+	cands, err := e2.candidates(context.Background(), li.opts)
+	if err != nil {
+		return stats.Beta{}, err
+	}
+	pair.SortPairs(cands)
+	return e2.fitPrior(li.opts, cands), nil
+}
+
+// applyPrior installs a refit prior into the pending generation: a
+// fresh base view whose verifier prunes with it, and a bumped epoch
+// so the delta verifier is rebuilt to match. No-op when the prior is
+// unchanged.
+func (li *LiveIndex) applyPrior(ng *liveGen, prior stats.Beta) error {
+	if prior == ng.prior {
+		return nil
+	}
+	vq, err := ng.base.engine().bayesVerifierWithPrior(context.Background(), li.opts, prior)
+	if err != nil {
+		return err
+	}
+	ng.base = ng.base.withPrior(prior, vq)
+	ng.prior = prior
+	ng.epoch++
+	return nil
+}
+
+// withPrior returns a view of the index that verifies with the given
+// prior and verifier, sharing every other field — the live index's
+// prior-refit path, which must not rebuild tables or re-hash
+// anything.
+func (ix *Index) withPrior(p stats.Beta, vq core.QueryVerifier) *Index {
+	n := &Index{
+		opts:       ix.opts,
+		bits:       ix.bits,
+		mins:       ix.mins,
+		ap:         ix.ap,
+		vq:         vq,
+		prior:      p,
+		bandBits:   ix.bandBits,
+		verifyBits: ix.verifyBits,
+		bandMin:    ix.bandMin,
+		verifyMin:  ix.verifyMin,
+		packOneBit: ix.packOneBit,
+		approxN:    ix.approxN,
+		stats:      ix.stats,
+	}
+	n.eng.Store(ix.engine())
+	return n
+}
+
+// deltaVQCache is one constructed delta-segment verifier, valid for
+// any generation on the same memtable and epoch whose visible prefix
+// it covers (per-candidate decisions read only that candidate's
+// signatures, so a verifier over a longer prefix serves older
+// generations unchanged).
+type deltaVQCache struct {
+	mem   *live.Memtable
+	epoch uint64
+	n     int
+	vq    core.QueryVerifier
+}
+
+// deltaVerifier returns the Bayes verifier for the generation's delta
+// segment (nil when the pipeline verifies without one or the delta is
+// empty), constructing it on first use per (memtable, epoch) and
+// growing it as the visible prefix advances. Construction is cheap —
+// a pruning-table computation over the already-known params and
+// prior — and racing constructions build identical verifiers, so the
+// cache is a plain atomic publish.
+func (li *LiveIndex) deltaVerifier(gen *liveGen) (core.QueryVerifier, error) {
+	if gen.base.vq == nil || gen.memN == 0 {
+		return nil, nil
+	}
+	if c := li.dvq.Load(); c != nil && c.mem == gen.mem && c.epoch == gen.epoch && c.n >= gen.memN {
+		return c.vq, nil
+	}
+	view := gen.mem.View(gen.memN)
+	params := gen.base.vq.Params()
+	params.Ensure = nil // delta signatures are hashed eagerly at ingest
+	var (
+		vq  core.QueryVerifier
+		err error
+	)
+	if li.measure == Jaccard {
+		if li.opts.OneBitMinhash {
+			vq, err = core.NewOneBitJaccard(view.One, params.MaxHashes, params)
+		} else {
+			vq, err = core.NewJaccard(view.Min, gen.prior, params)
+		}
+	} else {
+		vq, err = core.NewCosine(view.Bits, params.MaxHashes, params)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if li.gen.Load().mem == gen.mem {
+		// Cache only for the current memtable: a query still pinned to
+		// a pre-merge generation must not re-pin the retired segment's
+		// memory past its own lifetime. A merge can still race between
+		// the check and the store, so re-check afterwards and retract
+		// our own entry (and only ours) if it lost.
+		c := &deltaVQCache{mem: gen.mem, epoch: gen.epoch, n: gen.memN, vq: vq}
+		li.dvq.Store(c)
+		if li.gen.Load().mem != gen.mem {
+			li.dvq.CompareAndSwap(c, nil)
+		}
+	}
+	return vq, nil
+}
+
+// deltaSeg wraps the generation's delta segment in the verification
+// surface Index.verifySeg runs — the same switch, the same
+// per-candidate decisions as the base segment and as a cold index.
+func (li *LiveIndex) deltaSeg(gen *liveGen, view live.View, vq core.QueryVerifier, qs querySigs) segView {
+	em := toExactMeasure(li.measure)
+	n := gen.base.approxN
+	return segView{
+		vq:  vq,
+		sim: func(slot int32) float64 { return em.Sim(qs.raw, view.Raw[slot]) },
+		est: func(slot int32) float64 {
+			if li.measure == Jaccard {
+				return approxJaccardEstimate(minhash.Matches(qs.min, view.Min[slot], 0, n), n)
+			}
+			return approxCosineEstimate(sighash.MatchCount(qs.bits, view.Bits[slot], 0, n), n)
+		},
+	}
+}
+
+// Query returns the live vectors similar to q at the index's
+// threshold (or opts.Threshold, if higher), in ascending external-id
+// order — bit-identical, modulo the id map, to a cold Index over the
+// equivalent corpus. Query is QueryContext with context.Background().
+func (li *LiveIndex) Query(q Vec, opts QueryOptions) ([]Match, error) {
+	return li.QueryContext(context.Background(), q, opts)
+}
+
+// QueryContext is Query with cooperative cancellation, under the
+// Index.QueryContext contract.
+func (li *LiveIndex) QueryContext(ctx context.Context, q Vec, opts QueryOptions) ([]Match, error) {
+	gen := li.gen.Load()
+	t, err := gen.base.queryThreshold(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, ctxWrap(err)
+	}
+	var stop *shard.Stopper
+	if ctx.Done() != nil {
+		stop = shard.NewStopper(ctx)
+		defer stop.Close()
+	}
+	ms, err := li.queryStop(gen, q, t, stop)
+	if err != nil {
+		return nil, ctxWrap(err)
+	}
+	return ms, nil
+}
+
+// queryStop runs one threshold query against a pinned generation:
+// both segments probed and verified with the built algorithm, the
+// tombstone mask applied between candidate generation and
+// verification, results mapped to external ids.
+func (li *LiveIndex) queryStop(gen *liveGen, q Vec, t float64, stop *shard.Stopper) ([]Match, error) {
+	if q.Len() == 0 {
+		return nil, nil
+	}
+	ix := gen.base
+	qs := ix.prepare(q, false)
+
+	bids := li.filterBase(gen, ix.candidates(qs))
+	bhits, err := ix.verify(qs, bids, stop)
+	if err != nil {
+		return nil, err
+	}
+
+	dids := li.filterDelta(gen, gen.mem.Candidates(qs.bits, qs.min, qs.work, gen.memN))
+	var dhits []pair.Hit
+	if len(dids) > 0 {
+		vq, err := li.deltaVerifier(gen)
+		if err != nil {
+			return nil, err
+		}
+		view := gen.mem.View(gen.memN)
+		dhits, err = ix.verifySeg(li.deltaSeg(gen, view, vq, qs), qs, dids, stop)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	out := make([]Match, 0, len(bhits)+len(dhits))
+	for _, h := range bhits {
+		if t <= ix.opts.Threshold || h.Sim >= t {
+			out = append(out, Match{ID: gen.baseIDs[h.ID], Sim: h.Sim})
+		}
+	}
+	for _, h := range dhits {
+		if t <= ix.opts.Threshold || h.Sim >= t {
+			out = append(out, Match{ID: gen.start + int(h.ID), Sim: h.Sim})
+		}
+	}
+	return out, nil
+}
+
+// filterBase drops deleted base candidates, in place.
+func (li *LiveIndex) filterBase(gen *liveGen, ids []int32) []int32 {
+	kept := ids[:0]
+	for _, id := range ids {
+		if !gen.deleted(li.tombs, gen.baseIDs[id]) {
+			kept = append(kept, id)
+		}
+	}
+	return kept
+}
+
+// filterDelta drops deleted delta candidates, in place.
+func (li *LiveIndex) filterDelta(gen *liveGen, slots []int32) []int32 {
+	kept := slots[:0]
+	for _, s := range slots {
+		if !gen.deleted(li.tombs, gen.start+int(s)) {
+			kept = append(kept, s)
+		}
+	}
+	return kept
+}
+
+// TopK returns the k live vectors most similar to q among the index's
+// candidates, under the Index.TopK contract (exact similarities,
+// candidates at the built threshold, k clamped to the corpus size).
+func (li *LiveIndex) TopK(q Vec, k int) ([]Match, error) {
+	return li.TopKContext(context.Background(), q, k)
+}
+
+// TopKContext is TopK with cooperative cancellation.
+func (li *LiveIndex) TopKContext(ctx context.Context, q Vec, k int) ([]Match, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("%w (got %d)", ErrBadK, k)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, ctxWrap(err)
+	}
+	if q.Len() == 0 {
+		return nil, nil
+	}
+	var stop *shard.Stopper
+	if ctx.Done() != nil {
+		stop = shard.NewStopper(ctx)
+		defer stop.Close()
+	}
+	gen := li.gen.Load()
+	ix := gen.base
+	qs := ix.prepare(q, true)
+	em := toExactMeasure(li.measure)
+
+	bids := li.filterBase(gen, ix.candidates(qs))
+	dids := li.filterDelta(gen, gen.mem.Candidates(qs.bits, qs.min, qs.work, gen.memN))
+	view := gen.mem.View(gen.memN)
+	ms := make([]Match, 0, len(bids)+len(dids))
+	for _, id := range bids {
+		if stop.Stopped() {
+			return nil, ctxWrap(stop.Err())
+		}
+		if s := ix.exactSim(qs.raw, id); s >= li.opts.Threshold {
+			ms = append(ms, Match{ID: gen.baseIDs[id], Sim: s})
+		}
+	}
+	for _, s := range dids {
+		if stop.Stopped() {
+			return nil, ctxWrap(stop.Err())
+		}
+		if sim := em.Sim(qs.raw, view.Raw[s]); sim >= li.opts.Threshold {
+			ms = append(ms, Match{ID: gen.start + int(s), Sim: sim})
+		}
+	}
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Sim != ms[j].Sim {
+			return ms[i].Sim > ms[j].Sim
+		}
+		return ms[i].ID < ms[j].ID
+	})
+	if len(ms) > k {
+		ms = ms[:k]
+	}
+	return ms, nil
+}
+
+// QueryBatch answers many queries over one consistent generation,
+// sharded over the runtime's worker count. Result i corresponds to
+// queries[i]; every batch pins a single generation, so all its
+// queries see the same corpus cut. (Under the pipelines without a
+// corpus-global prior, deletes mask through the shared tombstone set
+// rather than republishing, so a delete landing mid-batch linearizes
+// per query; the prior-bearing pipelines republish on every mutation
+// and their batches are fully pinned.)
+func (li *LiveIndex) QueryBatch(queries []Vec, opts QueryOptions) ([][]Match, error) {
+	return li.QueryBatchContext(context.Background(), queries, opts)
+}
+
+// QueryBatchContext is QueryBatch with cooperative cancellation,
+// under the Index.QueryBatchContext contract (all-or-nothing).
+func (li *LiveIndex) QueryBatchContext(ctx context.Context, queries []Vec, opts QueryOptions) ([][]Match, error) {
+	gen := li.gen.Load()
+	t, err := gen.base.queryThreshold(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, ctxWrap(err)
+	}
+	var stop *shard.Stopper
+	if ctx.Done() != nil {
+		stop = shard.NewStopper(ctx)
+		defer stop.Close()
+	}
+	out := make([][]Match, len(queries))
+	workers := gen.base.engine().workers()
+	err = shard.RunCtx(ctx, len(queries), workers, shard.Chunk(len(queries), workers, 1), func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			if stop.Stopped() {
+				return
+			}
+			out[i], _ = li.queryStop(gen, queries[i], t, stop)
+		}
+	})
+	if err != nil {
+		return nil, ctxWrap(err)
+	}
+	return out, nil
+}
+
+// mergeRun is the background merge: cut the current generation, build
+// a fresh base over the compacted corpus through the offline
+// BuildIndex code path (signatures adopted, prior carried over), and
+// publish it as a new generation by atomic swap. Queries never block;
+// mutations block only during the brief publish step. ctx is canceled
+// by Close, aborting the build between pipeline stages.
+func (li *LiveIndex) mergeRun(ctx context.Context) {
+	start := time.Now()
+
+	li.mu.Lock()
+	if li.closed {
+		li.mu.Unlock()
+		return
+	}
+	gen := li.gen.Load()
+	n := gen.memN
+	if n == 0 && li.dead == 0 {
+		// Healthy no-op: nothing to fold. Clear any stale failure so
+		// Compact on a quiescent index reports success.
+		li.mergeErr.Store(nil)
+		li.mu.Unlock()
+		return
+	}
+	view := gen.mem.View(n)
+	src := li.collect(gen, -1, view)
+	deadCut := len(gen.baseIDs) + n - len(src.vecs)
+	cutPrior := gen.prior
+	cfg := li.cfg
+	li.mu.Unlock()
+
+	if len(src.vecs) == 0 {
+		// Every vector is deleted; there is no corpus to rebuild over.
+		// Queries already serve empty results through the deletion
+		// mask, so leave the segments for a future merge to reclaim.
+		li.mergeErr.Store(nil)
+		return
+	}
+
+	e2, err := li.compactEngine(cfg, gen, src, view, nil)
+	if err != nil {
+		li.mergeErr.Store(&err)
+		return
+	}
+	var pb *stats.Beta
+	if li.priorBearing() {
+		// The maintained prior is, by the mutation-time refit, exactly
+		// the cold prior of the cut corpus; passing it skips the
+		// build's candidate re-enumeration.
+		pb = &cutPrior
+	}
+	nb, err := e2.buildIndexCtx(ctx, li.opts, pb)
+	if err != nil {
+		// State unchanged — the previous generation keeps serving. A
+		// cancellation is Close shutting the index down, not a merge
+		// failure; only genuine failures are reported.
+		if ctx.Err() == nil {
+			li.mergeErr.Store(&err)
+		}
+		return
+	}
+	var present map[int]struct{}
+	if li.priorBearing() {
+		// Prebuilt outside the publish lock for the dead-mask rebuild.
+		present = make(map[int]struct{}, len(src.extIDs))
+		for _, ext := range src.extIDs {
+			present[ext] = struct{}{}
+		}
+	}
+
+	li.mu.Lock()
+	if li.closed {
+		li.mu.Unlock()
+		return
+	}
+	cur := li.gen.Load()
+	if li.priorBearing() && cur.prior != cutPrior {
+		// Mutations during the build moved the corpus prior; re-arm the
+		// new base's verifier with the current one (cheap — no
+		// enumeration, just the pruning-table construction).
+		vq, err := e2.bayesVerifierWithPrior(context.Background(), li.opts, cur.prior)
+		if err != nil {
+			li.mu.Unlock()
+			li.mergeErr.Store(&err)
+			return
+		}
+		nb = nb.withPrior(cur.prior, vq)
+	}
+	fresh := newMemtableFor(nb)
+	cv := cur.mem.View(cur.memN)
+	for slot := n; slot < cur.memN; slot++ {
+		fresh.Append(live.Entry{
+			Raw: cv.Raw[slot], Work: cv.Work[slot],
+			Min: cv.Min[slot], Bits: cv.Bits[slot], One: cv.One[slot],
+		})
+	}
+	ng := &liveGen{
+		epoch:   cur.epoch + 1,
+		base:    nb,
+		baseIDs: src.extIDs,
+		mem:     fresh,
+		start:   gen.start + n,
+		memN:    cur.memN - n,
+		prior:   cur.prior,
+	}
+	if cur.dead != nil {
+		// Carry only the masks still shadowing a present vector: ids
+		// compacted away by this merge need no mask (they are in no
+		// segment), ids deleted during the merge keep theirs.
+		nd := make(map[int]struct{}, len(cur.dead))
+		for ext := range cur.dead {
+			if _, ok := present[ext]; ok || ext >= ng.start {
+				nd[ext] = struct{}{}
+			}
+		}
+		ng.dead = nd
+	}
+	li.gen.Store(ng)
+	// Drop the delta-verifier cache with the retired memtable so the
+	// compacted segment's vectors and signatures become collectable.
+	li.dvq.Store(nil)
+	li.dead -= deadCut
+	due := li.policy.Due(len(ng.baseIDs), ng.memN, li.dead)
+	li.mu.Unlock()
+
+	li.merges.Add(1)
+	li.lastMerge.Store(int64(time.Since(start)))
+	li.mergeErr.Store(nil)
+	if due {
+		li.merger.Trigger()
+	}
+}

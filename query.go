@@ -88,8 +88,9 @@ type querySigs struct {
 // is hashed: banding depth always, verification depth unless the
 // caller (TopK) verifies with exact similarities only.
 func (ix *Index) prepare(q Vec, topK bool) querySigs {
+	e := ix.engine()
 	qs := querySigs{raw: q.v}
-	if ix.eng.measure == Cosine {
+	if e.measure == Cosine {
 		qs.work = q.v.Clone().Normalize()
 	} else {
 		qs.work = q.v.Binarize().Normalize()
@@ -100,12 +101,12 @@ func (ix *Index) prepare(q Vec, topK bool) querySigs {
 		bitsDepth = max(bitsDepth, ix.verifyBits)
 	}
 	if minDepth > 0 {
-		qs.min = ix.eng.minSigStore().Family().SignatureN(qs.work, minDepth)
+		qs.min = e.minSigStore().Family().SignatureN(qs.work, minDepth)
 	}
 	if ix.packOneBit && !topK {
 		qs.bits = minhash.PackOneBit(qs.min)
 	} else if bitsDepth > 0 {
-		fam := ix.eng.bitSigStore().Family()
+		fam := e.bitSigStore().Family()
 		// Features outside the corpus dimensionality contribute nothing
 		// to any dot product with a corpus vector, so the hyperplane
 		// family hashes the query's projection onto the corpus feature
@@ -137,7 +138,7 @@ func (ix *Index) candidates(qs querySigs) []int32 {
 	case ix.bits != nil:
 		return ix.bits.Probe(qs.bits)
 	default: // BruteForce: every non-empty corpus vector
-		vecs := ix.eng.ds.c.Vecs
+		vecs := ix.engine().ds.c.Vecs
 		ids := make([]int32, 0, len(vecs))
 		for id, v := range vecs {
 			if v.Len() > 0 {
@@ -151,7 +152,8 @@ func (ix *Index) candidates(qs querySigs) []int32 {
 // exactSim computes the exact similarity of the raw query to corpus
 // vector id under the index's measure.
 func (ix *Index) exactSim(qraw vector.Vector, id int32) float64 {
-	return toExactMeasure(ix.eng.measure).Sim(qraw, ix.eng.ds.c.Vecs[id])
+	e := ix.engine()
+	return toExactMeasure(e.measure).Sim(qraw, e.ds.c.Vecs[id])
 }
 
 // Query returns the corpus vectors similar to q at the index's
@@ -224,12 +226,40 @@ func (ix *Index) queryThreshold(opts QueryOptions) (float64, error) {
 	return t, nil
 }
 
+// segView is the verification surface of one index segment: the Bayes
+// verifier over that segment's signatures (nil for the pipelines that
+// verify without one), the exact similarity of the current query to
+// segment id, and the fixed-hash estimate (LSHApprox only). The base
+// corpus and a LiveIndex's delta segment both present one, so the two
+// run the built algorithm's verification through the same switch and
+// per-candidate decisions cannot drift between segments.
+type segView struct {
+	vq  core.QueryVerifier
+	sim func(id int32) float64
+	est func(id int32) float64
+}
+
+// segment wraps the index's own corpus in a segView for the prepared
+// query qs.
+func (ix *Index) segment(qs querySigs) segView {
+	return segView{
+		vq:  ix.vq,
+		sim: func(id int32) float64 { return ix.exactSim(qs.raw, id) },
+		est: func(id int32) float64 { return ix.approxEstimate(qs, id, ix.approxN) },
+	}
+}
+
 // verify runs the built algorithm's verification over the candidate
 // ids at the built threshold, returning hits in candidate (ascending
 // id) order. stop (nil for "not cancelable") is polled between
 // candidates; a stopped verification returns the context's error and
 // no hits.
 func (ix *Index) verify(qs querySigs, ids []int32, stop *shard.Stopper) ([]pair.Hit, error) {
+	return ix.verifySeg(ix.segment(qs), qs, ids, stop)
+}
+
+// verifySeg is verify over an explicit segment view.
+func (ix *Index) verifySeg(sv segView, qs querySigs, ids []int32, stop *shard.Stopper) ([]pair.Hit, error) {
 	o := ix.opts
 	switch o.Algorithm {
 	case BruteForce, AllPairs, LSH:
@@ -238,20 +268,19 @@ func (ix *Index) verify(qs querySigs, ids []int32, stop *shard.Stopper) ([]pair.
 			if stop.Stopped() {
 				return nil, stop.Err()
 			}
-			if s := ix.exactSim(qs.raw, id); s >= o.Threshold {
+			if s := sv.sim(id); s >= o.Threshold {
 				hits = append(hits, pair.Hit{ID: id, Sim: s})
 			}
 		}
 		return hits, nil
 
 	case LSHApprox:
-		n := ix.approxN
 		var hits []pair.Hit
 		for _, id := range ids {
 			if stop.Stopped() {
 				return nil, stop.Err()
 			}
-			s := ix.approxEstimate(qs, id, n)
+			s := sv.est(id)
 			if s >= o.Threshold {
 				hits = append(hits, pair.Hit{ID: id, Sim: s})
 			}
@@ -259,7 +288,7 @@ func (ix *Index) verify(qs querySigs, ids []int32, stop *shard.Stopper) ([]pair.
 		return hits, nil
 
 	case AllPairsBayesLSH, LSHBayesLSH:
-		hits, _, err := ix.vq.VerifyQueryStop(core.QuerySig{Bits: qs.bits, Min: qs.min}, ids, stop)
+		hits, _, err := sv.vq.VerifyQueryStop(core.QuerySig{Bits: qs.bits, Min: qs.min}, ids, stop)
 		if err != nil {
 			return nil, err
 		}
@@ -276,7 +305,7 @@ func (ix *Index) verify(qs querySigs, ids []int32, stop *shard.Stopper) ([]pair.
 				if stop.Stopped() {
 					return nil, stop.Err()
 				}
-				if ix.exactSim(qs.raw, h.ID) >= o.Threshold {
+				if sv.sim(h.ID) >= o.Threshold {
 					kept = append(kept, h)
 				}
 			}
@@ -285,8 +314,8 @@ func (ix *Index) verify(qs querySigs, ids []int32, stop *shard.Stopper) ([]pair.
 		return hits, nil
 
 	default: // AllPairsBayesLSHLite, LSHBayesLSHLite
-		hits, _, err := ix.vq.VerifyQueryLiteStop(core.QuerySig{Bits: qs.bits, Min: qs.min}, ids, o.LiteHashes,
-			func(id int32) float64 { return ix.exactSim(qs.raw, id) }, stop)
+		hits, _, err := sv.vq.VerifyQueryLiteStop(core.QuerySig{Bits: qs.bits, Min: qs.min}, ids, o.LiteHashes,
+			sv.sim, stop)
 		if err != nil {
 			return nil, err
 		}
@@ -297,19 +326,26 @@ func (ix *Index) verify(qs querySigs, ids []int32, stop *shard.Stopper) ([]pair.
 // approxEstimate is the classical fixed-n LSH estimator of §3 for one
 // query-candidate pair, sharing the batch approxVerify formulas.
 func (ix *Index) approxEstimate(qs querySigs, id int32, n int) float64 {
-	if ix.eng.measure == Jaccard {
-		return approxJaccardEstimate(minhash.Matches(qs.min, ix.eng.minSigStore().Sigs()[id], 0, n), n)
+	e := ix.engine()
+	if e.measure == Jaccard {
+		return approxJaccardEstimate(minhash.Matches(qs.min, e.minSigStore().Sigs()[id], 0, n), n)
 	}
-	return approxCosineEstimate(sighash.MatchCount(qs.bits, ix.eng.bitSigStore().Sigs()[id], 0, n), n)
+	return approxCosineEstimate(sighash.MatchCount(qs.bits, e.bitSigStore().Sigs()[id], 0, n), n)
 }
 
-// TopK returns the k corpus vectors most similar to q among the
-// index's candidates, ordered by decreasing exact similarity (ties by
-// ascending id). Candidate generation runs at the built threshold, so
-// vectors whose similarity falls below it may be absent — TopK is
-// "top k of everything the index can see", not an exact k-nearest
-// scan (build with Algorithm BruteForce for that). Similarities are
-// always exact; the build algorithm only determines the candidate
+// TopK returns the k corpus vectors most similar to q, among those
+// meeting the index's built threshold, ordered by decreasing exact
+// similarity (ties by ascending id). Fewer than k matches are
+// returned when fewer qualify — k larger than the corpus is simply a
+// "return everything qualifying" query, never an error. Candidate
+// generation runs at the built threshold, so TopK cannot see below
+// it; sub-threshold candidates that generation happens to surface are
+// clamped away rather than reported, which makes the result
+// well-defined — a function of the corpus, the threshold and the
+// banding plan — instead of leaking whichever extra collisions the
+// built candidate source produced (build with Algorithm BruteForce
+// and a low threshold for a corpus-wide k-nearest scan). Similarities
+// are always exact; the build algorithm only determines the candidate
 // source.
 func (ix *Index) TopK(q Vec, k int) ([]Match, error) {
 	return ix.TopKContext(context.Background(), q, k)
@@ -339,7 +375,9 @@ func (ix *Index) TopKContext(ctx context.Context, q Vec, k int) ([]Match, error)
 		if stop.Stopped() {
 			return nil, ctxWrap(stop.Err())
 		}
-		hits = append(hits, pair.Hit{ID: id, Sim: ix.exactSim(qs.raw, id)})
+		if s := ix.exactSim(qs.raw, id); s >= ix.opts.Threshold {
+			hits = append(hits, pair.Hit{ID: id, Sim: s})
+		}
 	}
 	pair.SortHitsBySim(hits)
 	if len(hits) > k {
@@ -379,7 +417,7 @@ func (ix *Index) QueryBatchContext(ctx context.Context, queries []Vec, opts Quer
 		defer stop.Close()
 	}
 	out := make([][]Match, len(queries))
-	workers := ix.eng.workers()
+	workers := ix.engine().workers()
 	err = shard.RunCtx(ctx, len(queries), workers, shard.Chunk(len(queries), workers, 1), func(lo, hi, _ int) {
 		for i := lo; i < hi; i++ {
 			if stop.Stopped() {

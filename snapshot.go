@@ -38,13 +38,21 @@ import (
 // snapshotMagic begins every index snapshot.
 const snapshotMagic = "BLSHSNAP"
 
-// SnapshotVersion is the format version this build writes. Readers
+// SnapshotVersion is the format version Index.WriteTo writes. Readers
 // accept exactly the versions they know; the magic and version fields
 // are fixed for all time, so any future version still reports a clean
 // ErrSnapshotVersion from older builds.
 const SnapshotVersion = 1
 
-// Section tags of the version-1 layout, in file order.
+// LiveSnapshotVersion is the format version LiveIndex.WriteTo writes:
+// the version-1 section sequence over the base segment, followed by
+// one live section carrying the generation state (id map, tombstones,
+// delta vectors). A version-2 file is not a valid version-1 file and
+// vice versa — each loader names the other when handed the wrong one.
+const LiveSnapshotVersion = 2
+
+// Section tags of the version-1 layout, in file order. Version 2
+// appends sectLive after them.
 const (
 	sectMeta uint32 = iota + 1
 	sectVectors
@@ -53,6 +61,7 @@ const (
 	sectBitTables
 	sectMinhashTables
 	sectAllPairs
+	sectLive
 )
 
 var (
@@ -72,10 +81,18 @@ var (
 // io.WriterTo. The writer is not buffered internally; wrap files in a
 // bufio.Writer (SaveFile does).
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
-	e := ix.eng
 	sw := snapshot.NewWriter(w)
 	sw.Raw([]byte(snapshotMagic))
 	sw.U32(SnapshotVersion)
+	ix.writeSections(sw)
+	return sw.Sum()
+}
+
+// writeSections writes the version-1 section sequence — the base-index
+// half shared by Index.WriteTo (version 1) and LiveIndex.WriteTo
+// (version 2, which appends a live section after these).
+func (ix *Index) writeSections(sw *snapshot.Writer) {
+	e := ix.engine()
 	sw.Section(sectMeta, ix.writeMeta)
 	sw.Section(sectVectors, e.ds.c.WriteSnapshot)
 	sw.Section(sectBitStore, func(s *snapshot.Writer) {
@@ -108,7 +125,6 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 			ix.ap.WriteSnapshot(s)
 		}
 	})
-	return sw.Sum()
 }
 
 // writeMeta serializes the scalar state: measure, engine config (minus
@@ -116,8 +132,9 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 // serving process), the resolved options, build statistics and the
 // fitted prior.
 func (ix *Index) writeMeta(w *snapshot.Writer) {
-	w.U8(uint8(ix.eng.measure))
-	cfg := ix.eng.cfg
+	e := ix.engine()
+	w.U8(uint8(e.measure))
+	cfg := e.cfg
 	w.U64(cfg.Seed)
 	w.U32(uint32(cfg.SignatureBits))
 	w.U32(uint32(cfg.MinHashes))
@@ -246,10 +263,32 @@ func readIndexBytes(buf []byte) (*Index, error) {
 	if len(buf) < len(snapshotMagic)+4 || string(buf[:len(snapshotMagic)]) != snapshotMagic {
 		return nil, fmt.Errorf("%w: missing magic", ErrSnapshotFormat)
 	}
-	if v := binary.LittleEndian.Uint32(buf[len(snapshotMagic):]); v != SnapshotVersion {
+	switch v := binary.LittleEndian.Uint32(buf[len(snapshotMagic):]); v {
+	case SnapshotVersion:
+	case LiveSnapshotVersion:
+		return nil, fmt.Errorf("%w: version %d is a live-index snapshot; load it with ReadLiveIndex or LoadLiveFile",
+			ErrSnapshotVersion, v)
+	default:
 		return nil, fmt.Errorf("%w: snapshot version %d, this build reads %d",
 			ErrSnapshotVersion, v, SnapshotVersion)
 	}
+	sr, err := checksummedBody(buf)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := decodeIndex(sr)
+	if err == nil && sr.Remaining() != 0 {
+		err = fmt.Errorf("%d trailing bytes after sections", sr.Remaining())
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSnapshotFormat, err)
+	}
+	return ix, nil
+}
+
+// checksummedBody verifies the trailing CRC-32C and returns a reader
+// positioned after the magic and version prologue.
+func checksummedBody(buf []byte) (*snapshot.Reader, error) {
 	if len(buf) < len(snapshotMagic)+8 {
 		return nil, fmt.Errorf("%w: truncated before checksum", ErrSnapshotFormat)
 	}
@@ -257,18 +296,16 @@ func readIndexBytes(buf []byte) (*Index, error) {
 	if snapshot.Checksum(body) != binary.LittleEndian.Uint32(tail) {
 		return nil, ErrSnapshotChecksum
 	}
-	ix, err := decodeIndex(snapshot.NewReader(body[len(snapshotMagic)+4:]))
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrSnapshotFormat, err)
-	}
-	return ix, nil
+	return snapshot.NewReader(body[len(snapshotMagic)+4:]), nil
 }
 
-// decodeIndex decodes the section sequence and rebuilds the serving
-// wiring the way Engine.BuildIndex wires a fresh build — same store
-// accessors, same verifier constructor (with the persisted prior in
-// place of refitting), same depth bookkeeping — so the two paths
-// cannot drift apart.
+// decodeIndex decodes the version-1 section sequence and rebuilds the
+// serving wiring the way Engine.BuildIndex wires a fresh build — same
+// store accessors, same verifier constructor (with the persisted prior
+// in place of refitting), same depth bookkeeping — so the two paths
+// cannot drift apart. It leaves any bytes after the known sections
+// unread (the live section of a version-2 snapshot); callers check
+// Remaining.
 func decodeIndex(sr *snapshot.Reader) (*Index, error) {
 	mr := sr.Section(sectMeta)
 	meta, err := readMeta(mr)
@@ -292,7 +329,8 @@ func decodeIndex(sr *snapshot.Reader) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	ix := &Index{eng: eng, opts: meta.opts, stats: meta.stats, prior: meta.prior}
+	ix := &Index{opts: meta.opts, stats: meta.stats, prior: meta.prior}
+	ix.eng.Store(eng)
 
 	br := sr.Section(sectBitStore)
 	if br.Bool() {
@@ -342,11 +380,8 @@ func decodeIndex(sr *snapshot.Reader) (*Index, error) {
 	if err := ar.Close(); err != nil {
 		return nil, err
 	}
-	if sr.Remaining() != 0 || sr.Err() != nil {
-		if err := sr.Err(); err != nil {
-			return nil, err
-		}
-		return nil, fmt.Errorf("%d trailing bytes after sections", sr.Remaining())
+	if err := sr.Err(); err != nil {
+		return nil, err
 	}
 
 	if err := ix.rewire(); err != nil {
@@ -361,7 +396,7 @@ func decodeIndex(sr *snapshot.Reader) (*Index, error) {
 // reconstructs the verifier from the restored stores and persisted
 // prior — mirroring the wiring half of Engine.BuildIndex.
 func (ix *Index) rewire() error {
-	e, o := ix.eng, ix.opts
+	e, o := ix.engine(), ix.opts
 	switch o.Algorithm {
 	case BruteForce:
 	case AllPairs, AllPairsBayesLSH, AllPairsBayesLSHLite:
@@ -429,8 +464,14 @@ func (ix *Index) rewire() error {
 // rule as engine construction (0 selects the adaptive default,
 // negative clamps to 1; see docs/TUNING.md). They shard QueryBatch and
 // any lazy signature fills; results are bit-identical at every
-// setting. Call it after ReadIndex/LoadFile (or BuildIndex) and
-// before the index is shared with concurrent queriers.
+// setting.
+//
+// SetRuntime is safe against concurrent queries: the new knobs are
+// published as an atomically-swapped engine view, queries load the
+// view per engine access, and every view shares the same dataset and
+// signature stores — so a query overlapping the call runs each of its
+// phases under one of the two settings, both of which produce the
+// identical result set.
 //
 // The knobs apply to this index only: an index built from a live
 // Engine detaches onto its own engine view first, so the engine the
@@ -438,11 +479,11 @@ func (ix *Index) rewire() error {
 // configured Parallelism and BatchSize. The detached view shares the
 // dataset and signature stores, so no hashing is repaid.
 func (ix *Index) SetRuntime(parallelism, batchSize int) {
-	own := *ix.eng // shallow copy: shares dataset, work view and stores
+	own := *ix.engine() // shallow copy: shares dataset, work view and stores
 	own.cfg.Parallelism = parallelism
 	own.cfg.BatchSize = batchSize
 	own.cfg = own.cfg.withDefaults()
-	ix.eng = &own
+	ix.eng.Store(&own)
 }
 
 // SaveFile writes the index snapshot to path atomically: the bytes go
@@ -453,6 +494,12 @@ func (ix *Index) SetRuntime(parallelism, batchSize int) {
 // temporary file, so builder and serving processes can run as
 // different users.
 func (ix *Index) SaveFile(path string) error {
+	return saveAtomic(path, ix)
+}
+
+// saveAtomic is the shared write-to-temp-then-rename implementation
+// behind Index.SaveFile and LiveIndex.SaveFile.
+func saveAtomic(path string, wt io.WriterTo) error {
 	f, err := os.CreateTemp(filepath.Dir(path), ".snap-*")
 	if err != nil {
 		return err
@@ -465,7 +512,7 @@ func (ix *Index) SaveFile(path string) error {
 	werr := f.Chmod(mode)
 	bw := bufio.NewWriterSize(f, 1<<20)
 	if werr == nil {
-		_, werr = ix.WriteTo(bw)
+		_, werr = wt.WriteTo(bw)
 	}
 	if werr == nil {
 		werr = bw.Flush()
@@ -502,4 +549,203 @@ func LoadFile(path string) (*Index, error) {
 		return nil, err
 	}
 	return readIndexBytes(buf)
+}
+
+// WriteTo serializes the live index as a version-2 snapshot: the base
+// segment exactly as Index.WriteTo writes it, then one live section —
+// the external-id map, the tombstone set, and the delta segment's raw
+// vectors (delta signatures are recomputed on load from the persisted
+// seed, bit-identically, rather than stored). WriteTo takes a
+// consistent cut of the generation state and then encodes without
+// blocking queries or mutations. It implements io.WriterTo.
+func (li *LiveIndex) WriteTo(w io.Writer) (int64, error) {
+	li.mu.Lock()
+	gen := li.gen.Load()
+	view := gen.mem.View(gen.memN)
+	tombIDs := li.tombs.IDs(gen.nextID())
+	li.mu.Unlock()
+
+	sw := snapshot.NewWriter(w)
+	sw.Raw([]byte(snapshotMagic))
+	sw.U32(LiveSnapshotVersion)
+	gen.base.writeSections(sw)
+	sw.Section(sectLive, func(s *snapshot.Writer) {
+		s.U64(uint64(gen.start))
+		s.U64(uint64(gen.memN))
+		ids := make([]uint64, len(gen.baseIDs))
+		for i, ext := range gen.baseIDs {
+			ids[i] = uint64(ext)
+		}
+		s.U64s(ids)
+		ts := make([]uint64, len(tombIDs))
+		for i, id := range tombIDs {
+			ts[i] = uint64(id)
+		}
+		s.U64s(ts)
+		mc := vector.Collection{Dim: li.dim, Vecs: view.Raw}
+		mc.WriteSnapshot(s)
+	})
+	return sw.Sum()
+}
+
+// SaveFile writes the live snapshot to path atomically, under the
+// Index.SaveFile contract. Combined with the consistent cut WriteTo
+// takes, periodic SaveFile calls from a serving process give
+// crash-consistent durability: a loader always sees some complete
+// generation.
+func (li *LiveIndex) SaveFile(path string) error {
+	return saveAtomic(path, li)
+}
+
+// ReadLiveIndex loads a live-index snapshot written by
+// LiveIndex.WriteTo and returns a ready-to-serve LiveIndex under the
+// given merge policy (which, like the runtime knobs, is serving-
+// process configuration and not part of a snapshot). The loaded index
+// serves queries bit-identical to the one that wrote the snapshot and
+// accepts Add/Delete continuing the saved id sequence.
+//
+// Errors follow ReadIndex: ErrSnapshotFormat, ErrSnapshotVersion
+// (naming ReadIndex when handed a base-index snapshot), or
+// ErrSnapshotChecksum.
+func ReadLiveIndex(r io.Reader, lc LiveConfig) (*LiveIndex, error) {
+	buf, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("bayeslsh: reading snapshot: %w", err)
+	}
+	return readLiveBytes(buf, lc)
+}
+
+// LoadLiveFile loads a live-index snapshot from a file written by
+// LiveIndex.SaveFile.
+func LoadLiveFile(path string, lc LiveConfig) (*LiveIndex, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return readLiveBytes(buf, lc)
+}
+
+// readLiveBytes decodes a version-2 snapshot: the shared base-index
+// decode, then the live section, replayed through the same ingest
+// code path Add uses so the loaded delta segment is bit-identical to
+// the saved one.
+func readLiveBytes(buf []byte, lc LiveConfig) (*LiveIndex, error) {
+	if len(buf) < len(snapshotMagic)+4 || string(buf[:len(snapshotMagic)]) != snapshotMagic {
+		return nil, fmt.Errorf("%w: missing magic", ErrSnapshotFormat)
+	}
+	switch v := binary.LittleEndian.Uint32(buf[len(snapshotMagic):]); v {
+	case LiveSnapshotVersion:
+	case SnapshotVersion:
+		return nil, fmt.Errorf("%w: version %d is a base-index snapshot; load it with ReadIndex or LoadFile (then LiveFrom)",
+			ErrSnapshotVersion, v)
+	default:
+		return nil, fmt.Errorf("%w: snapshot version %d, this build reads %d",
+			ErrSnapshotVersion, v, LiveSnapshotVersion)
+	}
+	sr, err := checksummedBody(buf)
+	if err != nil {
+		return nil, err
+	}
+	li, err := decodeLive(sr, lc)
+	if err == nil && sr.Remaining() != 0 {
+		err = fmt.Errorf("%d trailing bytes after sections", sr.Remaining())
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSnapshotFormat, err)
+	}
+	return li, nil
+}
+
+// decodeLive decodes the base sections then the live section,
+// validating the generation state against the decoded base before
+// rebuilding the serving wiring.
+func decodeLive(sr *snapshot.Reader, lc LiveConfig) (*LiveIndex, error) {
+	ix, err := decodeIndex(sr)
+	if err != nil {
+		return nil, err
+	}
+	lr := sr.Section(sectLive)
+	start := int(lr.U64())
+	memN := int(lr.U64())
+	// maxLiveIDs caps the external-id space a snapshot may declare:
+	// the tombstone bitset and the id map scale with it, so a corrupt
+	// (but checksum-passing) file must not be able to demand absurd
+	// allocations. 2^27 ids matches vector.MaxSnapshotDim's scale and
+	// is far beyond what the in-memory index serves.
+	const maxLiveIDs = 1 << 27
+	if lr.Err() == nil && (start < 0 || memN < 0 || start+memN > maxLiveIDs) {
+		return nil, snapshot.Failf(lr, "live section id space start=%d memN=%d out of range", start, memN)
+	}
+	rawBase := lr.U64s() // length validated against remaining bytes
+	if lr.Err() == nil && len(rawBase) != ix.Len() {
+		return nil, snapshot.Failf(lr, "live id map covers %d vectors, base has %d", len(rawBase), ix.Len())
+	}
+	baseIDs := make([]int, 0, len(rawBase))
+	prev := -1
+	for i, v := range rawBase {
+		ext := int(v)
+		if v > maxLiveIDs || ext <= prev || ext >= start {
+			return nil, snapshot.Failf(lr, "live id map not increasing below %d at entry %d", start, i)
+		}
+		baseIDs = append(baseIDs, ext)
+		prev = ext
+	}
+	rawTombs := lr.U64s()
+	tombIDs := make([]int, 0, len(rawTombs))
+	prev = -1
+	for i, v := range rawTombs {
+		id := int(v)
+		if v > maxLiveIDs || id <= prev || id >= start+memN {
+			return nil, snapshot.Failf(lr, "tombstone ids not increasing below %d at entry %d", start+memN, i)
+		}
+		tombIDs = append(tombIDs, id)
+		prev = id
+	}
+	mc, err := vector.ReadCollectionSnapshot(lr)
+	if err != nil {
+		return nil, err
+	}
+	if err := lr.Close(); err != nil {
+		return nil, err
+	}
+	if err := sr.Err(); err != nil {
+		return nil, err
+	}
+	if mc.Dim != ix.engine().ds.c.Dim {
+		return nil, fmt.Errorf("delta dimensionality %d, base is %d", mc.Dim, ix.engine().ds.c.Dim)
+	}
+	if len(mc.Vecs) != memN {
+		return nil, fmt.Errorf("live section declares %d delta vectors, carries %d", memN, len(mc.Vecs))
+	}
+
+	li := newLiveOver(ix, lc, baseIDs, start)
+	gen := li.gen.Load()
+	for _, v := range mc.Vecs {
+		// Replaying through the ingest path recomputes the delta
+		// signatures from the persisted seed — bit-identical to the
+		// saved ones, at the cost of re-hashing only the (policy-
+		// bounded) delta.
+		gen.mem.Append(li.prepareEntry(ix, Vec{v: v}))
+	}
+	present := make(map[int]bool, len(baseIDs))
+	for _, ext := range baseIDs {
+		present[ext] = true
+	}
+	ng := *gen
+	ng.memN = memN
+	li.gen.Store(&ng)
+	li.liveCount = len(baseIDs) + memN
+	for _, id := range tombIDs {
+		li.tombs.Set(id)
+		if present[id] || id >= start {
+			li.dead++
+			li.liveCount--
+			if gen.dead != nil {
+				// Prior-bearing pipelines read the generation-pinned
+				// mask; rebuild it from the present tombstones.
+				gen.dead[id] = struct{}{}
+			}
+		}
+	}
+	return li, nil
 }

@@ -7,6 +7,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"bayeslsh/internal/snapshot"
@@ -297,8 +298,8 @@ func TestSetRuntimeDoesNotTouchSharedEngine(t *testing.T) {
 	if eng.cfg.Parallelism != 3 || eng.cfg.BatchSize != 256 {
 		t.Fatalf("SetRuntime mutated the shared engine: %+v", eng.cfg)
 	}
-	if ix.eng.cfg.Parallelism != 1 || ix.eng.cfg.BatchSize != 1 {
-		t.Fatalf("SetRuntime did not apply to the index: %+v", ix.eng.cfg)
+	if ix.engine().cfg.Parallelism != 1 || ix.engine().cfg.BatchSize != 1 {
+		t.Fatalf("SetRuntime did not apply to the index: %+v", ix.engine().cfg)
 	}
 	got, err := ix.Query(ds.Vector(0), QueryOptions{})
 	if err != nil {
@@ -306,9 +307,64 @@ func TestSetRuntimeDoesNotTouchSharedEngine(t *testing.T) {
 	}
 	requireSameMatches(t, [][]Match{got}, [][]Match{want})
 	// The detached view shares the stores — no re-hashing happened.
-	if ix.eng.bitStore != eng.bitStore {
+	if ix.engine().bitStore != eng.bitStore {
 		t.Fatal("SetRuntime cloned the signature store")
 	}
+}
+
+// TestSetRuntimeConcurrentQueries is the -race regression test for
+// the atomically-swapped runtime knobs: SetRuntime races against a
+// pool of querying goroutines, and every query — whichever engine
+// view it lands on — must return the baseline result set.
+func TestSetRuntimeConcurrentQueries(t *testing.T) {
+	ds := smallDataset(t, 150).TfIdf().Normalize()
+	ix, err := NewIndex(ds, Cosine, EngineConfig{Seed: 7, SignatureBits: 512},
+		Options{Algorithm: LSHBayesLSH, Threshold: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]Match, 20)
+	for i := range want {
+		if want[i], err = ix.Query(ds.Vector(i), QueryOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				qi := (g*5 + i) % len(want)
+				got, err := ix.Query(ds.Vector(qi), QueryOptions{})
+				if err != nil {
+					t.Errorf("query during SetRuntime: %v", err)
+					return
+				}
+				if len(got) != len(want[qi]) {
+					t.Errorf("query %d under SetRuntime: %d matches, want %d", qi, len(got), len(want[qi]))
+					return
+				}
+				// Batch queries exercise the workers() load on the
+				// swapped view as well.
+				if _, err := ix.QueryBatch([]Vec{ds.Vector(qi)}, QueryOptions{}); err != nil {
+					t.Errorf("batch during SetRuntime: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 200; i++ {
+		ix.SetRuntime(1+i%4, 64*(1+i%3))
+	}
+	close(done)
+	wg.Wait()
 }
 
 // TestSaveFilePermissions pins the fleet-deployment contract: a fresh
