@@ -31,13 +31,16 @@
 //	apss build -dataset RCV1-sim -t 0.7 -out index.snap
 //	apss query -index index.snap -self 100
 //
-// The serve subcommand runs the live (ingest-while-serving) index: a
-// line-oriented loop on stdin that accepts add/del mutations next to
-// query/topk reads, merges in the background, and saves live
-// snapshots that a later serve session resumes from (see
-// docs/LIVE.md):
+// The serve subcommand runs the live (ingest-while-serving) index.
+// With -http it is a concurrent HTTP/JSON daemon — NDJSON-streamed
+// query/topk/batch, add/delete ingest, stats/compact/save admin,
+// /metrics and /debug/pprof, per-request deadlines, 429 admission
+// control, and graceful drain on SIGTERM (see docs/SERVING.md).
+// Without -http it is a line-oriented loop on stdin that accepts the
+// same operations one command per line and saves live snapshots that
+// a later serve session resumes from (see docs/LIVE.md):
 //
-//	apss serve -dataset RCV1-sim -t 0.7
+//	apss serve -dataset RCV1-sim -t 0.7 -http :8080
 //	apss serve -index index.snap -maxdelta 1024
 package main
 

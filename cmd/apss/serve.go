@@ -2,24 +2,40 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"bayeslsh"
+	"bayeslsh/internal/server"
 )
 
-// serveMain implements the "apss serve" subcommand: an interactive
-// (line-oriented) serving loop over a LiveIndex, the ingest-while-
-// serving half of the production story. The corpus comes from a
-// dataset flag pair, a base-index snapshot ("apss build -out", which
-// is wrapped via LiveFrom), or a live snapshot written by a previous
-// serve session's save command. Commands arrive on stdin, one per
-// line; results go to stdout, diagnostics to stderr:
+// serveMain implements the "apss serve" subcommand over a LiveIndex,
+// the ingest-while-serving half of the production story. The corpus
+// comes from a dataset flag pair, a base-index snapshot ("apss build
+// -out", which is wrapped via LiveFrom), or a live snapshot written
+// by a previous serve session.
+//
+// With -http <addr> the index is served as a concurrent HTTP/JSON
+// daemon (see docs/SERVING.md): /v1/query, /v1/topk and /v1/batch
+// stream NDJSON results under per-request deadlines, /v1/add and
+// /v1/delete mutate, /v1/stats, /v1/compact and /v1/save administer,
+// /metrics and /debug/pprof observe. SIGTERM or SIGINT drains
+// gracefully: in-flight requests finish, new ones are refused, and
+// -drain-save writes a final snapshot.
+//
+// Without -http, the interactive line-oriented loop runs instead:
+// commands arrive on stdin, one per line; results go to stdout,
+// diagnostics to stderr:
 //
 //	add <f>[:<w>] ...    ingest a vector; prints "added <id>"
 //	del <id>             tombstone a vector; prints "deleted" or "absent"
@@ -29,6 +45,10 @@ import (
 //	compact              force a merge and wait for it
 //	save <path>          write a live snapshot atomically
 //	quit                 exit (EOF works too)
+//
+// Both front ends parse vectors through the same
+// server.ParseVecTokens helper, so the accepted "<f>[:<w>]" grammar
+// and its error texts are identical on either path.
 func serveMain(args []string) {
 	fs := flag.NewFlagSet("apss serve", flag.ExitOnError)
 	datasetName := fs.String("dataset", "", "built-in synthetic dataset name")
@@ -41,6 +61,11 @@ func serveMain(args []string) {
 	parallel := fs.Int("parallel", 0, "batch/merge workers (0 = NumCPU, 1 = sequential)")
 	maxDelta := fs.Int("maxdelta", 0, "merge once the delta holds this many vectors (0 = default 4096, negative = off)")
 	maxRatio := fs.Float64("maxratio", 0, "merge once (delta+tombstones)/base exceeds this (0 = default 0.25, negative = off)")
+	httpAddr := fs.String("http", "", "serve HTTP/JSON on this address (e.g. :8080 or 127.0.0.1:0) instead of the stdin loop")
+	httpTimeout := fs.Duration("http-timeout", time.Minute, "default per-request deadline (X-Apss-Timeout header overrides; 0 = none)")
+	maxInflight := fs.Int("max-inflight", 0, "refuse requests beyond this many in flight with 429 (0 = default 256, negative = off)")
+	drainSave := fs.String("drain-save", "", "write a live snapshot to this path after a graceful drain")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "bound on the graceful drain; remaining connections are dropped after it")
 	fs.Parse(args)
 
 	const prog = "apss serve"
@@ -53,6 +78,12 @@ func serveMain(args []string) {
 		usageError(prog, "unknown algorithm %q", *algName)
 	}
 	validateCommon(prog, *threshold, *parallel)
+	if *httpTimeout < 0 {
+		usageError(prog, "-http-timeout %v must be >= 0 (0 = no default deadline)", *httpTimeout)
+	}
+	if *drainTimeout <= 0 {
+		usageError(prog, "-drain-timeout %v must be > 0", *drainTimeout)
+	}
 	lc := bayeslsh.LiveConfig{MaxDelta: *maxDelta, MaxRatio: *maxRatio}
 	if *index != "" {
 		fs.Visit(func(f *flag.Flag) {
@@ -95,6 +126,20 @@ func serveMain(args []string) {
 	defer li.Close()
 	li.SetRuntime(*parallel, 0)
 	st := li.Stats()
+
+	if *httpAddr != "" {
+		timeout := *httpTimeout
+		if timeout == 0 {
+			timeout = -1 // flag 0 = no default deadline; Config 0 = its own default
+		}
+		serveHTTP(li, *httpAddr, server.Config{
+			Timeout:     timeout,
+			MaxInFlight: *maxInflight,
+			DrainSave:   *drainSave,
+		}, *drainTimeout, st, start)
+		return
+	}
+
 	fmt.Fprintf(os.Stderr, "apss serve: %v live index (%v, t=%.2f): %d vectors ready in %v; commands on stdin (add/del/query/topk/stats/compact/save/quit)\n",
 		li.Options().Algorithm, li.Measure(), li.Threshold(), st.Live, time.Since(start).Round(time.Millisecond))
 
@@ -105,6 +150,51 @@ func serveMain(args []string) {
 	for in.Scan() {
 		serveCommand(li, strings.Fields(in.Text()), out)
 		out.Flush()
+	}
+}
+
+// serveHTTP runs the HTTP/JSON front end until SIGTERM/SIGINT, then
+// drains: the listener closes, in-flight requests (streamed responses
+// included) run to completion within the drain timeout, the optional
+// -drain-save snapshot is written, and the process exits 0 on a clean
+// drain. The bound address is printed to stderr before serving — with
+// ":0" style addresses that line is how a supervisor (or the
+// integration test) learns the port.
+func serveHTTP(li *bayeslsh.LiveIndex, addr string, cfg server.Config, drainTimeout time.Duration, st bayeslsh.LiveStats, start time.Time) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apss serve:", err)
+		os.Exit(1)
+	}
+	srv := server.New(li, cfg)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, os.Interrupt)
+	drained := make(chan error, 1)
+	go func() {
+		sig := <-sigs
+		fmt.Fprintf(os.Stderr, "apss serve: %v: draining (in-flight requests finish, new ones are refused)\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		drained <- srv.Shutdown(ctx)
+	}()
+
+	fmt.Fprintf(os.Stderr, "apss serve: %v live index (%v, t=%.2f): %d vectors ready in %v\n",
+		li.Options().Algorithm, li.Measure(), li.Threshold(), st.Live, time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "apss serve: http listening on %v\n", ln.Addr())
+
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "apss serve:", err)
+		os.Exit(1)
+	}
+	if err := <-drained; err != nil {
+		fmt.Fprintln(os.Stderr, "apss serve: drain:", err)
+		os.Exit(1)
+	}
+	if cfg.DrainSave != "" {
+		fmt.Fprintln(os.Stderr, "apss serve: drained; snapshot saved to", cfg.DrainSave)
+	} else {
+		fmt.Fprintln(os.Stderr, "apss serve: drained")
 	}
 }
 
@@ -213,26 +303,9 @@ func printMatches(out *bufio.Writer, ms []bayeslsh.Match) {
 	fmt.Fprintln(out, "ok", len(ms))
 }
 
-// parseVec parses "<feature>[:<weight>]" tokens (weight 1 when
-// omitted) into a query vector.
+// parseVec parses "<feature>[:<weight>]" tokens through the shared
+// wire-grammar helper, so the stdin loop and the HTTP front end
+// accept exactly the same vectors with exactly the same error texts.
 func parseVec(tokens []string) (bayeslsh.Vec, error) {
-	if len(tokens) == 0 {
-		return bayeslsh.Vec{}, fmt.Errorf("empty vector: need <f>[:<w>] tokens")
-	}
-	m := make(map[uint32]float64, len(tokens))
-	for _, tok := range tokens {
-		fs, ws, hasW := strings.Cut(tok, ":")
-		f, err := strconv.ParseUint(fs, 10, 32)
-		if err != nil {
-			return bayeslsh.Vec{}, fmt.Errorf("bad feature %q", tok)
-		}
-		w := 1.0
-		if hasW {
-			if w, err = strconv.ParseFloat(ws, 64); err != nil {
-				return bayeslsh.Vec{}, fmt.Errorf("bad weight %q", tok)
-			}
-		}
-		m[uint32(f)] += w
-	}
-	return bayeslsh.NewVec(m), nil
+	return server.ParseVecTokens(tokens)
 }

@@ -244,6 +244,11 @@ func (ix *Index) Options() Options { return ix.opts }
 // Len returns the number of indexed corpus vectors.
 func (ix *Index) Len() int { return ix.engine().ds.Len() }
 
+// Dim returns the feature-space dimensionality the index was built
+// over — the exclusive upper bound on query and ingest feature
+// indices.
+func (ix *Index) Dim() int { return ix.engine().ds.Dim() }
+
 // Dataset returns the indexed corpus. An index loaded from a snapshot
 // carries its corpus with it, so serving processes can, for example,
 // query the index with stored vectors (Dataset.Vector) without

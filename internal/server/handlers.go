@@ -1,0 +1,332 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"bayeslsh"
+)
+
+// Request bodies. Vectors travel as the shared wire grammar (see
+// ParseVecTokens); thresholds follow the QueryOptions contract (0 =
+// the built threshold).
+type (
+	queryRequest struct {
+		Vec       string  `json:"vec"`
+		Threshold float64 `json:"threshold,omitempty"`
+	}
+	topkRequest struct {
+		Vec string `json:"vec"`
+		K   int    `json:"k"`
+	}
+	batchRequest struct {
+		Vecs      []string `json:"vecs"`
+		Threshold float64  `json:"threshold,omitempty"`
+	}
+	addRequest struct {
+		Vec string `json:"vec"`
+	}
+	deleteRequest struct {
+		ID *int `json:"id"`
+	}
+	saveRequest struct {
+		Path string `json:"path"`
+	}
+)
+
+// matchRow is one NDJSON result line of /v1/query and /v1/topk.
+type matchRow struct {
+	ID  int     `json:"id"`
+	Sim float64 `json:"sim"`
+}
+
+// batchRow is one NDJSON result line of /v1/batch: Query indexes into
+// the request's vecs array.
+type batchRow struct {
+	Query int     `json:"query"`
+	ID    int     `json:"id"`
+	Sim   float64 `json:"sim"`
+}
+
+// doneRow terminates every successful NDJSON stream, so clients can
+// distinguish a complete response from a dropped connection.
+type doneRow struct {
+	Done    bool `json:"done"`
+	Queries int  `json:"queries,omitempty"`
+	Matches int  `json:"matches"`
+}
+
+// writeJSON writes a single-object 200 response.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// streamStart switches the response to NDJSON. After it, per-line
+// errors are in-band (an apiError line with no done marker).
+func streamStart(w http.ResponseWriter) *json.Encoder {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	return json.NewEncoder(w)
+}
+
+// flush pushes buffered response bytes to the client between stream
+// chunks.
+func flush(w http.ResponseWriter) {
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// handleQuery serves POST /v1/query: one threshold query, answered by
+// LiveIndex.QueryContext under the request deadline and streamed as
+// NDJSON match rows plus a done marker. The rows carry the library's
+// float64 similarities unmodified (encoding/json round-trips float64
+// exactly), so a served response is bit-identical to the direct call.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	q, err := ParseVec(req.Vec)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "vec: %v", err)
+		return
+	}
+	ms, err := s.li.QueryContext(r.Context(), q, bayeslsh.QueryOptions{Threshold: req.Threshold})
+	if err != nil {
+		if st := errStatus(err); st != 499 {
+			httpError(w, st, "%v", err)
+		}
+		return
+	}
+	enc := streamStart(w)
+	for _, m := range ms {
+		if enc.Encode(matchRow{ID: m.ID, Sim: m.Sim}) != nil {
+			return // client gone; nothing to clean up
+		}
+	}
+	enc.Encode(doneRow{Done: true, Matches: len(ms)})
+}
+
+// handleTopK serves POST /v1/topk, the k-best form of handleQuery.
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	var req topkRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	q, err := ParseVec(req.Vec)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "vec: %v", err)
+		return
+	}
+	ms, err := s.li.TopKContext(r.Context(), q, req.K)
+	if err != nil {
+		if st := errStatus(err); st != 499 {
+			httpError(w, st, "%v", err)
+		}
+		return
+	}
+	enc := streamStart(w)
+	for _, m := range ms {
+		if enc.Encode(matchRow{ID: m.ID, Sim: m.Sim}) != nil {
+			return
+		}
+	}
+	enc.Encode(doneRow{Done: true, Matches: len(ms)})
+}
+
+// handleBatch serves POST /v1/batch with genuinely incremental
+// delivery: the queries run in Config.BatchChunk-sized chunks, each
+// chunk one QueryBatchContext call pinned to a single generation,
+// its rows encoded and flushed before the next chunk starts. Response
+// memory is bounded by the chunk's result set — the Engine.Stream
+// delivery model applied to the serving path — and a canceled or
+// timed-out request still delivered every chunk completed before the
+// deadline (the stream ends with an in-band error line instead of the
+// done marker).
+//
+// All vectors are validated before any work: a malformed vector is a
+// whole-request 400, never a half-answered stream.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	qs := make([]bayeslsh.Vec, len(req.Vecs))
+	for i, vs := range req.Vecs {
+		q, err := ParseVec(vs)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "vecs[%d]: %v", i, err)
+			return
+		}
+		qs[i] = q
+	}
+	opts := bayeslsh.QueryOptions{Threshold: req.Threshold}
+
+	var enc *json.Encoder
+	matches := 0
+	for lo := 0; lo < len(qs); lo += s.cfg.BatchChunk {
+		hi := min(lo+s.cfg.BatchChunk, len(qs))
+		res, err := s.li.QueryBatchContext(r.Context(), qs[lo:hi], opts)
+		if err != nil {
+			st := errStatus(err)
+			if enc == nil {
+				if st != 499 {
+					httpError(w, st, "%v", err)
+				}
+			} else if st != 499 {
+				// Headers are sent; report in-band. The missing done
+				// marker tells the client the stream is incomplete.
+				enc.Encode(apiError{Error: err.Error(), Status: st})
+			}
+			return
+		}
+		if enc == nil {
+			enc = streamStart(w)
+		}
+		for i, ms := range res {
+			for _, m := range ms {
+				if enc.Encode(batchRow{Query: lo + i, ID: m.ID, Sim: m.Sim}) != nil {
+					return
+				}
+			}
+			matches += len(ms)
+		}
+		flush(w)
+	}
+	if enc == nil {
+		enc = streamStart(w)
+	}
+	enc.Encode(doneRow{Done: true, Queries: len(qs), Matches: matches})
+}
+
+// addResponse / deleteResponse / compactResponse / saveResponse are
+// the single-object reply bodies of the mutation routes.
+type (
+	addResponse struct {
+		ID int `json:"id"`
+	}
+	deleteResponse struct {
+		ID      int  `json:"id"`
+		Deleted bool `json:"deleted"`
+	}
+	compactResponse struct {
+		Merges int64   `json:"merges"`
+		TookMs float64 `json:"took_ms"`
+	}
+	saveResponse struct {
+		Saved string `json:"saved"`
+	}
+)
+
+// handleAdd serves POST /v1/add: ingest one vector, reply with its
+// permanent external id. Validation failures (feature space, norm)
+// surface as the library's typed errors, mapped to 400.
+func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
+	var req addRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	q, err := ParseVec(req.Vec)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "vec: %v", err)
+		return
+	}
+	id, err := s.li.Add(q)
+	if err != nil {
+		httpError(w, errStatus(err), "%v", err)
+		return
+	}
+	writeJSON(w, addResponse{ID: id})
+}
+
+// handleDelete serves POST /v1/delete: tombstone one external id.
+// Deleting an absent or already-deleted id is not an error — the
+// reply reports deleted:false, matching LiveIndex.Delete.
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	var req deleteRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.ID == nil {
+		httpError(w, http.StatusBadRequest, "missing id")
+		return
+	}
+	writeJSON(w, deleteResponse{ID: *req.ID, Deleted: s.li.Delete(*req.ID)})
+}
+
+// statsResponse is the GET /v1/stats body: what the index is (fixed
+// at build) plus the current segment shape (LiveStats).
+type statsResponse struct {
+	Measure      string  `json:"measure"`
+	Algorithm    string  `json:"algorithm"`
+	Threshold    float64 `json:"threshold"`
+	Dim          int     `json:"dim"`
+	Live         int     `json:"live"`
+	Base         int     `json:"base"`
+	Delta        int     `json:"delta"`
+	Dead         int     `json:"dead"`
+	NextID       int     `json:"next_id"`
+	Merges       int64   `json:"merges"`
+	LastMergeMs  float64 `json:"last_merge_ms"`
+	LastMergeErr string  `json:"last_merge_error,omitempty"`
+	Draining     bool    `json:"draining,omitempty"`
+}
+
+// handleStats serves GET /v1/stats.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.li.Stats()
+	resp := statsResponse{
+		Measure:     s.li.Measure().String(),
+		Algorithm:   s.li.Options().Algorithm.String(),
+		Threshold:   s.li.Threshold(),
+		Dim:         s.li.Dim(),
+		Live:        st.Live,
+		Base:        st.Base,
+		Delta:       st.Delta,
+		Dead:        st.Dead,
+		NextID:      st.NextID,
+		Merges:      st.Merges,
+		LastMergeMs: float64(st.LastMerge) / float64(time.Millisecond),
+		Draining:    s.draining.Load(),
+	}
+	if st.LastMergeErr != nil {
+		resp.LastMergeErr = st.LastMergeErr.Error()
+	}
+	writeJSON(w, resp)
+}
+
+// handleCompact serves POST /v1/compact: force a merge and wait for
+// it (no request body). A merge failure is a 500 with the merge error
+// — the index keeps serving its previous generation either way.
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if err := s.li.Compact(); err != nil {
+		httpError(w, http.StatusInternalServerError, "compact: %v", err)
+		return
+	}
+	writeJSON(w, compactResponse{
+		Merges: s.li.Stats().Merges,
+		TookMs: float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
+
+// handleSave serves POST /v1/save: write a live snapshot atomically
+// to a server-local path — an operator route (point-in-time backup,
+// shipping a segment to a new replica).
+func (s *Server) handleSave(w http.ResponseWriter, r *http.Request) {
+	var req saveRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Path == "" {
+		httpError(w, http.StatusBadRequest, "missing path")
+		return
+	}
+	if err := s.li.SaveFile(req.Path); err != nil {
+		httpError(w, http.StatusInternalServerError, "save: %v", err)
+		return
+	}
+	writeJSON(w, saveResponse{Saved: req.Path})
+}

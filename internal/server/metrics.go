@@ -1,0 +1,126 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the cumulative-histogram upper bounds of the
+// per-route duration metrics, in seconds — a decade-spanning ladder
+// wide enough for both sub-millisecond point queries and multi-second
+// compactions.
+var latencyBuckets = [...]float64{
+	.0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10,
+}
+
+// routeMetrics accumulates one route's counters, all lock-free.
+type routeMetrics struct {
+	byClass [6]atomic.Int64 // status/100 (499 counts as 4xx)
+	durSum  atomic.Int64    // nanoseconds
+	durN    atomic.Int64
+	buckets [len(latencyBuckets) + 1]atomic.Int64 // +Inf last
+}
+
+// observe records one finished request.
+func (rm *routeMetrics) observe(status int, d time.Duration) {
+	if c := status / 100; c >= 1 && c <= 5 {
+		rm.byClass[c].Add(1)
+	}
+	rm.durSum.Add(int64(d))
+	rm.durN.Add(1)
+	sec := d.Seconds()
+	i := 0
+	for i < len(latencyBuckets) && sec > latencyBuckets[i] {
+		i++
+	}
+	rm.buckets[i].Add(1)
+}
+
+// metrics is the server-wide registry: per-route counters plus the
+// in-flight gauge and the panic counter. Routes are registered at
+// construction; reads are lock-free.
+type metrics struct {
+	inFlight atomic.Int64
+	panics   atomic.Int64
+
+	mu     sync.Mutex
+	routes map[string]*routeMetrics
+}
+
+func newMetrics() *metrics {
+	return &metrics{routes: make(map[string]*routeMetrics)}
+}
+
+// route registers (or returns) the named route's counters.
+func (m *metrics) route(name string) *routeMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rm := m.routes[name]
+	if rm == nil {
+		rm = &routeMetrics{}
+		m.routes[name] = rm
+	}
+	return rm
+}
+
+// handleMetrics serves the Prometheus-style text exposition: request
+// counts and latency histograms per route, the in-flight gauge, and
+// the live index's segment shape — one scrape shows both the traffic
+// and the LSM state it lands on. Output order is deterministic
+// (sorted routes) so scrapes diff cleanly.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+
+	fmt.Fprintf(w, "# HELP apss_in_flight Requests currently executing.\n")
+	fmt.Fprintf(w, "# TYPE apss_in_flight gauge\n")
+	fmt.Fprintf(w, "apss_in_flight %d\n", s.met.inFlight.Load())
+	fmt.Fprintf(w, "# TYPE apss_handler_panics_total counter\n")
+	fmt.Fprintf(w, "apss_handler_panics_total %d\n", s.met.panics.Load())
+
+	s.met.mu.Lock()
+	names := make([]string, 0, len(s.met.routes))
+	for name := range s.met.routes {
+		names = append(names, name)
+	}
+	s.met.mu.Unlock()
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "# TYPE apss_requests_total counter\n")
+	for _, name := range names {
+		rm := s.met.route(name)
+		for c := 1; c <= 5; c++ {
+			if n := rm.byClass[c].Load(); n > 0 {
+				fmt.Fprintf(w, "apss_requests_total{route=%q,class=\"%dxx\"} %d\n", name, c, n)
+			}
+		}
+	}
+	fmt.Fprintf(w, "# TYPE apss_request_duration_seconds histogram\n")
+	for _, name := range names {
+		rm := s.met.route(name)
+		cum := int64(0)
+		for i, le := range latencyBuckets {
+			cum += rm.buckets[i].Load()
+			fmt.Fprintf(w, "apss_request_duration_seconds_bucket{route=%q,le=\"%g\"} %d\n", name, le, cum)
+		}
+		cum += rm.buckets[len(latencyBuckets)].Load()
+		fmt.Fprintf(w, "apss_request_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(w, "apss_request_duration_seconds_sum{route=%q} %g\n",
+			name, time.Duration(rm.durSum.Load()).Seconds())
+		fmt.Fprintf(w, "apss_request_duration_seconds_count{route=%q} %d\n", name, rm.durN.Load())
+	}
+
+	st := s.li.Stats()
+	fmt.Fprintf(w, "# TYPE apss_live_vectors gauge\n")
+	fmt.Fprintf(w, "apss_live_vectors %d\n", st.Live)
+	fmt.Fprintf(w, "# TYPE apss_live_segment_vectors gauge\n")
+	fmt.Fprintf(w, "apss_live_segment_vectors{segment=\"base\"} %d\n", st.Base)
+	fmt.Fprintf(w, "apss_live_segment_vectors{segment=\"delta\"} %d\n", st.Delta)
+	fmt.Fprintf(w, "apss_live_tombstones %d\n", st.Dead)
+	fmt.Fprintf(w, "# TYPE apss_live_merges_total counter\n")
+	fmt.Fprintf(w, "apss_live_merges_total %d\n", st.Merges)
+	fmt.Fprintf(w, "apss_live_last_merge_seconds %g\n", st.LastMerge.Seconds())
+}

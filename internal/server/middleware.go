@@ -1,0 +1,167 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"bayeslsh"
+)
+
+// TimeoutHeader is the per-request deadline override: a Go duration
+// string ("250ms", "2s"), capped at Config.MaxTimeout. An unparsable
+// or non-positive value is a 400, not a silent fallback.
+const TimeoutHeader = "X-Apss-Timeout"
+
+// apiError is the JSON error body every non-2xx response carries.
+type apiError struct {
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}
+
+// httpError reports err as a JSON error response with the given
+// status. Safe only before the first body byte has been written.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(apiError{Error: fmt.Sprintf(format, args...), Status: status})
+}
+
+// errStatus maps an index-layer error to its HTTP status: caller
+// mistakes are 4xx, lifecycle and deadline conditions 5xx. Unknown
+// errors are conservatively 500 (the handlers' own validation should
+// make that unreachable for hostile input).
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, bayeslsh.ErrBadK),
+		errors.Is(err, bayeslsh.ErrBadThreshold),
+		errors.Is(err, bayeslsh.ErrVecOutOfRange),
+		errors.Is(err, bayeslsh.ErrVecNotNormalized):
+		return http.StatusBadRequest
+	case errors.Is(err, bayeslsh.ErrLiveClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status is for the log line only.
+		return 499
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// statusWriter records the status code and whether the body has
+// started, so middleware can emit correct error responses and
+// metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if !sw.wrote {
+		sw.status = code
+		sw.wrote = true
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if !sw.wrote {
+		sw.status = http.StatusOK
+		sw.wrote = true
+	}
+	return sw.ResponseWriter.Write(p)
+}
+
+// Flush forwards to the underlying flusher so streamed NDJSON rows
+// reach the client as they are produced.
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// requestTimeout resolves the effective deadline of a request: the
+// header override when present (validated, capped at MaxTimeout),
+// else the configured default. A zero return means no deadline.
+func (s *Server) requestTimeout(r *http.Request) (time.Duration, error) {
+	if h := r.Header.Get(TimeoutHeader); h != "" {
+		d, err := time.ParseDuration(h)
+		if err != nil || d <= 0 {
+			return 0, fmt.Errorf("bad %s %q: want a positive Go duration", TimeoutHeader, h)
+		}
+		return min(d, s.cfg.MaxTimeout), nil
+	}
+	if s.cfg.Timeout > 0 {
+		return s.cfg.Timeout, nil
+	}
+	return 0, nil
+}
+
+// route wraps an API handler with the serving middleware, outermost
+// first: drain refusal, the admission gate, the request deadline,
+// body size cap, panic containment, and metrics. name keys the
+// per-route metrics.
+func (s *Server) route(name string, h func(http.ResponseWriter, *http.Request)) http.Handler {
+	rm := s.met.route(name)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		defer func() {
+			// A panic must not take the process down (the daemon is
+			// the unit of availability), but it is always a bug: it
+			// becomes a 500 plus a counted metric, and the fuzz and
+			// hostile-input tests assert it never happens for bad
+			// input.
+			if v := recover(); v != nil {
+				s.met.panics.Add(1)
+				if !sw.wrote {
+					httpError(sw, http.StatusInternalServerError, "internal panic: %v", v)
+				}
+			}
+			rm.observe(sw.status, time.Since(start))
+		}()
+
+		if s.draining.Load() {
+			w.Header().Set("Connection", "close")
+			httpError(sw, http.StatusServiceUnavailable, "server is draining")
+			return
+		}
+		if s.slots != nil {
+			select {
+			case s.slots <- struct{}{}:
+				defer func() { <-s.slots }()
+			default:
+				w.Header().Set("Retry-After", "1")
+				httpError(sw, http.StatusTooManyRequests,
+					"server at max in-flight (%d)", s.cfg.MaxInFlight)
+				return
+			}
+		}
+		s.met.inFlight.Add(1)
+		defer s.met.inFlight.Add(-1)
+		if s.testHook != nil {
+			s.testHook(name)
+		}
+
+		d, err := s.requestTimeout(r)
+		if err != nil {
+			httpError(sw, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if d > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), d)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBody)
+		}
+		h(sw, r)
+	})
+}

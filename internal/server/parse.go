@@ -1,0 +1,81 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"bayeslsh"
+)
+
+// The wire vector format, shared verbatim by the HTTP JSON bodies and
+// the apss serve stdin loop: whitespace-separated "<feature>[:<weight>]"
+// tokens, weight 1 when omitted, duplicate features summed. Both
+// entry points parse through ParseVecTokens, so the accepted grammar
+// and the error texts cannot drift between them.
+
+// ParseVecTokens parses "<feature>[:<weight>]" tokens (weight 1 when
+// omitted) into a query vector. Features must be decimal uint32s;
+// weights must be finite floats — NaN and ±Inf are rejected here, at
+// the edge, so no non-finite value ever reaches the similarity
+// kernels.
+func ParseVecTokens(tokens []string) (bayeslsh.Vec, error) {
+	if len(tokens) == 0 {
+		return bayeslsh.Vec{}, errors.New("empty vector: need <f>[:<w>] tokens")
+	}
+	m := make(map[uint32]float64, len(tokens))
+	for _, tok := range tokens {
+		fs, ws, hasW := strings.Cut(tok, ":")
+		f, err := strconv.ParseUint(fs, 10, 32)
+		if err != nil {
+			return bayeslsh.Vec{}, fmt.Errorf("bad feature %q", tok)
+		}
+		w := 1.0
+		if hasW {
+			if w, err = strconv.ParseFloat(ws, 64); err != nil {
+				return bayeslsh.Vec{}, fmt.Errorf("bad weight %q", tok)
+			}
+			if math.IsNaN(w) || math.IsInf(w, 0) {
+				return bayeslsh.Vec{}, fmt.Errorf("non-finite weight %q", tok)
+			}
+		}
+		m[uint32(f)] += w
+	}
+	return bayeslsh.NewVec(m), nil
+}
+
+// ParseVec parses a whitespace-separated vector string — the JSON
+// request form of the same grammar.
+func ParseVec(s string) (bayeslsh.Vec, error) {
+	return ParseVecTokens(strings.Fields(s))
+}
+
+// decodeJSON decodes the request body into v: strict (unknown fields
+// and trailing garbage rejected), size-capped by the middleware's
+// MaxBytesReader. It writes the error response itself and reports
+// whether decoding succeeded, so handlers read as
+// `if !decodeJSON(...) { return }`.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"request body over %d bytes", mbe.Limit)
+			return false
+		}
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		httpError(w, http.StatusBadRequest, "trailing data after JSON body")
+		return false
+	}
+	return true
+}

@@ -1,0 +1,181 @@
+// Package server is the HTTP/JSON serving layer over a live index:
+// the network front end that turns the ingest-while-serving LiveIndex
+// into a long-running daemon (apss serve -http). It exposes the full
+// live surface — threshold queries, top-k, sharded batches, ingest,
+// deletes, stats, compaction, snapshots — as a small JSON API with
+// NDJSON-streamed result delivery, and owns the production lifecycle
+// around it: per-request deadlines with a header override, a
+// max-in-flight admission gate that sheds load with 429 before work
+// starts, graceful drain (stop accepting, finish in-flight, optional
+// final snapshot), per-route metrics, and pprof.
+//
+// Routes (see docs/SERVING.md for the wire reference):
+//
+//	POST /v1/query    {"vec":"<f>[:<w>] ...","threshold":t}  -> NDJSON match rows
+//	POST /v1/topk     {"vec":"...","k":n}                    -> NDJSON match rows
+//	POST /v1/batch    {"vecs":["...",...],"threshold":t}     -> NDJSON rows, streamed per chunk
+//	POST /v1/add      {"vec":"..."}                          -> {"id":n}
+//	POST /v1/delete   {"id":n}                               -> {"id":n,"deleted":bool}
+//	GET  /v1/stats                                           -> index + segment shape
+//	POST /v1/compact  {}                                     -> {"merges":n,"took_ms":ms}
+//	POST /v1/save     {"path":"..."}                         -> {"saved":"..."}
+//	GET  /metrics                                            -> text exposition
+//	GET  /debug/pprof/...                                    -> net/http/pprof
+//
+// Served results are bit-identical to direct LiveIndex calls: the
+// handlers add no rounding, no reordering, no post-processing, and
+// encoding/json round-trips float64 exactly. The streamed /v1/batch
+// runs in pinned chunks — each chunk is one QueryBatchContext call
+// over one generation, delivered (and flushed) before the next chunk
+// starts, so response memory is bounded by the chunk size rather than
+// the full result set, the Engine.Stream delivery model applied to
+// the serving path.
+package server
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+
+	"bayeslsh"
+)
+
+// Config carries the serving knobs; the zero value selects the
+// defaults noted on each field.
+type Config struct {
+	// Timeout is the default per-request deadline. Requests may
+	// override it with an X-Apss-Timeout header (a Go duration),
+	// capped at MaxTimeout. 0 selects 1 minute; negative disables the
+	// default deadline (header overrides still apply).
+	Timeout time.Duration
+	// MaxTimeout caps the per-request override. 0 selects 5 minutes.
+	MaxTimeout time.Duration
+	// MaxInFlight is the admission gate: requests beyond this many
+	// concurrently executing /v1/ calls are refused with 429 before
+	// any decoding or index work. 0 selects 256; negative disables
+	// the gate.
+	MaxInFlight int
+	// MaxBody caps the request body in bytes; larger bodies get 413.
+	// 0 selects 8 MiB.
+	MaxBody int64
+	// BatchChunk is the number of queries per pinned /v1/batch chunk:
+	// each chunk is answered by one QueryBatchContext call and
+	// flushed before the next starts. 0 selects 256.
+	BatchChunk int
+	// DrainSave, when non-empty, is a live-snapshot path written
+	// after a graceful Shutdown has finished the in-flight requests —
+	// the final consistent cut of a terminating server.
+	DrainSave string
+}
+
+// withDefaults resolves the zero values.
+func (c Config) withDefaults() Config {
+	if c.Timeout == 0 {
+		c.Timeout = time.Minute
+	}
+	if c.MaxTimeout == 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 256
+	}
+	if c.MaxBody == 0 {
+		c.MaxBody = 8 << 20
+	}
+	if c.BatchChunk <= 0 {
+		c.BatchChunk = 256
+	}
+	return c
+}
+
+// Server serves one LiveIndex over HTTP. Construct with New, attach
+// Handler to any http.Server or call Serve, stop with Shutdown.
+// Server does not own the index: Close it (and Shutdown the server)
+// separately, in either order — handlers surface ErrLiveClosed as
+// 503, never a crash.
+type Server struct {
+	li  *bayeslsh.LiveIndex
+	cfg Config
+	mux *http.ServeMux
+	hs  *http.Server
+
+	draining atomic.Bool
+	slots    chan struct{} // admission gate; nil when disabled
+	met      *metrics
+
+	// testHook, when non-nil, runs inside every admitted /v1/ request
+	// after the gate and before the handler — the seam the lifecycle
+	// tests use to hold requests in flight deterministically.
+	testHook func(route string)
+}
+
+// New builds a server over li with the given config.
+func New(li *bayeslsh.LiveIndex, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		li:  li,
+		cfg: cfg,
+		mux: http.NewServeMux(),
+		met: newMetrics(),
+	}
+	if cfg.MaxInFlight > 0 {
+		s.slots = make(chan struct{}, cfg.MaxInFlight)
+	}
+	s.mux.Handle("POST /v1/query", s.route("query", s.handleQuery))
+	s.mux.Handle("POST /v1/topk", s.route("topk", s.handleTopK))
+	s.mux.Handle("POST /v1/batch", s.route("batch", s.handleBatch))
+	s.mux.Handle("POST /v1/add", s.route("add", s.handleAdd))
+	s.mux.Handle("POST /v1/delete", s.route("delete", s.handleDelete))
+	s.mux.Handle("GET /v1/stats", s.route("stats", s.handleStats))
+	s.mux.Handle("POST /v1/compact", s.route("compact", s.handleCompact))
+	s.mux.Handle("POST /v1/save", s.route("save", s.handleSave))
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	s.hs = &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s
+}
+
+// Handler returns the server's root handler — every route, middleware
+// included — for mounting under a caller-owned http.Server or an
+// httptest one.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on ln until Shutdown (returning
+// http.ErrServerClosed) or a listener failure. The caller owns ln's
+// address choice; pass a ":0" listener to bind an ephemeral port.
+func (s *Server) Serve(ln net.Listener) error {
+	return s.hs.Serve(ln)
+}
+
+// Shutdown drains the server gracefully: new requests are refused
+// (503 on open connections, closed listeners for new ones), in-flight
+// requests — streamed responses included — run to completion, and
+// once all have finished the optional Config.DrainSave snapshot is
+// written from the now-quiescent index. ctx bounds the wait; on
+// expiry remaining connections are dropped and the snapshot is still
+// attempted (the index is always in a consistent state — a dropped
+// request just isn't reflected in a response). Shutdown does not
+// Close the index.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	err := s.hs.Shutdown(ctx)
+	if s.cfg.DrainSave != "" {
+		if serr := s.li.SaveFile(s.cfg.DrainSave); err == nil {
+			err = serr
+		}
+	}
+	return err
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }

@@ -1,0 +1,450 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"bayeslsh"
+)
+
+// The end-to-end harness: every route driven over real HTTP, with the
+// served bytes decoded back and compared — float64-exact — against
+// direct LiveIndex calls on the same index. The corpus generator
+// keeps the raw feature maps next to the Dataset so the tests can
+// render each vector in the wire grammar and know that both sides
+// (the HTTP body and the direct ParseVec call) parse to the identical
+// Vec.
+
+// corpus builds a deterministic clustered corpus: n vectors over a
+// 400-feature space, in planted near-duplicate triples so every
+// pipeline has real matches to return. The returned maps are the raw
+// feature maps, index-aligned with the dataset — already normalized
+// for Cosine, binarized otherwise — so rendering map i yields dataset
+// vector i exactly.
+func corpus(tb testing.TB, m bayeslsh.Measure, n int) (*bayeslsh.Dataset, []map[uint32]float64) {
+	tb.Helper()
+	const dim = 400
+	rng := rand.New(rand.NewSource(7))
+	maps := make([]map[uint32]float64, 0, n)
+	var center map[uint32]float64
+	for i := 0; i < n; i++ {
+		if i%3 == 0 || center == nil {
+			center = make(map[uint32]float64, 18)
+			for len(center) < 18 {
+				center[uint32(rng.Intn(dim))] = 0.5 + rng.Float64()
+			}
+		}
+		v := make(map[uint32]float64, len(center)+1)
+		for f, w := range center {
+			v[f] = w
+		}
+		if i%3 != 0 { // mutate the copies so similarities vary
+			for f := range v {
+				delete(v, f)
+				break
+			}
+			v[uint32(rng.Intn(dim))] = 0.5 + rng.Float64()
+		}
+		maps = append(maps, prepMap(m, v))
+	}
+	ds := bayeslsh.NewDataset(dim)
+	for _, v := range maps {
+		ds.Add(v)
+	}
+	return ds, maps
+}
+
+// prepMap puts a raw feature map into the measure's input form:
+// unit-normalized for Cosine, binarized for the set measures — the
+// same preprocessing a corpus would get, applied to the map itself so
+// map and dataset vector stay bit-identical.
+func prepMap(m bayeslsh.Measure, v map[uint32]float64) map[uint32]float64 {
+	out := make(map[uint32]float64, len(v))
+	if m == bayeslsh.Cosine {
+		var ss float64
+		for _, w := range v {
+			ss += w * w
+		}
+		norm := math.Sqrt(ss)
+		for f, w := range v {
+			out[f] = w / norm
+		}
+	} else {
+		for f := range v {
+			out[f] = 1
+		}
+	}
+	return out
+}
+
+// vecString renders a feature map in the wire grammar, features
+// sorted, weights in exact shortest-round-trip form.
+func vecString(v map[uint32]float64) string {
+	feats := make([]uint32, 0, len(v))
+	for f := range v {
+		feats = append(feats, f)
+	}
+	sort.Slice(feats, func(i, j int) bool { return feats[i] < feats[j] })
+	var b strings.Builder
+	for i, f := range feats {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d:%s", f, strconv.FormatFloat(v[f], 'g', -1, 64))
+	}
+	return b.String()
+}
+
+// mustVec parses a wire vector or fails the test.
+func mustVec(tb testing.TB, s string) bayeslsh.Vec {
+	tb.Helper()
+	q, err := ParseVec(s)
+	if err != nil {
+		tb.Fatalf("ParseVec(%q): %v", s, err)
+	}
+	return q
+}
+
+// newLive builds a live index for one measure × pipeline cell, with
+// automatic merging off so tests control compaction points.
+func newLive(tb testing.TB, ds *bayeslsh.Dataset, m bayeslsh.Measure, alg bayeslsh.Algorithm, threshold float64) *bayeslsh.LiveIndex {
+	tb.Helper()
+	li, err := bayeslsh.NewLiveIndex(ds, m, bayeslsh.EngineConfig{Seed: 7, Parallelism: 2},
+		bayeslsh.Options{Algorithm: alg, Threshold: threshold},
+		bayeslsh.LiveConfig{MaxDelta: -1, MaxRatio: -1})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return li
+}
+
+// ndRow is the union of every NDJSON line shape the server emits.
+type ndRow struct {
+	Query   *int    `json:"query"`
+	ID      *int    `json:"id"`
+	Sim     float64 `json:"sim"`
+	Done    bool    `json:"done"`
+	Queries int     `json:"queries"`
+	Matches int     `json:"matches"`
+	Error   string  `json:"error"`
+	Status  int     `json:"status"`
+}
+
+// postJSON posts body and returns the response; the caller owns
+// resp.Body.
+func postJSON(tb testing.TB, url, body string) *http.Response {
+	tb.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		tb.Fatalf("POST %s: %v", url, err)
+	}
+	return resp
+}
+
+// decodeStream decodes an NDJSON body, requiring a done marker.
+func decodeStream(tb testing.TB, body io.Reader) []ndRow {
+	tb.Helper()
+	var rows []ndRow
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	done := false
+	for sc.Scan() {
+		var r ndRow
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			tb.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if r.Error != "" {
+			tb.Fatalf("in-band stream error: %s (status %d)", r.Error, r.Status)
+		}
+		if r.Done {
+			done = true
+			break
+		}
+		rows = append(rows, r)
+	}
+	if err := sc.Err(); err != nil {
+		tb.Fatal(err)
+	}
+	if !done {
+		tb.Fatal("stream ended without a done marker")
+	}
+	return rows
+}
+
+// servedQuery drives POST /v1/query and returns the matches.
+func servedQuery(tb testing.TB, base, vec string, threshold float64) []bayeslsh.Match {
+	tb.Helper()
+	body, _ := json.Marshal(queryRequest{Vec: vec, Threshold: threshold})
+	resp := postJSON(tb, base+"/v1/query", string(body))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		tb.Fatalf("query status %d: %s", resp.StatusCode, b)
+	}
+	return rowsToMatches(tb, decodeStream(tb, resp.Body))
+}
+
+// servedTopK drives POST /v1/topk.
+func servedTopK(tb testing.TB, base, vec string, k int) []bayeslsh.Match {
+	tb.Helper()
+	body, _ := json.Marshal(topkRequest{Vec: vec, K: k})
+	resp := postJSON(tb, base+"/v1/topk", string(body))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		tb.Fatalf("topk status %d: %s", resp.StatusCode, b)
+	}
+	return rowsToMatches(tb, decodeStream(tb, resp.Body))
+}
+
+// servedBatch drives POST /v1/batch, returning per-query match
+// slices.
+func servedBatch(tb testing.TB, base string, vecs []string, threshold float64) [][]bayeslsh.Match {
+	tb.Helper()
+	body, _ := json.Marshal(batchRequest{Vecs: vecs, Threshold: threshold})
+	resp := postJSON(tb, base+"/v1/batch", string(body))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		tb.Fatalf("batch status %d: %s", resp.StatusCode, b)
+	}
+	out := make([][]bayeslsh.Match, len(vecs))
+	for _, r := range decodeStream(tb, resp.Body) {
+		if r.Query == nil || r.ID == nil {
+			tb.Fatalf("batch row missing query/id: %+v", r)
+		}
+		out[*r.Query] = append(out[*r.Query], bayeslsh.Match{ID: *r.ID, Sim: r.Sim})
+	}
+	return out
+}
+
+func rowsToMatches(tb testing.TB, rows []ndRow) []bayeslsh.Match {
+	tb.Helper()
+	ms := make([]bayeslsh.Match, 0, len(rows))
+	for _, r := range rows {
+		if r.ID == nil {
+			tb.Fatalf("row missing id: %+v", r)
+		}
+		ms = append(ms, bayeslsh.Match{ID: *r.ID, Sim: r.Sim})
+	}
+	return ms
+}
+
+// servedAdd drives POST /v1/add and returns the assigned id.
+func servedAdd(tb testing.TB, base, vec string) int {
+	tb.Helper()
+	body, _ := json.Marshal(addRequest{Vec: vec})
+	resp := postJSON(tb, base+"/v1/add", string(body))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		tb.Fatalf("add status %d: %s", resp.StatusCode, b)
+	}
+	var ar addResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+		tb.Fatal(err)
+	}
+	return ar.ID
+}
+
+// servedDelete drives POST /v1/delete and reports whether the id was
+// live.
+func servedDelete(tb testing.TB, base string, id int) bool {
+	tb.Helper()
+	resp := postJSON(tb, base+"/v1/delete", fmt.Sprintf(`{"id":%d}`, id))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		tb.Fatalf("delete status %d: %s", resp.StatusCode, b)
+	}
+	var dr deleteResponse
+	if err := json.NewDecoder(resp.Body).Decode(&dr); err != nil {
+		tb.Fatal(err)
+	}
+	return dr.Deleted
+}
+
+// e2eCases is the measure matrix of the bit-identity harness; the
+// pipeline axis comes from Algorithms(measure) + BruteForce.
+var e2eCases = []struct {
+	m bayeslsh.Measure
+	t float64
+}{
+	{bayeslsh.Cosine, 0.6},
+	{bayeslsh.Jaccard, 0.5},
+	{bayeslsh.BinaryCosine, 0.6},
+}
+
+// TestServedBitIdenticalToDirect is the acceptance harness: for every
+// measure × pipeline, /v1/query, /v1/topk and /v1/batch responses are
+// decoded and compared — ids and float64 similarities exactly equal —
+// against direct LiveIndex calls on the same index, before and after
+// HTTP-driven add/delete interleavings and an HTTP-driven compaction.
+func TestServedBitIdenticalToDirect(t *testing.T) {
+	for _, tc := range e2eCases {
+		ds, maps := corpus(t, tc.m, 90)
+		for _, alg := range append(bayeslsh.Algorithms(tc.m), bayeslsh.BruteForce) {
+			if alg == bayeslsh.PPJoin {
+				continue // no query-serving index (join-order-dependent prefix filter)
+			}
+			t.Run(fmt.Sprintf("%v/%v", tc.m, alg), func(t *testing.T) {
+				li := newLive(t, ds, tc.m, alg, tc.t)
+				defer li.Close()
+				// BatchChunk 4 makes an 11-query batch span 3 pinned
+				// chunks, exercising the streamed chunk path.
+				ts := httptest.NewServer(New(li, Config{BatchChunk: 4}).Handler())
+				defer ts.Close()
+
+				queries := make([]string, 0, 11)
+				for _, mv := range maps[:10] {
+					queries = append(queries, vecString(mv))
+				}
+				queries = append(queries, vecString(prepMap(tc.m, map[uint32]float64{3: 1, 44: 0.8, 199: 1.2})))
+
+				check := func(stage string) {
+					t.Helper()
+					for _, qs := range queries[:4] {
+						q := mustVec(t, qs)
+						want, err := li.Query(q, bayeslsh.QueryOptions{})
+						if err != nil {
+							t.Fatalf("%s: direct query: %v", stage, err)
+						}
+						if got := servedQuery(t, ts.URL, qs, 0); !matchesEqual(got, want) {
+							t.Fatalf("%s: served query != direct:\n got %v\nwant %v", stage, got, want)
+						}
+						wantK, err := li.TopK(q, 5)
+						if err != nil {
+							t.Fatalf("%s: direct topk: %v", stage, err)
+						}
+						if got := servedTopK(t, ts.URL, qs, 5); !matchesEqual(got, wantK) {
+							t.Fatalf("%s: served topk != direct:\n got %v\nwant %v", stage, got, wantK)
+						}
+					}
+					qvecs := make([]bayeslsh.Vec, len(queries))
+					for i, qs := range queries {
+						qvecs[i] = mustVec(t, qs)
+					}
+					want, err := li.QueryBatch(qvecs, bayeslsh.QueryOptions{})
+					if err != nil {
+						t.Fatalf("%s: direct batch: %v", stage, err)
+					}
+					got := servedBatch(t, ts.URL, queries, 0)
+					for i := range want {
+						if !matchesEqual(got[i], want[i]) {
+							t.Fatalf("%s: served batch[%d] != direct:\n got %v\nwant %v", stage, i, got[i], want[i])
+						}
+					}
+				}
+
+				check("cold")
+
+				// Mutate through the wire: two ingests (near-duplicates
+				// of corpus vectors, so they land in result sets), two
+				// deletes, one no-op delete.
+				next := li.Stats().NextID
+				for j, src := range maps[1:3] {
+					if id := servedAdd(t, ts.URL, vecString(src)); id != next+j {
+						t.Fatalf("add returned id %d, want %d", id, next+j)
+					}
+				}
+				if !servedDelete(t, ts.URL, 0) {
+					t.Fatal("delete(0) reported not deleted")
+				}
+				if servedDelete(t, ts.URL, 0) {
+					t.Fatal("second delete(0) reported deleted")
+				}
+				check("post-mutation")
+
+				resp := postJSON(t, ts.URL+"/v1/compact", "")
+				if resp.StatusCode != http.StatusOK {
+					b, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					t.Fatalf("compact status %d: %s", resp.StatusCode, b)
+				}
+				resp.Body.Close()
+				check("post-compact")
+
+				// Stats must reflect the interleaving through the wire.
+				sresp, err := http.Get(ts.URL + "/v1/stats")
+				if err != nil {
+					t.Fatal(err)
+				}
+				var stats statsResponse
+				if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+					t.Fatal(err)
+				}
+				sresp.Body.Close()
+				if stats.Live != li.Len() {
+					t.Fatalf("stats live %d != direct Len %d", stats.Live, li.Len())
+				}
+				if stats.Algorithm != alg.String() || stats.Measure != tc.m.String() {
+					t.Fatalf("stats identity %q/%q, want %q/%q", stats.Measure, stats.Algorithm, tc.m, alg)
+				}
+			})
+		}
+	}
+}
+
+// matchesEqual is strict equality: same ids, same float64 bits.
+func matchesEqual(a, b []bayeslsh.Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestServedSaveRoundTrip drives POST /v1/save over a mutated index
+// and proves the snapshot reloads into an index whose direct answers
+// equal the answers the server was giving — the serve/save/reload
+// consistency triangle.
+func TestServedSaveRoundTrip(t *testing.T) {
+	ds, maps := corpus(t, bayeslsh.Cosine, 60)
+	li := newLive(t, ds, bayeslsh.Cosine, bayeslsh.LSHBayesLSH, 0.6)
+	defer li.Close()
+	ts := httptest.NewServer(New(li, Config{}).Handler())
+	defer ts.Close()
+
+	servedAdd(t, ts.URL, vecString(maps[2]))
+	servedDelete(t, ts.URL, 1)
+
+	path := filepath.Join(t.TempDir(), "live.snap")
+	resp := postJSON(t, ts.URL+"/v1/save", fmt.Sprintf(`{"path":%q}`, path))
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("save status %d: %s", resp.StatusCode, b)
+	}
+	resp.Body.Close()
+
+	loaded, err := bayeslsh.LoadLiveFile(path, bayeslsh.LiveConfig{MaxDelta: -1, MaxRatio: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	for _, mv := range maps[:6] {
+		qs := vecString(mv)
+		served := servedQuery(t, ts.URL, qs, 0)
+		direct, err := loaded.Query(mustVec(t, qs), bayeslsh.QueryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !matchesEqual(served, direct) {
+			t.Fatalf("loaded snapshot query != served:\n got %v\nwant %v", direct, served)
+		}
+	}
+}

@@ -244,6 +244,10 @@ func (li *LiveIndex) Threshold() float64 { return li.opts.Threshold }
 // Options returns the resolved search options.
 func (li *LiveIndex) Options() Options { return li.opts }
 
+// Dim returns the feature-space dimensionality the index was built
+// over — the exclusive upper bound Add enforces on ingest features.
+func (li *LiveIndex) Dim() int { return li.dim }
+
 // Len returns the number of live vectors: ingested and not deleted.
 func (li *LiveIndex) Len() int {
 	li.mu.Lock()

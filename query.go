@@ -17,6 +17,11 @@ import (
 // ErrBadK reports TopK called with k <= 0.
 var ErrBadK = errors.New("bayeslsh: TopK needs k > 0")
 
+// ErrBadThreshold reports a per-query threshold override outside
+// [built threshold, 1] — the index generates candidates at the built
+// threshold, so it cannot serve a lower one.
+var ErrBadThreshold = errors.New("bayeslsh: query threshold outside [built threshold, 1]")
+
 // Vec is a single query vector, the input of Index.Query and
 // Index.TopK. Build one with NewVec or NewSetVec, or take one out of a
 // dataset with Dataset.Vector. A Vec is immutable and safe to share.
@@ -221,7 +226,7 @@ func (ix *Index) queryThreshold(opts QueryOptions) (float64, error) {
 		return ix.opts.Threshold, nil
 	}
 	if t < ix.opts.Threshold || t > 1 {
-		return 0, fmt.Errorf("bayeslsh: query threshold %v outside [built threshold %v, 1]", t, ix.opts.Threshold)
+		return 0, fmt.Errorf("%w: %v outside [%v, 1]", ErrBadThreshold, t, ix.opts.Threshold)
 	}
 	return t, nil
 }
