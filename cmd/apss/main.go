@@ -33,14 +33,18 @@
 //
 // The serve subcommand runs the live (ingest-while-serving) index.
 // With -http it is a concurrent HTTP/JSON daemon — NDJSON-streamed
-// query/topk/batch, add/delete ingest, stats/compact/save admin,
+// query/topk/batch, add/delete ingest, stats/compact/save/load admin,
 // /metrics and /debug/pprof, per-request deadlines, 429 admission
 // control, and graceful drain on SIGTERM (see docs/SERVING.md).
 // Without -http it is a line-oriented loop on stdin that accepts the
 // same operations one command per line and saves live snapshots that
-// a later serve session resumes from (see docs/LIVE.md):
+// a later serve session resumes from (see docs/LIVE.md). With
+// -shards N the corpus is partitioned over N in-process shards behind
+// a scatter-gather router whose answers are bit-identical to the
+// single-node index (see docs/SHARDING.md):
 //
 //	apss serve -dataset RCV1-sim -t 0.7 -http :8080
+//	apss serve -dataset RCV1-sim -t 0.7 -shards 4 -http :8080
 //	apss serve -index index.snap -maxdelta 1024
 package main
 

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"bayeslsh"
+	"bayeslsh/internal/cluster"
 	"bayeslsh/internal/server"
 )
 
@@ -25,13 +26,21 @@ import (
 // -out", which is wrapped via LiveFrom), or a live snapshot written
 // by a previous serve session.
 //
+// With -shards N (N > 1) the corpus is partitioned over N in-process
+// LiveIndex shards behind a scatter-gather router (internal/cluster,
+// docs/SHARDING.md). Every front-end operation — queries, ingest,
+// deletes, stats, compact, save — routes through the same surface, so
+// answers stay bit-identical to a single-node index over the same
+// corpus; -drain-save and the save command write a cluster manifest
+// plus per-shard snapshots, which POST /v1/load restores.
+//
 // With -http <addr> the index is served as a concurrent HTTP/JSON
 // daemon (see docs/SERVING.md): /v1/query, /v1/topk and /v1/batch
 // stream NDJSON results under per-request deadlines, /v1/add and
-// /v1/delete mutate, /v1/stats, /v1/compact and /v1/save administer,
-// /metrics and /debug/pprof observe. SIGTERM or SIGINT drains
-// gracefully: in-flight requests finish, new ones are refused, and
-// -drain-save writes a final snapshot.
+// /v1/delete mutate, /v1/stats, /v1/compact, /v1/save and /v1/load
+// administer, /metrics and /debug/pprof observe. SIGTERM or SIGINT
+// drains gracefully: in-flight requests finish, new ones are refused,
+// and -drain-save writes a final snapshot.
 //
 // Without -http, the interactive line-oriented loop runs instead:
 // commands arrive on stdin, one per line; results go to stdout,
@@ -61,6 +70,8 @@ func serveMain(args []string) {
 	parallel := fs.Int("parallel", 0, "batch/merge workers (0 = NumCPU, 1 = sequential)")
 	maxDelta := fs.Int("maxdelta", 0, "merge once the delta holds this many vectors (0 = default 4096, negative = off)")
 	maxRatio := fs.Float64("maxratio", 0, "merge once (delta+tombstones)/base exceeds this (0 = default 0.25, negative = off)")
+	shards := fs.Int("shards", 1, "partition the corpus over this many in-process shards behind a scatter-gather router")
+	shardTimeout := fs.Duration("shard-timeout", 0, "per-shard deadline on every scattered call (0 = none; sharded mode only)")
 	httpAddr := fs.String("http", "", "serve HTTP/JSON on this address (e.g. :8080 or 127.0.0.1:0) instead of the stdin loop")
 	httpTimeout := fs.Duration("http-timeout", time.Minute, "default per-request deadline (X-Apss-Timeout header overrides; 0 = none)")
 	maxInflight := fs.Int("max-inflight", 0, "refuse requests beyond this many in flight with 429 (0 = default 256, negative = off)")
@@ -84,71 +95,109 @@ func serveMain(args []string) {
 	if *drainTimeout <= 0 {
 		usageError(prog, "-drain-timeout %v must be > 0", *drainTimeout)
 	}
+	if *shards < 1 {
+		usageError(prog, "-shards %d must be >= 1", *shards)
+	}
+	if *shardTimeout < 0 {
+		usageError(prog, "-shard-timeout %v must be >= 0 (0 = none)", *shardTimeout)
+	}
 	lc := bayeslsh.LiveConfig{MaxDelta: *maxDelta, MaxRatio: *maxRatio}
+	rcfg := cluster.Config{ShardTimeout: *shardTimeout, Workers: *parallel}
 	if *index != "" {
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
 			case "dataset", "file", "measure", "algorithm", "t", "seed":
 				usageError(prog, "-%s cannot combine with -index (the snapshot fixes it)", f.Name)
+			case "shards":
+				usageError(prog, "-shards cannot combine with -index (start sharded and restore a cluster manifest via POST /v1/load)")
 			}
 		})
 	}
 
+	// loadSingle is the single-node restore chain, shared by -index and
+	// the single-node /v1/load loader: a live snapshot restores the
+	// whole generation state; a base snapshot becomes the base segment
+	// of a fresh live index. The fallback runs only on a version
+	// mismatch — any other failure (corruption, truncation) keeps its
+	// original diagnosis.
+	loadSingle := func(path string) (*bayeslsh.LiveIndex, error) {
+		li, err := bayeslsh.LoadLiveFile(path, lc)
+		if errors.Is(err, bayeslsh.ErrSnapshotVersion) {
+			var ix *bayeslsh.Index
+			if ix, err = bayeslsh.LoadFile(path); err == nil {
+				li, err = bayeslsh.LiveFrom(ix, lc)
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		li.SetRuntime(*parallel, 0)
+		return li, nil
+	}
+	loader := func(path string) (server.Serveable, error) { return loadSingle(path) }
+	if *shards > 1 {
+		loader = func(path string) (server.Serveable, error) { return cluster.LoadLocal(path, lc, rcfg) }
+	}
+
 	var (
-		li  *bayeslsh.LiveIndex
+		idx server.Serveable
 		err error
 	)
 	start := time.Now()
 	switch {
 	case *index != "":
-		// A live snapshot restores the whole generation state; a base
-		// snapshot becomes the base segment of a fresh live index. The
-		// fallback runs only on a version mismatch — any other failure
-		// (corruption, truncation) keeps its original diagnosis.
-		li, err = bayeslsh.LoadLiveFile(*index, lc)
-		if errors.Is(err, bayeslsh.ErrSnapshotVersion) {
-			var ix *bayeslsh.Index
-			if ix, err = bayeslsh.LoadFile(*index); err == nil {
-				li, err = bayeslsh.LiveFrom(ix, lc)
-			}
-		}
+		idx, err = loadSingle(*index)
+	case *shards > 1:
+		ds := loadDataset(*datasetName, *file, measure, prog)
+		idx, err = cluster.NewLocal(ds, measure, bayeslsh.EngineConfig{
+			Seed:        *seed,
+			Parallelism: *parallel,
+		}, bayeslsh.Options{Algorithm: alg, Threshold: *threshold}, lc, *shards, rcfg)
 	default:
+		var li *bayeslsh.LiveIndex
 		ds := loadDataset(*datasetName, *file, measure, prog)
 		li, err = bayeslsh.NewLiveIndex(ds, measure, bayeslsh.EngineConfig{
 			Seed:        *seed,
 			Parallelism: *parallel,
 		}, bayeslsh.Options{Algorithm: alg, Threshold: *threshold}, lc)
+		if err == nil {
+			li.SetRuntime(*parallel, 0)
+			idx = li
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, prog+":", err)
 		os.Exit(1)
 	}
-	defer li.Close()
-	li.SetRuntime(*parallel, 0)
-	st := li.Stats()
+	defer idx.Close()
+	st := idx.Stats()
+	if *shards > 1 {
+		fmt.Fprintf(os.Stderr, "apss serve: corpus sharded %d ways behind a scatter-gather router\n", *shards)
+	}
 
 	if *httpAddr != "" {
 		timeout := *httpTimeout
 		if timeout == 0 {
 			timeout = -1 // flag 0 = no default deadline; Config 0 = its own default
 		}
-		serveHTTP(li, *httpAddr, server.Config{
+		serveHTTP(idx, *httpAddr, server.Config{
 			Timeout:     timeout,
 			MaxInFlight: *maxInflight,
 			DrainSave:   *drainSave,
+			Loader:      loader,
 		}, *drainTimeout, st, start)
 		return
 	}
 
 	fmt.Fprintf(os.Stderr, "apss serve: %v live index (%v, t=%.2f): %d vectors ready in %v; commands on stdin (add/del/query/topk/stats/compact/save/quit)\n",
-		li.Options().Algorithm, li.Measure(), li.Threshold(), st.Live, time.Since(start).Round(time.Millisecond))
+		idx.Options().Algorithm, idx.Measure(), idx.Threshold(), st.Live, time.Since(start).Round(time.Millisecond))
 
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
 	for in.Scan() {
-		serveCommand(li, strings.Fields(in.Text()), out)
+		serveCommand(idx, strings.Fields(in.Text()), out)
 		out.Flush()
 	}
 }
@@ -160,7 +209,7 @@ func serveMain(args []string) {
 // drain. The bound address is printed to stderr before serving — with
 // ":0" style addresses that line is how a supervisor (or the
 // integration test) learns the port.
-func serveHTTP(li *bayeslsh.LiveIndex, addr string, cfg server.Config, drainTimeout time.Duration, st bayeslsh.LiveStats, start time.Time) {
+func serveHTTP(li server.Serveable, addr string, cfg server.Config, drainTimeout time.Duration, st bayeslsh.LiveStats, start time.Time) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "apss serve:", err)
@@ -199,8 +248,10 @@ func serveHTTP(li *bayeslsh.LiveIndex, addr string, cfg server.Config, drainTime
 }
 
 // serveCommand executes one serve-loop command; malformed input
-// prints an err line and keeps the loop alive.
-func serveCommand(li *bayeslsh.LiveIndex, fields []string, out *bufio.Writer) {
+// prints an err line and keeps the loop alive. li is any Serveable —
+// a single LiveIndex or a sharded router — so the stdin loop drives
+// both topologies identically.
+func serveCommand(li server.Serveable, fields []string, out *bufio.Writer) {
 	if len(fields) == 0 {
 		return
 	}
@@ -241,7 +292,7 @@ func serveCommand(li *bayeslsh.LiveIndex, fields []string, out *bufio.Writer) {
 			fmt.Fprintln(out, "err:", err)
 			return
 		}
-		ms, err := li.Query(q, bayeslsh.QueryOptions{})
+		ms, err := li.QueryContext(context.Background(), q, bayeslsh.QueryOptions{})
 		if err != nil {
 			fmt.Fprintln(out, "err:", err)
 			return
@@ -262,7 +313,7 @@ func serveCommand(li *bayeslsh.LiveIndex, fields []string, out *bufio.Writer) {
 			fmt.Fprintln(out, "err:", err)
 			return
 		}
-		ms, err := li.TopK(q, k)
+		ms, err := li.TopKContext(context.Background(), q, k)
 		if err != nil {
 			fmt.Fprintln(out, "err:", err)
 			return

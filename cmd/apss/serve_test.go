@@ -360,3 +360,135 @@ func TestServeHTTPIntegration(t *testing.T) {
 	}
 	wantMatches(t, "drain snapshot query", fromSnap, served)
 }
+
+// TestServeShardedIntegration drives the compiled binary in -shards
+// mode: the daemon partitions the corpus behind the scatter-gather
+// router, serves answers bit-identical to a single-node in-process
+// index, ingests over HTTP with the single-node id assignment, drains
+// to a cluster manifest on SIGTERM — and a second daemon restores
+// that manifest through POST /v1/load, serving the grown corpus.
+func TestServeShardedIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the apss binary")
+	}
+	bin := buildApss(t)
+	dir := t.TempDir()
+	corpusPath, wires := writeCorpus(t, dir, 60)
+	manifest := filepath.Join(dir, "cluster.snap")
+
+	f, err := os.Open(corpusPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := bayeslsh.ReadDataset(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	li, err := bayeslsh.NewLiveIndex(ds, bayeslsh.Cosine,
+		bayeslsh.EngineConfig{Seed: 42, Parallelism: 2},
+		bayeslsh.Options{Algorithm: bayeslsh.LSHBayesLSH, Threshold: 0.7},
+		bayeslsh.LiveConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer li.Close()
+
+	p := startServe(t, bin,
+		"-file", corpusPath, "-t", "0.7", "-parallel", "2", "-shards", "3",
+		"-http", "127.0.0.1:0", "-drain-save", manifest)
+	defer p.cmd.Process.Kill()
+	if !strings.Contains(p.stderr.String(), "sharded 3 ways") {
+		t.Fatalf("no sharding banner in stderr:\n%s", p.stderr)
+	}
+
+	for _, i := range []int{0, 7, 31, 59} {
+		q, err := server.ParseVec(wires[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := li.Query(q, bayeslsh.QueryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := json.Marshal(map[string]string{"vec": wires[i]})
+		wantMatches(t, fmt.Sprintf("sharded query %d", i),
+			httpMatches(t, p.url("/v1/query"), string(body)), want)
+
+		wantK, err := li.TopK(q, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kbody, _ := json.Marshal(map[string]any{"vec": wires[i], "k": 4})
+		wantMatches(t, fmt.Sprintf("sharded topk %d", i),
+			httpMatches(t, p.url("/v1/topk"), string(kbody)), wantK)
+	}
+
+	// Sharded ingest assigns the same global id the single-node index
+	// would, and queries agree afterwards.
+	body, _ := json.Marshal(map[string]string{"vec": wires[1]})
+	resp, err := http.Post(p.url("/v1/add"), "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var added struct {
+		ID int `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&added); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	q1, err := server.ParseVec(wires[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantID, err := li.Add(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added.ID != wantID {
+		t.Fatalf("sharded add id %d, want %d", added.ID, wantID)
+	}
+	want, err := li.Query(q1, bayeslsh.QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := httpMatches(t, p.url("/v1/query"), string(body))
+	wantMatches(t, "sharded query after add", served, want)
+
+	// SIGTERM drains to a cluster manifest plus per-shard snapshots.
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.cmd.Wait(); err != nil {
+		t.Fatalf("sharded serve exited %v after SIGTERM:\n%s", err, p.stderr)
+	}
+	if _, err := os.Stat(manifest); err != nil {
+		t.Fatalf("no cluster manifest after drain: %v", err)
+	}
+
+	// A fresh sharded daemon hot-loads the manifest via POST /v1/load
+	// and serves the grown (61-vector) corpus identically.
+	p2 := startServe(t, bin,
+		"-file", corpusPath, "-t", "0.7", "-parallel", "2", "-shards", "3",
+		"-http", "127.0.0.1:0")
+	defer p2.cmd.Process.Kill()
+	lbody, _ := json.Marshal(map[string]string{"path": manifest})
+	lresp, err := http.Post(p2.url("/v1/load"), "application/json", strings.NewReader(string(lbody)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loaded struct {
+		Live int `json:"live"`
+	}
+	if err := json.NewDecoder(lresp.Body).Decode(&loaded); err != nil {
+		t.Fatal(err)
+	}
+	lresp.Body.Close()
+	if lresp.StatusCode != http.StatusOK || loaded.Live != li.Len() {
+		t.Fatalf("load status %d live %d, want 200 live %d:\n%s", lresp.StatusCode, loaded.Live, li.Len(), p2.stderr)
+	}
+	wantMatches(t, "restored sharded query", httpMatches(t, p2.url("/v1/query"), string(body)), served)
+	p2.cmd.Process.Signal(syscall.SIGTERM)
+	p2.cmd.Wait()
+}

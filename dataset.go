@@ -41,6 +41,16 @@ func (d *Dataset) AddSet(indices []uint32) int {
 // Len returns the number of vectors.
 func (d *Dataset) Len() int { return len(d.c.Vecs) }
 
+// Slice returns a dataset over the same feature space holding vectors
+// [lo, hi) of d, sharing their storage — vector i of the slice is
+// vector lo+i of d, bit-identical. Slicing is how a corpus is
+// partitioned across shards (see internal/cluster): the slices are
+// views, so partitioning copies no vector data. Out-of-range bounds
+// panic, matching Go slicing.
+func (d *Dataset) Slice(lo, hi int) *Dataset {
+	return &Dataset{c: &vector.Collection{Dim: d.c.Dim, Vecs: d.c.Vecs[lo:hi:hi]}}
+}
+
 // Dim returns the feature-space dimensionality.
 func (d *Dataset) Dim() int { return d.c.Dim }
 

@@ -49,75 +49,10 @@ func queryAlgorithms() []Algorithm {
 	}
 }
 
-// TestQueryMatchesBatch is the build-once/query-many consistency
-// guarantee: for every measure and pipeline, querying the index with
-// dataset vector i returns exactly the pairs involving i that the
-// batch search finds at the same threshold and Seed — identical ids,
-// and identical similarities (to the last bit for the hash-based
-// pipelines; within float tolerance for AllPairs' accumulated exact
-// sims, which sum in a different order).
-func TestQueryMatchesBatch(t *testing.T) {
-	const n = 300
-	for _, tc := range queryTestConfigs() {
-		tc := tc
-		t.Run(tc.measure.String(), func(t *testing.T) {
-			ds := tc.prep(smallDataset(t, n))
-			for _, alg := range queryAlgorithms() {
-				eng, err := NewEngine(ds, tc.measure, tc.cfg)
-				if err != nil {
-					t.Fatal(err)
-				}
-				opts := Options{Algorithm: alg, Threshold: tc.threshold}
-				batch, err := eng.Search(opts)
-				if err != nil {
-					t.Fatalf("%v: %v", alg, err)
-				}
-				ix, err := eng.BuildIndex(opts)
-				if err != nil {
-					t.Fatalf("%v: %v", alg, err)
-				}
-				partners := batchPartners(batch, ds.Len())
-				tol := 0.0
-				if alg == AllPairs {
-					tol = 1e-12
-				}
-				checked := 0
-				for i := 0; i < ds.Len(); i++ {
-					ms, err := ix.Query(ds.Vector(i), QueryOptions{})
-					if err != nil {
-						t.Fatalf("%v: query %d: %v", alg, i, err)
-					}
-					got := map[int]float64{}
-					for _, m := range ms {
-						if m.ID == i {
-							continue // self-match
-						}
-						got[m.ID] = m.Sim
-					}
-					want := partners[i]
-					for id, ws := range want {
-						gs, ok := got[id]
-						if !ok {
-							t.Fatalf("%v: query %d missing partner %d (batch sim %v)", alg, i, id, ws)
-						}
-						if math.Abs(gs-ws) > tol {
-							t.Fatalf("%v: query %d partner %d sim %v, batch %v", alg, i, id, gs, ws)
-						}
-					}
-					for id, gs := range got {
-						if _, ok := want[id]; !ok {
-							t.Fatalf("%v: query %d extra partner %d (sim %v)", alg, i, id, gs)
-						}
-					}
-					checked += len(want)
-				}
-				if checked == 0 {
-					t.Fatalf("%v: no batch pairs to cross-check", alg)
-				}
-			}
-		})
-	}
-}
+// The full build-once/query-many consistency matrix lives in
+// query_matrix_test.go (package bayeslsh_test), driven over the shared
+// internal/harness grid; the tests below cover the option-dependent
+// and concurrency paths that need package-internal access.
 
 // TestQueryVariants exercises the option-dependent query paths that
 // the main cross-check matrix skips: multi-probe banding and 1-bit

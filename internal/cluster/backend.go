@@ -1,0 +1,35 @@
+package cluster
+
+import (
+	"context"
+
+	"bayeslsh"
+)
+
+// Backend is one shard as the router sees it: the LiveIndex query,
+// mutation and lifecycle surface, addressed in shard-local ids. Two
+// implementations exist — *bayeslsh.LiveIndex itself (the in-process
+// topology) and *server.Client (a shard served by another process
+// over HTTP) — and the router cannot tell them apart, which is what
+// the multi-process equivalence tests prove.
+//
+// The router owns all mutations: ids returned by a Backend's Add must
+// be the shard's dense local sequence (the LiveIndex contract), and
+// mutating a shard behind the router's back desynchronizes the
+// local→global id map — queries then fail with an UnavailableError
+// naming the shard rather than returning mistranslated ids.
+type Backend interface {
+	QueryContext(ctx context.Context, q bayeslsh.Vec, opts bayeslsh.QueryOptions) ([]bayeslsh.Match, error)
+	TopKContext(ctx context.Context, q bayeslsh.Vec, k int) ([]bayeslsh.Match, error)
+	QueryBatchContext(ctx context.Context, queries []bayeslsh.Vec, opts bayeslsh.QueryOptions) ([][]bayeslsh.Match, error)
+	Add(q bayeslsh.Vec) (int, error)
+	Delete(id int) bool
+	Len() int
+	Stats() bayeslsh.LiveStats
+	Compact() error
+	SaveFile(path string) error
+	Close()
+}
+
+// The in-process shard backend is a LiveIndex, with no adapter.
+var _ Backend = (*bayeslsh.LiveIndex)(nil)

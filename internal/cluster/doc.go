@@ -1,0 +1,53 @@
+// Package cluster is the distributed serving layer: it splits a
+// corpus across N shards and scatter-gathers queries over them, with
+// results bit-identical to a single-node LiveIndex over the same
+// corpus (see docs/SHARDING.md for the full contract).
+//
+// # Architecture
+//
+// Partition slices a Dataset into N contiguous, balanced slices —
+// views, no vector copies — and Router fronts one Backend per slice
+// with the LiveIndex query surface: QueryContext, TopKContext,
+// QueryBatchContext, Add, Delete, Stats, Compact, SaveFile. The
+// in-process backend is a LiveIndex per shard; the out-of-process
+// backend is the internal/server HTTP client, so the same Router code
+// serves a single-binary topology and a multi-process one.
+//
+// # Determinism
+//
+// Global ids are stable and deterministic: the seed corpus keeps its
+// dataset ids through contiguous per-shard ranges, and every Add is
+// assigned the next global id by the router and placed round-robin,
+// so a router replaying the mutation sequence of a single-node index
+// assigns identical ids. Every shard engine shares the reference
+// EngineConfig.Seed — the hash families must be the family a
+// single-node build seeds, or per-candidate verification decisions
+// would drift (rng.Derive supplies per-shard identity tokens for the
+// partition plan instead; see Plan.Tokens).
+//
+// The one serving configuration the router refuses is the
+// corpus-global one: the full-Bayes Jaccard pipelines without
+// OneBitMinhash fit a Beta prior over corpus-wide candidate pairs,
+// and cross-shard pairs are invisible to any shard-local enumeration
+// (ErrGlobalPrior; set Options.OneBitMinhash, which the paper's §4.3
+// extension makes prior-free, or use a non-Bayes pipeline).
+//
+// # Merging
+//
+// Threshold queries return ascending global ids: per-shard results
+// are translated (the per-shard local→global map is monotone, so
+// translated lists stay sorted) and merged by concatenation + sort.
+// TopK returns (similarity desc, id asc): each shard answers its own
+// top k, and a k-way heap merge keeps the global k — the union of
+// per-shard top-k lists always contains the global top k.
+//
+// # Failure semantics
+//
+// A scatter is all-or-nothing: if any shard fails — down before the
+// scatter, hanging past the per-shard deadline (Config.ShardTimeout),
+// or erroring mid-gather — the query returns no partial output and a
+// *UnavailableError wrapping ErrShardUnavailable that records which
+// shards answered and how each failed shard failed. Cancellation of
+// the caller's context is reported as the context's error, matching
+// the single-node contract.
+package cluster

@@ -1,0 +1,46 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ErrShardUnavailable is the sentinel every scatter-gather failure
+// wraps: match it with errors.Is. The concrete error is always a
+// *UnavailableError carrying which shards answered and how each
+// failed shard failed.
+var ErrShardUnavailable = errors.New("cluster: shard unavailable")
+
+// UnavailableError reports a partial scatter failure. The router
+// never returns partial output: a query either reflects every shard
+// or returns this error, so a caller can retry knowing nothing was
+// half-delivered. Answered lists the shards that returned results
+// (discarded), Failures maps each failed shard to its error — a
+// connection failure for a shard that was down before the scatter, a
+// deadline error for one that hung past Config.ShardTimeout.
+type UnavailableError struct {
+	Answered []int
+	Failures map[int]error
+}
+
+func (e *UnavailableError) Error() string {
+	ids := make([]int, 0, len(e.Failures))
+	for i := range e.Failures {
+		ids = append(ids, i)
+	}
+	sort.Ints(ids)
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster: %d shard(s) failed (answered: %v):", len(ids), e.Answered)
+	for n, i := range ids {
+		if n > 0 {
+			b.WriteByte(';')
+		}
+		fmt.Fprintf(&b, " shard %d: %v", i, e.Failures[i])
+	}
+	return b.String()
+}
+
+// Unwrap makes errors.Is(err, ErrShardUnavailable) match.
+func (e *UnavailableError) Unwrap() error { return ErrShardUnavailable }

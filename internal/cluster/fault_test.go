@@ -1,0 +1,234 @@
+package cluster_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"bayeslsh"
+	"bayeslsh/internal/cluster"
+)
+
+// Fault injection through the Backend seam: a fake shard that can be
+// down, hang past the per-shard deadline, or answer normally, wired
+// into a real router. Every failure mode must surface as a typed
+// all-or-nothing error — never partial output, never a leaked
+// goroutine.
+
+// fakeShard is a controllable Backend. The zero value answers every
+// query with one match (local id 0).
+type fakeShard struct {
+	seedN    int           // reported NextID, so cluster.New accepts it
+	err      error         // non-nil: every query fails with this
+	hang     time.Duration // >0: block this long (or until ctx ends)
+	calls    chan struct{} // when non-nil, receives one send per query call
+	answerID int           // local id every answer carries
+}
+
+func (f *fakeShard) wait(ctx context.Context) error {
+	if f.calls != nil {
+		f.calls <- struct{}{}
+	}
+	if f.hang > 0 {
+		select {
+		case <-time.After(f.hang):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return f.err
+}
+
+func (f *fakeShard) QueryContext(ctx context.Context, q bayeslsh.Vec, opts bayeslsh.QueryOptions) ([]bayeslsh.Match, error) {
+	if err := f.wait(ctx); err != nil {
+		return nil, err
+	}
+	return []bayeslsh.Match{{ID: f.answerID, Sim: 0.9}}, nil
+}
+
+func (f *fakeShard) TopKContext(ctx context.Context, q bayeslsh.Vec, k int) ([]bayeslsh.Match, error) {
+	return f.QueryContext(ctx, q, bayeslsh.QueryOptions{})
+}
+
+func (f *fakeShard) QueryBatchContext(ctx context.Context, queries []bayeslsh.Vec, opts bayeslsh.QueryOptions) ([][]bayeslsh.Match, error) {
+	if err := f.wait(ctx); err != nil {
+		return nil, err
+	}
+	out := make([][]bayeslsh.Match, len(queries))
+	for i := range out {
+		out[i] = []bayeslsh.Match{{ID: f.answerID, Sim: 0.9}}
+	}
+	return out, nil
+}
+
+func (f *fakeShard) Add(q bayeslsh.Vec) (int, error) { return f.seedN, nil }
+func (f *fakeShard) Delete(id int) bool              { return false }
+func (f *fakeShard) Len() int                        { return f.seedN }
+func (f *fakeShard) Stats() bayeslsh.LiveStats {
+	return bayeslsh.LiveStats{Live: f.seedN, NextID: f.seedN}
+}
+func (f *fakeShard) Compact() error             { return nil }
+func (f *fakeShard) SaveFile(path string) error { return nil }
+func (f *fakeShard) Close()                     {}
+
+// fakeRouter assembles a router over the given fakes, each fronting
+// an equal slice of a synthetic 3-per-shard seed corpus.
+func fakeRouter(t *testing.T, cfg cluster.Config, fakes ...*fakeShard) *cluster.Router {
+	t.Helper()
+	const perShard = 3
+	backends := make([]cluster.Backend, len(fakes))
+	for i, f := range fakes {
+		f.seedN = perShard
+		backends[i] = f
+	}
+	plan, err := cluster.PlanFor(perShard*len(fakes), len(fakes), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := cluster.New(backends, plan, bayeslsh.Cosine,
+		bayeslsh.Options{Algorithm: bayeslsh.LSH, Threshold: 0.6}, 400, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// checkNoGoroutineLeak polls until the goroutine count returns to
+// base, dumping stacks on timeout — the scatter must not strand
+// workers on a hung or canceled shard.
+func checkNoGoroutineLeak(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	t.Fatalf("goroutine leak: %d running, base %d\n%s",
+		runtime.NumGoroutine(), base, buf[:runtime.Stack(buf, true)])
+}
+
+var testQuery = bayeslsh.NewVec(map[uint32]float64{1: 1})
+
+// TestShardDownBeforeScatter proves the all-or-nothing contract when a
+// shard is down from the start: the error is typed (ErrShardUnavailable,
+// carrying exactly which shards answered and how the dead one failed)
+// and no partial results escape on any query surface.
+func TestShardDownBeforeScatter(t *testing.T) {
+	base := runtime.NumGoroutine()
+	boom := errors.New("connection refused")
+	r := fakeRouter(t, cluster.Config{}, &fakeShard{}, &fakeShard{err: boom}, &fakeShard{})
+	defer r.Close()
+
+	ms, err := r.Query(testQuery, bayeslsh.QueryOptions{})
+	if ms != nil {
+		t.Fatalf("partial output escaped: %v", ms)
+	}
+	if !errors.Is(err, cluster.ErrShardUnavailable) {
+		t.Fatalf("err = %v, want ErrShardUnavailable", err)
+	}
+	var ue *cluster.UnavailableError
+	if !errors.As(err, &ue) {
+		t.Fatalf("err %T does not unwrap to *UnavailableError", err)
+	}
+	if len(ue.Failures) != 1 || !errors.Is(ue.Failures[1], boom) {
+		t.Fatalf("Failures = %v, want shard 1 -> %v", ue.Failures, boom)
+	}
+	if len(ue.Answered) != 2 {
+		t.Fatalf("Answered = %v, want the two live shards", ue.Answered)
+	}
+
+	if ms, err := r.TopK(testQuery, 3); ms != nil || !errors.Is(err, cluster.ErrShardUnavailable) {
+		t.Fatalf("TopK: ms=%v err=%v, want nil + ErrShardUnavailable", ms, err)
+	}
+	if out, err := r.QueryBatch([]bayeslsh.Vec{testQuery, testQuery}, bayeslsh.QueryOptions{}); out != nil || !errors.Is(err, cluster.ErrShardUnavailable) {
+		t.Fatalf("QueryBatch: out=%v err=%v, want nil + ErrShardUnavailable", out, err)
+	}
+	checkNoGoroutineLeak(t, base)
+}
+
+// TestShardHangsPastDeadline proves Config.ShardTimeout: a shard that
+// hangs is cut off at the per-shard deadline and reported unavailable
+// with a deadline error, while the caller's own context stays intact.
+func TestShardHangsPastDeadline(t *testing.T) {
+	base := runtime.NumGoroutine()
+	r := fakeRouter(t, cluster.Config{ShardTimeout: 25 * time.Millisecond},
+		&fakeShard{}, &fakeShard{hang: time.Minute})
+	defer r.Close()
+
+	start := time.Now()
+	ms, err := r.Query(testQuery, bayeslsh.QueryOptions{})
+	if took := time.Since(start); took > 10*time.Second {
+		t.Fatalf("query took %v; per-shard deadline did not cut the hang", took)
+	}
+	if ms != nil {
+		t.Fatalf("partial output escaped: %v", ms)
+	}
+	var ue *cluster.UnavailableError
+	if !errors.As(err, &ue) {
+		t.Fatalf("err = %v, want *UnavailableError", err)
+	}
+	if !errors.Is(ue.Failures[1], context.DeadlineExceeded) {
+		t.Fatalf("Failures[1] = %v, want DeadlineExceeded", ue.Failures[1])
+	}
+	checkNoGoroutineLeak(t, base)
+}
+
+// TestMidGatherCancellation proves caller-cancellation precedence: a
+// context canceled while shards are mid-flight surfaces as the
+// context's own error (the single-node contract, so the server maps it
+// to 499/504), not as a shard failure, and with no partial output.
+func TestMidGatherCancellation(t *testing.T) {
+	base := runtime.NumGoroutine()
+	calls := make(chan struct{}, 4)
+	r := fakeRouter(t, cluster.Config{Workers: 2},
+		&fakeShard{hang: time.Minute, calls: calls},
+		&fakeShard{hang: time.Minute, calls: calls})
+	defer r.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		// Cancel only once both shards are verifiably mid-flight (the
+		// router is built with Workers: 2 so the scatter genuinely
+		// overlaps them even on a single-CPU machine).
+		<-calls
+		<-calls
+		cancel()
+	}()
+	ms, err := r.QueryContext(ctx, testQuery, bayeslsh.QueryOptions{})
+	if ms != nil {
+		t.Fatalf("partial output escaped: %v", ms)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if errors.Is(err, cluster.ErrShardUnavailable) {
+		t.Fatal("caller cancellation misreported as shard unavailability")
+	}
+	checkNoGoroutineLeak(t, base)
+}
+
+// TestDesyncDetected proves the id-map guard: a shard answering with a
+// local id the router never issued (a shard mutated behind the
+// router's back) is a typed failure — ErrShardUnavailable naming the
+// shard — never a mistranslated result id.
+func TestDesyncDetected(t *testing.T) {
+	rogue := &fakeShard{answerID: 99} // far beyond the 3-vector seed + 0 adds
+	r := fakeRouter(t, cluster.Config{}, &fakeShard{}, rogue)
+	defer r.Close()
+	ms, err := r.Query(testQuery, bayeslsh.QueryOptions{})
+	if ms != nil {
+		t.Fatalf("mistranslated output escaped: %v", ms)
+	}
+	if !errors.Is(err, cluster.ErrShardUnavailable) {
+		t.Fatalf("err = %v, want ErrShardUnavailable", err)
+	}
+	if !strings.Contains(err.Error(), "shard 1") {
+		t.Fatalf("error does not name the rogue shard: %v", err)
+	}
+}

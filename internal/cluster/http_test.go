@@ -1,0 +1,147 @@
+package cluster_test
+
+import (
+	"errors"
+	"net/http/httptest"
+	"testing"
+
+	"bayeslsh"
+	"bayeslsh/internal/cluster"
+	"bayeslsh/internal/harness"
+	"bayeslsh/internal/server"
+)
+
+// The multi-process topology, in-process: each shard runs behind a
+// real HTTP server (the full serving stack — JSON decode, wire-grammar
+// parse, NDJSON encode) and the router scatters through server.Client
+// backends. Equivalence here proves the Backend seam is transport-
+// transparent: the wire adds no rounding, no reordering, nothing.
+
+// newHTTPCluster cuts ds with the plan, stands up one httptest daemon
+// per slice, and assembles a router over clients to them.
+func newHTTPCluster(t *testing.T, ds *bayeslsh.Dataset, m bayeslsh.Measure,
+	opts bayeslsh.Options, shards int) *cluster.Router {
+	t.Helper()
+	parts, plan, err := cluster.Partition(ds, shards, harness.EngineConfig().Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backends := make([]cluster.Backend, shards)
+	for i, part := range parts {
+		li, err := bayeslsh.NewLiveIndex(part, m, harness.EngineConfig(), opts, harness.LiveConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(server.New(li, server.Config{BatchChunk: 4}).Handler())
+		t.Cleanup(ts.Close)
+		t.Cleanup(li.Close)
+		backends[i] = server.NewClient(ts.URL, ts.Client())
+	}
+	r, err := cluster.New(backends, plan, m, opts, ds.Dim(), cluster.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestHTTPShardsEquivalent runs the equivalence check with every shard
+// behind real HTTP: sharded-over-the-wire answers must equal a
+// single-node in-process index bit for bit, cold and after mirrored
+// mutations routed through /v1/add and /v1/delete.
+func TestHTTPShardsEquivalent(t *testing.T) {
+	for _, tc := range harness.Cells() {
+		t.Run(tc.Measure.String(), func(t *testing.T) {
+			ds, maps := harness.Corpus(t, tc.Measure, 45)
+			opts := cellOpts(tc.Measure, bayeslsh.LSHBayesLSH, tc.Threshold)
+			single := newSingle(t, ds, tc.Measure, opts)
+			defer single.Close()
+			r := newHTTPCluster(t, ds, tc.Measure, opts, 3)
+			defer r.Close()
+
+			queries := make([]bayeslsh.Vec, 0, 5)
+			for _, mv := range maps[:5] {
+				queries = append(queries, bayeslsh.NewVec(mv))
+			}
+			checkEquivalent(t, "cold", single, r, queries)
+
+			for _, mv := range maps[2:5] {
+				v := bayeslsh.NewVec(mv)
+				wantID, err := single.Add(v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotID, err := r.Add(v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gotID != wantID {
+					t.Fatalf("HTTP-sharded Add id %d, single %d", gotID, wantID)
+				}
+			}
+			for _, id := range []int{3, 3, 999999} {
+				if got, want := r.Delete(id), single.Delete(id); got != want {
+					t.Fatalf("HTTP-sharded Delete(%d)=%v, single %v", id, got, want)
+				}
+			}
+			checkEquivalent(t, "post-mutation", single, r, queries)
+
+			if err := single.Compact(); err != nil {
+				t.Fatal(err)
+			}
+			if err := r.Compact(); err != nil {
+				t.Fatal(err)
+			}
+			checkEquivalent(t, "post-compact", single, r, queries)
+		})
+	}
+}
+
+// TestHTTPShardDown proves the typed partial-failure path over real
+// transport: kill one shard daemon and the router reports
+// ErrShardUnavailable with the dead shard attributed, no partial
+// output.
+func TestHTTPShardDown(t *testing.T) {
+	ds, maps := harness.Corpus(t, bayeslsh.Cosine, 30)
+	opts := bayeslsh.Options{Algorithm: bayeslsh.LSH, Threshold: 0.6}
+	parts, plan, err := cluster.Partition(ds, 2, harness.EngineConfig().Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backends := make([]cluster.Backend, 2)
+	var victim *httptest.Server
+	for i, part := range parts {
+		li, err := bayeslsh.NewLiveIndex(part, bayeslsh.Cosine, harness.EngineConfig(), opts, harness.LiveConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(server.New(li, server.Config{}).Handler())
+		t.Cleanup(ts.Close)
+		t.Cleanup(li.Close)
+		backends[i] = server.NewClient(ts.URL, ts.Client())
+		if i == 1 {
+			victim = ts
+		}
+	}
+	r, err := cluster.New(backends, plan, bayeslsh.Cosine, opts, ds.Dim(), cluster.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	q := bayeslsh.NewVec(maps[0])
+	if _, err := r.Query(q, bayeslsh.QueryOptions{}); err != nil {
+		t.Fatalf("healthy cluster refused: %v", err)
+	}
+	victim.Close()
+	ms, err := r.Query(q, bayeslsh.QueryOptions{})
+	if ms != nil {
+		t.Fatalf("partial output escaped: %v", ms)
+	}
+	var ue *cluster.UnavailableError
+	if !errors.As(err, &ue) {
+		t.Fatalf("err = %v, want *UnavailableError", err)
+	}
+	if _, failed := ue.Failures[1]; !failed || len(ue.Failures) != 1 {
+		t.Fatalf("Failures = %v, want exactly shard 1", ue.Failures)
+	}
+}

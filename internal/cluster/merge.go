@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"container/heap"
+	"sort"
+
+	"bayeslsh"
+)
+
+// mergeByID merges per-shard threshold results (each already in
+// ascending global-id order after translation) into one ascending
+// list: concatenate and sort. Global ids are unique across shards, so
+// the order is total and equals the single-node ascending-id order.
+func mergeByID(lists [][]bayeslsh.Match) []bayeslsh.Match {
+	n := 0
+	for _, l := range lists {
+		n += len(l)
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]bayeslsh.Match, 0, n)
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// topkHeap is the k-way merge frontier: one cursor per non-empty
+// shard list, ordered best-first by the TopK contract (similarity
+// descending, global id ascending — ids are unique, so the order is
+// total).
+type topkHeap struct {
+	lists [][]bayeslsh.Match
+	pos   []int
+	order []int // heap of list indexes
+}
+
+func (h *topkHeap) head(i int) bayeslsh.Match { return h.lists[i][h.pos[i]] }
+
+func (h *topkHeap) Len() int { return len(h.order) }
+func (h *topkHeap) Less(i, j int) bool {
+	a, b := h.head(h.order[i]), h.head(h.order[j])
+	if a.Sim != b.Sim {
+		return a.Sim > b.Sim
+	}
+	return a.ID < b.ID
+}
+func (h *topkHeap) Swap(i, j int) { h.order[i], h.order[j] = h.order[j], h.order[i] }
+func (h *topkHeap) Push(x any)    { h.order = append(h.order, x.(int)) }
+func (h *topkHeap) Pop() any {
+	x := h.order[len(h.order)-1]
+	h.order = h.order[:len(h.order)-1]
+	return x
+}
+
+// mergeTopK merges per-shard TopK results — each sorted (sim desc, id
+// asc) — into the global best k under the same order. Because every
+// shard contributed its own best k, the union contains the global top
+// k, so truncating the merge at k is exact.
+func mergeTopK(lists [][]bayeslsh.Match, k int) []bayeslsh.Match {
+	h := &topkHeap{lists: lists, pos: make([]int, len(lists))}
+	for i, l := range lists {
+		if len(l) > 0 {
+			h.order = append(h.order, i)
+		}
+	}
+	heap.Init(h)
+	var out []bayeslsh.Match
+	for h.Len() > 0 && len(out) < k {
+		i := h.order[0]
+		out = append(out, h.head(i))
+		h.pos[i]++
+		if h.pos[i] == len(h.lists[i]) {
+			heap.Pop(h)
+		} else {
+			heap.Fix(h, 0)
+		}
+	}
+	return out
+}

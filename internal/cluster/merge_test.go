@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"sort"
+	"testing"
+
+	"bayeslsh"
+)
+
+// topkLess is the TopK result order: similarity descending, id
+// ascending.
+func topkLess(a, b bayeslsh.Match) bool {
+	if a.Sim != b.Sim {
+		return a.Sim > b.Sim
+	}
+	return a.ID < b.ID
+}
+
+// refTopK is the sort-everything reference the heap merge is checked
+// against: concatenate every list, sort under the TopK order, truncate
+// to k.
+func refTopK(lists [][]bayeslsh.Match, k int) []bayeslsh.Match {
+	var all []bayeslsh.Match
+	for _, l := range lists {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return topkLess(all[i], all[j]) })
+	if len(all) > k {
+		all = all[:k]
+	}
+	if len(all) == 0 {
+		return nil
+	}
+	return all
+}
+
+// fuzzLists decodes a byte string into per-shard TopK result lists:
+// each byte pair becomes one match (similarity quantized to a small
+// grid so duplicate sims across lists are common, forcing the
+// id-ascending tiebreak), dealt round-robin over the shard count and
+// then sorted per shard — the exact shape each shard's TopKContext
+// hands the merge. Ids are globally unique by construction, matching
+// the post-globalization invariant.
+func fuzzLists(data []byte, shards int) [][]bayeslsh.Match {
+	lists := make([][]bayeslsh.Match, shards)
+	for i := 0; i+1 < len(data); i += 2 {
+		s := int(data[i]) % shards
+		sim := float64(data[i+1]%16) / 16
+		lists[s] = append(lists[s], bayeslsh.Match{ID: i / 2, Sim: sim})
+	}
+	for _, l := range lists {
+		sort.Slice(l, func(i, j int) bool { return topkLess(l[i], l[j]) })
+	}
+	return lists
+}
+
+// FuzzTopKMerge drives the k-way heap merge against the
+// sort-everything reference over adversarial shapes: sim ties within
+// and across shards, duplicate sims, k larger than the total hit
+// count, empty shard lists, and single-shard degenerate cases.
+func FuzzTopKMerge(f *testing.F) {
+	f.Add([]byte{}, uint8(1), uint8(1))
+	f.Add([]byte{0, 8, 1, 8, 2, 8}, uint8(3), uint8(2))             // all-tie across shards
+	f.Add([]byte{0, 15, 0, 15, 0, 0, 0, 7}, uint8(2), uint8(10))    // k > total, empty shard
+	f.Add([]byte{1, 1, 1, 2, 1, 3, 1, 4, 1, 5}, uint8(4), uint8(3)) // one hot shard, three empty
+	f.Fuzz(func(t *testing.T, data []byte, nshards, k8 uint8) {
+		shards := 1 + int(nshards)%6
+		k := 1 + int(k8)%12
+		lists := fuzzLists(data, shards)
+		want := refTopK(lists, k)
+		got := mergeTopK(lists, k)
+		if len(got) != len(want) {
+			t.Fatalf("merged %d matches, reference %d (shards=%d k=%d)", len(got), len(want), shards, k)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("merge[%d] = %v, reference %v (shards=%d k=%d)", i, got[i], want[i], shards, k)
+			}
+		}
+	})
+}
+
+// TestMergeByID pins the threshold-merge contract: concatenation
+// sorted by ascending global id, nil for no hits.
+func TestMergeByID(t *testing.T) {
+	got := mergeByID([][]bayeslsh.Match{
+		{{ID: 4, Sim: 0.9}, {ID: 9, Sim: 0.7}},
+		nil,
+		{{ID: 0, Sim: 0.8}, {ID: 6, Sim: 0.6}},
+	})
+	want := []bayeslsh.Match{{ID: 0, Sim: 0.8}, {ID: 4, Sim: 0.9}, {ID: 6, Sim: 0.6}, {ID: 9, Sim: 0.7}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if mergeByID([][]bayeslsh.Match{nil, {}}) != nil {
+		t.Fatal("empty merge not nil")
+	}
+}

@@ -1,0 +1,334 @@
+package cluster_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bayeslsh"
+	"bayeslsh/internal/cluster"
+	"bayeslsh/internal/harness"
+)
+
+// copyFile clobbers dst with src's bytes.
+func copyFile(src, dst string) error {
+	data, err := os.ReadFile(src)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(dst, data, 0o644)
+}
+
+// The cross-shard equivalence suite: for every shard count × measure ×
+// pipeline of the shared matrix, the router's Query, TopK and
+// QueryBatch answers are compared — ids and float64 similarities
+// exactly equal — against a single-node LiveIndex over the same
+// corpus, cold, after mirrored add/delete interleavings, and after
+// compaction. This is the theorem the cluster package rests on; see
+// docs/SHARDING.md for why it holds.
+
+// shardCounts is the N axis of the equivalence matrix. 1 pins the
+// degenerate topology to the identity; 2, 3 and 5 exercise uneven
+// splits of the 60-vector corpus (60/5=12 exactly, 60/3=20, and a
+// remainder under 7 via the mutation stages).
+var shardCounts = []int{1, 2, 3, 5}
+
+// cellOpts resolves one cell × pipeline into the Options both sides
+// run: the prior-coupled Jaccard Bayes pipelines get OneBitMinhash
+// (the prior-free §4.3 extension) so they are shardable at all — the
+// un-extended forms are covered by TestGlobalPriorRejected instead.
+func cellOpts(m bayeslsh.Measure, alg bayeslsh.Algorithm, threshold float64) bayeslsh.Options {
+	o := bayeslsh.Options{Algorithm: alg, Threshold: threshold}
+	switch alg {
+	case bayeslsh.AllPairsBayesLSH, bayeslsh.AllPairsBayesLSHLite,
+		bayeslsh.LSHBayesLSH, bayeslsh.LSHBayesLSHLite:
+		if m == bayeslsh.Jaccard {
+			o.OneBitMinhash = true
+		}
+	}
+	return o
+}
+
+// newSingle builds the single-node reference index for a cell.
+func newSingle(tb testing.TB, ds *bayeslsh.Dataset, m bayeslsh.Measure, opts bayeslsh.Options) *bayeslsh.LiveIndex {
+	tb.Helper()
+	li, err := bayeslsh.NewLiveIndex(ds, m, harness.EngineConfig(), opts, harness.LiveConfig())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return li
+}
+
+// checkEquivalent compares every query surface of the router against
+// the single-node reference over the given query set, strictly.
+func checkEquivalent(t *testing.T, stage string, single *bayeslsh.LiveIndex, r *cluster.Router, queries []bayeslsh.Vec) {
+	t.Helper()
+	for qi, q := range queries {
+		want, err := single.Query(q, bayeslsh.QueryOptions{})
+		if err != nil {
+			t.Fatalf("%s: single query %d: %v", stage, qi, err)
+		}
+		got, err := r.Query(q, bayeslsh.QueryOptions{})
+		if err != nil {
+			t.Fatalf("%s: sharded query %d: %v", stage, qi, err)
+		}
+		if !harness.MatchesEqual(got, want) {
+			t.Fatalf("%s: sharded query %d != single:\n got %v\nwant %v", stage, qi, got, want)
+		}
+		wantK, err := single.TopK(q, 5)
+		if err != nil {
+			t.Fatalf("%s: single topk %d: %v", stage, qi, err)
+		}
+		gotK, err := r.TopK(q, 5)
+		if err != nil {
+			t.Fatalf("%s: sharded topk %d: %v", stage, qi, err)
+		}
+		if !harness.MatchesEqual(gotK, wantK) {
+			t.Fatalf("%s: sharded topk %d != single:\n got %v\nwant %v", stage, qi, gotK, wantK)
+		}
+	}
+	// The batch path, with an empty vector slotted in to prove the
+	// router's empty-query short-circuit matches the single-node nil.
+	batch := append(append([]bayeslsh.Vec{}, queries...), bayeslsh.Vec{})
+	want, err := single.QueryBatch(batch, bayeslsh.QueryOptions{})
+	if err != nil {
+		t.Fatalf("%s: single batch: %v", stage, err)
+	}
+	got, err := r.QueryBatch(batch, bayeslsh.QueryOptions{})
+	if err != nil {
+		t.Fatalf("%s: sharded batch: %v", stage, err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%s: sharded batch answered %d queries, single %d", stage, len(got), len(want))
+	}
+	for i := range want {
+		if !harness.MatchesEqual(got[i], want[i]) {
+			t.Fatalf("%s: sharded batch[%d] != single:\n got %v\nwant %v", stage, i, got[i], want[i])
+		}
+	}
+}
+
+// TestShardedEquivalence is the acceptance matrix: shard counts ×
+// measures × pipelines, each cell checked cold, after mirrored
+// mutations (identical ids required on both sides), and after
+// compaction.
+func TestShardedEquivalence(t *testing.T) {
+	for _, tc := range harness.Cells() {
+		ds, maps := harness.Corpus(t, tc.Measure, 60)
+		queries := make([]bayeslsh.Vec, 0, 6)
+		for _, mv := range maps[:5] {
+			queries = append(queries, bayeslsh.NewVec(mv))
+		}
+		queries = append(queries, bayeslsh.NewVec(harness.PrepMap(tc.Measure, map[uint32]float64{3: 1, 44: 0.8, 199: 1.2})))
+
+		for _, alg := range harness.Pipelines(tc.Measure) {
+			opts := cellOpts(tc.Measure, alg, tc.Threshold)
+			for _, n := range shardCounts {
+				t.Run(fmt.Sprintf("%v/%v/shards=%d", tc.Measure, alg, n), func(t *testing.T) {
+					single := newSingle(t, ds, tc.Measure, opts)
+					defer single.Close()
+					r, err := cluster.NewLocal(ds, tc.Measure, harness.EngineConfig(), opts,
+						harness.LiveConfig(), n, cluster.Config{})
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer r.Close()
+					if r.Len() != single.Len() {
+						t.Fatalf("sharded Len %d != single %d", r.Len(), single.Len())
+					}
+
+					checkEquivalent(t, "cold", single, r, queries)
+
+					// Mirrored mutations: the router must assign the same
+					// dense global ids a single node would for the same
+					// history, and deletes must agree on liveness.
+					for _, mv := range maps[1:4] {
+						v := bayeslsh.NewVec(mv)
+						wantID, err := single.Add(v)
+						if err != nil {
+							t.Fatal(err)
+						}
+						gotID, err := r.Add(v)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if gotID != wantID {
+							t.Fatalf("sharded Add id %d, single %d", gotID, wantID)
+						}
+					}
+					for _, id := range []int{0, 0, 7, single.Len() + 999} {
+						if got, want := r.Delete(id), single.Delete(id); got != want {
+							t.Fatalf("sharded Delete(%d)=%v, single %v", id, got, want)
+						}
+					}
+					checkEquivalent(t, "post-mutation", single, r, queries)
+
+					if err := single.Compact(); err != nil {
+						t.Fatal(err)
+					}
+					if err := r.Compact(); err != nil {
+						t.Fatal(err)
+					}
+					checkEquivalent(t, "post-compact", single, r, queries)
+
+					if r.Stats().Live != single.Stats().Live {
+						t.Fatalf("sharded live %d != single %d", r.Stats().Live, single.Stats().Live)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestGlobalPriorRejected pins the sharding boundary: the Jaccard
+// full-Bayes pipelines fit a corpus-global prior, and both router
+// constructors must refuse them with ErrGlobalPrior rather than serve
+// answers that silently diverge from a single node.
+func TestGlobalPriorRejected(t *testing.T) {
+	ds, _ := harness.Corpus(t, bayeslsh.Jaccard, 30)
+	for _, alg := range []bayeslsh.Algorithm{
+		bayeslsh.AllPairsBayesLSH, bayeslsh.AllPairsBayesLSHLite,
+		bayeslsh.LSHBayesLSH, bayeslsh.LSHBayesLSHLite,
+	} {
+		opts := bayeslsh.Options{Algorithm: alg, Threshold: 0.5}
+		_, err := cluster.NewLocal(ds, bayeslsh.Jaccard, harness.EngineConfig(), opts,
+			harness.LiveConfig(), 2, cluster.Config{})
+		if !errors.Is(err, cluster.ErrGlobalPrior) {
+			t.Fatalf("%v: NewLocal err = %v, want ErrGlobalPrior", alg, err)
+		}
+		plan, err := cluster.PlanFor(ds.Len(), 2, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cluster.New(make([]cluster.Backend, plan.Shards), plan, bayeslsh.Jaccard, opts, ds.Dim(), cluster.Config{}); !errors.Is(err, cluster.ErrGlobalPrior) {
+			t.Fatalf("%v: New err = %v, want ErrGlobalPrior", alg, err)
+		}
+
+		// The OneBitMinhash extension lifts the coupling.
+		opts.OneBitMinhash = true
+		r, err := cluster.NewLocal(ds, bayeslsh.Jaccard, harness.EngineConfig(), opts,
+			harness.LiveConfig(), 2, cluster.Config{})
+		if err != nil {
+			t.Fatalf("%v with OneBitMinhash: %v", alg, err)
+		}
+		r.Close()
+	}
+}
+
+// TestBadShardCounts pins the partition validation boundary.
+func TestBadShardCounts(t *testing.T) {
+	ds, _ := harness.Corpus(t, bayeslsh.Cosine, 9)
+	for _, n := range []int{0, -1, 10} {
+		_, err := cluster.NewLocal(ds, bayeslsh.Cosine, harness.EngineConfig(),
+			bayeslsh.Options{Algorithm: bayeslsh.LSH, Threshold: 0.6},
+			harness.LiveConfig(), n, cluster.Config{})
+		if !errors.Is(err, cluster.ErrBadShards) {
+			t.Fatalf("shards=%d: err = %v, want ErrBadShards", n, err)
+		}
+	}
+}
+
+// TestClusterSaveLoad proves the persistence triangle: a mutated
+// cluster saved with SaveFile reloads through LoadLocal into a router
+// whose answers, id assignment and round-robin placement continue
+// exactly where the original left off.
+func TestClusterSaveLoad(t *testing.T) {
+	ds, maps := harness.Corpus(t, bayeslsh.Cosine, 45)
+	opts := bayeslsh.Options{Algorithm: bayeslsh.LSHBayesLSH, Threshold: 0.6}
+	r, err := cluster.NewLocal(ds, bayeslsh.Cosine, harness.EngineConfig(), opts,
+		harness.LiveConfig(), 3, cluster.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	for _, mv := range maps[2:7] {
+		if _, err := r.Add(bayeslsh.NewVec(mv)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Delete(1)
+	r.Delete(46) // one post-seed add
+
+	path := filepath.Join(t.TempDir(), "cluster.manifest")
+	if err := r.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := cluster.LoadLocal(path, harness.LiveConfig(), cluster.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+
+	if got, want := loaded.Stats(), r.Stats(); got.Live != want.Live || got.NextID != want.NextID {
+		t.Fatalf("loaded stats live=%d next=%d, want live=%d next=%d", got.Live, got.NextID, want.Live, want.NextID)
+	}
+	for _, mv := range maps[:6] {
+		q := bayeslsh.NewVec(mv)
+		want, err := r.Query(q, bayeslsh.QueryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := loaded.Query(q, bayeslsh.QueryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !harness.MatchesEqual(got, want) {
+			t.Fatalf("loaded query != original:\n got %v\nwant %v", got, want)
+		}
+	}
+
+	// Ingest continues the id sequence and the round-robin cursor.
+	v := bayeslsh.NewVec(maps[8])
+	wantID, err := r.Add(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotID, err := loaded.Add(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotID != wantID {
+		t.Fatalf("loaded Add id %d, original %d", gotID, wantID)
+	}
+	if !loaded.Delete(gotID) {
+		t.Fatal("loaded Delete of fresh add reported not deleted")
+	}
+}
+
+// TestLoadLocalRefusesTamperedManifest proves the load-time
+// cross-checks: a manifest whose id accounting disagrees with its
+// shard files is refused instead of mistranslating ids at query time.
+func TestLoadLocalRefusesTamperedManifest(t *testing.T) {
+	ds, _ := harness.Corpus(t, bayeslsh.Cosine, 20)
+	r, err := cluster.NewLocal(ds, bayeslsh.Cosine, harness.EngineConfig(),
+		bayeslsh.Options{Algorithm: bayeslsh.LSH, Threshold: 0.6},
+		harness.LiveConfig(), 2, cluster.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.manifest"), filepath.Join(dir, "b.manifest")
+	if err := r.SaveFile(a); err != nil {
+		t.Fatal(err)
+	}
+	// Grow the cluster, save again, then point the old manifest's name
+	// at the new shard files: the shard cross-check must refuse it.
+	if _, err := r.Add(bayeslsh.NewVec(map[uint32]float64{1: 1})); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SaveFile(b); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := copyFile(fmt.Sprintf("%s.%d", b, i), fmt.Sprintf("%s.%d", a, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cluster.LoadLocal(a, harness.LiveConfig(), cluster.Config{}); err == nil {
+		t.Fatal("LoadLocal accepted a manifest whose shard files belong to a later save")
+	}
+}

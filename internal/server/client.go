@@ -1,0 +1,299 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"bayeslsh"
+	"bayeslsh/internal/cluster"
+)
+
+// Client is the HTTP side of the serving contract: a typed view of
+// one apss serve daemon that satisfies cluster.Backend, so a router
+// can scatter over remote shard processes exactly as it does over
+// in-process LiveIndexes. Results decode from the same NDJSON stream
+// the handlers emit, with no rounding anywhere on the path (FormatVec
+// and encoding/json both round-trip float64 exactly), preserving the
+// bit-identity contract across the network hop.
+//
+// Backend methods without an error return (Delete, Len, Stats) report
+// transport failures as their zero outcome — false, 0, zero stats —
+// matching the LiveIndex surface; the router's scatter paths, which
+// carry errors, are the place failures surface with shard attribution.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Compile-time proof that a remote daemon can stand in for a local
+// shard.
+var _ cluster.Backend = (*Client)(nil)
+
+// NewClient returns a client for the daemon at base (e.g.
+// "http://127.0.0.1:8080"). hc may be nil for http.DefaultClient;
+// per-call deadlines come from the context, which the router sets
+// from its ShardTimeout.
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// do POSTs body as JSON to route and returns the response. Non-2xx
+// responses are drained, decoded as apiError when possible, and
+// returned as errors carrying the route and status.
+func (c *Client) do(ctx context.Context, route string, body any) (*http.Response, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return nil, fmt.Errorf("client: encode %s: %w", route, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+route, bytes.NewReader(buf))
+	if err != nil {
+		return nil, fmt.Errorf("client: %s: %w", route, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: %s: %w", route, err)
+	}
+	if resp.StatusCode/100 != 2 {
+		defer resp.Body.Close()
+		var ae apiError
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&ae) == nil && ae.Error != "" {
+			return nil, fmt.Errorf("client: %s: %d: %s", route, resp.StatusCode, ae.Error)
+		}
+		return nil, fmt.Errorf("client: %s: status %d", route, resp.StatusCode)
+	}
+	return resp, nil
+}
+
+// decodeMatches consumes an NDJSON match stream, requiring the done
+// marker: a stream that ends without it (the handler's signal for a
+// dropped or half-delivered response) is an error, never a silently
+// short result.
+func decodeMatches(r io.Reader, route string) ([]bayeslsh.Match, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var out []bayeslsh.Match
+	for {
+		var row struct {
+			ID     int     `json:"id"`
+			Sim    float64 `json:"sim"`
+			Done   bool    `json:"done"`
+			Error  string  `json:"error"`
+			Status int     `json:"status"`
+		}
+		if err := dec.Decode(&row); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil, fmt.Errorf("client: %s: stream ended without done marker", route)
+			}
+			return nil, fmt.Errorf("client: %s: decode stream: %w", route, err)
+		}
+		switch {
+		case row.Error != "":
+			return nil, fmt.Errorf("client: %s: %d: %s", route, row.Status, row.Error)
+		case row.Done:
+			return out, nil
+		default:
+			out = append(out, bayeslsh.Match{ID: row.ID, Sim: row.Sim})
+		}
+	}
+}
+
+// QueryContext runs one threshold query on the remote shard.
+func (c *Client) QueryContext(ctx context.Context, q bayeslsh.Vec, opts bayeslsh.QueryOptions) ([]bayeslsh.Match, error) {
+	if q.Len() == 0 {
+		return nil, nil // the wire grammar has no empty form; match LiveIndex
+	}
+	resp, err := c.do(ctx, "/v1/query", queryRequest{Vec: FormatVec(q), Threshold: opts.Threshold})
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return decodeMatches(resp.Body, "/v1/query")
+}
+
+// TopKContext runs one top-k query on the remote shard.
+func (c *Client) TopKContext(ctx context.Context, q bayeslsh.Vec, k int) ([]bayeslsh.Match, error) {
+	if q.Len() == 0 {
+		return nil, nil
+	}
+	resp, err := c.do(ctx, "/v1/topk", topkRequest{Vec: FormatVec(q), K: k})
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return decodeMatches(resp.Body, "/v1/topk")
+}
+
+// QueryBatchContext runs a query batch on the remote shard. The
+// router has already filtered empty queries, so every vector has a
+// wire form.
+func (c *Client) QueryBatchContext(ctx context.Context, queries []bayeslsh.Vec, opts bayeslsh.QueryOptions) ([][]bayeslsh.Match, error) {
+	if len(queries) == 0 {
+		return nil, nil
+	}
+	vecs := make([]string, len(queries))
+	for i, q := range queries {
+		vecs[i] = FormatVec(q)
+	}
+	resp, err := c.do(ctx, "/v1/batch", batchRequest{Vecs: vecs, Threshold: opts.Threshold})
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	out := make([][]bayeslsh.Match, len(queries))
+	dec := json.NewDecoder(bufio.NewReader(resp.Body))
+	for {
+		var row struct {
+			Query  int     `json:"query"`
+			ID     int     `json:"id"`
+			Sim    float64 `json:"sim"`
+			Done   bool    `json:"done"`
+			Error  string  `json:"error"`
+			Status int     `json:"status"`
+		}
+		if err := dec.Decode(&row); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil, errors.New("client: /v1/batch: stream ended without done marker")
+			}
+			return nil, fmt.Errorf("client: /v1/batch: decode stream: %w", err)
+		}
+		switch {
+		case row.Error != "":
+			return nil, fmt.Errorf("client: /v1/batch: %d: %s", row.Status, row.Error)
+		case row.Done:
+			return out, nil
+		default:
+			if row.Query < 0 || row.Query >= len(queries) {
+				return nil, fmt.Errorf("client: /v1/batch: row for query %d of %d", row.Query, len(queries))
+			}
+			out[row.Query] = append(out[row.Query], bayeslsh.Match{ID: row.ID, Sim: row.Sim})
+		}
+	}
+}
+
+// mutTimeout bounds the context-less Backend mutation and lifecycle
+// calls so a hung shard cannot wedge the router's mutation lock
+// forever.
+const mutTimeout = time.Minute
+
+// Add ingests one vector on the remote shard and returns its
+// shard-local id.
+func (c *Client) Add(q bayeslsh.Vec) (int, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), mutTimeout)
+	defer cancel()
+	resp, err := c.do(ctx, "/v1/add", addRequest{Vec: FormatVec(q)})
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var ar addResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+		return 0, fmt.Errorf("client: /v1/add: decode: %w", err)
+	}
+	return ar.ID, nil
+}
+
+// Delete tombstones one shard-local id; transport failures report
+// false.
+func (c *Client) Delete(id int) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), mutTimeout)
+	defer cancel()
+	resp, err := c.do(ctx, "/v1/delete", deleteRequest{ID: &id})
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	var dr deleteResponse
+	if json.NewDecoder(resp.Body).Decode(&dr) != nil {
+		return false
+	}
+	return dr.Deleted
+}
+
+// stats fetches GET /v1/stats.
+func (c *Client) stats() (statsResponse, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), mutTimeout)
+	defer cancel()
+	var sr statsResponse
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/stats", nil)
+	if err != nil {
+		return sr, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return sr, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return sr, fmt.Errorf("client: /v1/stats: status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return sr, fmt.Errorf("client: /v1/stats: decode: %w", err)
+	}
+	return sr, nil
+}
+
+// Len reports the remote shard's live vector count; 0 on transport
+// failure.
+func (c *Client) Len() int { return c.Stats().Live }
+
+// Stats reports the remote shard's segment shape; zero stats on
+// transport failure.
+func (c *Client) Stats() bayeslsh.LiveStats {
+	sr, err := c.stats()
+	if err != nil {
+		return bayeslsh.LiveStats{}
+	}
+	st := bayeslsh.LiveStats{
+		Base:      sr.Base,
+		Delta:     sr.Delta,
+		Live:      sr.Live,
+		Dead:      sr.Dead,
+		NextID:    sr.NextID,
+		Merges:    sr.Merges,
+		LastMerge: time.Duration(sr.LastMergeMs * float64(time.Millisecond)),
+	}
+	if sr.LastMergeErr != "" {
+		st.LastMergeErr = errors.New(sr.LastMergeErr)
+	}
+	return st
+}
+
+// Compact forces a merge on the remote shard and waits for it.
+func (c *Client) Compact() error {
+	ctx, cancel := context.WithTimeout(context.Background(), mutTimeout)
+	defer cancel()
+	resp, err := c.do(ctx, "/v1/compact", struct{}{})
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// SaveFile writes a live snapshot on the remote shard's host — path
+// is shard-local, the /v1/save contract.
+func (c *Client) SaveFile(path string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), mutTimeout)
+	defer cancel()
+	resp, err := c.do(ctx, "/v1/save", saveRequest{Path: path})
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// Close releases the client's idle connections. The remote daemon
+// outlives its clients; Close never stops it.
+func (c *Client) Close() { c.hc.CloseIdleConnections() }

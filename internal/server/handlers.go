@@ -33,6 +33,9 @@ type (
 	saveRequest struct {
 		Path string `json:"path"`
 	}
+	loadRequest struct {
+		Path string `json:"path"`
+	}
 )
 
 // matchRow is one NDJSON result line of /v1/query and /v1/topk.
@@ -93,7 +96,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "vec: %v", err)
 		return
 	}
-	ms, err := s.li.QueryContext(r.Context(), q, bayeslsh.QueryOptions{Threshold: req.Threshold})
+	ms, err := s.index().QueryContext(r.Context(), q, bayeslsh.QueryOptions{Threshold: req.Threshold})
 	if err != nil {
 		if st := errStatus(err); st != 499 {
 			httpError(w, st, "%v", err)
@@ -120,7 +123,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "vec: %v", err)
 		return
 	}
-	ms, err := s.li.TopKContext(r.Context(), q, req.K)
+	ms, err := s.index().TopKContext(r.Context(), q, req.K)
 	if err != nil {
 		if st := errStatus(err); st != 499 {
 			httpError(w, st, "%v", err)
@@ -163,12 +166,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		qs[i] = q
 	}
 	opts := bayeslsh.QueryOptions{Threshold: req.Threshold}
+	li := s.index()
 
 	var enc *json.Encoder
 	matches := 0
 	for lo := 0; lo < len(qs); lo += s.cfg.BatchChunk {
 		hi := min(lo+s.cfg.BatchChunk, len(qs))
-		res, err := s.li.QueryBatchContext(r.Context(), qs[lo:hi], opts)
+		res, err := li.QueryBatchContext(r.Context(), qs[lo:hi], opts)
 		if err != nil {
 			st := errStatus(err)
 			if enc == nil {
@@ -233,7 +237,7 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "vec: %v", err)
 		return
 	}
-	id, err := s.li.Add(q)
+	id, err := s.index().Add(q)
 	if err != nil {
 		httpError(w, errStatus(err), "%v", err)
 		return
@@ -253,7 +257,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "missing id")
 		return
 	}
-	writeJSON(w, deleteResponse{ID: *req.ID, Deleted: s.li.Delete(*req.ID)})
+	writeJSON(w, deleteResponse{ID: *req.ID, Deleted: s.index().Delete(*req.ID)})
 }
 
 // statsResponse is the GET /v1/stats body: what the index is (fixed
@@ -276,12 +280,13 @@ type statsResponse struct {
 
 // handleStats serves GET /v1/stats.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	st := s.li.Stats()
+	li := s.index()
+	st := li.Stats()
 	resp := statsResponse{
-		Measure:     s.li.Measure().String(),
-		Algorithm:   s.li.Options().Algorithm.String(),
-		Threshold:   s.li.Threshold(),
-		Dim:         s.li.Dim(),
+		Measure:     li.Measure().String(),
+		Algorithm:   li.Options().Algorithm.String(),
+		Threshold:   li.Threshold(),
+		Dim:         li.Dim(),
 		Live:        st.Live,
 		Base:        st.Base,
 		Delta:       st.Delta,
@@ -301,13 +306,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // it (no request body). A merge failure is a 500 with the merge error
 // — the index keeps serving its previous generation either way.
 func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	li := s.index()
 	start := time.Now()
-	if err := s.li.Compact(); err != nil {
+	if err := li.Compact(); err != nil {
 		httpError(w, http.StatusInternalServerError, "compact: %v", err)
 		return
 	}
 	writeJSON(w, compactResponse{
-		Merges: s.li.Stats().Merges,
+		Merges: li.Stats().Merges,
 		TookMs: float64(time.Since(start)) / float64(time.Millisecond),
 	})
 }
@@ -324,9 +330,48 @@ func (s *Server) handleSave(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "missing path")
 		return
 	}
-	if err := s.li.SaveFile(req.Path); err != nil {
+	if err := s.index().SaveFile(req.Path); err != nil {
 		httpError(w, http.StatusInternalServerError, "save: %v", err)
 		return
 	}
 	writeJSON(w, saveResponse{Saved: req.Path})
+}
+
+// loadResponse is the POST /v1/load reply: what was loaded and the
+// shape of the now-serving index.
+type loadResponse struct {
+	Loaded string `json:"loaded"`
+	Live   int    `json:"live"`
+	NextID int    `json:"next_id"`
+}
+
+// handleLoad serves POST /v1/load: hot-swap the served index for one
+// loaded from a server-local path via Config.Loader. The swap is
+// atomic — requests in flight finish on the index they started on,
+// new requests see the fresh one — and the retired index is Closed,
+// so its queries drain normally while late mutations get 503
+// (ErrLiveClosed). A load failure leaves the old index serving,
+// untouched. Without a Loader the route is 501.
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Loader == nil {
+		httpError(w, http.StatusNotImplemented, "load: no loader configured")
+		return
+	}
+	var req loadRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Path == "" {
+		httpError(w, http.StatusBadRequest, "missing path")
+		return
+	}
+	next, err := s.cfg.Loader(req.Path)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "load: %v", err)
+		return
+	}
+	old := s.idx.Swap(&next)
+	(*old).Close()
+	st := next.Stats()
+	writeJSON(w, loadResponse{Loaded: req.Path, Live: st.Live, NextID: st.NextID})
 }

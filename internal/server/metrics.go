@@ -113,7 +113,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "apss_request_duration_seconds_count{route=%q} %d\n", name, rm.durN.Load())
 	}
 
-	st := s.li.Stats()
+	st := s.index().Stats()
 	fmt.Fprintf(w, "# TYPE apss_live_vectors gauge\n")
 	fmt.Fprintf(w, "apss_live_vectors %d\n", st.Live)
 	fmt.Fprintf(w, "# TYPE apss_live_segment_vectors gauge\n")

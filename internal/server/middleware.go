@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"bayeslsh"
+	"bayeslsh/internal/cluster"
 )
 
 // TimeoutHeader is the per-request deadline override: a Go duration
@@ -41,7 +42,10 @@ func errStatus(err error) int {
 		errors.Is(err, bayeslsh.ErrVecOutOfRange),
 		errors.Is(err, bayeslsh.ErrVecNotNormalized):
 		return http.StatusBadRequest
-	case errors.Is(err, bayeslsh.ErrLiveClosed):
+	case errors.Is(err, bayeslsh.ErrLiveClosed),
+		errors.Is(err, cluster.ErrShardUnavailable):
+		// Both are retryable service states: a closed (retired) index
+		// or a sharded query that lost a shard mid-scatter.
 		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout

@@ -55,6 +55,25 @@ func ParseVec(s string) (bayeslsh.Vec, error) {
 	return ParseVecTokens(strings.Fields(s))
 }
 
+// FormatVec renders a query vector in the wire grammar, the inverse of
+// ParseVec: "<feature>:<weight>" tokens, weights in Go's shortest
+// round-trip float form so ParseVec(FormatVec(q)) reproduces q
+// bit-exactly — the property the sharded HTTP backend relies on for
+// cross-shard bit-identity.
+func FormatVec(q bayeslsh.Vec) string {
+	ind, val := q.Features()
+	var b strings.Builder
+	for i, f := range ind {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(strconv.FormatUint(uint64(f), 10))
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatFloat(val[i], 'g', -1, 64))
+	}
+	return b.String()
+}
+
 // decodeJSON decodes the request body into v: strict (unknown fields
 // and trailing garbage rejected), size-capped by the middleware's
 // MaxBytesReader. It writes the error response itself and reports

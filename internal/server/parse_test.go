@@ -59,6 +59,42 @@ func TestParseVecTokens(t *testing.T) {
 	}
 }
 
+// TestFormatVecRoundTrip is the wire fidelity contract the sharded
+// HTTP backend rests on: ParseVec(FormatVec(q)) reproduces q with the
+// exact float64 bits, including values with no short decimal form.
+func TestFormatVecRoundTrip(t *testing.T) {
+	cases := []map[uint32]float64{
+		{1: 0.5, 2: 0.25, 7: 1},
+		{3: 1.0 / 3.0, 44: 0.1 + 0.2, 199: 1e-17},
+		{0: 1e308, 4294967295: 5e-324}, // extreme magnitudes, extreme features
+		{9: -0.75, 10: 123456789.123456789},
+	}
+	for _, m := range cases {
+		q := bayeslsh.NewVec(m)
+		back, err := ParseVec(FormatVec(q))
+		if err != nil {
+			t.Fatalf("ParseVec(FormatVec(%v)): %v", m, err)
+		}
+		bi, bv := back.Features()
+		qi, qv := q.Features()
+		if len(bi) != len(qi) {
+			t.Fatalf("round trip changed length: %d -> %d", len(qi), len(bi))
+		}
+		for j := range qi {
+			if bi[j] != qi[j] || bv[j] != qv[j] {
+				t.Fatalf("round trip changed feature %d: (%d,%v) -> (%d,%v)", j, qi[j], qv[j], bi[j], bv[j])
+			}
+		}
+	}
+	// The matrix corpus renders through the same grammar: VecString of
+	// a raw map and FormatVec of its parsed Vec must agree token for
+	// token, so either side of a test can render a query.
+	q := mustVec(t, "5:0.30000000000000004 9:1")
+	if got, want := FormatVec(q), "5:0.30000000000000004 9:1"; got != want {
+		t.Fatalf("FormatVec = %q, want %q", got, want)
+	}
+}
+
 // hostileServer builds one shared server for the hostile-input tests:
 // a tiny body cap so the oversize path is reachable with small
 // payloads.

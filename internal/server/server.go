@@ -19,6 +19,7 @@
 //	GET  /v1/stats                                           -> index + segment shape
 //	POST /v1/compact  {}                                     -> {"merges":n,"took_ms":ms}
 //	POST /v1/save     {"path":"..."}                         -> {"saved":"..."}
+//	POST /v1/load     {"path":"..."}                         -> {"loaded":"...","live":n,...}
 //	GET  /metrics                                            -> text exposition
 //	GET  /debug/pprof/...                                    -> net/http/pprof
 //
@@ -69,6 +70,15 @@ type Config struct {
 	// after a graceful Shutdown has finished the in-flight requests —
 	// the final consistent cut of a terminating server.
 	DrainSave string
+	// Loader, when non-nil, enables POST /v1/load: it turns a
+	// server-local path into a fresh index, which the server swaps in
+	// atomically (hot reload; the retired index is Closed — in-flight
+	// queries on it finish, late mutations get 503). What the path
+	// means is the loader's business: apss serve installs a
+	// live-snapshot loader for a single-node index and a
+	// cluster-manifest loader under -shards. Nil disables the route
+	// with 501.
+	Loader func(path string) (Serveable, error)
 }
 
 // withDefaults resolves the zero values.
@@ -91,13 +101,43 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server serves one LiveIndex over HTTP. Construct with New, attach
-// Handler to any http.Server or call Serve, stop with Shutdown.
-// Server does not own the index: Close it (and Shutdown the server)
-// separately, in either order — handlers surface ErrLiveClosed as
-// 503, never a crash.
+// Serveable is the index surface the server fronts: everything the
+// handlers call on the live index, as an interface so one serving
+// layer covers both topologies — a *bayeslsh.LiveIndex (single node)
+// and a *cluster.Router (a sharded corpus behind the scatter-gather
+// router) satisfy it with no adapter.
+type Serveable interface {
+	QueryContext(ctx context.Context, q bayeslsh.Vec, opts bayeslsh.QueryOptions) ([]bayeslsh.Match, error)
+	TopKContext(ctx context.Context, q bayeslsh.Vec, k int) ([]bayeslsh.Match, error)
+	QueryBatchContext(ctx context.Context, queries []bayeslsh.Vec, opts bayeslsh.QueryOptions) ([][]bayeslsh.Match, error)
+	Add(q bayeslsh.Vec) (int, error)
+	Delete(id int) bool
+	Len() int
+	Stats() bayeslsh.LiveStats
+	Measure() bayeslsh.Measure
+	Options() bayeslsh.Options
+	Threshold() float64
+	Dim() int
+	Compact() error
+	SaveFile(path string) error
+	Close()
+}
+
+var _ Serveable = (*bayeslsh.LiveIndex)(nil)
+
+// Server serves one Serveable index over HTTP. Construct with New,
+// attach Handler to any http.Server or call Serve, stop with
+// Shutdown. Server does not own the index it was constructed with:
+// Close it (and Shutdown the server) separately, in either order —
+// handlers surface ErrLiveClosed as 503, never a crash. The one
+// exception is an index retired by POST /v1/load, which the server
+// Closes after the swap.
 type Server struct {
-	li  *bayeslsh.LiveIndex
+	// idx is the served index, swapped atomically by /v1/load — the
+	// SetRuntime atomic.Pointer pattern applied to the whole index.
+	// Handlers load it once per request, so every request sees one
+	// consistent index even across a concurrent swap.
+	idx atomic.Pointer[Serveable]
 	cfg Config
 	mux *http.ServeMux
 	hs  *http.Server
@@ -112,15 +152,15 @@ type Server struct {
 	testHook func(route string)
 }
 
-// New builds a server over li with the given config.
-func New(li *bayeslsh.LiveIndex, cfg Config) *Server {
+// New builds a server over idx with the given config.
+func New(idx Serveable, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		li:  li,
 		cfg: cfg,
 		mux: http.NewServeMux(),
 		met: newMetrics(),
 	}
+	s.idx.Store(&idx)
 	if cfg.MaxInFlight > 0 {
 		s.slots = make(chan struct{}, cfg.MaxInFlight)
 	}
@@ -132,6 +172,7 @@ func New(li *bayeslsh.LiveIndex, cfg Config) *Server {
 	s.mux.Handle("GET /v1/stats", s.route("stats", s.handleStats))
 	s.mux.Handle("POST /v1/compact", s.route("compact", s.handleCompact))
 	s.mux.Handle("POST /v1/save", s.route("save", s.handleSave))
+	s.mux.Handle("POST /v1/load", s.route("load", s.handleLoad))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -170,12 +211,17 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	err := s.hs.Shutdown(ctx)
 	if s.cfg.DrainSave != "" {
-		if serr := s.li.SaveFile(s.cfg.DrainSave); err == nil {
+		if serr := s.index().SaveFile(s.cfg.DrainSave); err == nil {
 			err = serr
 		}
 	}
 	return err
 }
+
+// index returns the currently served index. Each handler calls it once
+// and uses the result for the whole request, so a concurrent /v1/load
+// swap never splits one request across two indexes.
+func (s *Server) index() Serveable { return *s.idx.Load() }
 
 // Draining reports whether Shutdown has begun.
 func (s *Server) Draining() bool { return s.draining.Load() }

@@ -3,108 +3,42 @@ package server
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
-	"math"
-	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
-	"sort"
-	"strconv"
 	"strings"
 	"testing"
 
 	"bayeslsh"
+	"bayeslsh/internal/harness"
 )
 
 // The end-to-end harness: every route driven over real HTTP, with the
 // served bytes decoded back and compared — float64-exact — against
-// direct LiveIndex calls on the same index. The corpus generator
-// keeps the raw feature maps next to the Dataset so the tests can
-// render each vector in the wire grammar and know that both sides
-// (the HTTP body and the direct ParseVec call) parse to the identical
-// Vec.
+// direct LiveIndex calls on the same index. The corpus, the measure ×
+// pipeline matrix, and the comparison strictness come from the shared
+// internal/harness matrix, so this suite and the sharded equivalence
+// suite walk the identical grid; the helpers here are only the
+// HTTP-specific drivers.
 
-// corpus builds a deterministic clustered corpus: n vectors over a
-// 400-feature space, in planted near-duplicate triples so every
-// pipeline has real matches to return. The returned maps are the raw
-// feature maps, index-aligned with the dataset — already normalized
-// for Cosine, binarized otherwise — so rendering map i yields dataset
-// vector i exactly.
+// Local names for the shared matrix helpers, so the other server test
+// files keep their vocabulary while the single definition lives in
+// internal/harness.
 func corpus(tb testing.TB, m bayeslsh.Measure, n int) (*bayeslsh.Dataset, []map[uint32]float64) {
+	return harness.Corpus(tb, m, n)
+}
+
+func vecString(v map[uint32]float64) string { return harness.VecString(v) }
+
+func newLive(tb testing.TB, ds *bayeslsh.Dataset, m bayeslsh.Measure, alg bayeslsh.Algorithm, threshold float64) *bayeslsh.LiveIndex {
 	tb.Helper()
-	const dim = 400
-	rng := rand.New(rand.NewSource(7))
-	maps := make([]map[uint32]float64, 0, n)
-	var center map[uint32]float64
-	for i := 0; i < n; i++ {
-		if i%3 == 0 || center == nil {
-			center = make(map[uint32]float64, 18)
-			for len(center) < 18 {
-				center[uint32(rng.Intn(dim))] = 0.5 + rng.Float64()
-			}
-		}
-		v := make(map[uint32]float64, len(center)+1)
-		for f, w := range center {
-			v[f] = w
-		}
-		if i%3 != 0 { // mutate the copies so similarities vary
-			for f := range v {
-				delete(v, f)
-				break
-			}
-			v[uint32(rng.Intn(dim))] = 0.5 + rng.Float64()
-		}
-		maps = append(maps, prepMap(m, v))
-	}
-	ds := bayeslsh.NewDataset(dim)
-	for _, v := range maps {
-		ds.Add(v)
-	}
-	return ds, maps
+	return harness.NewLive(tb, ds, m, alg, threshold)
 }
 
-// prepMap puts a raw feature map into the measure's input form:
-// unit-normalized for Cosine, binarized for the set measures — the
-// same preprocessing a corpus would get, applied to the map itself so
-// map and dataset vector stay bit-identical.
-func prepMap(m bayeslsh.Measure, v map[uint32]float64) map[uint32]float64 {
-	out := make(map[uint32]float64, len(v))
-	if m == bayeslsh.Cosine {
-		var ss float64
-		for _, w := range v {
-			ss += w * w
-		}
-		norm := math.Sqrt(ss)
-		for f, w := range v {
-			out[f] = w / norm
-		}
-	} else {
-		for f := range v {
-			out[f] = 1
-		}
-	}
-	return out
-}
-
-// vecString renders a feature map in the wire grammar, features
-// sorted, weights in exact shortest-round-trip form.
-func vecString(v map[uint32]float64) string {
-	feats := make([]uint32, 0, len(v))
-	for f := range v {
-		feats = append(feats, f)
-	}
-	sort.Slice(feats, func(i, j int) bool { return feats[i] < feats[j] })
-	var b strings.Builder
-	for i, f := range feats {
-		if i > 0 {
-			b.WriteByte(' ')
-		}
-		fmt.Fprintf(&b, "%d:%s", f, strconv.FormatFloat(v[f], 'g', -1, 64))
-	}
-	return b.String()
-}
+func matchesEqual(a, b []bayeslsh.Match) bool { return harness.MatchesEqual(a, b) }
 
 // mustVec parses a wire vector or fails the test.
 func mustVec(tb testing.TB, s string) bayeslsh.Vec {
@@ -114,19 +48,6 @@ func mustVec(tb testing.TB, s string) bayeslsh.Vec {
 		tb.Fatalf("ParseVec(%q): %v", s, err)
 	}
 	return q
-}
-
-// newLive builds a live index for one measure × pipeline cell, with
-// automatic merging off so tests control compaction points.
-func newLive(tb testing.TB, ds *bayeslsh.Dataset, m bayeslsh.Measure, alg bayeslsh.Algorithm, threshold float64) *bayeslsh.LiveIndex {
-	tb.Helper()
-	li, err := bayeslsh.NewLiveIndex(ds, m, bayeslsh.EngineConfig{Seed: 7, Parallelism: 2},
-		bayeslsh.Options{Algorithm: alg, Threshold: threshold},
-		bayeslsh.LiveConfig{MaxDelta: -1, MaxRatio: -1})
-	if err != nil {
-		tb.Fatal(err)
-	}
-	return li
 }
 
 // ndRow is the union of every NDJSON line shape the server emits.
@@ -275,31 +196,17 @@ func servedDelete(tb testing.TB, base string, id int) bool {
 	return dr.Deleted
 }
 
-// e2eCases is the measure matrix of the bit-identity harness; the
-// pipeline axis comes from Algorithms(measure) + BruteForce.
-var e2eCases = []struct {
-	m bayeslsh.Measure
-	t float64
-}{
-	{bayeslsh.Cosine, 0.6},
-	{bayeslsh.Jaccard, 0.5},
-	{bayeslsh.BinaryCosine, 0.6},
-}
-
 // TestServedBitIdenticalToDirect is the acceptance harness: for every
 // measure × pipeline, /v1/query, /v1/topk and /v1/batch responses are
 // decoded and compared — ids and float64 similarities exactly equal —
 // against direct LiveIndex calls on the same index, before and after
 // HTTP-driven add/delete interleavings and an HTTP-driven compaction.
 func TestServedBitIdenticalToDirect(t *testing.T) {
-	for _, tc := range e2eCases {
-		ds, maps := corpus(t, tc.m, 90)
-		for _, alg := range append(bayeslsh.Algorithms(tc.m), bayeslsh.BruteForce) {
-			if alg == bayeslsh.PPJoin {
-				continue // no query-serving index (join-order-dependent prefix filter)
-			}
-			t.Run(fmt.Sprintf("%v/%v", tc.m, alg), func(t *testing.T) {
-				li := newLive(t, ds, tc.m, alg, tc.t)
+	for _, tc := range harness.Cells() {
+		ds, maps := harness.Corpus(t, tc.Measure, 90)
+		for _, alg := range harness.Pipelines(tc.Measure) {
+			t.Run(fmt.Sprintf("%v/%v", tc.Measure, alg), func(t *testing.T) {
+				li := harness.NewLive(t, ds, tc.Measure, alg, tc.Threshold)
 				defer li.Close()
 				// BatchChunk 4 makes an 11-query batch span 3 pinned
 				// chunks, exercising the streamed chunk path.
@@ -310,7 +217,7 @@ func TestServedBitIdenticalToDirect(t *testing.T) {
 				for _, mv := range maps[:10] {
 					queries = append(queries, vecString(mv))
 				}
-				queries = append(queries, vecString(prepMap(tc.m, map[uint32]float64{3: 1, 44: 0.8, 199: 1.2})))
+				queries = append(queries, vecString(harness.PrepMap(tc.Measure, map[uint32]float64{3: 1, 44: 0.8, 199: 1.2})))
 
 				check := func(stage string) {
 					t.Helper()
@@ -388,25 +295,93 @@ func TestServedBitIdenticalToDirect(t *testing.T) {
 				if stats.Live != li.Len() {
 					t.Fatalf("stats live %d != direct Len %d", stats.Live, li.Len())
 				}
-				if stats.Algorithm != alg.String() || stats.Measure != tc.m.String() {
-					t.Fatalf("stats identity %q/%q, want %q/%q", stats.Measure, stats.Algorithm, tc.m, alg)
+				if stats.Algorithm != alg.String() || stats.Measure != tc.Measure.String() {
+					t.Fatalf("stats identity %q/%q, want %q/%q", stats.Measure, stats.Algorithm, tc.Measure, alg)
 				}
 			})
 		}
 	}
 }
 
-// matchesEqual is strict equality: same ids, same float64 bits.
-func matchesEqual(a, b []bayeslsh.Match) bool {
-	if len(a) != len(b) {
-		return false
+// TestServedHotReload drives POST /v1/load: the served index is
+// swapped atomically for one loaded through Config.Loader, answers
+// switch to the new corpus, and the retired index is Closed — late
+// mutations on it get ErrLiveClosed while the server keeps serving.
+// Without a Loader the route is 501; a failing load leaves the old
+// index serving untouched.
+func TestServedHotReload(t *testing.T) {
+	ds, maps := corpus(t, bayeslsh.Cosine, 30)
+	old := newLive(t, ds, bayeslsh.Cosine, bayeslsh.LSH, 0.6)
+
+	// A grown snapshot to reload: same corpus plus one ingest.
+	donor := newLive(t, ds, bayeslsh.Cosine, bayeslsh.LSH, 0.6)
+	if _, err := donor.Add(mustVec(t, vecString(maps[1]))); err != nil {
+		t.Fatal(err)
 	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
+	snap := filepath.Join(t.TempDir(), "grown.snap")
+	if err := donor.SaveFile(snap); err != nil {
+		t.Fatal(err)
 	}
-	return true
+	donor.Close()
+
+	srv := New(old, Config{Loader: func(path string) (Serveable, error) {
+		return bayeslsh.LoadLiveFile(path, harness.LiveConfig())
+	}})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp := postJSON(t, ts.URL+"/v1/load", `{"path":"/nonexistent/nope.snap"}`)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("load of missing path: status %d, want 500", resp.StatusCode)
+	}
+	resp.Body.Close()
+	if got := servedQuery(t, ts.URL, vecString(maps[0]), 0); got == nil {
+		t.Fatal("failed load took the old index out of service")
+	}
+
+	resp = postJSON(t, ts.URL+"/v1/load", fmt.Sprintf(`{"path":%q}`, snap))
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("load status %d: %s", resp.StatusCode, b)
+	}
+	var lr loadResponse
+	if err := json.NewDecoder(resp.Body).Decode(&lr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if lr.Live != 31 || lr.NextID != 31 {
+		t.Fatalf("load response live=%d next=%d, want 31/31", lr.Live, lr.NextID)
+	}
+
+	// The swap is visible: stats now reflect the grown corpus, and the
+	// retired index is closed to mutations.
+	sresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats statsResponse
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if stats.Live != 31 {
+		t.Fatalf("post-load stats live = %d, want 31", stats.Live)
+	}
+	if _, err := old.Add(mustVec(t, vecString(maps[2]))); !errors.Is(err, bayeslsh.ErrLiveClosed) {
+		t.Fatalf("retired index Add err = %v, want ErrLiveClosed", err)
+	}
+	srv.index().Close()
+
+	// No Loader configured: the route answers 501.
+	bare := newLive(t, ds, bayeslsh.Cosine, bayeslsh.LSH, 0.6)
+	defer bare.Close()
+	ts2 := httptest.NewServer(New(bare, Config{}).Handler())
+	defer ts2.Close()
+	resp = postJSON(t, ts2.URL+"/v1/load", fmt.Sprintf(`{"path":%q}`, snap))
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("loaderless /v1/load status %d, want 501", resp.StatusCode)
+	}
+	resp.Body.Close()
 }
 
 // TestServedSaveRoundTrip drives POST /v1/save over a mutated index
@@ -431,7 +406,7 @@ func TestServedSaveRoundTrip(t *testing.T) {
 	}
 	resp.Body.Close()
 
-	loaded, err := bayeslsh.LoadLiveFile(path, bayeslsh.LiveConfig{MaxDelta: -1, MaxRatio: -1})
+	loaded, err := bayeslsh.LoadLiveFile(path, harness.LiveConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -48,6 +48,21 @@ func NewSetVec(indices []uint32) Vec {
 // Len returns the number of non-zero features.
 func (q Vec) Len() int { return q.v.Len() }
 
+// Features returns the vector's non-zero features and their weights,
+// in strictly ascending feature order — the inverse of NewVec. The
+// returned slices are copies; mutating them does not affect the Vec.
+// NewVec over the returned pairs reconstructs the Vec bit-identically,
+// which is what lets a query cross a process boundary (the HTTP
+// client renders Features in the wire grammar) without changing any
+// result.
+func (q Vec) Features() ([]uint32, []float64) {
+	ind := make([]uint32, q.v.Len())
+	val := make([]float64, q.v.Len())
+	copy(ind, q.v.Ind)
+	copy(val, q.v.Val)
+	return ind, val
+}
+
 // Vector returns vector i as a query vector. Querying an index with
 // its own dataset's vector i returns i itself (similarity 1) plus the
 // partners the batch search pairs i with.

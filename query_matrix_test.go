@@ -1,0 +1,107 @@
+package bayeslsh_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"bayeslsh"
+	"bayeslsh/internal/harness"
+)
+
+// The build-once/query-many consistency matrix, driven through the
+// public API only (hence the external test package) and over the
+// shared internal/harness grid — the same cells the HTTP serving and
+// sharded-cluster suites walk, so all three consistency guarantees
+// cover the identical measure × pipeline space.
+
+// matrixDataset builds the 300-vector synthetic corpus through the
+// public surface: generate, round-trip through the on-disk format
+// (so the test also covers WriteTo/ReadDataset fidelity), and trim
+// with Dataset.Slice.
+func matrixDataset(t *testing.T, n int) *bayeslsh.Dataset {
+	t.Helper()
+	full, err := bayeslsh.Synthetic("RCV1-sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := full.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	reread, err := bayeslsh.ReadDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reread.Slice(0, n)
+}
+
+// TestQueryMatchesBatchMatrix is the build-once/query-many consistency
+// guarantee: for every measure and pipeline of the shared matrix,
+// querying the index with dataset vector i returns exactly the pairs
+// involving i that the batch search finds at the same threshold and
+// Seed — identical ids, and identical similarities (to the last bit
+// for the hash-based pipelines; within float tolerance for AllPairs'
+// accumulated exact sims, which sum in a different order).
+func TestQueryMatchesBatchMatrix(t *testing.T) {
+	const n = 300
+	for _, tc := range harness.QueryCells() {
+		tc := tc
+		t.Run(tc.Measure.String(), func(t *testing.T) {
+			ds := tc.Prep(matrixDataset(t, n))
+			for _, alg := range harness.QueryPipelines() {
+				eng, err := bayeslsh.NewEngine(ds, tc.Measure, tc.Config)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opts := bayeslsh.Options{Algorithm: alg, Threshold: tc.Threshold}
+				batch, err := eng.Search(opts)
+				if err != nil {
+					t.Fatalf("%v: %v", alg, err)
+				}
+				ix, err := eng.BuildIndex(opts)
+				if err != nil {
+					t.Fatalf("%v: %v", alg, err)
+				}
+				partners := harness.BatchPartners(batch, ds.Len())
+				tol := 0.0
+				if alg == bayeslsh.AllPairs {
+					tol = 1e-12
+				}
+				checked := 0
+				for i := 0; i < ds.Len(); i++ {
+					ms, err := ix.Query(ds.Vector(i), bayeslsh.QueryOptions{})
+					if err != nil {
+						t.Fatalf("%v: query %d: %v", alg, i, err)
+					}
+					got := map[int]float64{}
+					for _, m := range ms {
+						if m.ID == i {
+							continue // self-match
+						}
+						got[m.ID] = m.Sim
+					}
+					want := partners[i]
+					for id, ws := range want {
+						gs, ok := got[id]
+						if !ok {
+							t.Fatalf("%v: query %d missing partner %d (batch sim %v)", alg, i, id, ws)
+						}
+						if math.Abs(gs-ws) > tol {
+							t.Fatalf("%v: query %d partner %d sim %v, batch %v", alg, i, id, gs, ws)
+						}
+					}
+					for id, gs := range got {
+						if _, ok := want[id]; !ok {
+							t.Fatalf("%v: query %d extra partner %d (sim %v)", alg, i, id, gs)
+						}
+					}
+					checked += len(want)
+				}
+				if checked == 0 {
+					t.Fatalf("%v: no batch pairs to cross-check", alg)
+				}
+			}
+		})
+	}
+}
