@@ -192,13 +192,27 @@ func serveMain(args []string) {
 	fmt.Fprintf(os.Stderr, "apss serve: %v live index (%v, t=%.2f): %d vectors ready in %v; commands on stdin (add/del/query/topk/stats/compact/save/quit)\n",
 		idx.Options().Algorithm, idx.Measure(), idx.Threshold(), st.Live, time.Since(start).Round(time.Millisecond))
 
+	// The stdin loop runs under a signal context so an interrupt
+	// cancels the in-flight query or batch (the ctxflow contract: once
+	// a ctx exists it flows into every ...Context callee) and then
+	// ends the loop cleanly, flushing output and closing the index.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// After the first signal cancels ctx, restore the default signal
+	// disposition so a second interrupt (e.g. while blocked reading
+	// stdin) terminates the process the old-fashioned way.
+	context.AfterFunc(ctx, stop)
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
 	for in.Scan() {
-		serveCommand(idx, strings.Fields(in.Text()), out)
+		serveCommand(ctx, idx, strings.Fields(in.Text()), out)
 		out.Flush()
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "apss serve: interrupted")
+			break
+		}
 	}
 }
 
@@ -220,6 +234,7 @@ func serveHTTP(li server.Serveable, addr string, cfg server.Config, drainTimeout
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGTERM, os.Interrupt)
 	drained := make(chan error, 1)
+	//apsslint:allow gohygiene one process-lifetime signal watcher; it ends when the process does, so pool leak accounting has nothing to count
 	go func() {
 		sig := <-sigs
 		fmt.Fprintf(os.Stderr, "apss serve: %v: draining (in-flight requests finish, new ones are refused)\n", sig)
@@ -250,8 +265,9 @@ func serveHTTP(li server.Serveable, addr string, cfg server.Config, drainTimeout
 // serveCommand executes one serve-loop command; malformed input
 // prints an err line and keeps the loop alive. li is any Serveable —
 // a single LiveIndex or a sharded router — so the stdin loop drives
-// both topologies identically.
-func serveCommand(li server.Serveable, fields []string, out *bufio.Writer) {
+// both topologies identically. ctx bounds the query paths: an
+// interrupt aborts them mid-flight instead of killing the process.
+func serveCommand(ctx context.Context, li server.Serveable, fields []string, out *bufio.Writer) {
 	if len(fields) == 0 {
 		return
 	}
@@ -292,7 +308,7 @@ func serveCommand(li server.Serveable, fields []string, out *bufio.Writer) {
 			fmt.Fprintln(out, "err:", err)
 			return
 		}
-		ms, err := li.QueryContext(context.Background(), q, bayeslsh.QueryOptions{})
+		ms, err := li.QueryContext(ctx, q, bayeslsh.QueryOptions{})
 		if err != nil {
 			fmt.Fprintln(out, "err:", err)
 			return
@@ -313,7 +329,7 @@ func serveCommand(li server.Serveable, fields []string, out *bufio.Writer) {
 			fmt.Fprintln(out, "err:", err)
 			return
 		}
-		ms, err := li.TopKContext(context.Background(), q, k)
+		ms, err := li.TopKContext(ctx, q, k)
 		if err != nil {
 			fmt.Fprintln(out, "err:", err)
 			return

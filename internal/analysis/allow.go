@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowPrefix is the directive marker. Grammar:
+//
+//	//apsslint:allow <analyzer> <reason...>
+//
+// The reason is mandatory — an allow without a recorded reason is
+// itself a finding. A directive suppresses findings of the named
+// analyzer on its own source line and on the line directly below it
+// (so it can trail the offending statement or stand alone above it).
+const allowPrefix = "//apsslint:allow"
+
+// A Directive is one parsed //apsslint:allow comment.
+type Directive struct {
+	Pos      token.Pos
+	File     string
+	Line     int
+	Analyzer string
+	Reason   string
+}
+
+// Directives extracts every apsslint:allow directive from files,
+// including malformed ones (empty Analyzer or Reason), so callers can
+// both suppress findings and police the directives themselves.
+func Directives(fset *token.FileSet, files []*ast.File) []Directive {
+	var ds []Directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, allowPrefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				pos := fset.Position(c.Pos())
+				ds = append(ds, Directive{
+					Pos:      c.Pos(),
+					File:     pos.Filename,
+					Line:     pos.Line,
+					Analyzer: name,
+					Reason:   strings.TrimSpace(reason),
+				})
+			}
+		}
+	}
+	return ds
+}
+
+// Filter applies allow directives to diags: suppressed findings are
+// dropped, and malformed directives (no reason, or a name not in
+// known) are appended as findings of the pseudo-analyzer "allow",
+// which cannot itself be suppressed. known maps analyzer name ->
+// present in the running suite.
+func Filter(fset *token.FileSet, files []*ast.File, diags []Diagnostic, known map[string]bool) []Diagnostic {
+	ds := Directives(fset, files)
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	allowed := make(map[key]bool)
+	var out []Diagnostic
+	for _, d := range ds {
+		switch {
+		case d.Analyzer == "" || d.Reason == "":
+			out = append(out, Diagnostic{
+				Pos:      d.Pos,
+				Analyzer: "allow",
+				Message:  "apsslint:allow directive needs an analyzer name and a non-empty reason: //apsslint:allow <analyzer> <reason>",
+			})
+		case !known[d.Analyzer]:
+			out = append(out, Diagnostic{
+				Pos:      d.Pos,
+				Analyzer: "allow",
+				Message:  "apsslint:allow names unknown analyzer " + d.Analyzer,
+			})
+		default:
+			allowed[key{d.File, d.Line, d.Analyzer}] = true
+			allowed[key{d.File, d.Line + 1, d.Analyzer}] = true
+		}
+	}
+	for _, dg := range diags {
+		pos := fset.Position(dg.Pos)
+		if allowed[key{pos.Filename, pos.Line, dg.Analyzer}] {
+			continue
+		}
+		out = append(out, dg)
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "a.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func TestDirectivesParsing(t *testing.T) {
+	src := `package p
+
+//apsslint:allow mapiter order never escapes, keys are re-sorted below
+func a() {}
+
+//apsslint:allow detrand
+func b() {}
+
+//apsslint:allow
+func c() {}
+
+// a plain comment, not a directive
+func d() {}
+`
+	fset, files := parseOne(t, src)
+	ds := Directives(fset, files)
+	if len(ds) != 3 {
+		t.Fatalf("got %d directives, want 3: %+v", len(ds), ds)
+	}
+	want := []Directive{
+		{Line: 3, Analyzer: "mapiter", Reason: "order never escapes, keys are re-sorted below"},
+		{Line: 6, Analyzer: "detrand", Reason: ""},
+		{Line: 9, Analyzer: "", Reason: ""},
+	}
+	for i, w := range want {
+		got := ds[i]
+		if got.Line != w.Line || got.Analyzer != w.Analyzer || got.Reason != w.Reason {
+			t.Errorf("directive %d = {Line:%d Analyzer:%q Reason:%q}, want {Line:%d Analyzer:%q Reason:%q}",
+				i, got.Line, got.Analyzer, got.Reason, w.Line, w.Analyzer, w.Reason)
+		}
+		if got.File != "a.go" {
+			t.Errorf("directive %d File = %q, want a.go", i, got.File)
+		}
+	}
+}
+
+func TestFilterSuppressesSameAndNextLine(t *testing.T) {
+	src := `package p
+
+//apsslint:allow mapiter reason one
+func a() {}
+
+func trailing() {} //apsslint:allow mapiter reason two
+`
+	fset, files := parseOne(t, src)
+	known := map[string]bool{"mapiter": true}
+
+	posOnLine := func(line int) token.Pos {
+		tf := fset.File(files[0].Pos())
+		return tf.LineStart(line)
+	}
+	diags := []Diagnostic{
+		{Pos: posOnLine(4), Analyzer: "mapiter", Message: "under a standalone directive"},
+		{Pos: posOnLine(6), Analyzer: "mapiter", Message: "on the directive's own line"},
+		{Pos: posOnLine(4), Analyzer: "detrand", Message: "different analyzer, not covered"},
+		{Pos: posOnLine(5), Analyzer: "mapiter", Message: "blank line between: out of range"},
+	}
+	// Register detrand as known so its finding survives as a real
+	// diagnostic rather than tripping the unknown-analyzer check.
+	known["detrand"] = true
+
+	out := Filter(fset, files, diags, known)
+	var msgs []string
+	for _, d := range out {
+		msgs = append(msgs, d.Message)
+	}
+	got := strings.Join(msgs, "; ")
+	if len(out) != 2 ||
+		!strings.Contains(got, "different analyzer, not covered") ||
+		!strings.Contains(got, "blank line between: out of range") {
+		t.Fatalf("Filter kept %q, want exactly the uncovered analyzer + out-of-range findings", got)
+	}
+}
+
+func TestFilterFlagsMalformedDirectives(t *testing.T) {
+	src := `package p
+
+//apsslint:allow detrand
+func missingReason() {}
+
+//apsslint:allow
+func missingEverything() {}
+
+//apsslint:allow nosuch because reasons
+func unknownAnalyzer() {}
+`
+	fset, files := parseOne(t, src)
+	out := Filter(fset, files, nil, map[string]bool{"detrand": true})
+	if len(out) != 3 {
+		t.Fatalf("got %d diagnostics, want 3: %+v", len(out), out)
+	}
+	for _, d := range out {
+		if d.Analyzer != "allow" {
+			t.Errorf("diagnostic %q attributed to %q, want the allow pseudo-analyzer", d.Message, d.Analyzer)
+		}
+	}
+	if !strings.Contains(out[0].Message, "non-empty reason") {
+		t.Errorf("missing-reason message = %q", out[0].Message)
+	}
+	if !strings.Contains(out[2].Message, "unknown analyzer nosuch") {
+		t.Errorf("unknown-analyzer message = %q", out[2].Message)
+	}
+}
+
+func TestMalformedDirectiveDoesNotSuppress(t *testing.T) {
+	src := `package p
+
+//apsslint:allow detrand
+func missingReason() {}
+`
+	fset, files := parseOne(t, src)
+	tf := fset.File(files[0].Pos())
+	diags := []Diagnostic{{Pos: tf.LineStart(4), Analyzer: "detrand", Message: "still reported"}}
+	out := Filter(fset, files, diags, map[string]bool{"detrand": true})
+	if len(out) != 2 {
+		t.Fatalf("got %d diagnostics, want the malformed-directive finding plus the original: %+v", len(out), out)
+	}
+}

@@ -1,0 +1,87 @@
+// Package analysis is a stdlib-only reimplementation of the core of
+// golang.org/x/tools/go/analysis, just large enough to host the
+// project's contract analyzers (see docs/ANALYSIS.md). The build
+// environment is fully offline — no module proxy, no vendored
+// x/tools — so the framework is built directly on go/ast, go/types
+// and go/importer. The API deliberately mirrors x/tools so that the
+// analyzers can migrate mechanically if the real framework ever
+// becomes available.
+//
+// An Analyzer inspects one type-checked package (a Pass) and reports
+// Diagnostics. Analyzers are pure and stateless across packages: the
+// suite uses no cross-package facts, which is what makes the
+// single-unit vet protocol in cmd/apsslint trivial.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one analysis: a named, documented contract
+// check over a single type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //apsslint:allow directives. It must be a valid Go
+	// identifier.
+	Name string
+
+	// Doc documents the contract. The first line is the one-line
+	// summary printed by `apsslint -list`.
+	Doc string
+
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Summary returns the first line of the analyzer's Doc.
+func (a *Analyzer) Summary() string {
+	for i := 0; i < len(a.Doc); i++ {
+		if a.Doc[i] == '\n' {
+			return a.Doc[:i]
+		}
+	}
+	return a.Doc
+}
+
+// A Pass is one unit of work: one analyzer applied to one
+// type-checked package. The fields mirror x/tools' analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The runner owns suppression
+	// (allow directives) and aggregation; analyzers just report.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding, positioned in the fileset of the Pass
+// that produced it.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string // filled in by the runner
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go
+// file. Some analyzers (detrand, gohygiene) scope themselves to
+// production code: tests measure wall-clock time and spawn harness
+// goroutines legitimately.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	f := fset.File(pos)
+	if f == nil {
+		return false
+	}
+	name := f.Name()
+	return len(name) >= len("_test.go") && name[len(name)-len("_test.go"):] == "_test.go"
+}

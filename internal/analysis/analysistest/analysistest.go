@@ -1,0 +1,164 @@
+// Package analysistest runs one analyzer over a testdata package and
+// checks its diagnostics against // want comments, in the spirit of
+// golang.org/x/tools/go/analysis/analysistest (which is unavailable
+// offline). Each `// want` comment carries one or more Go-quoted
+// regular expressions, each of which must match a distinct diagnostic
+// reported on that line; diagnostics on lines without a matching want
+// are failures, as are wants nothing matched. Diagnostics are taken
+// after allow-directive filtering, so testdata can also prove that
+// //apsslint:allow suppresses (and that malformed directives are
+// themselves findings).
+package analysistest
+
+import (
+	"go/importer"
+	"go/scanner"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"bayeslsh/internal/analysis"
+)
+
+// Run analyzes the testdata package in dir under the package path
+// importPath (which matters to path-scoped analyzers like detrand)
+// and asserts its diagnostics equal the // want expectations.
+func Run(t *testing.T, a *analysis.Analyzer, dir, importPath string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var filenames []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			filenames = append(filenames, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(filenames) == 0 {
+		t.Fatalf("no Go files in %s", dir)
+	}
+	sort.Strings(filenames)
+
+	fset := token.NewFileSet()
+	unit, err := analysis.Typecheck(fset, importer.ForCompiler(fset, "source", nil), importPath, filenames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(unit, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	got := make(map[key][]string)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		got[k] = append(got[k], d.Message)
+	}
+
+	for _, fn := range filenames {
+		w := wants(t, fn)
+		lines := make([]int, 0, len(w))
+		for line := range w {
+			lines = append(lines, line)
+		}
+		sort.Ints(lines)
+		for _, line := range lines {
+			patterns := w[line]
+			k := key{fn, line}
+			msgs := got[k]
+			for _, pat := range patterns {
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", fn, line, pat, err)
+				}
+				matched := -1
+				for i, m := range msgs {
+					if m != "" && re.MatchString(m) {
+						matched = i
+						break
+					}
+				}
+				if matched < 0 {
+					t.Errorf("%s:%d: no diagnostic matching %q", fn, line, pat)
+					continue
+				}
+				msgs[matched] = "" // consume
+			}
+			rest := msgs[:0]
+			for _, m := range msgs {
+				if m != "" {
+					rest = append(rest, m)
+				}
+			}
+			if len(rest) == 0 {
+				delete(got, k)
+			} else {
+				got[k] = rest
+			}
+		}
+	}
+	for k, msgs := range got {
+		for _, m := range msgs {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", k.file, k.line, m)
+		}
+	}
+}
+
+// wants extracts the // want expectations per line of file. The
+// comment grammar is `// want "re"` with any number of Go string
+// literals (double- or back-quoted).
+func wants(t *testing.T, file string) map[int][]string {
+	t.Helper()
+	src, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	tf := fset.AddFile(file, fset.Base(), len(src))
+	var s scanner.Scanner
+	s.Init(tf, src, nil, scanner.ScanComments)
+	out := make(map[int][]string)
+	for {
+		pos, tok, lit := s.Scan()
+		if tok == token.EOF {
+			break
+		}
+		if tok != token.COMMENT {
+			continue
+		}
+		text, ok := strings.CutPrefix(lit, "//")
+		if !ok {
+			continue
+		}
+		text = strings.TrimSpace(text)
+		rest, ok := strings.CutPrefix(text, "want ")
+		if !ok {
+			continue
+		}
+		line := fset.Position(pos).Line
+		for rest = strings.TrimSpace(rest); rest != ""; rest = strings.TrimSpace(rest) {
+			q, err := strconv.QuotedPrefix(rest)
+			if err != nil {
+				t.Fatalf("%s:%d: malformed want comment (Go string literals expected): %q", file, line, lit)
+			}
+			pat, err := strconv.Unquote(q)
+			if err != nil {
+				t.Fatalf("%s:%d: %v", file, line, err)
+			}
+			out[line] = append(out[line], pat)
+			rest = rest[len(q):]
+		}
+	}
+	return out
+}

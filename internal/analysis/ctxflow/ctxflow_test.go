@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"bayeslsh/internal/analysis/analysistest"
+	"bayeslsh/internal/analysis/ctxflow"
+)
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, ctxflow.Analyzer, "testdata/src/ctxflow", "ctxflow")
+}

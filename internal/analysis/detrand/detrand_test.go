@@ -1,0 +1,20 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"bayeslsh/internal/analysis/analysistest"
+	"bayeslsh/internal/analysis/detrand"
+)
+
+func TestResultPackage(t *testing.T) {
+	analysistest.Run(t, detrand.Analyzer, "testdata/src/live", "bayeslsh/internal/live")
+}
+
+func TestClockAllowlistedFunctions(t *testing.T) {
+	analysistest.Run(t, detrand.Analyzer, "testdata/src/allowfunc", "bayeslsh")
+}
+
+func TestOutsideResultPackages(t *testing.T) {
+	analysistest.Run(t, detrand.Analyzer, "testdata/src/outside", "example.com/outside")
+}

@@ -1,0 +1,20 @@
+// Package allowfunc is analyzer testdata checked under the import
+// path bayeslsh: mergeRun and SearchContext are on the baked clock
+// allowlist (their clock reads feed declared stats fields), other
+// functions are not.
+package allowfunc
+
+import "time"
+
+func mergeRun() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+func SearchContext() time.Time {
+	return time.Now()
+}
+
+func notAllowlisted() time.Time {
+	return time.Now() // want `time.Now in result-producing package bayeslsh outside the stats allowlist`
+}

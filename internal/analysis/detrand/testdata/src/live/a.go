@@ -1,0 +1,33 @@
+// Package live is analyzer testdata checked under the import path
+// bayeslsh/internal/live, a result-producing package.
+package live
+
+import (
+	"math/rand"
+	"time"
+)
+
+func seedFromClock() int64 {
+	return time.Now().UnixNano() // want `time.Now in result-producing package`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since in result-producing package`
+}
+
+func pick(n int) int {
+	return rand.Intn(n) // want `rand.Intn in result-producing package`
+}
+
+func newRNG() *rand.Rand {
+	return rand.New(rand.NewSource(1)) // want `rand.New in result-producing package` `rand.NewSource in result-producing package`
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand.Shuffle in result-producing package`
+}
+
+func allowedDirective() time.Time {
+	//apsslint:allow detrand feeds a log line only, never a result
+	return time.Now()
+}

@@ -1,0 +1,12 @@
+package live
+
+import (
+	"testing"
+	"time"
+)
+
+// Test files are exempt: benchmarks and tests measure wall time
+// legitimately.
+func TestClockIsFineHere(t *testing.T) {
+	_ = time.Now()
+}

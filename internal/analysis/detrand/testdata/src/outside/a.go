@@ -1,0 +1,17 @@
+// Package outside is analyzer testdata checked under a non-result
+// import path: clocks and math/rand are not detrand's business here
+// (the serving and tooling layers time requests legitimately).
+package outside
+
+import (
+	"math/rand"
+	"time"
+)
+
+func latency(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+func jitter(n int) int {
+	return rand.Intn(n)
+}

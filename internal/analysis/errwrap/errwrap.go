@@ -1,0 +1,152 @@
+// Package errwrap keeps the sentinel-error contract intact across
+// wrapping boundaries: sentinels (ErrShardUnavailable, ErrBadK,
+// ErrEmptyDataset, ErrSnapshotFormat, ...) are part of the public
+// API and are matched with errors.Is on the far side of the HTTP and
+// cluster layers. fmt.Errorf("...: %v", ErrX) severs that chain, and
+// err == ErrX breaks as soon as anyone wraps — both are flagged.
+package errwrap
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"bayeslsh/internal/analysis"
+)
+
+// Analyzer implements the errwrap contract.
+var Analyzer = &analysis.Analyzer{
+	Name: "errwrap",
+	Doc: "sentinels wrap with %w and match with errors.Is, never %v or ==\n" +
+		"A package sentinel mentioned in fmt.Errorf must be wrapped with %w so\n" +
+		"errors.Is keeps matching through the serving layers, and sentinels must\n" +
+		"never be compared with ==/!= or switch cases — wrapping anywhere in the\n" +
+		"chain silently breaks identity comparison.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkErrorf(pass, n)
+			case *ast.BinaryExpr:
+				checkCompare(pass, n)
+			case *ast.SwitchStmt:
+				checkSwitch(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sentinelOf returns the sentinel object e refers to, or nil.
+func sentinelOf(pass *analysis.Pass, e ast.Expr) types.Object {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	if obj := pass.TypesInfo.Uses[id]; obj != nil && analysis.IsSentinel(obj) {
+		return obj
+	}
+	return nil
+}
+
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if !analysis.IsPkgFunc(fn, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	vs, ok := verbs(constant.StringVal(tv.Value))
+	if !ok {
+		return // explicit argument indexes; too clever to check
+	}
+	for i, arg := range call.Args[1:] {
+		sent := sentinelOf(pass, arg)
+		if sent == nil {
+			continue
+		}
+		if i >= len(vs) || vs[i] != 'w' {
+			pass.Reportf(arg.Pos(),
+				"sentinel %s passed to fmt.Errorf without %%w: errors.Is stops matching across this wrap", sent.Name())
+		}
+	}
+}
+
+func checkCompare(pass *analysis.Pass, b *ast.BinaryExpr) {
+	if b.Op != token.EQL && b.Op != token.NEQ {
+		return
+	}
+	for _, pair := range [2][2]ast.Expr{{b.X, b.Y}, {b.Y, b.X}} {
+		sent := sentinelOf(pass, pair[0])
+		if sent == nil {
+			continue
+		}
+		if id, ok := ast.Unparen(pair[1]).(*ast.Ident); ok && id.Name == "nil" {
+			continue
+		}
+		pass.Reportf(b.Pos(),
+			"%s compared with %s: use errors.Is, identity breaks once the error is wrapped", sent.Name(), b.Op)
+		return
+	}
+}
+
+func checkSwitch(pass *analysis.Pass, s *ast.SwitchStmt) {
+	if s.Tag == nil {
+		return
+	}
+	for _, stmt := range s.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if sent := sentinelOf(pass, e); sent != nil {
+				pass.Reportf(e.Pos(),
+					"switch case on sentinel %s compares by identity: use errors.Is, identity breaks once the error is wrapped", sent.Name())
+			}
+		}
+	}
+}
+
+// verbs returns the verb letter consuming each successive operand of
+// a Printf-style format. ok is false when the format uses explicit
+// argument indexes (%[1]s), which this checker does not model. A '*'
+// width or precision consumes an operand and is recorded as '*'.
+func verbs(format string) (vs []byte, ok bool) {
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+	scan:
+		for ; i < len(format); i++ {
+			switch c := format[i]; {
+			case c == '%':
+				break scan // literal %%
+			case c == '[':
+				return nil, false
+			case c == '*':
+				vs = append(vs, '*')
+			case c >= '0' && c <= '9' || c == '.' || c == '+' || c == '-' || c == '#' || c == ' ':
+				// flags, width, precision: keep scanning
+			default:
+				vs = append(vs, c)
+				break scan
+			}
+		}
+	}
+	return vs, true
+}

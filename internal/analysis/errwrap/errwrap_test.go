@@ -1,0 +1,12 @@
+package errwrap_test
+
+import (
+	"testing"
+
+	"bayeslsh/internal/analysis/analysistest"
+	"bayeslsh/internal/analysis/errwrap"
+)
+
+func TestErrWrap(t *testing.T) {
+	analysistest.Run(t, errwrap.Analyzer, "testdata/src/errwrap", "errwrap")
+}

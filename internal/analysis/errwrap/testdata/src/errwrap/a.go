@@ -1,0 +1,92 @@
+// Package errwrap is analyzer testdata: sentinels wrap with %w and
+// match with errors.Is.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBad and errInternal are sentinels: package-level error vars
+// named Err*/err*.
+var (
+	ErrBad      = errors.New("bad")
+	errInternal = errors.New("internal")
+)
+
+// notSentinelCase is a package-level error var but not named like a
+// sentinel, so errwrap leaves it alone.
+var oops = errors.New("oops")
+
+func wrapV(id int) error {
+	return fmt.Errorf("item %d: %v", id, ErrBad) // want `sentinel ErrBad passed to fmt.Errorf without %w`
+}
+
+func wrapS() error {
+	return fmt.Errorf("lookup: %s", errInternal) // want `sentinel errInternal passed to fmt.Errorf without %w`
+}
+
+func wrapWrongPosition() error {
+	// %w consumes the first operand; the sentinel lands on %v.
+	return fmt.Errorf("%w then %v", errors.New("x"), ErrBad) // want `sentinel ErrBad passed to fmt.Errorf without %w`
+}
+
+func wrapW(id int) error {
+	return fmt.Errorf("item %d: %w", id, ErrBad)
+}
+
+func wrapWFlags() error {
+	return fmt.Errorf("at %08.3f: %w", 1.5, errInternal)
+}
+
+func wrapStar() error {
+	return fmt.Errorf("%*d: %w", 4, 2, ErrBad)
+}
+
+func wrapIndexedBails() error {
+	// explicit argument indexes are not modeled; no finding.
+	return fmt.Errorf("%[2]v %[1]s", "a", ErrBad)
+}
+
+func wrapNonSentinel() error {
+	return fmt.Errorf("oops: %v", oops)
+}
+
+func cmpEq(err error) bool {
+	return err == ErrBad // want `ErrBad compared with ==`
+}
+
+func cmpNeq(err error) bool {
+	return errInternal != err // want `errInternal compared with !=`
+}
+
+func cmpNilIsFine() bool {
+	return ErrBad == nil
+}
+
+func cmpIsIsFine(err error) bool {
+	return errors.Is(err, ErrBad)
+}
+
+func switchCase(err error) string {
+	switch err { // the tag itself is fine; the case is not
+	case ErrBad: // want `switch case on sentinel ErrBad compares by identity`
+		return "bad"
+	default:
+		return "other"
+	}
+}
+
+func switchTrueIsFine(err error) string {
+	switch {
+	case errors.Is(err, ErrBad):
+		return "bad"
+	default:
+		return "other"
+	}
+}
+
+func allowedIdentity(err error) bool {
+	//apsslint:allow errwrap this sentinel is never wrapped, identity is the whole point
+	return err == errInternal
+}

@@ -1,0 +1,16 @@
+package gohygiene_test
+
+import (
+	"testing"
+
+	"bayeslsh/internal/analysis/analysistest"
+	"bayeslsh/internal/analysis/gohygiene"
+)
+
+func TestPlainPackage(t *testing.T) {
+	analysistest.Run(t, gohygiene.Analyzer, "testdata/src/plain", "example.com/plain")
+}
+
+func TestShardPackageExempt(t *testing.T) {
+	analysistest.Run(t, gohygiene.Analyzer, "testdata/src/shard", "bayeslsh/internal/shard")
+}

@@ -1,0 +1,21 @@
+// Package plain is analyzer testdata checked under an ordinary
+// import path: raw go statements are flagged unless justified.
+package plain
+
+func fire(ch chan int) {
+	go func() { ch <- 1 }() // want `raw go statement outside internal/shard`
+}
+
+func fireNamed(f func()) {
+	go f() // want `raw go statement outside internal/shard`
+}
+
+func sequentialIsFine(f func()) {
+	f()
+	defer f()
+}
+
+func allowedSupervisor(f func()) {
+	//apsslint:allow gohygiene process-lifetime supervisor, torn down with the process
+	go f()
+}

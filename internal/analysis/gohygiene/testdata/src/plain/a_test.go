@@ -1,0 +1,10 @@
+package plain
+
+import "testing"
+
+// Test files are exempt: harnesses drive concurrency on purpose.
+func TestRawGoIsFineHere(t *testing.T) {
+	done := make(chan struct{})
+	go close(done)
+	<-done
+}

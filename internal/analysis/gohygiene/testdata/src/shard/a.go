@@ -1,0 +1,13 @@
+// Package shard is analyzer testdata checked under the import path
+// bayeslsh/internal/shard — the concurrency substrate itself, where
+// raw go statements are the point.
+package shard
+
+func run(f func()) chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		f()
+	}()
+	return done
+}

@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+)
+
+// A Unit is one parsed, type-checked package ready for analysis: the
+// non-test package, the package including its in-package _test.go
+// files, or an external _test package.
+type Unit struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult
+// allocated.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+}
+
+// Typecheck parses and type-checks one package unit from explicit
+// file names, resolving imports through imp (which must share fset).
+func Typecheck(fset *token.FileSet, imp types.Importer, importPath string, filenames []string) (*Unit, error) {
+	var files []*ast.File
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", importPath, err)
+	}
+	return &Unit{ImportPath: importPath, Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// needs.
+type listedPackage struct {
+	ImportPath   string
+	Dir          string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+}
+
+// Load lists patterns with the go command from dir (the module root)
+// and type-checks every matched package from source with the stdlib
+// source importer — the build environment has no export data and no
+// x/tools, so source is the only truth available. With includeTests,
+// in-package test files are folded into their package's unit and
+// external _test packages become units of their own.
+//
+// The source importer resolves module-internal imports by invoking
+// `go list` through go/build, which requires build.Default.Dir to
+// point into the module; Load sets it to dir for the life of the
+// process (the apsslint binary and its tests are the only callers).
+func Load(dir string, patterns []string, includeTests bool) ([]*Unit, error) {
+	args := append([]string{"list", "-e", "-json=ImportPath,Dir,GoFiles,TestGoFiles,XTestGoFiles", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+
+	build.Default.Dir = dir
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+
+	var units []*Unit
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding: %v", patterns, err)
+		}
+		abs := func(names []string) []string {
+			out := make([]string, len(names))
+			for i, n := range names {
+				out[i] = filepath.Join(p.Dir, n)
+			}
+			return out
+		}
+		files := abs(p.GoFiles)
+		if includeTests {
+			files = append(files, abs(p.TestGoFiles)...)
+		}
+		if len(files) > 0 {
+			u, err := Typecheck(fset, imp, p.ImportPath, files)
+			if err != nil {
+				return nil, err
+			}
+			units = append(units, u)
+		}
+		if includeTests && len(p.XTestGoFiles) > 0 {
+			u, err := Typecheck(fset, imp, p.ImportPath+"_test", abs(p.XTestGoFiles))
+			if err != nil {
+				return nil, err
+			}
+			units = append(units, u)
+		}
+	}
+	return units, nil
+}

@@ -1,0 +1,297 @@
+// Package mapiter flags range-over-map loops whose iteration order
+// can leak into output — the exact bug class PR 1 hit in
+// internal/dataset, where Go's randomized map order made "identical"
+// corpora differ between runs. A map range is fine when its effects
+// are order-insensitive (map writes, commutative counters, constant
+// sends); it is a contract violation when a loop-dependent value is
+// appended to a slice that is never sorted afterwards, sent on a
+// channel, or returned.
+package mapiter
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"bayeslsh/internal/analysis"
+)
+
+// Analyzer implements the mapiter contract.
+var Analyzer = &analysis.Analyzer{
+	Name: "mapiter",
+	Doc: "map iteration order must not reach results: sort what a map range accumulates\n" +
+		"Inside a range over a map, appending a loop-dependent value to a slice that\n" +
+		"is not subsequently sorted (sort.* / slices.Sort*) in the same function,\n" +
+		"sending one on a channel, or returning one makes output depend on Go's\n" +
+		"randomized map order. Sort the accumulated slice, iterate sorted keys, or\n" +
+		"justify with //apsslint:allow mapiter <reason>.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			var results *ast.FieldList
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body, results = n.Body, n.Type.Results
+			case *ast.FuncLit:
+				body, results = n.Body, n.Type.Results
+			default:
+				return true
+			}
+			if body != nil {
+				checkFunc(pass, body, results)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFunc examines every map range directly inside body (ranges
+// inside nested closures are visited when the closure itself is
+// checked, so sort-cleansing is judged against the right function).
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt, results *ast.FieldList) {
+	inspectShallow(body, func(n ast.Node) {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return
+		}
+		tv, ok := pass.TypesInfo.Types[rs.X]
+		if !ok {
+			return
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return
+		}
+		checkRange(pass, body, rs, results)
+	})
+}
+
+// inspectShallow walks n without descending into function literals.
+func inspectShallow(n ast.Node, f func(ast.Node)) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			f(n)
+		}
+		return true
+	})
+}
+
+func checkRange(pass *analysis.Pass, funcBody *ast.BlockStmt, rs *ast.RangeStmt, results *ast.FieldList) {
+	info := pass.TypesInfo
+	local := localDefs(info, rs)
+
+	// loopDependent reports whether e mentions anything defined by
+	// the loop (key/value vars, body locals): only such values can
+	// carry the iteration order outward.
+	loopDependent := func(e ast.Expr) bool {
+		dep := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && local[info.Uses[id]] {
+				dep = true
+			}
+			return !dep
+		})
+		return dep
+	}
+
+	inspectShallow(rs.Body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return
+			}
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isAppend(info, call) {
+					continue
+				}
+				dep := false
+				for _, arg := range call.Args[1:] {
+					if loopDependent(arg) {
+						dep = true
+					}
+				}
+				if !dep {
+					continue
+				}
+				sink := lhsObj(info, n.Lhs[i])
+				if sink == nil || sortedAfter(info, funcBody, rs, sink) {
+					continue
+				}
+				pass.Reportf(call.Pos(),
+					"append of a loop-dependent value inside a map range, and %s is never sorted afterwards: output order follows Go's randomized map order — sort it or iterate sorted keys", sink.Name())
+			}
+		case *ast.SendStmt:
+			if loopDependent(n.Value) {
+				pass.Reportf(n.Pos(),
+					"channel send of a loop-dependent value inside a map range: delivery order follows Go's randomized map order — collect, sort, then send")
+			}
+		case *ast.ReturnStmt:
+			if len(n.Results) == 0 {
+				// A bare return can only leak order through named
+				// results assigned in the loop.
+				if results != nil && results.NumFields() > 0 {
+					pass.Reportf(n.Pos(),
+						"bare return inside a map range with named results: if the loop assigned them, the returned value depends on Go's randomized map order")
+				}
+				return
+			}
+			for _, e := range n.Results {
+				if loopDependent(e) {
+					pass.Reportf(n.Pos(),
+						"return of a loop-dependent value inside a map range: which element wins depends on Go's randomized map order — iterate sorted keys to make the choice deterministic")
+					return
+				}
+			}
+		}
+	})
+}
+
+// localDefs collects every object defined inside the range statement:
+// the key/value variables and any body-local declarations.
+func localDefs(info *types.Info, rs *ast.RangeStmt) map[types.Object]bool {
+	local := make(map[types.Object]bool)
+	ast.Inspect(rs, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				local[obj] = true
+			}
+		}
+		return true
+	})
+	return local
+}
+
+func isAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// lhsObj resolves the variable or field an assignment writes to.
+func lhsObj(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := info.Defs[e]; obj != nil {
+			return obj
+		}
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	}
+	return nil
+}
+
+// sortedAfter reports whether any statement that can execute after rs
+// in the enclosing function body passes sink to a sort.* or
+// slices.Sort* call (including wrapped receivers like
+// sort.Sort(byCount(sink))).
+func sortedAfter(info *types.Info, funcBody *ast.BlockStmt, rs ast.Stmt, sink types.Object) bool {
+	tail, _ := tailAfter(funcBody.List, rs)
+	for _, s := range tail {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isSortCall(info, call) {
+				return !found
+			}
+			for _, arg := range call.Args {
+				if analysis.Mentions(info, arg, sink) {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := analysis.Callee(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "sort":
+		return true
+	case "slices":
+		return strings.Contains(fn.Name(), "Sort")
+	}
+	return false
+}
+
+// tailAfter returns the statements that execute after target within
+// stmts: the remainder of the statement list holding target, plus the
+// remainders of every enclosing list out to the function body.
+func tailAfter(stmts []ast.Stmt, target ast.Stmt) ([]ast.Stmt, bool) {
+	for i, s := range stmts {
+		if s == target {
+			return stmts[i+1:], true
+		}
+		if s.Pos() <= target.Pos() && target.End() <= s.End() {
+			for _, list := range stmtLists(s) {
+				if inner, ok := tailAfter(list, target); ok {
+					tail := append([]ast.Stmt{}, inner...)
+					return append(tail, stmts[i+1:]...), true
+				}
+			}
+		}
+	}
+	return nil, false
+}
+
+// stmtLists returns the statement lists nested directly inside s.
+func stmtLists(s ast.Stmt) [][]ast.Stmt {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return [][]ast.Stmt{s.List}
+	case *ast.IfStmt:
+		lists := [][]ast.Stmt{s.Body.List}
+		if s.Else != nil {
+			lists = append(lists, stmtLists(s.Else)...)
+		}
+		return lists
+	case *ast.ForStmt:
+		return [][]ast.Stmt{s.Body.List}
+	case *ast.RangeStmt:
+		return [][]ast.Stmt{s.Body.List}
+	case *ast.SwitchStmt:
+		return caseLists(s.Body)
+	case *ast.TypeSwitchStmt:
+		return caseLists(s.Body)
+	case *ast.SelectStmt:
+		var lists [][]ast.Stmt
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				lists = append(lists, cc.Body)
+			}
+		}
+		return lists
+	case *ast.LabeledStmt:
+		return stmtLists(s.Stmt)
+	}
+	return nil
+}
+
+func caseLists(body *ast.BlockStmt) [][]ast.Stmt {
+	var lists [][]ast.Stmt
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			lists = append(lists, cc.Body)
+		}
+	}
+	return lists
+}

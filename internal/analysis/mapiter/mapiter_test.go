@@ -1,0 +1,12 @@
+package mapiter_test
+
+import (
+	"testing"
+
+	"bayeslsh/internal/analysis/analysistest"
+	"bayeslsh/internal/analysis/mapiter"
+)
+
+func TestMapIter(t *testing.T) {
+	analysistest.Run(t, mapiter.Analyzer, "testdata/src/mapiter", "mapiter")
+}

@@ -1,0 +1,140 @@
+// Package mapiter is analyzer testdata: map ranges whose iteration
+// order does / does not reach output.
+package mapiter
+
+import "sort"
+
+func keysUnsorted(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k) // want `append of a loop-dependent value inside a map range`
+	}
+	return ks
+}
+
+func keysSorted(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+func sortedOutsideBranch(m map[string]int) []int {
+	var vs []int
+	if len(m) > 0 {
+		for _, v := range m {
+			vs = append(vs, v)
+		}
+	}
+	sort.Ints(vs)
+	return vs
+}
+
+func sortedViaWrapper(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Sort(sort.StringSlice(ks))
+	return ks
+}
+
+func appendConstant(m map[string]int) []int {
+	var ones []int
+	for range m {
+		ones = append(ones, 1)
+	}
+	return ones
+}
+
+func send(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `channel send of a loop-dependent value inside a map range`
+	}
+}
+
+func sendConstant(m map[string]int, ch chan struct{}) {
+	for range m {
+		ch <- struct{}{}
+	}
+}
+
+func firstMatch(m map[string]int) (string, bool) {
+	for k, v := range m {
+		if v > 0 {
+			return k, true // want `return of a loop-dependent value inside a map range`
+		}
+	}
+	return "", false
+}
+
+func contains(m map[string]int, want int) bool {
+	for _, v := range m {
+		if v == want {
+			return true
+		}
+	}
+	return false
+}
+
+func sum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+func sliceRangeIsFine(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+func inClosureUnsorted(m map[string]int) func() []string {
+	return func() []string {
+		var ks []string
+		for k := range m {
+			ks = append(ks, k) // want `append of a loop-dependent value inside a map range`
+		}
+		return ks
+	}
+}
+
+func inClosureSorted(m map[string]int) func() []string {
+	return func() []string {
+		var ks []string
+		for k := range m {
+			ks = append(ks, k)
+		}
+		sort.Strings(ks)
+		return ks
+	}
+}
+
+func allowedAbove(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		//apsslint:allow mapiter the caller treats this as an unordered set and never iterates it
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+func allowedTrailing(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k //apsslint:allow mapiter fan-out to an order-insensitive consumer
+	}
+}

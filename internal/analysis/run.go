@@ -1,0 +1,37 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Run applies every analyzer to one unit, filters the findings
+// through the allow directives in the unit's files, and returns them
+// sorted by position. The pseudo-analyzer "allow" (malformed
+// directives) can appear in the result even though it is not in
+// analyzers.
+func Run(u *Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
+	known := make(map[string]bool, len(analyzers))
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		known[a.Name] = true
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      u.Fset,
+			Files:     u.Files,
+			Pkg:       u.Pkg,
+			TypesInfo: u.Info,
+		}
+		name := a.Name
+		pass.Report = func(d Diagnostic) {
+			d.Analyzer = name
+			diags = append(diags, d)
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", u.ImportPath, a.Name, err)
+		}
+	}
+	diags = Filter(u.Fset, u.Files, diags, known)
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}

@@ -1,0 +1,107 @@
+package suite_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bayeslsh/internal/analysis"
+	"bayeslsh/internal/analysis/suite"
+)
+
+// moduleRoot walks up from the test's working directory to the
+// directory holding go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestRepoIsLintClean runs the whole apsslint suite over ./...
+// (tests included) and requires zero findings: every contract
+// violation in the tree has been fixed or carries a reasoned
+// //apsslint:allow. This is the same check CI runs via
+// go vet -vettool=apsslint; keeping it as a test means a plain
+// `go test ./...` catches regressions too.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole repo from source; skipped with -short")
+	}
+	root := moduleRoot(t)
+	units, err := analysis.Load(root, []string{"./..."}, true)
+	if err != nil {
+		t.Fatalf("load ./...: %v", err)
+	}
+	for _, u := range units {
+		diags, err := analysis.Run(u, suite.Analyzers())
+		if err != nil {
+			t.Fatalf("run %s: %v", u.ImportPath, err)
+		}
+		for _, d := range diags {
+			pos := u.Fset.Position(d.Pos)
+			t.Errorf("%s: [%s] %s", pos, d.Analyzer, d.Message)
+		}
+	}
+}
+
+// TestAllowDirectivesHaveReasons audits every //apsslint:allow in the
+// tree (testdata fixtures excluded — they exercise the directives
+// themselves): the named analyzer must exist and the reason must be
+// non-empty. The suite's Filter enforces this for loaded packages;
+// this walk also covers files no build constraint currently selects.
+func TestAllowDirectivesHaveReasons(t *testing.T) {
+	root := moduleRoot(t)
+	known := make(map[string]bool)
+	for _, a := range suite.Analyzers() {
+		known[a.Name] = true
+	}
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return err
+		}
+		for _, dir := range analysis.Directives(fset, []*ast.File{f}) {
+			rel, _ := filepath.Rel(root, dir.File)
+			switch {
+			case dir.Analyzer == "" || dir.Reason == "":
+				t.Errorf("%s:%d: apsslint:allow without an analyzer name and reason", rel, dir.Line)
+			case !known[dir.Analyzer]:
+				t.Errorf("%s:%d: apsslint:allow names unknown analyzer %q", rel, dir.Line, dir.Analyzer)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -55,6 +55,7 @@ func New(entries []Entry) Vector {
 func FromMap(m map[uint32]float64) Vector {
 	entries := make([]Entry, 0, len(m))
 	for ind, val := range m {
+		//apsslint:allow mapiter New sorts entries by index below, so map order never reaches the built vector
 		entries = append(entries, Entry{ind, val})
 	}
 	return New(entries)

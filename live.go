@@ -1009,8 +1009,10 @@ func (li *LiveIndex) mergeRun(ctx context.Context) {
 	if li.priorBearing() && cur.prior != cutPrior {
 		// Mutations during the build moved the corpus prior; re-arm the
 		// new base's verifier with the current one (cheap — no
-		// enumeration, just the pruning-table construction).
-		vq, err := e2.bayesVerifierWithPrior(context.Background(), li.opts, cur.prior)
+		// enumeration, just the pruning-table construction). Runs under
+		// the merge ctx so Close aborts the publish like any other
+		// merge stage.
+		vq, err := e2.bayesVerifierWithPrior(ctx, li.opts, cur.prior)
 		if err != nil {
 			li.mu.Unlock()
 			li.mergeErr.Store(&err)
