@@ -25,6 +25,7 @@ func buildMain(args []string) {
 	seed := fs.Uint64("seed", 42, "random seed")
 	parallel := fs.Int("parallel", 0, "build workers (0 = NumCPU, 1 = sequential)")
 	out := fs.String("out", "", "snapshot output path (required)")
+	format := fs.String("format", "v1", "snapshot format: v1 (heap-loaded stream) | v3 (mmap-servable, page-aligned)")
 	fs.Parse(args)
 
 	const prog = "apss build"
@@ -35,6 +36,9 @@ func buildMain(args []string) {
 	alg, ok := algorithmsByName[*algName]
 	if !ok {
 		usageError(prog, "unknown algorithm %q", *algName)
+	}
+	if *format != "v1" && *format != "v3" {
+		usageError(prog, "unknown -format %q (want v1 or v3)", *format)
 	}
 	validateCommon(prog, *threshold, *parallel)
 	if *out == "" {
@@ -50,7 +54,11 @@ func buildMain(args []string) {
 		fmt.Fprintln(os.Stderr, prog+":", err)
 		os.Exit(1)
 	}
-	if err := ix.SaveFile(*out); err != nil {
+	save, version := ix.SaveFile, bayeslsh.SnapshotVersion
+	if *format == "v3" {
+		save, version = ix.SaveFileV3, bayeslsh.DiskSnapshotVersion
+	}
+	if err := save(*out); err != nil {
 		fmt.Fprintln(os.Stderr, prog+":", err)
 		os.Exit(1)
 	}
@@ -62,5 +70,5 @@ func buildMain(args []string) {
 	fmt.Fprintf(os.Stderr,
 		"apss build: %v index over %d vectors (%v, t=%.2f) built in %v, snapshot %s (%d bytes, format v%d)\n",
 		alg, ix.Len(), measure, *threshold, st.BuildTime.Round(time.Millisecond),
-		*out, size, bayeslsh.SnapshotVersion)
+		*out, size, version)
 }

@@ -29,7 +29,15 @@
 // serving processes load in milliseconds (see docs/PERSISTENCE.md):
 //
 //	apss build -dataset RCV1-sim -t 0.7 -out index.snap
+//	apss build -dataset RCV1-sim -t 0.7 -format v3 -out index.v3.snap
 //	apss query -index index.snap -self 100
+//
+// The info subcommand inspects any snapshot file without loading it
+// into a servable index: version, section table (tag, offset, length,
+// per-section checksum for v3), and corpus shape. Corrupt or foreign
+// files exit with status 2 and a one-line diagnosis:
+//
+//	apss info index.snap
 //
 // The serve subcommand runs the live (ingest-while-serving) index.
 // With -http it is a concurrent HTTP/JSON daemon — NDJSON-streamed
@@ -133,6 +141,9 @@ func main() {
 			return
 		case "serve":
 			serveMain(os.Args[2:])
+			return
+		case "info":
+			infoMain(os.Args[2:])
 			return
 		}
 	}

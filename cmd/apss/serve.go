@@ -115,19 +115,13 @@ func serveMain(args []string) {
 	}
 
 	// loadSingle is the single-node restore chain, shared by -index and
-	// the single-node /v1/load loader: a live snapshot restores the
-	// whole generation state; a base snapshot becomes the base segment
-	// of a fresh live index. The fallback runs only on a version
-	// mismatch — any other failure (corruption, truncation) keeps its
-	// original diagnosis.
+	// the single-node /v1/load loader: OpenLiveFile sniffs the version,
+	// so a live snapshot restores the whole generation state, a base
+	// snapshot becomes the base segment of a fresh live index, and a
+	// disk-servable v3 snapshot is mmapped and served in place (pages
+	// fault in on demand instead of heap-loading the corpus).
 	loadSingle := func(path string) (*bayeslsh.LiveIndex, error) {
-		li, err := bayeslsh.LoadLiveFile(path, lc)
-		if errors.Is(err, bayeslsh.ErrSnapshotVersion) {
-			var ix *bayeslsh.Index
-			if ix, err = bayeslsh.LoadFile(path); err == nil {
-				li, err = bayeslsh.LiveFrom(ix, lc)
-			}
-		}
+		li, err := bayeslsh.OpenLiveFile(path, lc)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,622 @@
+package bayeslsh
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"bayeslsh/internal/allpairs"
+	"bayeslsh/internal/diskidx"
+	"bayeslsh/internal/lshindex"
+	"bayeslsh/internal/minhash"
+	"bayeslsh/internal/sighash"
+	"bayeslsh/internal/snapshot"
+	"bayeslsh/internal/vector"
+)
+
+// Disk-servable snapshots (format version 3) serve queries in place.
+// Where a v1/v2 snapshot is decoded front to back into heap structures
+// at load, a v3 file is a page-aligned section container
+// (internal/diskidx) whose sections are laid out exactly the way
+// queries read them — the corpus as flat columns, signatures as
+// fixed-stride matrices, band tables as sorted bucket runs, AllPairs
+// postings delta+varint compressed — so OpenIndexFile maps the file,
+// lays read-only views over the mapping, and answers
+// Query/TopK/QueryBatch bit-identically to the index that wrote it
+// while the OS pages corpus bytes in on demand. Opening allocates
+// section directories and per-row slice headers, never a copy of the
+// corpus; each section's checksum (plus a deep structural walk) is
+// verified once, when the first query touches it. See
+// docs/PERSISTENCE.md for the layout and docs/TUNING.md for the
+// heap-vs-mmap trade-off.
+
+// DiskSnapshotVersion is the format version SaveFileV3 writes and
+// OpenIndexFile reads — the disk-servable container of
+// internal/diskidx.
+const DiskSnapshotVersion = diskidx.Version
+
+// ErrDiskBacked reports a write of an index that serves from a mapped
+// v3 file: its snapshot already exists — the file it is serving from —
+// and its candidate structures have no heap form to re-encode. Copy
+// the file instead.
+var ErrDiskBacked = errors.New("bayeslsh: index serves from a disk snapshot; its file is the snapshot (copy it instead)")
+
+// diskState ties a disk-backed Index to its mapped file: the section
+// handles a query may touch, each guarded by a once-only
+// checksum-plus-deep-validation step, and the close latch.
+type diskState struct {
+	f *diskidx.File
+
+	vectors *diskSection
+	sigBits *diskSection
+	sigMin  *diskSection
+	cands   *diskSection // band tables or AllPairs postings; nil for BruteForce
+	all     []*diskSection
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// diskSection is the first-touch state of one mapped section: the
+// checksum pass and the structure-specific deep walk run once, and
+// every later touch returns the cached verdict.
+type diskSection struct {
+	lz   *diskidx.Lazy
+	deep func() error // full structural walk; nil when open validated everything
+	once sync.Once
+	err  error
+}
+
+func (s *diskSection) touch() error {
+	if s == nil {
+		return nil
+	}
+	s.once.Do(func() {
+		if err := s.lz.Verify(); err != nil {
+			s.err = fmt.Errorf("%w: %v", ErrSnapshotChecksum, err)
+			return
+		}
+		if s.deep != nil {
+			if err := s.deep(); err != nil {
+				s.err = fmt.Errorf("%w: %v", ErrSnapshotFormat, err)
+			}
+		}
+	})
+	return s.err
+}
+
+func (d *diskState) add(l *diskidx.Lazy, deep func() error) *diskSection {
+	s := &diskSection{lz: l, deep: deep}
+	d.all = append(d.all, s)
+	return s
+}
+
+// ready verifies the sections a query of the given shape is about to
+// read — the corpus, the candidate structure, and (for threshold
+// queries, which verify with signatures) the signature matrices the
+// verifier compares against. Heap-resident indexes return nil
+// immediately.
+func (ix *Index) ready(topK bool) error {
+	d := ix.disk
+	if d == nil {
+		return nil
+	}
+	if err := d.vectors.touch(); err != nil {
+		return err
+	}
+	if err := d.cands.touch(); err != nil {
+		return err
+	}
+	if topK {
+		return nil // exact similarities only; corpus signatures unread
+	}
+	if ix.verifyBits > 0 {
+		if err := d.sigBits.touch(); err != nil {
+			return err
+		}
+	}
+	// The 1-bit pipeline verifies against a heap-packed copy built at
+	// open (the section was verified then); only the plain minhash
+	// verifiers read the mapped rows.
+	if ix.verifyMin > 0 && !ix.packOneBit {
+		if err := d.sigMin.touch(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readyAll verifies every section — the merge path's contract, which
+// adopts signature prefixes and aliases corpus bytes wholesale rather
+// than reading along one query shape.
+func (ix *Index) readyAll() error {
+	d := ix.disk
+	if d == nil {
+		return nil
+	}
+	for _, s := range d.all {
+		if err := s.touch(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close releases the mapping of a disk-backed index (a no-op for
+// heap-resident ones). No query may be in flight, and no index derived
+// from this one — a LiveFrom live index, including any generation it
+// merged, which aliases the mapped corpus bytes — may still be
+// serving. Close is idempotent.
+func (ix *Index) Close() error {
+	d := ix.disk
+	if d == nil {
+		return nil
+	}
+	d.closeOnce.Do(func() { d.closeErr = d.f.Close() })
+	return d.closeErr
+}
+
+// IndexMemStats reports an index's relationship to its backing
+// snapshot file.
+type IndexMemStats struct {
+	// DiskBacked is true for an index opened with OpenIndexFile; the
+	// byte counts below are zero otherwise.
+	DiskBacked bool
+	// MappedBytes is the size of the mapped snapshot file.
+	MappedBytes int64
+	// ResidentBytes estimates how much of the mapping is materialized
+	// in RAM (the OS page-residency answer where available, otherwise
+	// the bytes of every section touched so far).
+	ResidentBytes int64
+}
+
+// MemStats reports the mapped and resident byte counts of a
+// disk-backed index; the zero value for a heap-resident one.
+func (ix *Index) MemStats() IndexMemStats {
+	d := ix.disk
+	if d == nil {
+		return IndexMemStats{}
+	}
+	return IndexMemStats{
+		DiskBacked:    true,
+		MappedBytes:   d.f.MappedBytes(),
+		ResidentBytes: d.f.ResidentBytes(),
+	}
+}
+
+// MemStats reports the current base segment's MemStats: after a merge
+// folds the delta into a heap base it reports DiskBacked false, even
+// though the merged corpus may still alias mapped bytes (the mapping
+// stays open regardless; see OpenLiveFile).
+func (li *LiveIndex) MemStats() IndexMemStats {
+	return li.gen.Load().base.MemStats()
+}
+
+// fillDepths computes the uniform signature depths a v3 snapshot
+// persists: deep enough for banding and for the deepest verifier
+// prefix the resolved options can demand, so that a disk-served index
+// never needs to hash a corpus vector. The verifier depths use the
+// unrounded budget clamp (the verifier constructors re-derive their
+// rounded working depth from the same clamp at open, so the persisted
+// depth always covers it). Bit depths are word-aligned for the
+// fixed-stride layout.
+func (ix *Index) fillDepths() (bitFill, minFill int) {
+	e, o := ix.engine(), ix.opts
+	bitFill, minFill = ix.bandBits, ix.bandMin
+	switch o.Algorithm {
+	case AllPairsBayesLSH, AllPairsBayesLSHLite, LSHBayesLSH, LSHBayesLSHLite:
+		if e.measure == Jaccard {
+			minFill = max(minFill, min(o.MaxHashes, e.minSigStore().MaxHashes()))
+		} else {
+			bitFill = max(bitFill, min(o.MaxHashes, e.bitSigStore().MaxBits()))
+		}
+	case LSHApprox:
+		if e.measure == Jaccard {
+			minFill = max(minFill, ix.approxN)
+		} else {
+			bitFill = max(bitFill, ix.approxN)
+		}
+	}
+	bitFill = (bitFill + 63) / 64 * 64
+	return bitFill, minFill
+}
+
+// SaveFileV3 writes the index as a disk-servable (version 3) snapshot
+// at path, atomically under the SaveFile contract. The write is the
+// expensive side of the trade: every corpus signature is filled to the
+// uniform persisted depth first (a disk-served index cannot hash), and
+// the candidate structures are re-laid in probe order. An index that
+// itself serves from a v3 file returns ErrDiskBacked — its file is the
+// snapshot; copy it.
+func (ix *Index) SaveFileV3(path string) error {
+	if ix.disk != nil {
+		return ErrDiskBacked
+	}
+	e := ix.engine()
+	bitFill, minFill := ix.fillDepths()
+	if bitFill > 0 {
+		e.bitSigStore().EnsureAllParallel(bitFill, e.workers())
+	}
+	if minFill > 0 {
+		e.minSigStore().EnsureAllParallel(minFill, e.workers())
+	}
+	bits, _ := ix.bits.(*lshindex.BitsTables)
+	mins, _ := ix.mins.(*lshindex.MinhashTables)
+	ap, _ := ix.ap.(*allpairs.Index)
+
+	f, err := os.CreateTemp(filepath.Dir(path), ".snap-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	mode := os.FileMode(0o644)
+	if fi, err := os.Stat(path); err == nil {
+		mode = fi.Mode().Perm()
+	}
+	werr := f.Chmod(mode)
+	if werr == nil {
+		fw := diskidx.NewFileWriter(f)
+		fw.Section(sectMeta, func(sw *snapshot.Writer) {
+			ix.writeMeta(sw)
+			sw.U32(uint32(bitFill))
+			sw.U32(uint32(minFill))
+		})
+		fw.Section(sectVectors, e.ds.c.WriteFlat)
+		if bitFill > 0 {
+			fw.Section(sectBitStore, func(sw *snapshot.Writer) {
+				e.bitSigStore().WriteFixedSection(sw, bitFill)
+			})
+		}
+		if minFill > 0 {
+			fw.Section(sectMinStore, func(sw *snapshot.Writer) {
+				e.minSigStore().WriteFixedSection(sw, minFill)
+			})
+		}
+		if bits != nil {
+			fw.Section(sectBitTables, bits.WriteFixedSection)
+		}
+		if mins != nil {
+			fw.Section(sectMinhashTables, mins.WriteFixedSection)
+		}
+		if ap != nil {
+			fw.Section(sectAllPairs, ap.WriteFixedSection)
+		}
+		werr = fw.Finish()
+	}
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return werr
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// OpenIndexFile opens a disk-servable (version 3) snapshot written by
+// SaveFileV3 and returns a read-only Index serving from the mapping
+// (or, under the apss_nommap build tag and on platforms without mmap,
+// from once-per-section preads). Opening reads the section directory
+// and the scalar metadata; corpus bytes, signatures and postings stay
+// on disk until queries touch them, and each section is
+// checksum-verified and structurally validated exactly once, at that
+// first touch — a failure surfaces on the query as
+// ErrSnapshotChecksum or ErrSnapshotFormat. Results are bit-identical
+// to the saving index and to a heap load of the same corpus and
+// options.
+//
+// The returned index serves queries and LiveFrom but cannot be
+// re-saved (ErrDiskBacked) — its file is the snapshot. Call Close when
+// no query or derived live index needs it anymore.
+//
+// Errors follow ReadIndex: ErrSnapshotFormat, ErrSnapshotVersion
+// (naming the loader for v1/v2 files), ErrSnapshotChecksum.
+func OpenIndexFile(path string) (*Index, error) {
+	f, err := diskidx.Open(path)
+	if err != nil {
+		return nil, mapDiskOpenErr(err)
+	}
+	ix, err := openDisk(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return ix, nil
+}
+
+// mapDiskOpenErr translates container-open failures to the root
+// package's snapshot error taxonomy.
+func mapDiskOpenErr(err error) error {
+	var ve *diskidx.VersionError
+	if errors.As(err, &ve) {
+		switch ve.Found {
+		case SnapshotVersion:
+			return fmt.Errorf("%w: found version %d (a base-index snapshot); load it with ReadIndex or LoadFile",
+				ErrSnapshotVersion, ve.Found)
+		case LiveSnapshotVersion:
+			return fmt.Errorf("%w: found version %d (a live-index snapshot); load it with ReadLiveIndex or LoadLiveFile",
+				ErrSnapshotVersion, ve.Found)
+		default:
+			return fmt.Errorf("%w: found version %d; this build reads versions %d (ReadIndex/LoadFile), %d (ReadLiveIndex/LoadLiveFile) and %d (OpenIndexFile)",
+				ErrSnapshotVersion, ve.Found, SnapshotVersion, LiveSnapshotVersion, DiskSnapshotVersion)
+		}
+	}
+	if errors.Is(err, snapshot.ErrCorrupt) {
+		return fmt.Errorf("%w: %v", ErrSnapshotFormat, err)
+	}
+	return err
+}
+
+// openDisk assembles a servable Index over an open v3 container. It
+// mirrors decodeIndex's wiring — same engine construction, same
+// rewire — with views over the mapping in place of decoded heap
+// structures. Only the metadata is verified here; every bulk section
+// gets structural bounds checks now (so no view can index outside the
+// mapping) and its checksum plus deep walk on first touch.
+func openDisk(f *diskidx.File) (*Index, error) {
+	formatf := func(format string, args ...any) error {
+		return fmt.Errorf("%w: %s", ErrSnapshotFormat, fmt.Sprintf(format, args...))
+	}
+	for _, s := range f.Sections() {
+		if s.Tag < sectMeta || s.Tag > sectAllPairs {
+			return nil, formatf("unknown section tag %d", s.Tag)
+		}
+	}
+
+	// Metadata: the one eagerly-verified section, and the only one the
+	// open path trusts byte-for-byte.
+	ml, ok := f.Section(sectMeta)
+	if !ok {
+		return nil, formatf("no meta section")
+	}
+	if err := ml.Verify(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSnapshotChecksum, err)
+	}
+	mb, err := ml.Raw()
+	if err != nil {
+		return nil, formatf("meta: %v", err)
+	}
+	mr := snapshot.NewReader(mb)
+	meta, err := readMeta(mr)
+	if err != nil {
+		return nil, formatf("meta: %v", err)
+	}
+	bitFill, minFill := int(mr.U32()), int(mr.U32())
+	if err := mr.Err(); err != nil {
+		return nil, formatf("meta: %v", err)
+	}
+	if mr.Remaining() != 0 {
+		return nil, formatf("meta: %d trailing bytes", mr.Remaining())
+	}
+	if bitFill > maxSnapshotHashes || bitFill%64 != 0 || minFill > maxSnapshotHashes {
+		return nil, formatf("signature fill depths %d/%d out of range", bitFill, minFill)
+	}
+
+	// Corpus: slice headers over the mapped columns. The set measures
+	// binarize the corpus inside NewEngine — dereferencing every vector
+	// byte right now — so for them the section's first touch is here;
+	// for Cosine it stays with the first query.
+	vl, ok := f.Section(sectVectors)
+	if !ok {
+		return nil, formatf("no vector section")
+	}
+	vb, err := vl.Raw()
+	if err != nil {
+		return nil, formatf("vectors: %v", err)
+	}
+	coll, err := vector.OpenFlat(vb)
+	if err != nil {
+		return nil, formatf("vectors: %v", err)
+	}
+	n := len(coll.Vecs)
+
+	d := &diskState{f: f}
+	d.vectors = d.add(vl, coll.Validate)
+	if meta.measure != Cosine {
+		if err := d.vectors.touch(); err != nil {
+			return nil, err
+		}
+	}
+	eng, err := NewEngine(&Dataset{c: coll}, meta.measure, meta.cfg)
+	if err != nil {
+		return nil, formatf("%v", err)
+	}
+
+	ix := &Index{opts: meta.opts, stats: meta.stats, prior: meta.prior, disk: d}
+	ix.eng.Store(eng)
+
+	// Signature matrices: fixed stores whose rows alias the mapping,
+	// pre-marked filled to the persisted depth — the depth checks below
+	// guarantee no serving configuration ever asks deeper (a fixed
+	// store has nothing to hash with).
+	if l, ok := f.Section(sectBitStore); ok {
+		if bitFill == 0 {
+			return nil, formatf("bit store section without a declared fill depth")
+		}
+		b, err := l.Raw()
+		if err != nil {
+			return nil, formatf("bit store: %v", err)
+		}
+		sigs, nbits, err := sighash.OpenFixedSection(b)
+		if err != nil {
+			return nil, formatf("%v", err)
+		}
+		fam := eng.bitFamily()
+		if nbits != bitFill || len(sigs) != n || nbits > fam.MaxBits() {
+			return nil, formatf("bit store holds %d vectors × %d bits; meta declares %d × %d (family max %d)",
+				len(sigs), nbits, n, bitFill, fam.MaxBits())
+		}
+		eng.bitStore = sighash.NewFixedStore(fam, sigs, nbits)
+		d.sigBits = d.add(l, nil)
+	} else if bitFill != 0 {
+		return nil, formatf("meta declares %d-bit signatures, no bit store section", bitFill)
+	}
+	if l, ok := f.Section(sectMinStore); ok {
+		if minFill == 0 {
+			return nil, formatf("minhash store section without a declared fill depth")
+		}
+		b, err := l.Raw()
+		if err != nil {
+			return nil, formatf("minhash store: %v", err)
+		}
+		sigs, depth, err := minhash.OpenFixedSection(b)
+		if err != nil {
+			return nil, formatf("%v", err)
+		}
+		fam := eng.minFamily()
+		if depth != minFill || len(sigs) != n || depth > fam.Size() {
+			return nil, formatf("minhash store holds %d vectors × %d hashes; meta declares %d × %d (family max %d)",
+				len(sigs), depth, n, minFill, fam.Size())
+		}
+		eng.minStore = minhash.NewFixedStore(fam, sigs, depth)
+		d.sigMin = d.add(l, nil)
+	} else if minFill != 0 {
+		return nil, formatf("meta declares %d minhashes, no minhash store section", minFill)
+	}
+
+	// Candidate structures: views probing the mapped bytes in place.
+	var bitsSect, minsSect, apSect *diskSection
+	if l, ok := f.Section(sectBitTables); ok {
+		b, err := l.Raw()
+		if err != nil {
+			return nil, formatf("band tables: %v", err)
+		}
+		v, err := lshindex.OpenBitsView(b, n)
+		if err != nil {
+			return nil, formatf("%v", err)
+		}
+		ix.bits = v
+		bitsSect = d.add(l, v.Validate)
+	}
+	if l, ok := f.Section(sectMinhashTables); ok {
+		b, err := l.Raw()
+		if err != nil {
+			return nil, formatf("band tables: %v", err)
+		}
+		v, err := lshindex.OpenMinhashView(b, n)
+		if err != nil {
+			return nil, formatf("%v", err)
+		}
+		ix.mins = v
+		minsSect = d.add(l, v.Validate)
+	}
+	if l, ok := f.Section(sectAllPairs); ok {
+		b, err := l.Raw()
+		if err != nil {
+			return nil, formatf("AllPairs postings: %v", err)
+		}
+		v, err := allpairs.OpenView(b)
+		if err != nil {
+			return nil, formatf("%v", err)
+		}
+		if v.Len() != n {
+			return nil, formatf("AllPairs postings cover %d vectors, corpus has %d", v.Len(), n)
+		}
+		ix.ap = v
+		apSect = d.add(l, v.Validate)
+	}
+	// cands follows Index.candidates' source priority.
+	switch {
+	case apSect != nil:
+		d.cands = apSect
+	case minsSect != nil:
+		d.cands = minsSect
+	default:
+		d.cands = bitsSect
+	}
+
+	// The verifier constructors in rewire extend signatures to their
+	// working depth via Ensure, which on a fixed store must be a no-op:
+	// reject any file whose persisted depth cannot cover the depth the
+	// resolved options demand, before rewire trips over it.
+	switch o := meta.opts; o.Algorithm {
+	case AllPairsBayesLSH, AllPairsBayesLSHLite, LSHBayesLSH, LSHBayesLSHLite:
+		if meta.measure == Jaccard {
+			if need := min(o.MaxHashes, eng.minSigStore().MaxHashes()); need > minFill {
+				return nil, formatf("verifier needs %d minhashes, snapshot persists %d", need, minFill)
+			}
+			if o.OneBitMinhash {
+				// rewire packs every mapped minhash row into the 1-bit heap
+				// copy: that read is the section's first touch.
+				if err := d.sigMin.touch(); err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			if need := min(o.MaxHashes, eng.bitSigStore().MaxBits()); need > bitFill {
+				return nil, formatf("verifier needs %d signature bits, snapshot persists %d", need, bitFill)
+			}
+		}
+	case LSHApprox:
+		if meta.measure == Jaccard {
+			if need := min(o.ApproxHashes, eng.minSigStore().MaxHashes()); need > minFill {
+				return nil, formatf("estimator needs %d minhashes, snapshot persists %d", need, minFill)
+			}
+		} else {
+			if need := min(o.ApproxHashes, eng.bitSigStore().MaxBits()); need > bitFill {
+				return nil, formatf("estimator needs %d signature bits, snapshot persists %d", need, bitFill)
+			}
+		}
+	}
+
+	if err := ix.rewire(); err != nil {
+		return nil, formatf("%v", err)
+	}
+	return ix, nil
+}
+
+// OpenLiveFile opens any snapshot version as a live index: a version-2
+// file loads exactly like LoadLiveFile, a version-1 file loads as a
+// heap base with an empty delta (LoadFile + LiveFrom), and a version-3
+// file serves its base from the mapping (OpenIndexFile + LiveFrom) —
+// the serving layer's one entry point for restoring a shard from
+// whatever snapshot the builder produced. For a version-3 base the
+// mapping stays open for the life of the process: merged generations
+// alias the mapped corpus bytes, so there is no safe point to unmap
+// while the live index exists.
+func OpenLiveFile(path string, lc LiveConfig) (*LiveIndex, error) {
+	pf, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var pro [len(snapshotMagic) + 4]byte
+	_, rerr := io.ReadFull(pf, pro[:])
+	pf.Close()
+	if rerr != nil || string(pro[:len(snapshotMagic)]) != snapshotMagic {
+		return nil, fmt.Errorf("%w: missing magic", ErrSnapshotFormat)
+	}
+	switch v := binary.LittleEndian.Uint32(pro[len(snapshotMagic):]); v {
+	case SnapshotVersion:
+		ix, err := LoadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return LiveFrom(ix, lc)
+	case LiveSnapshotVersion:
+		return LoadLiveFile(path, lc)
+	case DiskSnapshotVersion:
+		ix, err := OpenIndexFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return LiveFrom(ix, lc)
+	default:
+		return nil, fmt.Errorf("%w: found version %d; this build reads versions %d (ReadIndex/LoadFile), %d (ReadLiveIndex/LoadLiveFile) and %d (OpenIndexFile)",
+			ErrSnapshotVersion, v, SnapshotVersion, LiveSnapshotVersion, DiskSnapshotVersion)
+	}
+}

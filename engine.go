@@ -121,18 +121,32 @@ func (e *Engine) Measure() Measure { return e.measure }
 // (1 means fully sequential).
 func (e *Engine) workers() int { return e.cfg.Parallelism }
 
+// bitFamily constructs the engine's seeded hyperplane family. Factored
+// out of bitSigStore so the disk-open path (which wires a fixed store
+// over mapped signatures) derives its family from exactly the same
+// parameters as a heap build — the construction the determinism
+// contract hangs off.
+func (e *Engine) bitFamily() *sighash.BlockFamily {
+	var opts []sighash.Option
+	if e.cfg.ExactProjections {
+		opts = append(opts, sighash.Exact())
+	}
+	return sighash.NewBlockFamily(e.work.Dim, e.cfg.SignatureBits, 128, rng.Derive(e.cfg.Seed, 1), opts...)
+}
+
+// minFamily constructs the engine's seeded minwise family; see
+// bitFamily for why it is factored out.
+func (e *Engine) minFamily() *minhash.Family {
+	return minhash.NewFamily(e.cfg.MinHashes, rng.Derive(e.cfg.Seed, 2))
+}
+
 // bitSigStore lazily constructs the cosine bit-signature store. The
 // store materializes hash blocks per vector only as verification
 // demands them — the paper's "each point is only hashed as many times
 // as is necessary".
 func (e *Engine) bitSigStore() *sighash.Store {
 	if e.bitStore == nil {
-		var opts []sighash.Option
-		if e.cfg.ExactProjections {
-			opts = append(opts, sighash.Exact())
-		}
-		fam := sighash.NewBlockFamily(e.work.Dim, e.cfg.SignatureBits, 128, rng.Derive(e.cfg.Seed, 1), opts...)
-		e.bitStore = sighash.NewStore(e.work, fam)
+		e.bitStore = sighash.NewStore(e.work, e.bitFamily())
 	}
 	return e.bitStore
 }
@@ -140,8 +154,7 @@ func (e *Engine) bitSigStore() *sighash.Store {
 // minSigStore lazily constructs the minhash signature store.
 func (e *Engine) minSigStore() *minhash.Store {
 	if e.minStore == nil {
-		fam := minhash.NewFamily(e.cfg.MinHashes, rng.Derive(e.cfg.Seed, 2))
-		e.minStore = minhash.NewStore(e.work, fam, 32)
+		e.minStore = minhash.NewStore(e.work, e.minFamily(), 32)
 	}
 	return e.minStore
 }

@@ -46,10 +46,19 @@ type Index struct {
 	eng  atomic.Pointer[Engine]
 	opts Options // resolved search options the index was built with
 
-	bits *lshindex.BitsTables    // LSH tables, cosine measures
-	mins *lshindex.MinhashTables // LSH tables, Jaccard
-	ap   *allpairs.Index         // AllPairs inverted index
-	vq   core.QueryVerifier      // Bayes / Lite verification
+	// The candidate structures are interface-typed so one query path
+	// serves both residencies: heap tables/index built by BuildIndex or
+	// decoded from a v1/v2 snapshot, and read-only views laid over a
+	// mapped v3 snapshot by OpenIndexFile.
+	bits lshindex.BitsSource    // LSH tables, cosine measures
+	mins lshindex.MinhashSource // LSH tables, Jaccard
+	ap   allpairs.Source        // AllPairs inverted index
+	vq   core.QueryVerifier     // Bayes / Lite verification
+
+	// disk is non-nil for an index served in place from a v3 snapshot
+	// (OpenIndexFile): it owns the mapping and the per-section
+	// first-touch verification state. nil for heap-resident indexes.
+	disk *diskState
 
 	// prior is the fitted Jaccard Beta prior behind vq (the uniform
 	// placeholder when the verifier takes none), kept so snapshots can

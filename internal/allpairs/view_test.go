@@ -1,0 +1,128 @@
+package allpairs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"bayeslsh/internal/exact"
+	"bayeslsh/internal/snapshot"
+	"bayeslsh/internal/testutil"
+	"bayeslsh/internal/vector"
+)
+
+func viewSection(t *testing.T, ix *Index) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := snapshot.NewWriter(&buf)
+	ix.WriteFixedSection(w)
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestViewProbeMatchesIndex checks the disk-servable contract: a View
+// over the serialized section returns bit-identical candidate sets to
+// the heap Index that wrote it, for every corpus query plus the
+// degenerate cases (empty query, out-of-dimension features).
+func TestViewProbeMatchesIndex(t *testing.T) {
+	for _, m := range []exact.Measure{exact.Cosine, exact.Jaccard} {
+		c := testutil.SmallTextCorpus(t, 120, 5)
+		th := 0.6
+		if m != exact.Cosine {
+			c = testutil.SmallBinaryCorpus(t, 120, 5)
+			th = 0.4
+		}
+		ix, err := BuildIndexMeasure(c, m, th)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		v, err := OpenView(viewSection(t, ix))
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if err := v.Validate(); err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if v.Threshold() != ix.Threshold() {
+			t.Fatalf("%v: threshold %v != %v", m, v.Threshold(), ix.Threshold())
+		}
+		for i := range c.Vecs {
+			q := TransformQuery(c.Vecs[i], m)
+			want := ix.Probe(q)
+			got := v.Probe(q)
+			if len(want) != len(got) {
+				t.Fatalf("%v: query %d: %d candidates from view, %d from index", m, i, len(got), len(want))
+			}
+			for j := range want {
+				if want[j] != got[j] {
+					t.Fatalf("%v: query %d candidate %d: %d != %d", m, i, j, got[j], want[j])
+				}
+			}
+		}
+		var empty vector.Vector
+		if ids := v.Probe(empty); len(ids) != 0 {
+			t.Fatalf("%v: empty query produced %d candidates", m, len(ids))
+		}
+		foreign := c.Vecs[1].Clone()
+		for j := range foreign.Ind {
+			foreign.Ind[j] += uint32(c.Dim)
+		}
+		if ids := v.Probe(TransformQuery(foreign, m)); len(ids) != 0 {
+			t.Fatalf("%v: out-of-dimension query produced %d candidates", m, len(ids))
+		}
+	}
+}
+
+// TestViewHostileInput feeds truncated and corrupted sections to
+// OpenView/Validate: every case must fail with ErrCorrupt-wrapped
+// errors, never panic or over-allocate.
+func TestViewHostileInput(t *testing.T) {
+	c := testutil.SmallTextCorpus(t, 40, 4)
+	ix, err := BuildIndexMeasure(c, exact.Cosine, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := viewSection(t, ix)
+	if _, err := OpenView(good); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, buf []byte) {
+		t.Helper()
+		v, err := OpenView(buf)
+		if err == nil {
+			err = v.Validate()
+		}
+		if err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+		if !errors.Is(err, snapshot.ErrCorrupt) {
+			t.Fatalf("%s: error %v does not wrap ErrCorrupt", name, err)
+		}
+	}
+
+	check("empty", nil)
+	check("header only", good[:viewFixedHeader])
+	for _, cut := range []int{1, 7, 64} {
+		check("truncated", good[:len(good)-cut])
+	}
+	mut := func(off int, b byte) []byte {
+		m := append([]byte(nil), good...)
+		m[off] ^= b
+		return m
+	}
+	check("threshold exponent flip", mut(7, 0x7f))
+	check("huge n", mut(8+7, 0xff))
+	check("huge dim", mut(16+7, 0xff))
+	// Flip the low byte of dir[dim], the directory's view of the blob
+	// length: Validate must notice the mismatch.
+	n, dim := len(c.Vecs), c.Dim
+	dirLast := viewFixedHeader + 8*n + n%2*4 + 8*n + 8*dim
+	check("directory flip", mut(dirLast, 0x01))
+	// An id delta steered outside the corpus: flip bits in the first
+	// posting entry of the first non-empty feature.
+	blobOff := dirLast + 8
+	check("posting id flip", mut(blobOff, 0x7f))
+}

@@ -62,7 +62,9 @@ func (r *Router) SaveFile(path string) error {
 
 // LoadLocal restores a cluster snapshot written by SaveFile into a
 // router over in-process LiveIndex shards: the manifest fixes the
-// plan and id state, each shard file loads through LoadLiveFile, and
+// plan and id state, each shard file loads through OpenLiveFile (so a
+// shard saved as a disk-servable v3 snapshot restores in O(pages
+// touched), mmap-backed, and v1/v2 shard files heap-load as before), and
 // every shard is cross-checked against the manifest (its next local
 // id must equal seed range + recorded adds) so a swapped, stale or
 // truncated shard file is refused here instead of mistranslating ids
@@ -100,7 +102,7 @@ func LoadLocal(path string, lc bayeslsh.LiveConfig, cfg Config) (*Router, error)
 		return nil, err
 	}
 	for i := 0; i < p.Shards; i++ {
-		li, err := bayeslsh.LoadLiveFile(shardPath(path, i), lc)
+		li, err := bayeslsh.OpenLiveFile(shardPath(path, i), lc)
 		if err != nil {
 			return fail(fmt.Errorf("cluster: load shard %d: %w", i, err))
 		}

@@ -1,0 +1,53 @@
+//go:build !unix || apss_nommap
+
+package diskidx
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"bayeslsh/internal/snapshot"
+)
+
+// openMapping is the portable fallback (non-unix platforms, or any
+// platform under the apss_nommap build tag): the file handle is kept
+// open and each requested range is pread into a heap buffer. The
+// laziness contract weakens from page granularity to section
+// granularity — a section costs its full length in heap the first
+// time it is touched — but the serving semantics are identical.
+func openMapping(f *os.File, size int64) (mapping, error) {
+	return &preadMapping{f: f, size: size}, nil
+}
+
+type preadMapping struct {
+	f    *os.File
+	size int64
+
+	mu   sync.Mutex
+	read int64
+}
+
+func (m *preadMapping) slice(off, n int64) ([]byte, error) {
+	if off < 0 || n < 0 || off+n > m.size {
+		return nil, fmt.Errorf("%w: slice [%d,%d) outside %d-byte file", snapshot.ErrCorrupt, off, off+n, m.size)
+	}
+	buf := make([]byte, n)
+	if _, err := m.f.ReadAt(buf, off); err != nil {
+		return nil, fmt.Errorf("diskidx: pread %s: %w", m.f.Name(), err)
+	}
+	m.mu.Lock()
+	m.read += n
+	m.mu.Unlock()
+	return buf, nil
+}
+
+func (m *preadMapping) mapped() int64 { return 0 }
+
+func (m *preadMapping) resident() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.read
+}
+
+func (m *preadMapping) close() error { return m.f.Close() }

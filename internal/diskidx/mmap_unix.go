@@ -1,0 +1,52 @@
+//go:build unix && !apss_nommap
+
+package diskidx
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+
+	"bayeslsh/internal/snapshot"
+)
+
+// openMapping maps the whole file read-only and closes the file
+// descriptor (the mapping survives it). Section slices alias the
+// mapping directly, so bytes are paged in by the OS on first access
+// and never copied onto the Go heap. An empty or header-only file is
+// still mapped — the minimum header size is validated by the caller.
+func openMapping(f *os.File, size int64) (mapping, error) {
+	defer f.Close()
+	if size <= 0 || size != int64(int(size)) {
+		return nil, fmt.Errorf("%w: unmappable size %d", snapshot.ErrCorrupt, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("diskidx: mmap %s: %w", f.Name(), err)
+	}
+	return &mmapMapping{data: data}, nil
+}
+
+type mmapMapping struct {
+	data []byte
+}
+
+func (m *mmapMapping) slice(off, n int64) ([]byte, error) {
+	if off < 0 || n < 0 || off+n > int64(len(m.data)) {
+		return nil, fmt.Errorf("%w: slice [%d,%d) outside %d-byte mapping", snapshot.ErrCorrupt, off, off+n, len(m.data))
+	}
+	return m.data[off : off+n : off+n], nil
+}
+
+func (m *mmapMapping) mapped() int64 { return int64(len(m.data)) }
+
+func (m *mmapMapping) resident() int64 { return residentOf(m.data) }
+
+func (m *mmapMapping) close() error {
+	if m.data == nil {
+		return nil
+	}
+	data := m.data
+	m.data = nil
+	return syscall.Munmap(data)
+}

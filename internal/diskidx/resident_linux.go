@@ -1,0 +1,36 @@
+//go:build linux && !apss_nommap
+
+package diskidx
+
+import (
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// residentOf asks the kernel (mincore) how many of the mapping's
+// pages are currently resident in RAM. The syscall package has no
+// Mincore wrapper on linux, so the syscall is issued raw; data is a
+// live mmap region, so its base pointer is stable for the call.
+func residentOf(data []byte) int64 {
+	if len(data) == 0 {
+		return 0
+	}
+	page := os.Getpagesize()
+	vec := make([]byte, (len(data)+page-1)/page)
+	_, _, errno := syscall.Syscall(syscall.SYS_MINCORE,
+		uintptr(unsafe.Pointer(&data[0])), uintptr(len(data)), uintptr(unsafe.Pointer(&vec[0])))
+	if errno != 0 {
+		return -1
+	}
+	var n int64
+	for _, v := range vec {
+		if v&1 != 0 {
+			n += int64(page)
+		}
+	}
+	if n > int64(len(data)) {
+		n = int64(len(data))
+	}
+	return n
+}

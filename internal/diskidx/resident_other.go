@@ -1,0 +1,7 @@
+//go:build unix && !linux && !apss_nommap
+
+package diskidx
+
+// residentOf returns -1 on unix platforms without a portable mincore:
+// File.ResidentBytes falls back to touched-section accounting.
+func residentOf(data []byte) int64 { return -1 }

@@ -1,0 +1,95 @@
+package diskidx
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"os"
+
+	"bayeslsh/internal/snapshot"
+)
+
+// FileWriter streams a v3 snapshot to a file: sections are written
+// sequentially, each padded to the next page boundary, and Finish
+// seeks back to write the header page (magic, version, directory,
+// header CRC). Errors are sticky, mirroring snapshot.Writer.
+type FileWriter struct {
+	f     *os.File
+	bw    *bufio.Writer
+	off   int64
+	sects []Section
+	err   error
+}
+
+// NewFileWriter starts a v3 stream on f, which must be positioned at
+// offset 0 and be seekable. The first page is reserved for the header.
+func NewFileWriter(f *os.File) *FileWriter {
+	fw := &FileWriter{f: f, bw: bufio.NewWriterSize(f, 1<<16), off: PageSize}
+	if _, err := f.Seek(PageSize, 0); err != nil {
+		fw.err = err
+	}
+	return fw
+}
+
+// Err returns the first error encountered, if any.
+func (fw *FileWriter) Err() error { return fw.err }
+
+// Section writes one tagged section: build runs against a
+// snapshot.Writer streaming straight to the file, the payload's
+// length and CRC-32C are recorded in the directory, and the stream is
+// zero-padded to the next page boundary. Empty sections are legal but
+// wasteful (a full page of padding); callers normally skip absent
+// structures instead.
+func (fw *FileWriter) Section(tag uint32, build func(sw *snapshot.Writer)) {
+	if fw.err != nil {
+		return
+	}
+	if tag == 0 {
+		fw.err = fmt.Errorf("diskidx: section tag 0 is reserved")
+		return
+	}
+	if len(fw.sects) >= maxSections {
+		fw.err = fmt.Errorf("diskidx: more than %d sections", maxSections)
+		return
+	}
+	sw := snapshot.NewWriter(fw.bw)
+	build(sw)
+	ln, crc := sw.Len(), sw.CRC()
+	sw.Pad(PageSize)
+	if sw.Err() != nil {
+		fw.err = fmt.Errorf("diskidx: section %d: %w", tag, sw.Err())
+		return
+	}
+	fw.sects = append(fw.sects, Section{Tag: tag, Off: fw.off, Len: ln, CRC: crc})
+	fw.off += sw.Len()
+}
+
+// Finish flushes the payload stream and writes the header page at
+// offset 0. It does not sync or close the file; the caller owns the
+// temp-write/rename publication dance.
+func (fw *FileWriter) Finish() error {
+	if fw.err != nil {
+		return fw.err
+	}
+	if err := fw.bw.Flush(); err != nil {
+		fw.err = err
+		return err
+	}
+	hdr := make([]byte, headerFixed+len(fw.sects)*sectionEntrySize+4)
+	copy(hdr, Magic)
+	binary.LittleEndian.PutUint32(hdr[len(Magic):], Version)
+	binary.LittleEndian.PutUint32(hdr[len(Magic)+4:], uint32(len(fw.sects)))
+	for i, s := range fw.sects {
+		e := hdr[headerFixed+i*sectionEntrySize:]
+		binary.LittleEndian.PutUint32(e, s.Tag)
+		binary.LittleEndian.PutUint64(e[8:], uint64(s.Off))
+		binary.LittleEndian.PutUint64(e[16:], uint64(s.Len))
+		binary.LittleEndian.PutUint32(e[24:], s.CRC)
+	}
+	binary.LittleEndian.PutUint32(hdr[len(hdr)-4:], snapshot.Checksum(hdr[:len(hdr)-4]))
+	if _, err := fw.f.WriteAt(hdr, 0); err != nil {
+		fw.err = err
+		return err
+	}
+	return nil
+}

@@ -71,6 +71,9 @@ func (s *Store) Elapsed() time.Duration { return s.fill.Elapsed() }
 // Ensure fills vector id's signature up to at least n hashes.
 func (s *Store) Ensure(id int32, n int) {
 	s.fill.Ensure(id, n, func(from int) int {
+		if s.c == nil {
+			panic("minhash: fixed store cannot hash deeper than its persisted depth")
+		}
 		to := (n + s.blockSize - 1) / s.blockSize * s.blockSize
 		if to > s.fam.Size() {
 			to = s.fam.Size()

@@ -276,6 +276,13 @@ type statsResponse struct {
 	LastMergeMs  float64 `json:"last_merge_ms"`
 	LastMergeErr string  `json:"last_merge_error,omitempty"`
 	Draining     bool    `json:"draining,omitempty"`
+
+	// Disk-backed serving (a base opened from a v3 snapshot): the
+	// mapped snapshot size versus how much of it is materialized in
+	// RAM. Absent for heap-resident indexes.
+	DiskBacked    bool  `json:"disk_backed,omitempty"`
+	MappedBytes   int64 `json:"mapped_bytes,omitempty"`
+	ResidentBytes int64 `json:"resident_bytes,omitempty"`
 }
 
 // handleStats serves GET /v1/stats.
@@ -298,6 +305,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if st.LastMergeErr != nil {
 		resp.LastMergeErr = st.LastMergeErr.Error()
+	}
+	// Memory accounting is an optional Serveable surface: a LiveIndex
+	// reports its base segment's mapping, aggregations without one
+	// (the cluster router) simply omit the fields.
+	if ms, ok := li.(interface{ MemStats() bayeslsh.IndexMemStats }); ok {
+		m := ms.MemStats()
+		resp.DiskBacked = m.DiskBacked
+		resp.MappedBytes = m.MappedBytes
+		resp.ResidentBytes = m.ResidentBytes
 	}
 	writeJSON(w, resp)
 }

@@ -1,0 +1,74 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"math"
+	"unsafe"
+)
+
+// nativeLE reports whether the platform's native byte order matches
+// the little-endian snapshot encoding, the precondition for serving
+// numeric sections in place without a decode pass.
+var nativeLE = binary.NativeEndian.Uint16([]byte{0x01, 0x02}) == 0x0201
+
+// aligned reports whether b starts on an align-byte boundary. Mapped
+// snapshot sections start on page boundaries, so fields the writer
+// placed at aligned in-section offsets satisfy this by construction;
+// the check guards against callers slicing at odd offsets.
+func aligned(b []byte, align int) bool {
+	if len(b) == 0 {
+		return true
+	}
+	return uintptr(unsafe.Pointer(&b[0]))%uintptr(align) == 0
+}
+
+// ViewU64s returns b reinterpreted as little-endian uint64s —
+// zero-copy (aliasing b) when the platform is little-endian and b is
+// 8-aligned, a decoded copy otherwise. len(b) must be a multiple of 8;
+// callers validate section lengths before slicing.
+func ViewU64s(b []byte) []uint64 {
+	n := len(b) / 8
+	if n == 0 {
+		return nil
+	}
+	if nativeLE && aligned(b, 8) {
+		return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(b[i*8:])
+	}
+	return out
+}
+
+// ViewU32s is ViewU64s for uint32 sections.
+func ViewU32s(b []byte) []uint32 {
+	n := len(b) / 4
+	if n == 0 {
+		return nil
+	}
+	if nativeLE && aligned(b, 4) {
+		return unsafe.Slice((*uint32)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(b[i*4:])
+	}
+	return out
+}
+
+// ViewF64s is ViewU64s for float64 sections.
+func ViewF64s(b []byte) []float64 {
+	n := len(b) / 8
+	if n == 0 {
+		return nil
+	}
+	if nativeLE && aligned(b, 8) {
+		return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out
+}

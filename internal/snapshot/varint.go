@@ -1,0 +1,147 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PageSize is the alignment unit of the disk-servable (v3) snapshot
+// layout: every section starts on a PageSize boundary so a mapped
+// section begins on an OS page and sequential scans never straddle a
+// section edge mid-page.
+const PageSize = 4096
+
+// CRC returns the running CRC-32C of everything written so far, or 0
+// for section sub-writers (which do not checksum). Unlike Sum it does
+// not write the checksum into the stream, so a container format can
+// store per-section checksums in its own directory.
+func (w *Writer) CRC() uint32 {
+	if w.crc == nil {
+		return 0
+	}
+	return w.crc.Sum32()
+}
+
+// Pad writes zero bytes until the stream length is a multiple of
+// align. align must be a positive power of two.
+func (w *Writer) Pad(align int64) {
+	if w.err != nil {
+		return
+	}
+	if align <= 0 || align&(align-1) != 0 {
+		w.err = fmt.Errorf("snapshot: pad alignment %d not a power of two", align)
+		return
+	}
+	var zeros [256]byte
+	for rem := (align - w.n%align) % align; rem > 0; {
+		chunk := rem
+		if chunk > int64(len(zeros)) {
+			chunk = int64(len(zeros))
+		}
+		w.write(zeros[:chunk])
+		if w.err != nil {
+			return
+		}
+		rem -= chunk
+	}
+}
+
+// Uvarint writes v in unsigned LEB128 (the encoding/binary varint
+// format, at most 10 bytes).
+func (w *Writer) Uvarint(v uint64) {
+	var b [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(b[:], v)
+	w.write(b[:n])
+}
+
+// Uvarint reads an unsigned LEB128 varint, failing on truncation or
+// 64-bit overflow.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("bad uvarint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// UvarintAt decodes one unsigned LEB128 varint from the front of buf,
+// returning the value and the number of bytes consumed. It is the
+// raw-buffer twin of Reader.Uvarint for decoders that serve straight
+// from a byte slice without Reader bookkeeping.
+func UvarintAt(buf []byte) (uint64, int, error) {
+	v, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("%w: bad uvarint", ErrCorrupt)
+	}
+	return v, n, nil
+}
+
+// Zigzag maps a signed delta to an unsigned varint-friendly value
+// (0, -1, 1, -2, ... -> 0, 1, 2, 3, ...).
+func Zigzag(v int64) uint64 { return uint64((v << 1) ^ (v >> 63)) }
+
+// Unzigzag inverts Zigzag.
+func Unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// AppendDeltaI32s appends the delta+varint encoding of a strictly
+// ascending run of non-negative ids: a uvarint count, the first id as
+// a uvarint, then each successive gap as a uvarint. This is the
+// posting-run codec of the v3 snapshot layout; ascending runs of
+// nearby ids compress to one or two bytes per id.
+func AppendDeltaI32s(dst []byte, ids []int32) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(ids)))
+	prev := int32(0)
+	for i, id := range ids {
+		if i == 0 {
+			dst = binary.AppendUvarint(dst, uint64(uint32(id)))
+		} else {
+			dst = binary.AppendUvarint(dst, uint64(uint32(id-prev)))
+		}
+		prev = id
+	}
+	return dst
+}
+
+// DecodeDeltaI32s decodes one AppendDeltaI32s run from the front of
+// buf into dst (append semantics), returning the extended slice and
+// the number of bytes consumed. Ids must be strictly ascending and
+// less than maxID; the declared count is validated against the bytes
+// actually present (every encoded id costs at least one byte) before
+// any allocation, so hostile input cannot force an over-allocation.
+func DecodeDeltaI32s(dst []int32, buf []byte, maxID int32) ([]int32, int, error) {
+	n, off, err := UvarintAt(buf)
+	if err != nil {
+		return dst, 0, err
+	}
+	if n > uint64(len(buf)-off) {
+		return dst, 0, fmt.Errorf("%w: run of %d ids in %d bytes", ErrCorrupt, n, len(buf)-off)
+	}
+	if n > uint64(maxID) {
+		return dst, 0, fmt.Errorf("%w: run of %d ids exceeds id space %d", ErrCorrupt, n, maxID)
+	}
+	prev := int64(-1)
+	for i := uint64(0); i < n; i++ {
+		d, k, err := UvarintAt(buf[off:])
+		if err != nil {
+			return dst, 0, err
+		}
+		off += k
+		var id int64
+		if i == 0 {
+			id = int64(d)
+		} else {
+			id = prev + int64(d)
+		}
+		if id <= prev || id >= int64(maxID) {
+			return dst, 0, fmt.Errorf("%w: posting id %d after %d (id space %d)", ErrCorrupt, id, prev, maxID)
+		}
+		dst = append(dst, int32(id))
+		prev = id
+	}
+	return dst, off, nil
+}

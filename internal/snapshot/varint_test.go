@@ -1,0 +1,117 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestUvarintRoundTrip(t *testing.T) {
+	vals := []uint64{0, 1, 127, 128, 300, 1 << 20, math.MaxUint64}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, v := range vals {
+		w.Uvarint(v)
+	}
+	if w.Err() != nil {
+		t.Fatal(w.Err())
+	}
+	r := NewReader(buf.Bytes())
+	for _, want := range vals {
+		if got := r.Uvarint(); got != want {
+			t.Fatalf("Uvarint = %d, want %d", got, want)
+		}
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUvarintHostile(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"truncated": {0x80},
+		"overflow":  {0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x02},
+	}
+	for name, in := range cases {
+		r := NewReader(in)
+		r.Uvarint()
+		if !errors.Is(r.Err(), ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, r.Err())
+		}
+		if _, _, err := UvarintAt(in); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: UvarintAt err = %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+func TestZigzag(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 63, -64, math.MaxInt64, math.MinInt64} {
+		if got := Unzigzag(Zigzag(v)); got != v {
+			t.Errorf("Unzigzag(Zigzag(%d)) = %d", v, got)
+		}
+	}
+}
+
+func TestDeltaI32sRoundTrip(t *testing.T) {
+	for _, ids := range [][]int32{
+		nil,
+		{0},
+		{7},
+		{0, 1, 2, 3},
+		{5, 100, 101, 4000},
+	} {
+		buf := AppendDeltaI32s(nil, ids)
+		got, n, err := DecodeDeltaI32s(nil, buf, 5000)
+		if err != nil {
+			t.Fatalf("%v: %v", ids, err)
+		}
+		if n != len(buf) {
+			t.Fatalf("%v: consumed %d of %d bytes", ids, n, len(buf))
+		}
+		if len(got) != len(ids) {
+			t.Fatalf("%v: decoded %v", ids, got)
+		}
+		for i := range ids {
+			if got[i] != ids[i] {
+				t.Fatalf("%v: decoded %v", ids, got)
+			}
+		}
+	}
+}
+
+func TestDeltaI32sHostile(t *testing.T) {
+	cases := map[string][]byte{
+		"truncated count":  {0x80},
+		"huge count":       append(AppendDeltaI32s(nil, nil)[:0], 0xff, 0xff, 0xff, 0xff, 0x0f),
+		"count over bytes": {10, 1, 1},
+		"truncated ids":    AppendDeltaI32s(nil, []int32{1, 2, 3})[:2],
+		"zero gap":         {2, 5, 0},
+		"id past space":    AppendDeltaI32s(nil, []int32{1, 9999}),
+		"first id huge":    {1, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01},
+	}
+	for name, in := range cases {
+		if _, _, err := DecodeDeltaI32s(nil, in, 100); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+func TestPad(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Raw([]byte{1, 2, 3})
+	w.Pad(8)
+	if w.Err() != nil || w.Len() != 8 {
+		t.Fatalf("pad to 8: len %d err %v", w.Len(), w.Err())
+	}
+	w.Pad(8) // already aligned: no-op
+	if w.Len() != 8 {
+		t.Fatalf("second pad moved to %d", w.Len())
+	}
+	w.Pad(7)
+	if w.Err() == nil {
+		t.Fatal("non-power-of-two alignment accepted")
+	}
+}

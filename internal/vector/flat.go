@@ -1,0 +1,109 @@
+// Disk-servable (v3) collection layout. The v1 stream codec frames
+// every vector with its own length prefixes and decodes into
+// per-vector heap slices; the flat layout instead stores one
+// cumulative-end directory and two contiguous column arrays (all
+// indices, all weights), so an open lays n slice headers over the
+// mapped section and the corpus bytes themselves are paged in only as
+// queries dereference them.
+//
+//	dim   u32, pad u32
+//	n     u64  (vector count)
+//	nnz   u64  (total entries)
+//	ends  n × u64   cumulative entry counts; ends[n-1] == nnz
+//	inds  nnz × u32 raw little-endian feature indices
+//	pad to 8
+//	vals  nnz × f64 raw little-endian weights
+
+package vector
+
+import (
+	"fmt"
+
+	"bayeslsh/internal/snapshot"
+)
+
+const flatHeader = 24
+
+// WriteFlat serializes the collection in the disk-servable layout.
+func (c *Collection) WriteFlat(w *snapshot.Writer) {
+	w.U32(uint32(c.Dim))
+	w.U32(0)
+	w.U64(uint64(len(c.Vecs)))
+	var nnz uint64
+	for _, v := range c.Vecs {
+		nnz += uint64(v.Len())
+	}
+	w.U64(nnz)
+	var end uint64
+	for _, v := range c.Vecs {
+		end += uint64(v.Len())
+		w.U64(end)
+	}
+	for _, v := range c.Vecs {
+		for _, ind := range v.Ind {
+			w.U32(ind)
+		}
+	}
+	if nnz%2 != 0 {
+		w.U32(0) // realign the weight column to 8 bytes
+	}
+	for _, v := range c.Vecs {
+		for _, val := range v.Val {
+			w.F64(val)
+		}
+	}
+}
+
+// OpenFlat lays a Collection over a WriteFlat payload: every Vector's
+// Ind/Val alias the buffer (zero-copy on little-endian platforms).
+// It validates structure — declared counts against the bytes actually
+// present, the end directory monotone — touching only the directory,
+// not the columns. Semantic validation of the entries themselves
+// (strictly increasing indices inside Dim, finite weights) is
+// Collection.Validate, which the caller runs together with the
+// section checksum on first touch.
+func OpenFlat(buf []byte) (*Collection, error) {
+	if len(buf) < flatHeader {
+		return nil, fmt.Errorf("%w: flat collection section %d bytes", snapshot.ErrCorrupt, len(buf))
+	}
+	r := snapshot.NewReader(buf)
+	dim := int(r.U32())
+	r.U32()
+	n := r.U64()
+	nnz := r.U64()
+	if dim < 1 || dim > MaxSnapshotDim {
+		return nil, fmt.Errorf("%w: dimensionality %d outside [1, %d]", snapshot.ErrCorrupt, dim, MaxSnapshotDim)
+	}
+	// Bound the declared counts by the bytes present before doing any
+	// arithmetic with them, so hostile counts can neither overflow nor
+	// over-allocate.
+	if n > uint64(len(buf))/8 || nnz > uint64(len(buf))/12 {
+		return nil, fmt.Errorf("%w: flat collection declares %d vectors, %d entries in %d bytes",
+			snapshot.ErrCorrupt, n, nnz, len(buf))
+	}
+	pad := nnz % 2 * 4
+	if want := flatHeader + 8*n + 4*nnz + pad + 8*nnz; want != uint64(len(buf)) {
+		return nil, fmt.Errorf("%w: flat collection declares %d vectors, %d entries in %d bytes",
+			snapshot.ErrCorrupt, n, nnz, len(buf))
+	}
+	ends := snapshot.ViewU64s(buf[flatHeader : flatHeader+8*n])
+	indsOff := flatHeader + 8*n
+	inds := snapshot.ViewU32s(buf[indsOff : indsOff+4*nnz])
+	valsOff := indsOff + 4*nnz + pad
+	vals := snapshot.ViewF64s(buf[valsOff:])
+	c := &Collection{Dim: dim, Vecs: make([]Vector, n)}
+	prev := uint64(0)
+	for i := range c.Vecs {
+		end := ends[i]
+		if end < prev || end > nnz {
+			return nil, fmt.Errorf("%w: flat collection end[%d]=%d after %d (nnz %d)",
+				snapshot.ErrCorrupt, i, end, prev, nnz)
+		}
+		c.Vecs[i] = Vector{Ind: inds[prev:end:end], Val: vals[prev:end:end]}
+		prev = end
+	}
+	if prev != nnz {
+		return nil, fmt.Errorf("%w: flat collection ends at %d of %d entries", snapshot.ErrCorrupt, prev, nnz)
+	}
+	return c, nil
+}

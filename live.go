@@ -549,6 +549,13 @@ func (li *LiveIndex) collect(gen *liveGen, skip int, view live.View) compactSrc 
 // adopted prefixes are bit-identical to what its lazy fills would
 // compute, deeper demand resumes hashing where the prefix ends.
 func (li *LiveIndex) compactEngine(cfg EngineConfig, gen *liveGen, src compactSrc, view live.View, extra *live.Entry) (*Engine, error) {
+	// A disk-backed base's mapped bytes are dereferenced below (the
+	// compacted collection aliases them; signature prefixes are adopted
+	// from the mapped stores), so every persisted section must be
+	// verified before the rebuild trusts a byte of it.
+	if err := gen.base.readyAll(); err != nil {
+		return nil, err
+	}
 	vecs := src.vecs
 	if extra != nil {
 		vecs = append(vecs[:len(vecs):len(vecs)], extra.Raw)
@@ -637,6 +644,7 @@ func (ix *Index) withPrior(p stats.Beta, vq core.QueryVerifier) *Index {
 		bits:       ix.bits,
 		mins:       ix.mins,
 		ap:         ix.ap,
+		disk:       ix.disk,
 		vq:         vq,
 		prior:      p,
 		bandBits:   ix.bandBits,
@@ -769,6 +777,9 @@ func (li *LiveIndex) queryStop(gen *liveGen, q Vec, t float64, stop *shard.Stopp
 		return nil, nil
 	}
 	ix := gen.base
+	if err := ix.ready(false); err != nil {
+		return nil, err
+	}
 	qs := ix.prepare(q, false)
 
 	bids := li.filterBase(gen, ix.candidates(qs))
@@ -852,6 +863,9 @@ func (li *LiveIndex) TopKContext(ctx context.Context, q Vec, k int) ([]Match, er
 	}
 	gen := li.gen.Load()
 	ix := gen.base
+	if err := ix.ready(true); err != nil {
+		return nil, err
+	}
 	qs := ix.prepare(q, true)
 	em := toExactMeasure(li.measure)
 
@@ -909,6 +923,11 @@ func (li *LiveIndex) QueryBatchContext(ctx context.Context, queries []Vec, opts 
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, ctxWrap(err)
+	}
+	// Surface a disk-backed base's first-touch verification failure as
+	// the batch's error; inside the fan-out it would be swallowed.
+	if err := gen.base.ready(false); err != nil {
+		return nil, err
 	}
 	var stop *shard.Stopper
 	if ctx.Done() != nil {

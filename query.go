@@ -217,6 +217,12 @@ func (ix *Index) queryStop(q Vec, t float64, stop *shard.Stopper) ([]Match, erro
 	if q.Len() == 0 {
 		return nil, nil
 	}
+	// First touch of a disk-backed index verifies the sections this
+	// query shape reads (checksum + deep structural walk, once per
+	// section for the life of the mapping).
+	if err := ix.ready(false); err != nil {
+		return nil, err
+	}
 	qs := ix.prepare(q, false)
 	hits, err := ix.verify(qs, ix.candidates(qs), stop)
 	if err != nil {
@@ -383,6 +389,9 @@ func (ix *Index) TopKContext(ctx context.Context, q Vec, k int) ([]Match, error)
 	if q.Len() == 0 {
 		return nil, nil
 	}
+	if err := ix.ready(true); err != nil {
+		return nil, err
+	}
 	var stop *shard.Stopper
 	if ctx.Done() != nil {
 		stop = shard.NewStopper(ctx)
@@ -431,6 +440,11 @@ func (ix *Index) QueryBatchContext(ctx context.Context, queries []Vec, opts Quer
 	if err := ctx.Err(); err != nil {
 		return nil, ctxWrap(err)
 	}
+	// Surface a disk-backed index's first-touch verification failure as
+	// the batch's error; inside the fan-out it would be swallowed.
+	if err := ix.ready(false); err != nil {
+		return nil, err
+	}
 	var stop *shard.Stopper
 	if ctx.Done() != nil {
 		stop = shard.NewStopper(ctx)
@@ -444,7 +458,8 @@ func (ix *Index) QueryBatchContext(ctx context.Context, queries []Vec, opts Quer
 				return
 			}
 			// Per-query errors cannot occur here: the threshold was
-			// validated above and cancellation surfaces via RunCtx.
+			// validated above, readiness was checked above, and
+			// cancellation surfaces via RunCtx.
 			out[i], _ = ix.queryStop(queries[i], t, stop)
 		}
 	})

@@ -79,8 +79,12 @@ var (
 
 // WriteTo serializes the index as a snapshot. It implements
 // io.WriterTo. The writer is not buffered internally; wrap files in a
-// bufio.Writer (SaveFile does).
+// bufio.Writer (SaveFile does). A disk-backed index (OpenIndexFile)
+// returns ErrDiskBacked: its v3 file is already the snapshot.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	if ix.disk != nil {
+		return 0, ErrDiskBacked
+	}
 	sw := snapshot.NewWriter(w)
 	sw.Raw([]byte(snapshotMagic))
 	sw.U32(SnapshotVersion)
@@ -93,6 +97,13 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 // (version 2, which appends a live section after these).
 func (ix *Index) writeSections(sw *snapshot.Writer) {
 	e := ix.engine()
+	// The candidate fields are interface-typed since the disk-serving
+	// views arrived; the v1 stream codecs write the heap structures.
+	// WriteTo guards the disk-backed case with ErrDiskBacked, so these
+	// assertions see heap structures (or nothing) here.
+	bits, _ := ix.bits.(*lshindex.BitsTables)
+	mins, _ := ix.mins.(*lshindex.MinhashTables)
+	ap, _ := ix.ap.(*allpairs.Index)
 	sw.Section(sectMeta, ix.writeMeta)
 	sw.Section(sectVectors, e.ds.c.WriteSnapshot)
 	sw.Section(sectBitStore, func(s *snapshot.Writer) {
@@ -108,21 +119,21 @@ func (ix *Index) writeSections(sw *snapshot.Writer) {
 		}
 	})
 	sw.Section(sectBitTables, func(s *snapshot.Writer) {
-		s.Bool(ix.bits != nil)
-		if ix.bits != nil {
-			ix.bits.WriteSnapshot(s)
+		s.Bool(bits != nil)
+		if bits != nil {
+			bits.WriteSnapshot(s)
 		}
 	})
 	sw.Section(sectMinhashTables, func(s *snapshot.Writer) {
-		s.Bool(ix.mins != nil)
-		if ix.mins != nil {
-			ix.mins.WriteSnapshot(s)
+		s.Bool(mins != nil)
+		if mins != nil {
+			mins.WriteSnapshot(s)
 		}
 	})
 	sw.Section(sectAllPairs, func(s *snapshot.Writer) {
-		s.Bool(ix.ap != nil)
-		if ix.ap != nil {
-			ix.ap.WriteSnapshot(s)
+		s.Bool(ap != nil)
+		if ap != nil {
+			ap.WriteSnapshot(s)
 		}
 	})
 }
@@ -266,11 +277,14 @@ func readIndexBytes(buf []byte) (*Index, error) {
 	switch v := binary.LittleEndian.Uint32(buf[len(snapshotMagic):]); v {
 	case SnapshotVersion:
 	case LiveSnapshotVersion:
-		return nil, fmt.Errorf("%w: version %d is a live-index snapshot; load it with ReadLiveIndex or LoadLiveFile",
+		return nil, fmt.Errorf("%w: found version %d (a live-index snapshot); load it with ReadLiveIndex or LoadLiveFile",
+			ErrSnapshotVersion, v)
+	case DiskSnapshotVersion:
+		return nil, fmt.Errorf("%w: found version %d (a disk-servable snapshot); open it with OpenIndexFile",
 			ErrSnapshotVersion, v)
 	default:
-		return nil, fmt.Errorf("%w: snapshot version %d, this build reads %d",
-			ErrSnapshotVersion, v, SnapshotVersion)
+		return nil, fmt.Errorf("%w: found version %d; this build reads versions %d (ReadIndex/LoadFile), %d (ReadLiveIndex/LoadLiveFile) and %d (OpenIndexFile)",
+			ErrSnapshotVersion, v, SnapshotVersion, LiveSnapshotVersion, DiskSnapshotVersion)
 	}
 	sr, err := checksummedBody(buf)
 	if err != nil {
@@ -564,6 +578,12 @@ func (li *LiveIndex) WriteTo(w io.Writer) (int64, error) {
 	view := gen.mem.View(gen.memN)
 	tombIDs := li.tombs.IDs(gen.nextID())
 	li.mu.Unlock()
+	if gen.base.disk != nil {
+		// A disk-backed base has no heap structures to re-encode and its
+		// v3 file is already durable. After the first merge the base is
+		// an ordinary heap index and saving works again.
+		return 0, fmt.Errorf("%w (the base still serves from its v3 file; Compact with pending changes first)", ErrDiskBacked)
+	}
 
 	sw := snapshot.NewWriter(w)
 	sw.Raw([]byte(snapshotMagic))
@@ -636,11 +656,14 @@ func readLiveBytes(buf []byte, lc LiveConfig) (*LiveIndex, error) {
 	switch v := binary.LittleEndian.Uint32(buf[len(snapshotMagic):]); v {
 	case LiveSnapshotVersion:
 	case SnapshotVersion:
-		return nil, fmt.Errorf("%w: version %d is a base-index snapshot; load it with ReadIndex or LoadFile (then LiveFrom)",
+		return nil, fmt.Errorf("%w: found version %d (a base-index snapshot); load it with ReadIndex or LoadFile (then LiveFrom)",
+			ErrSnapshotVersion, v)
+	case DiskSnapshotVersion:
+		return nil, fmt.Errorf("%w: found version %d (a disk-servable snapshot); open it with OpenIndexFile (then LiveFrom), or OpenLiveFile",
 			ErrSnapshotVersion, v)
 	default:
-		return nil, fmt.Errorf("%w: snapshot version %d, this build reads %d",
-			ErrSnapshotVersion, v, LiveSnapshotVersion)
+		return nil, fmt.Errorf("%w: found version %d; this build reads versions %d (ReadIndex/LoadFile), %d (ReadLiveIndex/LoadLiveFile) and %d (OpenIndexFile)",
+			ErrSnapshotVersion, v, SnapshotVersion, LiveSnapshotVersion, DiskSnapshotVersion)
 	}
 	sr, err := checksummedBody(buf)
 	if err != nil {
