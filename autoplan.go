@@ -1,0 +1,101 @@
+package bayeslsh
+
+import (
+	"bayeslsh/internal/planner"
+)
+
+// AutoPipeline planning: Options.AutoPipeline lets the engine choose
+// the pipeline instead of the caller. The choice is made by
+// internal/planner — a one-pass corpus statistics collector and a
+// deterministic greedy rule set — and then the chosen pipeline runs
+// through exactly the code path an explicit Options.Algorithm would
+// have taken, so an auto-planned search is bit-identical to the
+// explicitly-configured search it resolves to (see docs/PLANNER.md and
+// the matrix proof in autoplan_test.go).
+//
+// The types below are aliases of the internal planner's: the root
+// package re-exports them rather than wrapping them, and mirrors its
+// Measure/Algorithm values onto the planner's enums (checked by
+// TestPlannerMirrors).
+
+// CorpusStats are the corpus statistics the planner collects at build
+// time — shape, length distribution, vocabulary skew — persisted in
+// snapshot meta (v1, v2 and v3) so loaded and disk-opened indexes can
+// report them and re-plan without a corpus scan.
+type CorpusStats = planner.Stats
+
+// Plan is a planning decision: the chosen pipeline and every greedy
+// rule that fired on the way (empty for explicitly-configured builds).
+// Plan.Pipeline mirrors Algorithm value for value; convert with
+// Algorithm(plan.Pipeline).
+type Plan = planner.Plan
+
+// PlanRule is one fired greedy rule: a stable name and the
+// human-readable reason it applied (apss plan -why prints these).
+type PlanRule = planner.Rule
+
+// PlanQuery is one planning question for ChoosePlan: what pipeline
+// should serve this measure, threshold and query shape?
+type PlanQuery struct {
+	Measure   Measure
+	Threshold float64
+	// K is the top-k bound (0 for threshold queries); top-k always
+	// verifies with exact similarities, steering the plan away from
+	// probabilistic verification.
+	K int
+	// QueryLen is the query's non-zero count when known (0 otherwise).
+	QueryLen int
+	// Serving demands a query-serving index, excluding PPJoin.
+	Serving bool
+	// Sharded excludes the pipelines that fit a corpus-global prior
+	// (the Jaccard Bayes family without one-bit minhash), which a
+	// sharded cluster refuses (see internal/cluster).
+	Sharded bool
+}
+
+// CorpusStats collects the planner's statistics for the dataset in one
+// pass — O(total non-zeros) plus two sorts.
+func (d *Dataset) CorpusStats() CorpusStats { return planner.Collect(d.c) }
+
+// ChoosePlan runs the planner's greedy rules over the stats and
+// returns the chosen pipeline with the rules that fired. It is a pure
+// function; Options.AutoPipeline, apss plan and the sharded router all
+// resolve through it (via the same internal planner), so the answer
+// cannot drift between the API, the CLI and the cluster.
+func ChoosePlan(st CorpusStats, q PlanQuery) Plan {
+	return planner.Choose(st, planner.Request{
+		Measure:       planner.Measure(q.Measure),
+		Threshold:     q.Threshold,
+		K:             q.K,
+		QueryLen:      q.QueryLen,
+		Serving:       q.Serving,
+		NoGlobalPrior: q.Sharded,
+	})
+}
+
+// corpusPlanner lazily collects the engine's corpus statistics and
+// wraps them in the planner's plan cache. Like the engine's signature
+// stores, first use is single-goroutine (the build phase); the
+// returned planner itself is safe for concurrent use.
+func (e *Engine) corpusPlanner() *planner.Planner {
+	if e.pln == nil {
+		e.pln = planner.New(planner.Collect(e.ds.c))
+	}
+	return e.pln
+}
+
+// resolveAuto resolves Options.AutoPipeline into a concrete Algorithm
+// through the engine's plan cache, clearing the flag so the resolved
+// Options never re-plan — a LiveIndex merge rebuilding with the
+// carried Options must reproduce the same pipeline bit-for-bit, not
+// re-run the rules over a drifted corpus.
+func (e *Engine) resolveAuto(o Options, serving bool) (Options, Plan) {
+	pl := e.corpusPlanner().Plan(planner.Request{
+		Measure:   planner.Measure(e.measure),
+		Threshold: o.Threshold,
+		Serving:   serving,
+	})
+	o.Algorithm = Algorithm(pl.Pipeline)
+	o.AutoPipeline = false
+	return o, pl
+}

@@ -33,10 +33,7 @@ func buildMain(args []string) {
 	if !ok {
 		usageError(prog, "unknown measure %q", *measureName)
 	}
-	alg, ok := algorithmsByName[*algName]
-	if !ok {
-		usageError(prog, "unknown algorithm %q", *algName)
-	}
+	alg, auto := algorithmFlag(prog, *algName)
 	if *format != "v1" && *format != "v3" {
 		usageError(prog, "unknown -format %q (want v1 or v3)", *format)
 	}
@@ -49,7 +46,7 @@ func buildMain(args []string) {
 	ix, err := bayeslsh.NewIndex(ds, measure, bayeslsh.EngineConfig{
 		Seed:        *seed,
 		Parallelism: *parallel,
-	}, bayeslsh.Options{Algorithm: alg, Threshold: *threshold})
+	}, bayeslsh.Options{Algorithm: alg, AutoPipeline: auto, Threshold: *threshold})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, prog+":", err)
 		os.Exit(1)
@@ -69,6 +66,6 @@ func buildMain(args []string) {
 	st := ix.Stats()
 	fmt.Fprintf(os.Stderr,
 		"apss build: %v index over %d vectors (%v, t=%.2f) built in %v, snapshot %s (%d bytes, format v%d)\n",
-		alg, ix.Len(), measure, *threshold, st.BuildTime.Round(time.Millisecond),
+		ix.Options().Algorithm, ix.Len(), measure, *threshold, st.BuildTime.Round(time.Millisecond),
 		*out, size, version)
 }

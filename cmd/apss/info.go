@@ -33,6 +33,16 @@ func infoMain(args []string) {
 	fmt.Printf("%s: format v%d, %d bytes\n", path, info.Version, info.Size)
 	fmt.Printf("  %v index, %v measure, t=%.2f\n", info.Algorithm, info.Measure, info.Threshold)
 	fmt.Printf("  corpus: %d vectors, dim %d\n", info.Vectors, info.Dim)
+	if st := info.Stats; !st.Zero() {
+		fmt.Printf("  stats: avg len %.1f, median %d, p90 %d, max %d, cv %.2f\n",
+			st.AvgLen, st.MedianLen, st.P90Len, st.MaxLen, st.LenCV)
+		fmt.Printf("         density %.4g, top-df %.2f, heavy %.2f\n",
+			st.Density, st.TopDFFrac, st.HeavyFrac)
+		plan := bayeslsh.ChoosePlan(st, bayeslsh.PlanQuery{
+			Measure: info.Measure, Threshold: info.Threshold, Serving: true,
+		})
+		fmt.Printf("  planner would pick: %v (apss plan -why explains)\n", plan.Pipeline)
+	}
 	fmt.Printf("  sections (%d):\n", len(info.Sections))
 	fmt.Printf("    %-4s %-15s %10s %12s %s\n", "tag", "name", "offset", "length", "crc32c")
 	for _, s := range info.Sections {

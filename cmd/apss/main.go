@@ -32,6 +32,16 @@
 //	apss build -dataset RCV1-sim -t 0.7 -format v3 -out index.v3.snap
 //	apss query -index index.snap -self 100
 //
+// The plan subcommand is the planner's dry run: it collects the
+// corpus statistics Options.AutoPipeline would collect, runs the
+// same rule set, and prints the chosen pipeline; -why prints each
+// rule that fired with its evidence (see docs/PLANNER.md). Every
+// index-building subcommand accepts -algorithm auto to let the same
+// planner choose at build time:
+//
+//	apss plan -dataset RCV1-sim -measure cosine -t 0.7 -why
+//	apss -dataset RCV1-sim -algorithm auto -t 0.7
+//
 // The info subcommand inspects any snapshot file without loading it
 // into a servable index: version, section table (tag, offset, length,
 // per-section checksum for v3), and corpus shape. Corrupt or foreign
@@ -84,6 +94,20 @@ var measuresByName = map[string]bayeslsh.Measure{
 	"cosine":        bayeslsh.Cosine,
 	"jaccard":       bayeslsh.Jaccard,
 	"binary-cosine": bayeslsh.BinaryCosine,
+}
+
+// algorithmFlag resolves an -algorithm value: a pipeline name from
+// algorithmsByName, or "auto" to let the corpus planner choose
+// (Options.AutoPipeline; "apss plan -why" explains the choice).
+func algorithmFlag(prog, name string) (alg bayeslsh.Algorithm, auto bool) {
+	if name == "auto" {
+		return 0, true
+	}
+	alg, ok := algorithmsByName[name]
+	if !ok {
+		usageError(prog, "unknown algorithm %q", name)
+	}
+	return alg, false
 }
 
 // usageError prints a one-line message to stderr and exits with
@@ -145,6 +169,9 @@ func main() {
 		case "info":
 			infoMain(os.Args[2:])
 			return
+		case "plan":
+			planMain(os.Args[2:])
+			return
 		}
 	}
 	datasetName := flag.String("dataset", "", "built-in synthetic dataset name")
@@ -167,10 +194,7 @@ func main() {
 	if !ok {
 		usageError("apss", "unknown measure %q", *measureName)
 	}
-	alg, ok := algorithmsByName[*algName]
-	if !ok {
-		usageError("apss", "unknown algorithm %q", *algName)
-	}
+	alg, auto := algorithmFlag("apss", *algName)
 	validateCommon("apss", *threshold, *parallel)
 	if *batch < 0 {
 		usageError("apss", "-batch %d must be >= 0 (0 = default)", *batch)
@@ -190,13 +214,23 @@ func main() {
 		os.Exit(1)
 	}
 	opts := bayeslsh.Options{
-		Algorithm: alg,
-		Threshold: *threshold,
-		Epsilon:   *eps,
-		Delta:     *delta,
-		Gamma:     *gamma,
+		Algorithm:    alg,
+		AutoPipeline: auto,
+		Threshold:    *threshold,
+		Epsilon:      *eps,
+		Delta:        *delta,
+		Gamma:        *gamma,
 	}
 	start := time.Now()
+
+	// With -algorithm auto the planner picks the pipeline; resolve the
+	// display name the same way the engine will so the summary lines
+	// name the pipeline that actually ran.
+	if auto {
+		alg = bayeslsh.Algorithm(bayeslsh.ChoosePlan(ds.CorpusStats(), bayeslsh.PlanQuery{
+			Measure: measure, Threshold: *threshold,
+		}).Pipeline)
+	}
 
 	if *stream {
 		// Streaming mode: pairs reach stdout as verification batches

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"bayeslsh"
+)
+
+// planMain implements the "apss plan" subcommand: the planner's
+// decision surface as a dry run. It collects the corpus statistics
+// the engine would collect at build time (one O(corpus) pass), runs
+// the same deterministic rule set Options.AutoPipeline runs, and
+// prints the chosen pipeline — without building an index. With -why,
+// every rule that fired is printed with its evidence, so "why did
+// auto pick AllPairs here?" has a one-command answer. The corpus can
+// also come from a snapshot's persisted statistics (-index), which
+// reads only the metadata section:
+//
+//	apss plan -dataset RCV1-sim -measure cosine -t 0.7 -why
+//	apss plan -file corpus.vec -measure jaccard -t 0.5 -topk 10
+//	apss plan -index index.snap -why
+//
+// The printed choice is exact, not advisory: a Search, NewIndex,
+// NewLiveIndex, or sharded NewLocal with AutoPipeline set over the
+// same corpus and parameters resolves to the same pipeline.
+func planMain(args []string) {
+	fs := flag.NewFlagSet("apss plan", flag.ExitOnError)
+	datasetName := fs.String("dataset", "", "built-in synthetic dataset name")
+	file := fs.String("file", "", "dataset file in the library's vector format")
+	index := fs.String("index", "", "plan from a snapshot's persisted corpus statistics instead")
+	measureName := fs.String("measure", "cosine", "cosine | jaccard | binary-cosine")
+	threshold := fs.Float64("t", 0.7, "similarity threshold to plan for")
+	topk := fs.Int("topk", 0, "plan for top-k queries with this k (0 = threshold search)")
+	serving := fs.Bool("serving", false, "plan for a serving index (query-at-a-time) rather than a batch self-join")
+	why := fs.Bool("why", false, "print every rule that fired, with its evidence")
+	fs.Parse(args)
+
+	const prog = "apss plan"
+	measure, ok := measuresByName[*measureName]
+	if !ok {
+		usageError(prog, "unknown measure %q", *measureName)
+	}
+	if *threshold <= 0 || *threshold > 1 {
+		usageError(prog, "-t %v outside (0, 1]", *threshold)
+	}
+	if *topk < 0 {
+		usageError(prog, "-topk %d must be >= 0 (0 = threshold search)", *topk)
+	}
+
+	var st bayeslsh.CorpusStats
+	if *index != "" {
+		if *datasetName != "" || *file != "" {
+			usageError(prog, "-index cannot combine with -dataset/-file")
+		}
+		info, err := bayeslsh.InspectFile(*index)
+		if err != nil {
+			usageError(prog, "%s: %v", *index, err)
+		}
+		if info.Stats.Zero() {
+			usageError(prog, "%s predates stats persistence; rebuild it or plan from -dataset/-file", *index)
+		}
+		st = info.Stats
+		// The snapshot fixes the measure unless the caller overrode it.
+		planned := false
+		fs.Visit(func(f *flag.Flag) { planned = planned || f.Name == "measure" })
+		if !planned {
+			measure = info.Measure
+		}
+	} else {
+		ds := loadDataset(*datasetName, *file, measure, prog)
+		st = ds.CorpusStats()
+	}
+
+	plan := bayeslsh.ChoosePlan(st, bayeslsh.PlanQuery{
+		Measure:   measure,
+		Threshold: *threshold,
+		K:         *topk,
+		Serving:   *serving || *topk > 0,
+	})
+
+	fmt.Printf("corpus: %d vectors, dim %d, nnz %d\n", st.Vectors, st.Dim, st.Nnz)
+	fmt.Printf("  lengths: avg %.1f, median %d, p90 %d, max %d, cv %.2f\n",
+		st.AvgLen, st.MedianLen, st.P90Len, st.MaxLen, st.LenCV)
+	fmt.Printf("  density %.4g, top-df %.2f, heavy %.2f\n",
+		st.Density, st.TopDFFrac, st.HeavyFrac)
+	fmt.Printf("plan (%v, t=%.2f): %v\n", measure, *threshold, plan.Pipeline)
+	if *why {
+		for _, r := range plan.Rules {
+			fmt.Printf("  rule %s: %s\n", r.Name, r.Detail)
+		}
+	}
+}

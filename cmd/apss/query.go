@@ -39,10 +39,7 @@ func queryMain(args []string) {
 	if !ok {
 		usageError(prog, "unknown measure %q", *measureName)
 	}
-	alg, ok := algorithmsByName[*algName]
-	if !ok {
-		usageError(prog, "unknown algorithm %q", *algName)
-	}
+	alg, auto := algorithmFlag(prog, *algName)
 	validateCommon(prog, *threshold, *parallel)
 	if *topk < 0 {
 		usageError(prog, "-topk %d must be >= 0 (0 = threshold query)", *topk)
@@ -121,13 +118,13 @@ func queryMain(args []string) {
 		if ix, err = bayeslsh.NewIndex(ds, measure, bayeslsh.EngineConfig{
 			Seed:        *seed,
 			Parallelism: *parallel,
-		}, bayeslsh.Options{Algorithm: alg, Threshold: *threshold}); err != nil {
+		}, bayeslsh.Options{Algorithm: alg, AutoPipeline: auto, Threshold: *threshold}); err != nil {
 			fmt.Fprintln(os.Stderr, prog+":", err)
 			os.Exit(1)
 		}
 		st := ix.Stats()
 		fmt.Fprintf(os.Stderr, "apss query: %v index over %d vectors (%v, t=%.2f) built in %v (tables=%d bandk=%d)\n",
-			alg, ix.Len(), measure, *threshold, st.BuildTime.Round(time.Millisecond), st.Tables, st.BandK)
+			ix.Options().Algorithm, ix.Len(), measure, *threshold, st.BuildTime.Round(time.Millisecond), st.Tables, st.BandK)
 	}
 
 	start := time.Now()

@@ -77,6 +77,7 @@ func serveMain(args []string) {
 	maxInflight := fs.Int("max-inflight", 0, "refuse requests beyond this many in flight with 429 (0 = default 256, negative = off)")
 	drainSave := fs.String("drain-save", "", "write a live snapshot to this path after a graceful drain")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "bound on the graceful drain; remaining connections are dropped after it")
+	cacheSize := fs.Int("cache-size", 0, "front the index with a result cache of this many entries (0 = off; HTTP mode only)")
 	fs.Parse(args)
 
 	const prog = "apss serve"
@@ -84,10 +85,7 @@ func serveMain(args []string) {
 	if !ok {
 		usageError(prog, "unknown measure %q", *measureName)
 	}
-	alg, ok := algorithmsByName[*algName]
-	if !ok {
-		usageError(prog, "unknown algorithm %q", *algName)
-	}
+	alg, auto := algorithmFlag(prog, *algName)
 	validateCommon(prog, *threshold, *parallel)
 	if *httpTimeout < 0 {
 		usageError(prog, "-http-timeout %v must be >= 0 (0 = no default deadline)", *httpTimeout)
@@ -100,6 +98,12 @@ func serveMain(args []string) {
 	}
 	if *shardTimeout < 0 {
 		usageError(prog, "-shard-timeout %v must be >= 0 (0 = none)", *shardTimeout)
+	}
+	if *cacheSize < 0 {
+		usageError(prog, "-cache-size %d must be >= 0 (0 = off)", *cacheSize)
+	}
+	if *cacheSize > 0 && *httpAddr == "" {
+		usageError(prog, "-cache-size needs -http (the stdin loop serves the index directly)")
 	}
 	lc := bayeslsh.LiveConfig{MaxDelta: *maxDelta, MaxRatio: *maxRatio}
 	rcfg := cluster.Config{ShardTimeout: *shardTimeout, Workers: *parallel}
@@ -146,14 +150,14 @@ func serveMain(args []string) {
 		idx, err = cluster.NewLocal(ds, measure, bayeslsh.EngineConfig{
 			Seed:        *seed,
 			Parallelism: *parallel,
-		}, bayeslsh.Options{Algorithm: alg, Threshold: *threshold}, lc, *shards, rcfg)
+		}, bayeslsh.Options{Algorithm: alg, AutoPipeline: auto, Threshold: *threshold}, lc, *shards, rcfg)
 	default:
 		var li *bayeslsh.LiveIndex
 		ds := loadDataset(*datasetName, *file, measure, prog)
 		li, err = bayeslsh.NewLiveIndex(ds, measure, bayeslsh.EngineConfig{
 			Seed:        *seed,
 			Parallelism: *parallel,
-		}, bayeslsh.Options{Algorithm: alg, Threshold: *threshold}, lc)
+		}, bayeslsh.Options{Algorithm: alg, AutoPipeline: auto, Threshold: *threshold}, lc)
 		if err == nil {
 			li.SetRuntime(*parallel, 0)
 			idx = li
@@ -178,6 +182,7 @@ func serveMain(args []string) {
 			Timeout:     timeout,
 			MaxInFlight: *maxInflight,
 			DrainSave:   *drainSave,
+			CacheSize:   *cacheSize,
 			Loader:      loader,
 		}, *drainTimeout, st, start)
 		return

@@ -11,6 +11,15 @@
 // captured into the header. benchjson exits 1 if the input contains a
 // test failure or no benchmark lines at all, so a silently empty
 // artifact cannot pass CI.
+//
+// With -baseline, the freshly parsed run is additionally compared
+// against a committed baseline document: every benchmark present in
+// both is checked on ns/op, and benchjson exits 1 if any regressed by
+// more than -max-regress (default 0.15, i.e. 15%). Benchmarks present
+// on only one side are reported but never fail the run, so adding or
+// retiring a benchmark does not require touching the gate:
+//
+//	go test -run '^$' -bench Plan . | benchjson -out BENCH_plan.json -baseline BENCH_plan.json
 package main
 
 import (
@@ -48,6 +57,8 @@ type Report struct {
 
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
+	baseline := flag.String("baseline", "", "committed baseline JSON; fail on ns/op regression against it")
+	maxRegress := flag.Float64("max-regress", 0.15, "max relative ns/op regression allowed vs -baseline")
 	flag.Parse()
 
 	rep := Report{Timestamp: time.Now().UTC().Format(time.RFC3339)}
@@ -92,15 +103,85 @@ func main() {
 		os.Exit(1)
 	}
 	buf = append(buf, '\n')
+
+	// Load the baseline before writing -out: the common CI invocation
+	// compares against the committed file and then overwrites it with
+	// the fresh run for the artifact upload.
+	var base *Report
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		base = &Report{}
+		if err := json.Unmarshal(raw, base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: baseline %s: %v\n", *baseline, err)
+			os.Exit(1)
+		}
+	}
+
 	if *out == "" {
 		os.Stdout.Write(buf)
-		return
+	} else {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks -> %s\n", len(rep.Benchmarks), *out)
 	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+
+	if base != nil {
+		lines, regressed := compare(rep, *base, *maxRegress)
+		for _, l := range lines {
+			fmt.Fprintln(os.Stderr, "benchjson: "+l)
+		}
+		if regressed {
+			fmt.Fprintf(os.Stderr, "benchjson: ns/op regression beyond %.0f%% vs %s\n", *maxRegress*100, *baseline)
+			os.Exit(1)
+		}
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks -> %s\n", len(rep.Benchmarks), *out)
+}
+
+// compare checks every benchmark shared between cur and base on
+// ns/op: a per-benchmark report line is produced for each, and
+// regressed is true if any exceeded base*(1+maxRegress). Benchmarks
+// present on only one side are mentioned but never regress — adding
+// or retiring a benchmark must not require a baseline dance to keep
+// CI green.
+func compare(cur, base Report, maxRegress float64) (lines []string, regressed bool) {
+	baseNs := make(map[string]float64, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		if ns, ok := b.Metrics["ns/op"]; ok {
+			baseNs[b.Name] = ns
+		}
+	}
+	seen := make(map[string]bool, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		seen[b.Name] = true
+		old, ok := baseNs[b.Name]
+		if !ok {
+			lines = append(lines, fmt.Sprintf("%s: not in baseline (new benchmark)", b.Name))
+			continue
+		}
+		ns, ok := b.Metrics["ns/op"]
+		if !ok || old <= 0 {
+			continue
+		}
+		delta := ns/old - 1
+		verdict := "ok"
+		if delta > maxRegress {
+			verdict = "REGRESSED"
+			regressed = true
+		}
+		lines = append(lines, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (%+.1f%%) %s", b.Name, ns, old, delta*100, verdict))
+	}
+	for _, b := range base.Benchmarks {
+		if !seen[b.Name] {
+			lines = append(lines, fmt.Sprintf("%s: in baseline but not in this run (retired?)", b.Name))
+		}
+	}
+	return lines, regressed
 }
 
 // parseBenchLine parses one "BenchmarkName[-P] N value unit value

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func bench(name string, ns float64) Benchmark {
+	return Benchmark{Name: name, Iterations: 100, Metrics: map[string]float64{"ns/op": ns}}
+}
+
+func TestParseBenchLine(t *testing.T) {
+	cases := []struct {
+		line string
+		name string
+		ns   float64
+		ok   bool
+	}{
+		{"BenchmarkAutoPlan-4   \t 1000 \t 1234.5 ns/op", "AutoPlan", 1234.5, true},
+		{"BenchmarkCachedQuery 200 50 ns/op 16 B/op 1 allocs/op", "CachedQuery", 50, true},
+		{"BenchmarkBroken trailing", "", 0, false},
+		{"Benchmark stray log line that is not a result", "", 0, false},
+	}
+	for _, tc := range cases {
+		b, ok := parseBenchLine(tc.line)
+		if ok != tc.ok {
+			t.Errorf("%q: ok=%v want %v", tc.line, ok, tc.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if b.Name != tc.name || b.Metrics["ns/op"] != tc.ns {
+			t.Errorf("%q: parsed %+v, want name %q ns/op %v", tc.line, b, tc.name, tc.ns)
+		}
+	}
+}
+
+func TestCompareRegression(t *testing.T) {
+	base := Report{Benchmarks: []Benchmark{
+		bench("AutoPlan", 1000),
+		bench("CachedQuery", 100),
+		bench("Retired", 42),
+	}}
+
+	// Within the margin on both shared benchmarks: green, and the
+	// one-sided entries are reported without failing the run.
+	cur := Report{Benchmarks: []Benchmark{
+		bench("AutoPlan", 1100),   // +10%
+		bench("CachedQuery", 80),  // improvement
+		bench("BrandNew", 999999), // no baseline: informational only
+	}}
+	lines, regressed := compare(cur, base, 0.15)
+	if regressed {
+		t.Fatalf("within-margin run regressed:\n%s", strings.Join(lines, "\n"))
+	}
+	joined := strings.Join(lines, "\n")
+	for _, want := range []string{"BrandNew: not in baseline", "Retired: in baseline but not in this run"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing %q in:\n%s", want, joined)
+		}
+	}
+
+	// One shared benchmark beyond the margin: the run fails and the
+	// offender is named.
+	cur.Benchmarks[0] = bench("AutoPlan", 1200) // +20%
+	lines, regressed = compare(cur, base, 0.15)
+	if !regressed {
+		t.Fatal("+20% on a 15% margin did not regress")
+	}
+	if joined := strings.Join(lines, "\n"); !strings.Contains(joined, "AutoPlan: 1200 ns/op vs baseline 1000 (+20.0%) REGRESSED") {
+		t.Errorf("regression line missing:\n%s", joined)
+	}
+
+	// A looser margin accepts the same run.
+	if _, regressed := compare(cur, base, 0.25); regressed {
+		t.Fatal("+20% on a 25% margin regressed")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"bayeslsh/internal/diskidx"
 	"bayeslsh/internal/lshindex"
 	"bayeslsh/internal/minhash"
+	"bayeslsh/internal/planner"
 	"bayeslsh/internal/sighash"
 	"bayeslsh/internal/snapshot"
 	"bayeslsh/internal/vector"
@@ -437,7 +438,10 @@ func openDisk(f *diskidx.File) (*Index, error) {
 		return nil, formatf("%v", err)
 	}
 
-	ix := &Index{opts: meta.opts, stats: meta.stats, prior: meta.prior, disk: d}
+	// cstats stays zero for pre-stats v3 files: recomputing would scan
+	// (and fault in) the whole mapped corpus, defeating lazy serving.
+	ix := &Index{opts: meta.opts, stats: meta.stats, prior: meta.prior, cstats: meta.cstats, disk: d}
+	ix.plan = Plan{Pipeline: planner.Pipeline(meta.opts.Algorithm)}
 	ix.eng.Store(eng)
 
 	// Signature matrices: fixed stores whose rows alias the mapping,

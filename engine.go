@@ -12,6 +12,7 @@ import (
 	"bayeslsh/internal/lshindex"
 	"bayeslsh/internal/minhash"
 	"bayeslsh/internal/pair"
+	"bayeslsh/internal/planner"
 	"bayeslsh/internal/rng"
 	"bayeslsh/internal/sighash"
 	"bayeslsh/internal/stats"
@@ -87,6 +88,7 @@ type Engine struct {
 
 	bitStore *sighash.Store
 	minStore *minhash.Store
+	pln      *planner.Planner
 }
 
 // ErrEmptyDataset reports an engine or index built over a nil or

@@ -10,6 +10,7 @@ import (
 	"bayeslsh/internal/core"
 	"bayeslsh/internal/lshindex"
 	"bayeslsh/internal/pair"
+	"bayeslsh/internal/planner"
 	"bayeslsh/internal/stats"
 )
 
@@ -76,6 +77,12 @@ type Index struct {
 	approxN              int  // fixed hash count of the LSHApprox estimator
 
 	stats IndexStats
+
+	// cstats are the planner's corpus statistics, collected at build
+	// time and persisted in snapshot meta; plan records the pipeline
+	// decision (with fired rules when AutoPipeline chose it).
+	cstats CorpusStats
+	plan   Plan
 }
 
 // IndexStats reports what building the index cost and what it holds.
@@ -141,9 +148,19 @@ func (e *Engine) buildIndexCtx(ctx context.Context, opts Options, prior *stats.B
 		return nil, err
 	}
 	start := time.Now()
+	// Resolve AutoPipeline before anything is built, clearing the flag
+	// so downstream rebuilds over these Options — a LiveIndex merge, a
+	// snapshot load — reproduce the chosen pipeline instead of
+	// re-planning over a drifted corpus.
+	plan := Plan{Pipeline: planner.Pipeline(o.Algorithm)}
+	if o.AutoPipeline {
+		o, plan = e.resolveAuto(o, true)
+	}
 	// The prior defaults to the uniform placeholder so every index —
 	// including the non-Bayes pipelines — snapshots a valid one.
 	ix := &Index{opts: o, prior: stats.Beta{Alpha: 1, Beta: 1}}
+	ix.plan = plan
+	ix.cstats = e.corpusPlanner().Stats()
 	ix.eng.Store(e)
 
 	// Candidate source.
@@ -266,3 +283,17 @@ func (ix *Index) Dataset() *Dataset { return ix.engine().ds }
 
 // Stats returns build cost and shape statistics.
 func (ix *Index) Stats() IndexStats { return ix.stats }
+
+// CorpusStats returns the planner's corpus statistics collected when
+// the index was built. They are persisted in snapshots; indexes loaded
+// from snapshots written before the planner existed recompute them on
+// load (heap residencies) or report the zero value (disk residencies,
+// which never scan the mapped corpus eagerly).
+func (ix *Index) CorpusStats() CorpusStats { return ix.cstats }
+
+// Plan returns the index's pipeline decision: the pipeline it runs
+// (always) and the greedy rules that selected it (only when
+// Options.AutoPipeline made the choice; empty Rules means the caller
+// configured the pipeline explicitly, or the index was loaded from a
+// snapshot, which persists the chosen pipeline but not the rules).
+func (ix *Index) Plan() Plan { return ix.plan }

@@ -32,6 +32,11 @@ type SnapshotInfo struct {
 	Threshold float64
 	Vectors   int
 	Dim       int
+
+	// Stats holds the corpus statistics persisted by stats-bearing
+	// snapshots (the planner's input); Stats.Zero() reports true for
+	// files written before stats persistence.
+	Stats CorpusStats
 }
 
 // sectionNames maps the shared v1/v2/v3 section tags to display names.
@@ -121,6 +126,7 @@ func inspectStream(buf []byte, version int, size int64) (*SnapshotInfo, error) {
 				return nil, fmt.Errorf("%w: meta: %v", ErrSnapshotFormat, err)
 			}
 			info.Measure, info.Algorithm, info.Threshold = meta.measure, meta.opts.Algorithm, meta.opts.Threshold
+			info.Stats = meta.cstats
 		case sectVectors:
 			// Collection header: u32 dim, u64 count; the vectors
 			// themselves are not decoded.
@@ -162,6 +168,7 @@ func inspectDisk(path string, size int64) (*SnapshotInfo, error) {
 				return nil, fmt.Errorf("%w: meta: %v", ErrSnapshotFormat, err)
 			}
 			info.Measure, info.Algorithm, info.Threshold = meta.measure, meta.opts.Algorithm, meta.opts.Threshold
+			info.Stats = meta.cstats
 		case sectVectors:
 			// Flat-collection header: u32 dim, u32 pad, u64 count.
 			r := snapshot.NewReader(b)

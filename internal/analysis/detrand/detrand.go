@@ -30,6 +30,8 @@ var resultPackages = map[string]bool{
 	"bayeslsh/internal/live":     true,
 	"bayeslsh/internal/cluster":  true,
 	"bayeslsh/internal/pair":     true,
+	"bayeslsh/internal/planner":  true,
+	"bayeslsh/internal/rescache": true,
 }
 
 // clockAllowlist maps package path -> function or method names where

@@ -1,0 +1,152 @@
+package cluster_test
+
+import (
+	"context"
+	"testing"
+
+	"bayeslsh"
+	"bayeslsh/internal/cluster"
+	"bayeslsh/internal/harness"
+	"bayeslsh/internal/rescache"
+)
+
+// The router-level cache and planner tests: internal/rescache fronting
+// the scatter-gather Router (the deployment apss serve -shards
+// -cache-size builds), and AutoPipeline resolved against the whole
+// corpus before partitioning.
+
+// TestRouterCacheEquivalent wraps a sharded router in the result
+// cache and proves hit, miss, and direct answers coincide exactly,
+// with mutations through the cache invalidating it.
+func TestRouterCacheEquivalent(t *testing.T) {
+	ds, maps := harness.Corpus(t, bayeslsh.Cosine, 60)
+	opts := bayeslsh.Options{Algorithm: bayeslsh.LSHBayesLSH, Threshold: 0.6}
+	r, err := cluster.NewLocal(ds, bayeslsh.Cosine, harness.EngineConfig(), opts,
+		harness.LiveConfig(), 3, cluster.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rescache.New(r, 32)
+	defer c.Close()
+
+	queries := make([]bayeslsh.Vec, 0, 5)
+	for _, mv := range maps[:5] {
+		queries = append(queries, bayeslsh.NewVec(mv))
+	}
+
+	check := func(stage string) {
+		t.Helper()
+		for i, q := range queries {
+			want, err := r.Query(q, bayeslsh.QueryOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			miss, err := c.QueryContext(context.Background(), q, bayeslsh.QueryOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			hit, err := c.QueryContext(context.Background(), q, bayeslsh.QueryOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !harness.MatchesEqual(miss, want) || !harness.MatchesEqual(hit, want) {
+				t.Fatalf("%s: query %d cached != router:\n miss %v\n hit  %v\nwant %v", stage, i, miss, hit, want)
+			}
+			wantK, err := r.TopK(q, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			missK, err := c.TopKContext(context.Background(), q, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hitK, err := c.TopKContext(context.Background(), q, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !harness.MatchesEqual(missK, wantK) || !harness.MatchesEqual(hitK, wantK) {
+				t.Fatalf("%s: topk %d cached != router", stage, i)
+			}
+		}
+	}
+
+	check("cold")
+
+	// Mutate through the cache: the router sees the ingest and the
+	// cache drops its pre-mutation entries.
+	if _, err := c.Add(queries[0]); err != nil {
+		t.Fatal(err)
+	}
+	check("post-add")
+	ct := c.Counters()
+	if ct.Invalidations != 1 {
+		t.Fatalf("invalidations = %d, want 1", ct.Invalidations)
+	}
+
+	// The planner surface tunnels through the cache: Router exposes it
+	// as PipelinePlan (Plan being the partition plan), and the cache's
+	// Plan must find it there.
+	if st := c.CorpusStats(); st.Vectors != 60 {
+		t.Fatalf("cache CorpusStats.Vectors = %d, want 60", st.Vectors)
+	}
+	if got, want := c.Plan().Pipeline, r.PipelinePlan().Pipeline; got != want {
+		t.Fatalf("cache Plan pipeline %v != router PipelinePlan %v", got, want)
+	}
+}
+
+// TestRouterAutoPipeline proves the sharded planner contract: with
+// Options.AutoPipeline the router plans once against the whole corpus
+// (never per shard), records the decision with its rules, and answers
+// exactly as a router configured explicitly with the chosen pipeline.
+func TestRouterAutoPipeline(t *testing.T) {
+	for _, tc := range harness.Cells() {
+		ds, maps := harness.Corpus(t, tc.Measure, 60)
+		auto, err := cluster.NewLocal(ds, tc.Measure, harness.EngineConfig(),
+			bayeslsh.Options{AutoPipeline: true, Threshold: tc.Threshold},
+			harness.LiveConfig(), 2, cluster.Config{})
+		if err != nil {
+			t.Fatalf("%v: auto NewLocal: %v", tc.Measure, err)
+		}
+		defer auto.Close()
+
+		plan := auto.PipelinePlan()
+		if len(plan.Rules) == 0 {
+			t.Fatalf("%v: auto-planned router reports no rules", tc.Measure)
+		}
+		want := bayeslsh.ChoosePlan(ds.CorpusStats(), bayeslsh.PlanQuery{
+			Measure: tc.Measure, Threshold: tc.Threshold, Serving: true, Sharded: true,
+		})
+		if plan.Pipeline != want.Pipeline {
+			t.Fatalf("%v: router planned %v, ChoosePlan says %v", tc.Measure, plan.Pipeline, want.Pipeline)
+		}
+		if got := auto.Options().Algorithm; got != bayeslsh.Algorithm(want.Pipeline) {
+			t.Fatalf("%v: router options carry %v, plan says %v", tc.Measure, got, want.Pipeline)
+		}
+		if st := auto.CorpusStats(); st.Vectors != 60 {
+			t.Fatalf("%v: router CorpusStats.Vectors = %d, want 60", tc.Measure, st.Vectors)
+		}
+
+		explicit, err := cluster.NewLocal(ds, tc.Measure, harness.EngineConfig(),
+			bayeslsh.Options{Algorithm: bayeslsh.Algorithm(want.Pipeline), Threshold: tc.Threshold},
+			harness.LiveConfig(), 2, cluster.Config{})
+		if err != nil {
+			t.Fatalf("%v: explicit NewLocal: %v", tc.Measure, err)
+		}
+		defer explicit.Close()
+
+		for i, mv := range maps[:5] {
+			q := bayeslsh.NewVec(mv)
+			got, err := auto.Query(q, bayeslsh.QueryOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantMs, err := explicit.Query(q, bayeslsh.QueryOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !harness.MatchesEqual(got, wantMs) {
+				t.Fatalf("%v: query %d auto != explicit:\n got %v\nwant %v", tc.Measure, i, got, wantMs)
+			}
+		}
+	}
+}

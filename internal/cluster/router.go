@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"bayeslsh"
+	"bayeslsh/internal/planner"
 	"bayeslsh/internal/shard"
 )
 
@@ -46,6 +47,13 @@ type Router struct {
 	backends []Backend // fixed at construction
 	plan     Plan
 
+	// cstats/pplan are the whole-corpus planner statistics and the
+	// pipeline decision, filled by NewLocal (New, assembling opaque
+	// backends, derives pplan from the resolved options and leaves
+	// cstats zero — no router-side corpus exists to collect over).
+	cstats bayeslsh.CorpusStats
+	pplan  bayeslsh.Plan
+
 	// mu guards the id state. Queries take it only after the gather —
 	// the scatter itself runs lock-free — so a slow shard never blocks
 	// a mutation and vice versa.
@@ -65,6 +73,24 @@ type Router struct {
 // ErrGlobalPrior; see the package comment.
 func NewLocal(ds *bayeslsh.Dataset, m bayeslsh.Measure, cfg bayeslsh.EngineConfig,
 	opts bayeslsh.Options, lc bayeslsh.LiveConfig, shards int, rcfg Config) (*Router, error) {
+	// AutoPipeline resolves here, against the WHOLE corpus, before
+	// partitioning: per-shard planning could diverge (shard statistics
+	// differ), breaking cross-shard bit-identity — and the planner must
+	// know the corpus is sharded, so it never picks a prior-coupled
+	// pipeline that the check below would refuse.
+	cstats := bayeslsh.CorpusStats{}
+	pplan := bayeslsh.Plan{}
+	if opts.AutoPipeline {
+		cstats = ds.CorpusStats()
+		pplan = bayeslsh.ChoosePlan(cstats, bayeslsh.PlanQuery{
+			Measure:   m,
+			Threshold: opts.Threshold,
+			Serving:   true,
+			Sharded:   true,
+		})
+		opts.Algorithm = bayeslsh.Algorithm(pplan.Pipeline)
+		opts.AutoPipeline = false
+	}
 	if priorCoupled(m, opts) {
 		return nil, fmt.Errorf("%w (%v %v)", ErrGlobalPrior, m, opts.Algorithm)
 	}
@@ -84,7 +110,17 @@ func NewLocal(ds *bayeslsh.Dataset, m bayeslsh.Measure, cfg bayeslsh.EngineConfi
 		backends = append(backends, li)
 	}
 	ref := backends[0].(*bayeslsh.LiveIndex)
-	return newRouter(backends, plan, ref.Measure(), ref.Options(), ref.Dim(), rcfg), nil
+	r := newRouter(backends, plan, ref.Measure(), ref.Options(), ref.Dim(), rcfg)
+	if cstats.Zero() {
+		cstats = ds.CorpusStats()
+	}
+	r.cstats = cstats
+	if len(pplan.Rules) > 0 {
+		r.pplan = pplan
+	} else {
+		r.pplan = ref.Plan()
+	}
+	return r, nil
 }
 
 // New assembles a router over caller-built backends — fresh shards
@@ -121,6 +157,7 @@ func newRouter(backends []Backend, plan Plan, m bayeslsh.Measure, opts bayeslsh.
 		dim:      dim,
 		backends: backends,
 		plan:     plan,
+		pplan:    bayeslsh.Plan{Pipeline: planner.Pipeline(opts.Algorithm)},
 		added:    make([][]int, plan.Shards),
 		loc:      make(map[int]shardLoc),
 		next:     plan.Ranges[plan.Shards-1].Hi,
@@ -144,6 +181,16 @@ func (r *Router) Shards() int { return len(r.backends) }
 
 // Plan returns the partition plan the cluster was cut with.
 func (r *Router) Plan() Plan { return r.plan }
+
+// CorpusStats returns the whole-corpus planner statistics — what
+// AutoPipeline resolution saw, not any one shard's slice. Zero for
+// routers assembled with New over opaque backends.
+func (r *Router) CorpusStats() bayeslsh.CorpusStats { return r.cstats }
+
+// PipelinePlan returns the cluster's pipeline decision (named apart
+// from Plan, which this package already uses for the partition plan).
+// Rules are present only when AutoPipeline made the choice.
+func (r *Router) PipelinePlan() bayeslsh.Plan { return r.pplan }
 
 // Len returns the number of live vectors across all shards.
 func (r *Router) Len() int {

@@ -73,12 +73,31 @@ func Corpus(tb testing.TB, m bayeslsh.Measure, n int) (*bayeslsh.Dataset, []map[
 		for f, w := range center {
 			v[f] = w
 		}
-		if i%3 != 0 { // mutate the copies so similarities vary
+		if i%3 != 0 {
+			// Mutate the copies so similarities vary. The deleted
+			// feature is picked deterministically (never by map
+			// iteration order — the corpus must be identical run to
+			// run) and differs between the two copies, and the added
+			// feature is new to the vector and never re-adds the
+			// deleted one — so the triple stays pairwise distinct even
+			// after binarization collapses the weights (the result
+			// cache keys on vector content; a duplicate vector would
+			// legitimately turn an expected miss into a hit).
+			feats := make([]uint32, 0, len(v))
 			for f := range v {
-				delete(v, f)
-				break
+				//apsslint:allow mapiter the keys are sorted before use
+				feats = append(feats, f)
 			}
-			v[uint32(rng.Intn(dim))] = 0.5 + rng.Float64()
+			sort.Slice(feats, func(a, b int) bool { return feats[a] < feats[b] })
+			del := feats[i%3-1]
+			delete(v, del)
+			for {
+				f := uint32(rng.Intn(dim))
+				if _, dup := v[f]; !dup && f != del {
+					v[f] = 0.5 + rng.Float64()
+					break
+				}
+			}
 		}
 		maps = append(maps, PrepMap(m, v))
 	}

@@ -1,0 +1,75 @@
+package harness
+
+import (
+	"testing"
+
+	"bayeslsh"
+	"bayeslsh/internal/dataset"
+	"bayeslsh/internal/vector"
+)
+
+// Corpus profiles for the planner suites: three synthetic corpora from
+// internal/dataset whose statistics sit in deliberately different
+// regions of the planner's feature space — dense (long rows, mild
+// skew), skewed (Zipf-heavy vocabulary, spread-out row lengths), and
+// sparse (short rows over a wide vocabulary). The planner quality
+// harness and the AutoPipeline bit-identity matrix both walk these, so
+// "the planner behaves across corpus shapes" means one profile list.
+
+// Profile names one corpus shape of the planner matrix.
+type Profile struct {
+	Name string
+	Spec dataset.Spec
+}
+
+// Profiles returns the planner corpus-profile axis.
+func Profiles() []Profile {
+	return []Profile{
+		{Name: "dense", Spec: dataset.Spec{
+			Name: "profile-dense", Kind: dataset.Text,
+			N: 350, Dim: 1200, AvgLen: 90, ZipfS: 0.7,
+			ClusterFrac: 0.4, ClusterSize: 3, MutationRate: 0.15, Seed: 31,
+		}},
+		{Name: "skewed", Spec: dataset.Spec{
+			Name: "profile-skewed", Kind: dataset.Text,
+			N: 350, Dim: 5000, AvgLen: 35, ZipfS: 1.5,
+			ClusterFrac: 0.4, ClusterSize: 3, MutationRate: 0.2, Seed: 32,
+		}},
+		{Name: "sparse", Spec: dataset.Spec{
+			Name: "profile-sparse", Kind: dataset.Text,
+			N: 350, Dim: 20000, AvgLen: 12, ZipfS: 0.9,
+			ClusterFrac: 0.4, ClusterSize: 3, MutationRate: 0.2, Seed: 33,
+		}},
+	}
+}
+
+// ProfileDataset generates p's corpus prepared for m — Tf-Idf weighted
+// and unit-normalized for Cosine, binarized for the set measures — as
+// a module-root Dataset ready for NewEngine.
+func ProfileDataset(tb testing.TB, p Profile, m bayeslsh.Measure) *bayeslsh.Dataset {
+	tb.Helper()
+	c, err := dataset.Generate(p.Spec)
+	if err != nil {
+		tb.Fatalf("profile %s: %v", p.Name, err)
+	}
+	if m == bayeslsh.Cosine {
+		c = c.TfIdf().Normalize()
+	} else {
+		c = c.Binarize()
+	}
+	ds := bayeslsh.NewDataset(c.Dim)
+	for _, v := range c.Vecs {
+		ds.Add(vecMap(v))
+	}
+	return ds
+}
+
+// vecMap converts an internal sparse vector back to the feature map
+// form the public Dataset API accepts.
+func vecMap(v vector.Vector) map[uint32]float64 {
+	m := make(map[uint32]float64, v.Len())
+	for i, ind := range v.Ind {
+		m[ind] = v.Val[i]
+	}
+	return m
+}

@@ -1,0 +1,475 @@
+// Package planner chooses a search pipeline for the caller.
+//
+// The engine exposes eight pipelines (candidate source × verifier) and
+// historically forced every caller to pick one via Options. planner
+// closes that gap with the cheapest machinery that works: a one-pass
+// corpus statistics collector (Collect — O(nnz) once, at build time)
+// and a deterministic greedy rule set (Choose) mapping
+// (stats, measure, threshold, k, query shape) to a concrete pipeline.
+// No cost model, no calibration runs: each rule is a monotone
+// threshold on one statistic, and the fired rules are reported back to
+// the caller (apss plan -why) so every choice is explainable.
+//
+// Determinism contract: Choose is a pure function of its arguments,
+// and quantizes them first — the threshold to 0.05-wide buckets, k and
+// the query length to coarse classes — so every request that lands in
+// the same plan-cache cell (see Planner) computes exactly the same
+// Plan. A cache hit is therefore indistinguishable from a miss, and an
+// auto-planned search is bit-identical to an explicitly-configured
+// search with the chosen pipeline, because choosing is all the planner
+// does: execution is untouched.
+//
+// The package deliberately mirrors the root package's Measure and
+// Algorithm enums (as Measure and Pipeline, with identical values)
+// instead of importing them: the root package imports planner, not the
+// other way around. The mirror is checked by the root package's tests.
+package planner
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"bayeslsh/internal/vector"
+)
+
+// Measure mirrors the root package's similarity measures, value for
+// value.
+type Measure int
+
+// The measure values, equal to the root package's.
+const (
+	Cosine Measure = iota
+	Jaccard
+	BinaryCosine
+)
+
+func (m Measure) String() string {
+	switch m {
+	case Cosine:
+		return "cosine"
+	case Jaccard:
+		return "jaccard"
+	case BinaryCosine:
+		return "binary-cosine"
+	}
+	return fmt.Sprintf("Measure(%d)", int(m))
+}
+
+// Pipeline mirrors the root package's Algorithm enum, value for value.
+type Pipeline int
+
+// The pipeline values, equal to the root package's Algorithm values.
+const (
+	BruteForce Pipeline = iota
+	AllPairs
+	AllPairsBayesLSH
+	AllPairsBayesLSHLite
+	LSH
+	LSHApprox
+	LSHBayesLSH
+	LSHBayesLSHLite
+	PPJoin
+)
+
+var pipelineNames = map[Pipeline]string{
+	BruteForce:           "BruteForce",
+	AllPairs:             "AllPairs",
+	AllPairsBayesLSH:     "AP+BayesLSH",
+	AllPairsBayesLSHLite: "AP+BayesLSH-Lite",
+	LSH:                  "LSH",
+	LSHApprox:            "LSH Approx",
+	LSHBayesLSH:          "LSH+BayesLSH",
+	LSHBayesLSHLite:      "LSH+BayesLSH-Lite",
+	PPJoin:               "PPJoin",
+}
+
+func (p Pipeline) String() string {
+	if s, ok := pipelineNames[p]; ok {
+		return s
+	}
+	return fmt.Sprintf("Pipeline(%d)", int(p))
+}
+
+// Stats are the corpus statistics the rules consume: shape (count,
+// dimensionality, density), the length distribution (exact-similarity
+// cost is linear in vector length), and vocabulary skew (how much a
+// few hot features dominate — the regime where candidate filters
+// degrade and probabilistic verification pays). All are collected in
+// one pass and are cheap enough to persist in snapshot meta.
+type Stats struct {
+	Vectors   int     // corpus size
+	Dim       int     // feature-space dimensionality
+	Nnz       int64   // total non-zeros
+	AvgLen    float64 // mean non-zeros per vector
+	MedianLen int     // 50th-percentile vector length
+	P90Len    int     // 90th-percentile vector length
+	MaxLen    int     // longest vector
+	LenCV     float64 // length coefficient of variation (stddev/mean)
+	Density   float64 // AvgLen / Dim
+	TopDFFrac float64 // doc-frequency of the hottest feature / Vectors
+	HeavyFrac float64 // fraction of nnz carried by the top 1% of features
+}
+
+// Zero reports whether the stats carry no information (an empty corpus
+// or a snapshot written before stats persistence existed).
+func (s Stats) Zero() bool { return s.Vectors == 0 && s.Nnz == 0 }
+
+// dfSliceMaxDim bounds the dense document-frequency array; corpora
+// with a wider feature space fall back to a map.
+const dfSliceMaxDim = 1 << 22
+
+// Collect computes Stats over a corpus in one pass (plus one sort of
+// the per-vector lengths and one of the document frequencies). It
+// never mutates the collection.
+func Collect(c *vector.Collection) Stats {
+	st := Stats{Vectors: len(c.Vecs), Dim: c.Dim}
+	if len(c.Vecs) == 0 {
+		return st
+	}
+	lens := make([]int, len(c.Vecs))
+	for i, v := range c.Vecs {
+		lens[i] = v.Len()
+		st.Nnz += int64(v.Len())
+	}
+	st.AvgLen = float64(st.Nnz) / float64(st.Vectors)
+	if c.Dim > 0 {
+		st.Density = st.AvgLen / float64(c.Dim)
+	}
+	sort.Ints(lens)
+	st.MedianLen = lens[len(lens)/2]
+	st.P90Len = lens[len(lens)*9/10]
+	st.MaxLen = lens[len(lens)-1]
+	if st.AvgLen > 0 {
+		varSum := 0.0
+		for _, n := range lens {
+			d := float64(n) - st.AvgLen
+			varSum += d * d
+		}
+		st.LenCV = math.Sqrt(varSum/float64(st.Vectors)) / st.AvgLen
+	}
+	df := docFreqs(c)
+	if len(df) == 0 {
+		return st
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(df)))
+	st.TopDFFrac = float64(df[0]) / float64(st.Vectors)
+	heavy := (len(df) + 99) / 100 // top 1%, at least one feature
+	var heavyNnz int64
+	for _, d := range df[:heavy] {
+		heavyNnz += int64(d)
+	}
+	st.HeavyFrac = float64(heavyNnz) / float64(st.Nnz)
+	return st
+}
+
+// docFreqs returns the nonzero document frequencies (in no particular
+// order; Collect sorts them). A dense array for ordinary
+// dimensionalities, a map for feature spaces too wide to allocate.
+func docFreqs(c *vector.Collection) []int {
+	if c.Dim <= dfSliceMaxDim {
+		df := make([]int, c.Dim)
+		for _, v := range c.Vecs {
+			for _, ind := range v.Ind {
+				df[ind]++
+			}
+		}
+		out := df[:0]
+		for _, d := range df {
+			if d > 0 {
+				out = append(out, d)
+			}
+		}
+		return out
+	}
+	m := make(map[uint32]int)
+	for _, v := range c.Vecs {
+		for _, ind := range v.Ind {
+			m[ind]++
+		}
+	}
+	out := make([]int, 0, len(m))
+	for _, d := range m {
+		//apsslint:allow mapiter Collect sorts the frequencies before any rule reads them, so map order never reaches a result
+		out = append(out, d)
+	}
+	return out
+}
+
+// Request is one planning question: which pipeline should serve this
+// (measure, threshold, k, query shape) against the collected corpus?
+type Request struct {
+	Measure   Measure
+	Threshold float64
+	// K is the top-k bound (0 for threshold queries and batch
+	// searches). TopK always verifies with exact similarities, so a
+	// positive K steers away from probabilistic verification.
+	K int
+	// QueryLen is the query vector's non-zero count, 0 when unknown
+	// (batch search, index build). Exact verification costs
+	// O(min(query len, candidate len)) per candidate, so short queries
+	// make exact verification cheap regardless of corpus shape.
+	QueryLen int
+	// Serving demands a query-serving index: PPJoin, which has no
+	// index form, is excluded.
+	Serving bool
+	// NoGlobalPrior excludes the pipelines that fit a corpus-global
+	// similarity prior (the Jaccard Bayes family without one-bit
+	// minhash) — required when the corpus is sharded, where no node
+	// sees the global candidate distribution.
+	NoGlobalPrior bool
+}
+
+// Rule is one fired greedy rule: its stable name and the
+// human-readable reason it applied, for apss plan -why.
+type Rule struct {
+	Name   string
+	Detail string
+}
+
+// Plan is a planning decision: the chosen pipeline and every rule that
+// fired on the way, in firing order.
+type Plan struct {
+	Pipeline Pipeline
+	Rules    []Rule
+}
+
+// The rule constants. Tuned against the planner-quality harness
+// (TestPlannerQuality): each sits at the crossover the harness's
+// corpus profiles exhibit on the reference pipelines.
+const (
+	// tinyVectors: below this corpus size every index build costs more
+	// than the brute-force scan it avoids.
+	tinyVectors = 256
+	// ppjoinMaxThreshold / ppjoinMaxAvgLen: PPJoin's prefix filter
+	// wins on batch joins of short binary vectors at modest
+	// thresholds; longer vectors or higher thresholds hand the win to
+	// banding.
+	ppjoinMaxThreshold = 0.55
+	ppjoinMaxAvgLen    = 64
+	// lshMinThreshold: at and above this threshold banded minhash/
+	// hyperplane tables are selective enough to beat the AllPairs
+	// inverted-index scan; below it band collisions degenerate toward
+	// the full corpus and AllPairs' prefix bound prunes better.
+	lshMinThreshold = 0.6
+	// lshMinVectors: banding pays a fixed O(vectors × hashes) table
+	// build before it prunes anything; below this corpus size that
+	// cost exceeds what the AllPairs inverted-index scan spends on the
+	// whole join (measured: AllPairs beats LSH candidate generation
+	// 4-20× on every 1k-4k-vector harness profile, at any threshold).
+	lshMinVectors = 8192
+	// exactMaxAvgLen: with vectors this short, an exact dot product
+	// per candidate is cheaper than comparing hundreds of hash bits —
+	// probabilistic verification cannot pay for itself.
+	exactMaxAvgLen = 48
+	// shortQueryLen: a query this short makes every exact candidate
+	// check O(QueryLen) regardless of corpus length distribution.
+	shortQueryLen = 16
+	// skewLenCV / skewTopDF: above either, candidate similarity is
+	// heavy-tailed (a few hot features or giant vectors dominate), the
+	// regime where BayesLSH's per-pair early stopping beats the Lite
+	// variant's fixed hash budget.
+	skewLenCV = 1.5
+	skewTopDF = 0.5
+	// bayesMinAvgLen: full BayesLSH replaces the exact check with
+	// pure hash estimation, which only pays once an exact dot product
+	// costs more than the extra estimation rounds — vectors in the
+	// hundreds of features. Below it the Lite variant (small fixed
+	// hash budget, then exact) wins on every measured profile.
+	bayesMinAvgLen = 192
+	bucketStep     = 0.05 // threshold quantization, floor to multiples
+)
+
+// bucketOf floors t to its 0.05-wide bucket index. The epsilon keeps
+// exact multiples (0.60/0.05 = 11.999…) in their own bucket.
+func bucketOf(t float64) int {
+	return int(math.Floor(t/bucketStep + 1e-9))
+}
+
+// quantize floors t to the plan cache's 0.05-wide bucket so every
+// request in a bucket plans identically (cache hit ≡ miss).
+func quantize(t float64) float64 {
+	return float64(bucketOf(t)) * bucketStep
+}
+
+// kClass collapses K to the classes the rules distinguish: 0 for
+// threshold queries, 1 for any top-k.
+func kClass(k int) int {
+	if k > 0 {
+		return 1
+	}
+	return 0
+}
+
+// lenClass collapses a query length to {0: unknown, 1: short, 2:
+// long}.
+func lenClass(n int) int {
+	switch {
+	case n <= 0:
+		return 0
+	case n <= shortQueryLen:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Choose maps (stats, request) to a pipeline by running the greedy
+// rules in a fixed order, returning the choice and the fired rules.
+// It is a pure function: same stats and same request (after
+// quantization — see quantize, kClass, lenClass) always return the
+// same Plan. Zero stats (a pre-stats snapshot) plan conservatively:
+// the corpus is assumed ordinary-sized with moderate vectors.
+func Choose(st Stats, req Request) Plan {
+	t := quantize(req.Threshold)
+	kc := kClass(req.K)
+	lc := lenClass(req.QueryLen)
+	var p Plan
+	fire := func(name, detail string, args ...any) {
+		p.Rules = append(p.Rules, Rule{Name: name, Detail: fmt.Sprintf(detail, args...)})
+	}
+
+	if !st.Zero() && st.Vectors < tinyVectors {
+		fire("tiny-corpus", "%d vectors < %d: any index costs more than the scan it avoids", st.Vectors, tinyVectors)
+		p.Pipeline = BruteForce
+		return p
+	}
+
+	// Candidate source. PPJoin first: batch-only, binary measures,
+	// short vectors, modest thresholds.
+	if !req.Serving && kc == 0 && req.Measure != Cosine &&
+		t <= ppjoinMaxThreshold && !st.Zero() && st.AvgLen <= ppjoinMaxAvgLen {
+		fire("ppjoin-batch", "batch %v join at t=%.2f ≤ %.2f with short vectors (avg len %.1f ≤ %d): prefix filtering wins",
+			req.Measure, t, ppjoinMaxThreshold, st.AvgLen, ppjoinMaxAvgLen)
+		p.Pipeline = PPJoin
+		return p
+	}
+	lsh := t >= lshMinThreshold && (st.Zero() || st.Vectors >= lshMinVectors)
+	switch {
+	case lsh:
+		fire("high-threshold-lsh", "t=%.2f ≥ %.2f on a large corpus: banded hash tables are selective and their build cost amortizes", t, lshMinThreshold)
+	case t >= lshMinThreshold:
+		fire("small-corpus-allpairs", "%d vectors < %d: banding's fixed hashing cost outweighs its selectivity; the AllPairs scan prunes enough", st.Vectors, lshMinVectors)
+	default:
+		fire("low-threshold-allpairs", "t=%.2f < %.2f: band collisions degenerate at low thresholds; AllPairs prunes better", t, lshMinThreshold)
+	}
+
+	// Verifier. Exact when it is cheap (short vectors or short
+	// queries) or forced (top-k similarities are exact by contract;
+	// sharded Jaccard cannot fit a global prior).
+	exact := ""
+	switch {
+	case kc > 0:
+		exact = "top-k verifies with exact similarities; probabilistic pruning buys nothing"
+	case !st.Zero() && st.AvgLen <= exactMaxAvgLen:
+		exact = fmt.Sprintf("avg len %.1f ≤ %d: an exact dot product per candidate is cheaper than hash comparison", st.AvgLen, exactMaxAvgLen)
+	case lc == 1:
+		exact = fmt.Sprintf("query has ≤ %d features: exact checks are O(query len) regardless of corpus", shortQueryLen)
+	case req.NoGlobalPrior && req.Measure == Jaccard:
+		exact = "sharded jaccard cannot fit a corpus-global prior; exact verification keeps shards independent"
+	}
+	if exact != "" {
+		fire("exact-verify", exact)
+		if lsh {
+			p.Pipeline = LSH
+		} else {
+			p.Pipeline = AllPairs
+		}
+		return p
+	}
+
+	// Probabilistic verification: full BayesLSH only when the exact
+	// check is very expensive (long vectors) AND candidate similarity
+	// is heavy-tailed — the one regime where estimating to completion
+	// beats a small hash budget followed by one exact check. The Lite
+	// variant wins everywhere else (measured: on every sub-200-avg-len
+	// profile, Lite beats full BayesLSH 3-15×).
+	if !st.Zero() && st.AvgLen >= bayesMinAvgLen &&
+		(st.LenCV >= skewLenCV || st.TopDFFrac >= skewTopDF) {
+		fire("heavy-skewed-bayes", "very long vectors (avg %.1f ≥ %d) with a heavy tail (len CV %.2f, top-feature df %.0f%%): per-pair early stopping beats any fixed budget",
+			st.AvgLen, bayesMinAvgLen, st.LenCV, 100*st.TopDFFrac)
+		if lsh {
+			p.Pipeline = LSHBayesLSH
+		} else {
+			p.Pipeline = AllPairsBayesLSH
+		}
+		return p
+	}
+	fire("lite-verify", "exact checks are costly (avg len %.1f > %d) but not extreme: the Lite small-budget-then-exact verifier is cheapest",
+		st.AvgLen, exactMaxAvgLen)
+	if lsh {
+		p.Pipeline = LSHBayesLSHLite
+	} else {
+		p.Pipeline = AllPairsBayesLSHLite
+	}
+	return p
+}
+
+// cacheKey is the plan cache's cell: every field is a quantized class,
+// so all requests in a cell provably compute the same Plan.
+type cacheKey struct {
+	measure  Measure
+	bucket   int // threshold bucket, floor(t / 0.05)
+	kClass   int
+	lenClass int
+	serving  bool
+	noPrior  bool
+}
+
+// maxCacheEntries bounds the plan cache. The key space is tiny (20
+// threshold buckets × 3 measures × small classes), so the bound is a
+// safety net, not a working limit; an over-full cache computes without
+// storing — same answer, no growth.
+const maxCacheEntries = 256
+
+// Planner carries one corpus's stats and a bounded plan cache keyed by
+// (measure, threshold bucket, k class, query length class) so repeated
+// query shapes skip re-planning. Safe for concurrent use.
+type Planner struct {
+	st    Stats
+	mu    sync.Mutex
+	cache map[cacheKey]Plan
+}
+
+// New returns a Planner over the collected stats.
+func New(st Stats) *Planner {
+	return &Planner{st: st, cache: make(map[cacheKey]Plan)}
+}
+
+// Stats returns the stats the planner plans over.
+func (p *Planner) Stats() Stats { return p.st }
+
+// Plan returns Choose(stats, req), serving repeated query shapes from
+// the plan cache. The cache is transparent: a hit returns exactly what
+// Choose would, because the key quantizes every input Choose reads.
+func (p *Planner) Plan(req Request) Plan {
+	k := cacheKey{
+		measure:  req.Measure,
+		bucket:   bucketOf(req.Threshold),
+		kClass:   kClass(req.K),
+		lenClass: lenClass(req.QueryLen),
+		serving:  req.Serving,
+		noPrior:  req.NoGlobalPrior,
+	}
+	p.mu.Lock()
+	pl, ok := p.cache[k]
+	p.mu.Unlock()
+	if ok {
+		return pl
+	}
+	pl = Choose(p.st, req)
+	p.mu.Lock()
+	if len(p.cache) < maxCacheEntries {
+		p.cache[k] = pl
+	}
+	p.mu.Unlock()
+	return pl
+}
+
+// CacheLen reports the number of cached plans (for tests and stats).
+func (p *Planner) CacheLen() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.cache)
+}

@@ -1,0 +1,197 @@
+package planner
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"bayeslsh/internal/vector"
+)
+
+// corpus builds a small deterministic collection: n vectors of the
+// given lengths (cycled), features drawn from a seeded source.
+func corpus(t *testing.T, n, dim int, lens []int) *vector.Collection {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	c := &vector.Collection{Dim: dim}
+	for i := 0; i < n; i++ {
+		want := lens[i%len(lens)]
+		m := make(map[uint32]float64, want)
+		for len(m) < want {
+			m[uint32(rng.Intn(dim))] = 1 + rng.Float64()
+		}
+		c.Vecs = append(c.Vecs, vector.FromMap(m))
+	}
+	return c
+}
+
+func TestCollectBasics(t *testing.T) {
+	c := corpus(t, 100, 500, []int{10, 20, 30})
+	st := Collect(c)
+	if st.Vectors != 100 || st.Dim != 500 {
+		t.Fatalf("shape: %+v", st)
+	}
+	if st.Zero() {
+		t.Fatal("non-empty corpus reported zero stats")
+	}
+	if st.AvgLen < 15 || st.AvgLen > 25 {
+		t.Errorf("AvgLen = %v, want ~20", st.AvgLen)
+	}
+	if st.MedianLen > st.P90Len || st.P90Len > st.MaxLen {
+		t.Errorf("quantiles out of order: %+v", st)
+	}
+	if st.Density <= 0 || st.Density > 1 {
+		t.Errorf("Density = %v", st.Density)
+	}
+	if st.TopDFFrac <= 0 || st.TopDFFrac > 1 {
+		t.Errorf("TopDFFrac = %v", st.TopDFFrac)
+	}
+	if st.HeavyFrac <= 0 || st.HeavyFrac > 1 {
+		t.Errorf("HeavyFrac = %v", st.HeavyFrac)
+	}
+}
+
+func TestCollectEmpty(t *testing.T) {
+	st := Collect(&vector.Collection{Dim: 10})
+	if !st.Zero() {
+		t.Fatalf("empty corpus: %+v", st)
+	}
+}
+
+// TestCollectMapFallback proves the wide-dimension df path computes
+// the same skew statistics as the dense path on the same vectors.
+func TestCollectMapFallback(t *testing.T) {
+	narrow := corpus(t, 50, 1000, []int{8, 16})
+	wide := &vector.Collection{Dim: dfSliceMaxDim + 1, Vecs: narrow.Vecs}
+	a, b := Collect(narrow), Collect(wide)
+	if a.TopDFFrac != b.TopDFFrac || a.HeavyFrac != b.HeavyFrac {
+		t.Fatalf("df paths disagree: dense %+v vs map %+v", a, b)
+	}
+}
+
+func TestChooseDeterministic(t *testing.T) {
+	st := Collect(corpus(t, 400, 2000, []int{20, 40, 200}))
+	req := Request{Measure: Cosine, Threshold: 0.7, Serving: true}
+	a := Choose(st, req)
+	b := Choose(st, req)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("Choose not deterministic: %+v vs %+v", a, b)
+	}
+	if len(a.Rules) == 0 {
+		t.Fatal("no rules fired")
+	}
+}
+
+// TestChooseQuantized proves every threshold inside one 0.05 bucket
+// plans identically — the property that makes plan-cache hits
+// transparent.
+func TestChooseQuantized(t *testing.T) {
+	st := Collect(corpus(t, 400, 2000, []int{20, 40, 200}))
+	for _, m := range []Measure{Cosine, Jaccard, BinaryCosine} {
+		base := Choose(st, Request{Measure: m, Threshold: 0.60})
+		for _, tt := range []float64{0.61, 0.63, 0.649} {
+			got := Choose(st, Request{Measure: m, Threshold: tt})
+			if !reflect.DeepEqual(base, got) {
+				t.Errorf("%v t=%v plans %v, bucket floor plans %v", m, tt, got.Pipeline, base.Pipeline)
+			}
+		}
+	}
+}
+
+func TestChooseRules(t *testing.T) {
+	big := Collect(corpus(t, 2000, 4000, []int{100, 150, 200}))
+	small := Collect(corpus(t, 50, 500, []int{10}))
+	short := Collect(corpus(t, 2000, 4000, []int{8, 12}))
+	huge := Collect(corpus(t, 9000, 4000, []int{100, 150, 200}))
+	hugeShort := Collect(corpus(t, 9000, 4000, []int{8, 12}))
+
+	cases := []struct {
+		name string
+		st   Stats
+		req  Request
+		want Pipeline
+	}{
+		{"tiny corpus brute-forces", small, Request{Measure: Cosine, Threshold: 0.7}, BruteForce},
+		{"batch short binary low-t is ppjoin", short, Request{Measure: Jaccard, Threshold: 0.4}, PPJoin},
+		{"serving excludes ppjoin", short, Request{Measure: Jaccard, Threshold: 0.4, Serving: true}, AllPairs},
+		{"topk verifies exactly (high t, large)", huge, Request{Measure: Cosine, Threshold: 0.7, K: 10, Serving: true}, LSH},
+		{"small corpus avoids banding even high-t", big, Request{Measure: Cosine, Threshold: 0.7, K: 10, Serving: true}, AllPairs},
+		{"topk verifies exactly (low t)", big, Request{Measure: Cosine, Threshold: 0.3, K: 10, Serving: true}, AllPairs},
+		{"short query verifies exactly", huge, Request{Measure: Cosine, Threshold: 0.7, QueryLen: 5, Serving: true}, LSH},
+		{"short vectors verify exactly", hugeShort, Request{Measure: Cosine, Threshold: 0.7, Serving: true}, LSH},
+		{"sharded jaccard avoids the prior", huge, Request{Measure: Jaccard, Threshold: 0.7, Serving: true, NoGlobalPrior: true}, LSH},
+	}
+	for _, tc := range cases {
+		got := Choose(tc.st, tc.req)
+		if got.Pipeline != tc.want {
+			t.Errorf("%s: got %v want %v (rules %v)", tc.name, got.Pipeline, tc.want, got.Rules)
+		}
+	}
+
+	// Long-vector corpora pick a probabilistic verifier over the
+	// measured-best candidate source — AllPairs below the banding
+	// crossover, LSH above it — and never PPJoin above its ceiling.
+	got := Choose(big, Request{Measure: Cosine, Threshold: 0.7})
+	if got.Pipeline != AllPairsBayesLSH && got.Pipeline != AllPairsBayesLSHLite {
+		t.Errorf("long vectors high t small corpus: got %v, want an AllPairs Bayes pipeline", got.Pipeline)
+	}
+	got = Choose(huge, Request{Measure: Cosine, Threshold: 0.7})
+	if got.Pipeline != LSHBayesLSH && got.Pipeline != LSHBayesLSHLite {
+		t.Errorf("long vectors high t large corpus: got %v, want an LSH Bayes pipeline", got.Pipeline)
+	}
+}
+
+// TestPlanCacheTransparent proves a cache hit returns exactly what a
+// fresh Choose computes, for a sweep of request shapes.
+func TestPlanCacheTransparent(t *testing.T) {
+	st := Collect(corpus(t, 2000, 4000, []int{30, 60, 300}))
+	p := New(st)
+	reqs := []Request{
+		{Measure: Cosine, Threshold: 0.7, Serving: true},
+		{Measure: Cosine, Threshold: 0.72, Serving: true}, // same bucket
+		{Measure: Jaccard, Threshold: 0.5},
+		{Measure: BinaryCosine, Threshold: 0.61, K: 10, Serving: true},
+		{Measure: Cosine, Threshold: 0.61, QueryLen: 3, Serving: true},
+	}
+	for _, r := range reqs {
+		first := p.Plan(r)  // miss
+		second := p.Plan(r) // hit
+		direct := Choose(st, r)
+		if !reflect.DeepEqual(first, second) || !reflect.DeepEqual(first, direct) {
+			t.Errorf("cache not transparent for %+v", r)
+		}
+	}
+	if p.CacheLen() == 0 {
+		t.Fatal("nothing cached")
+	}
+	if p.CacheLen() > maxCacheEntries {
+		t.Fatalf("cache overflow: %d", p.CacheLen())
+	}
+}
+
+// TestPlanCacheConcurrent hammers one planner from many goroutines;
+// run under -race this is the data-race proof.
+func TestPlanCacheConcurrent(t *testing.T) {
+	p := New(Collect(corpus(t, 500, 1000, []int{20, 50})))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r := Request{
+					Measure:   Measure(i % 3),
+					Threshold: 0.3 + float64((g+i)%14)*0.05,
+					K:         i % 2 * 10,
+					Serving:   g%2 == 0,
+				}
+				if got, want := p.Plan(r), Choose(p.Stats(), r); !reflect.DeepEqual(got, want) {
+					t.Errorf("concurrent plan diverged for %+v", r)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,390 @@
+// Package rescache is a bounded, generation-aware result cache for the
+// serving layer: it fronts a live index (or the cluster router) and
+// memoizes Query/TopK results keyed by (query vector hash, params),
+// invalidating wholesale on every mutation — Add, Delete, Compact, and
+// the /v1/load hot swap (Swap).
+//
+// Correctness rests on two properties. First, hit ≡ miss: the cache
+// stores a private copy of each result slice and hands out a fresh copy
+// per hit, so a cached response is byte-identical to the uncached call
+// and no caller can corrupt another's view. Second, mutations
+// invalidate through the cache's own generation counter rather than by
+// watching the index: every mutating entry point bumps the counter and
+// drops all entries, and a concurrently-filling miss only stores its
+// result if the counter has not moved since it read through — so a
+// result computed against the pre-mutation corpus can never be served
+// after the mutation. Background merges need no invalidation: the
+// repo's determinism contract makes a compacted generation's results
+// bit-identical to the generation it replaced.
+//
+// The cache never spawns goroutines, reads clocks, or uses randomness;
+// eviction is strict LRU over a fixed entry capacity.
+package rescache
+
+import (
+	"context"
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"bayeslsh"
+)
+
+// Backend is the index surface the cache fronts — the serving layer's
+// Serveable plus the planner accessors, satisfied by both
+// *bayeslsh.LiveIndex and *cluster.Router.
+type Backend interface {
+	QueryContext(ctx context.Context, q bayeslsh.Vec, opts bayeslsh.QueryOptions) ([]bayeslsh.Match, error)
+	TopKContext(ctx context.Context, q bayeslsh.Vec, k int) ([]bayeslsh.Match, error)
+	QueryBatchContext(ctx context.Context, queries []bayeslsh.Vec, opts bayeslsh.QueryOptions) ([][]bayeslsh.Match, error)
+	Add(q bayeslsh.Vec) (int, error)
+	Delete(id int) bool
+	Len() int
+	Stats() bayeslsh.LiveStats
+	Measure() bayeslsh.Measure
+	Options() bayeslsh.Options
+	Threshold() float64
+	Dim() int
+	Compact() error
+	SaveFile(path string) error
+	Close()
+}
+
+var _ Backend = (*bayeslsh.LiveIndex)(nil)
+
+// kind distinguishes the cached call shapes in the key.
+type kind uint8
+
+const (
+	kindQuery kind = iota + 1
+	kindTopK
+)
+
+// key identifies one cacheable call: the call shape, the query
+// vector's content hash, and the scalar parameter (threshold or k,
+// packed into one uint64 field).
+type key struct {
+	kind  kind
+	vec   uint64
+	param uint64
+}
+
+// entry is one cached result with its LRU links (index-based, into the
+// cache's entry arena — no container/list, no per-op allocation).
+type entry struct {
+	key        key
+	ms         []bayeslsh.Match
+	prev, next int
+}
+
+// Counters are the cache's observability surface, exported to /metrics.
+type Counters struct {
+	Hits, Misses, Evictions, Invalidations int64
+	Entries                                int
+}
+
+// Cache fronts a Backend with a bounded LRU of Query/TopK results.
+// Safe for concurrent use. Construct with New.
+type Cache struct {
+	inner atomic.Pointer[Backend]
+	gen   atomic.Uint64
+
+	hits, misses, evictions, invals atomic.Int64
+
+	mu    sync.Mutex
+	items map[key]int
+	arena []entry
+	free  []int
+	head  int // most recent; -1 when empty
+	tail  int // least recent; -1 when empty
+	cap   int
+}
+
+// New wraps inner with a cache of at most capacity entries (min 1).
+func New(inner Backend, capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	c := &Cache{
+		items: make(map[key]int, capacity),
+		arena: make([]entry, 0, capacity),
+		head:  -1,
+		tail:  -1,
+		cap:   capacity,
+	}
+	c.inner.Store(&inner)
+	return c
+}
+
+// backend returns the currently fronted index. Each forwarded call
+// loads it once, so a concurrent Swap never splits one call across two
+// indexes.
+func (c *Cache) backend() Backend { return *c.inner.Load() }
+
+// Swap replaces the fronted index (the /v1/load hot swap), invalidates
+// every cached result, and returns the retired index for the caller to
+// Close.
+func (c *Cache) Swap(next Backend) Backend {
+	old := c.inner.Swap(&next)
+	c.invalidate()
+	return *old
+}
+
+// invalidate bumps the generation (so in-flight misses drop their
+// fills) and empties the cache.
+func (c *Cache) invalidate() {
+	c.mu.Lock()
+	c.gen.Add(1)
+	clear(c.items)
+	c.arena = c.arena[:0]
+	c.free = c.free[:0]
+	c.head, c.tail = -1, -1
+	c.mu.Unlock()
+	c.invals.Add(1)
+}
+
+// Counters returns a consistent snapshot of the hit/miss/eviction
+// counters and the current entry count.
+func (c *Cache) Counters() Counters {
+	c.mu.Lock()
+	n := len(c.items)
+	c.mu.Unlock()
+	return Counters{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Evictions:     c.evictions.Load(),
+		Invalidations: c.invals.Load(),
+		Entries:       n,
+	}
+}
+
+// vecHash is an FNV-1a content hash of the query's (feature, weight)
+// pairs. Features returns ascending copies, so equal vectors hash
+// equally regardless of construction order; FNV keeps the cache free
+// of seeded or per-process randomness.
+func vecHash(q bayeslsh.Vec) uint64 {
+	ind, val := q.Features()
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := range ind {
+		binary.LittleEndian.PutUint32(buf[:4], ind[i])
+		h.Write(buf[:4])
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(val[i]))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// lookup returns a copy of the cached result for k, if any.
+func (c *Cache) lookup(k key) ([]bayeslsh.Match, bool) {
+	c.mu.Lock()
+	i, ok := c.items[k]
+	if !ok {
+		c.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.unlink(i)
+	c.pushFront(i)
+	out := make([]bayeslsh.Match, len(c.arena[i].ms))
+	copy(out, c.arena[i].ms)
+	c.mu.Unlock()
+	c.hits.Add(1)
+	return out, true
+}
+
+// store inserts k→ms if the generation still matches gen (the
+// read-through started before any mutation) and k is still absent,
+// evicting the LRU tail at capacity. ms must be private to the cache;
+// callers pass the copy they are about to return.
+func (c *Cache) store(k key, ms []bayeslsh.Match, gen uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.gen.Load() != gen {
+		return
+	}
+	if _, ok := c.items[k]; ok {
+		return
+	}
+	var i int
+	switch {
+	case len(c.free) > 0:
+		i = c.free[len(c.free)-1]
+		c.free = c.free[:len(c.free)-1]
+	case len(c.arena) < c.cap:
+		i = len(c.arena)
+		c.arena = append(c.arena, entry{})
+	default:
+		i = c.tail
+		delete(c.items, c.arena[i].key)
+		c.unlink(i)
+		c.evictions.Add(1)
+	}
+	c.arena[i] = entry{key: k, ms: ms}
+	c.items[k] = i
+	c.pushFront(i)
+}
+
+// unlink removes arena[i] from the LRU list (it must be linked).
+func (c *Cache) unlink(i int) {
+	e := &c.arena[i]
+	if e.prev >= 0 {
+		c.arena[e.prev].next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next >= 0 {
+		c.arena[e.next].prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+}
+
+// pushFront links arena[i] as the most recently used entry.
+func (c *Cache) pushFront(i int) {
+	e := &c.arena[i]
+	e.prev, e.next = -1, c.head
+	if c.head >= 0 {
+		c.arena[c.head].prev = i
+	}
+	c.head = i
+	if c.tail < 0 {
+		c.tail = i
+	}
+}
+
+// cached runs one read-through: lookup, else compute via fn and store
+// the private copy taken for the caller.
+func (c *Cache) cached(k key, fn func() ([]bayeslsh.Match, error)) ([]bayeslsh.Match, error) {
+	if ms, ok := c.lookup(k); ok {
+		return ms, nil
+	}
+	gen := c.gen.Load()
+	ms, err := fn()
+	if err != nil {
+		return nil, err
+	}
+	stored := make([]bayeslsh.Match, len(ms))
+	copy(stored, ms)
+	c.store(k, stored, gen)
+	return ms, nil
+}
+
+// QueryContext serves a threshold query through the cache. A hit is
+// byte-identical to the miss that filled it.
+func (c *Cache) QueryContext(ctx context.Context, q bayeslsh.Vec, opts bayeslsh.QueryOptions) ([]bayeslsh.Match, error) {
+	k := key{kind: kindQuery, vec: vecHash(q), param: math.Float64bits(opts.Threshold)}
+	return c.cached(k, func() ([]bayeslsh.Match, error) {
+		return c.backend().QueryContext(ctx, q, opts)
+	})
+}
+
+// TopKContext serves a top-k query through the cache.
+func (c *Cache) TopKContext(ctx context.Context, q bayeslsh.Vec, k int) ([]bayeslsh.Match, error) {
+	ck := key{kind: kindTopK, vec: vecHash(q), param: uint64(int64(k))}
+	return c.cached(ck, func() ([]bayeslsh.Match, error) {
+		return c.backend().TopKContext(ctx, q, k)
+	})
+}
+
+// QueryBatchContext passes through uncached: batches are the bulk
+// path, where per-query memoization would mostly churn the LRU, and
+// the generation pinning a batch needs is the backend's business.
+func (c *Cache) QueryBatchContext(ctx context.Context, queries []bayeslsh.Vec, opts bayeslsh.QueryOptions) ([][]bayeslsh.Match, error) {
+	return c.backend().QueryBatchContext(ctx, queries, opts)
+}
+
+// Add forwards the ingest and invalidates: results computed against
+// the pre-Add corpus must not be served after it.
+func (c *Cache) Add(q bayeslsh.Vec) (int, error) {
+	id, err := c.backend().Add(q)
+	if err == nil {
+		c.invalidate()
+	}
+	return id, err
+}
+
+// Delete forwards the tombstone and invalidates when it deleted
+// something (deleting an absent id changes no result).
+func (c *Cache) Delete(id int) bool {
+	ok := c.backend().Delete(id)
+	if ok {
+		c.invalidate()
+	}
+	return ok
+}
+
+// Compact forwards the merge and invalidates. The merged results are
+// bit-identical, so this is defensive rather than required — but
+// Compact is rare and an empty cache refills in one round.
+func (c *Cache) Compact() error {
+	err := c.backend().Compact()
+	if err == nil {
+		c.invalidate()
+	}
+	return err
+}
+
+// The read-only surface forwards untouched.
+
+// Len reports the fronted index's live vector count.
+func (c *Cache) Len() int { return c.backend().Len() }
+
+// Stats reports the fronted index's segment shape.
+func (c *Cache) Stats() bayeslsh.LiveStats { return c.backend().Stats() }
+
+// Measure reports the fronted index's similarity measure.
+func (c *Cache) Measure() bayeslsh.Measure { return c.backend().Measure() }
+
+// Options reports the fronted index's resolved search options.
+func (c *Cache) Options() bayeslsh.Options { return c.backend().Options() }
+
+// Threshold reports the fronted index's built threshold.
+func (c *Cache) Threshold() float64 { return c.backend().Threshold() }
+
+// Dim reports the fronted index's feature-space dimensionality.
+func (c *Cache) Dim() int { return c.backend().Dim() }
+
+// SaveFile snapshots the fronted index (the cache holds no durable
+// state).
+func (c *Cache) SaveFile(path string) error { return c.backend().SaveFile(path) }
+
+// Close closes the fronted index and empties the cache.
+func (c *Cache) Close() {
+	c.backend().Close()
+	c.invalidate()
+}
+
+// MemStats reports the fronted index's memory accounting when it
+// exposes one (a disk-backed LiveIndex does), so fronting an index
+// with the cache never hides its /v1/stats memory block.
+func (c *Cache) MemStats() bayeslsh.IndexMemStats {
+	if p, ok := c.backend().(interface{ MemStats() bayeslsh.IndexMemStats }); ok {
+		return p.MemStats()
+	}
+	return bayeslsh.IndexMemStats{}
+}
+
+// CorpusStats reports the fronted index's planner statistics when it
+// exposes them (LiveIndex and Router both do).
+func (c *Cache) CorpusStats() bayeslsh.CorpusStats {
+	if p, ok := c.backend().(interface{ CorpusStats() bayeslsh.CorpusStats }); ok {
+		return p.CorpusStats()
+	}
+	return bayeslsh.CorpusStats{}
+}
+
+// Plan reports the fronted index's pipeline decision when it exposes
+// one — as Plan (LiveIndex) or PipelinePlan (the cluster router, whose
+// Plan method is its partition plan).
+func (c *Cache) Plan() bayeslsh.Plan {
+	switch p := c.backend().(type) {
+	case interface{ Plan() bayeslsh.Plan }:
+		return p.Plan()
+	case interface{ PipelinePlan() bayeslsh.Plan }:
+		return p.PipelinePlan()
+	}
+	return bayeslsh.Plan{}
+}

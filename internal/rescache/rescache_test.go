@@ -1,0 +1,302 @@
+package rescache_test
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"bayeslsh"
+	"bayeslsh/internal/harness"
+	"bayeslsh/internal/rescache"
+)
+
+// The cache correctness suite: hit ≡ miss byte-equality over the shared
+// measure × pipeline matrix, invalidation on every mutation path,
+// bounded entries under eviction pressure, and goroutine accounting.
+// Everything runs under -race in CI.
+
+func newCached(tb testing.TB, m bayeslsh.Measure, alg bayeslsh.Algorithm, t float64, n, capacity int) (*rescache.Cache, *bayeslsh.LiveIndex, []map[uint32]float64) {
+	tb.Helper()
+	ds, maps := harness.Corpus(tb, m, n)
+	li := harness.NewLive(tb, ds, m, alg, t)
+	return rescache.New(li, capacity), li, maps
+}
+
+// TestCacheHitEqualsMiss proves, for every measure × pipeline cell,
+// that a cache hit is bit-identical to the miss that filled it and to
+// the direct (uncached) call — for both threshold queries and top-k.
+func TestCacheHitEqualsMiss(t *testing.T) {
+	ctx := context.Background()
+	for _, cell := range harness.Cells() {
+		for _, alg := range harness.Pipelines(cell.Measure) {
+			t.Run(fmt.Sprintf("%v/%v", cell.Measure, alg), func(t *testing.T) {
+				c, li, maps := newCached(t, cell.Measure, alg, cell.Threshold, 36, 64)
+				for i := 0; i < 6; i++ {
+					q := bayeslsh.NewVec(maps[i])
+					direct, err := li.QueryContext(ctx, q, bayeslsh.QueryOptions{})
+					if err != nil {
+						t.Fatal(err)
+					}
+					miss, err := c.QueryContext(ctx, q, bayeslsh.QueryOptions{})
+					if err != nil {
+						t.Fatal(err)
+					}
+					hit, err := c.QueryContext(ctx, q, bayeslsh.QueryOptions{})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !harness.MatchesEqual(direct, miss) || !harness.MatchesEqual(miss, hit) {
+						t.Fatalf("query %d: direct/miss/hit diverge: %v / %v / %v", i, direct, miss, hit)
+					}
+
+					dk, err := li.TopKContext(ctx, q, 3)
+					if err != nil {
+						t.Fatal(err)
+					}
+					mk, err := c.TopKContext(ctx, q, 3)
+					if err != nil {
+						t.Fatal(err)
+					}
+					hk, err := c.TopKContext(ctx, q, 3)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !harness.MatchesEqual(dk, mk) || !harness.MatchesEqual(mk, hk) {
+						t.Fatalf("topk %d: direct/miss/hit diverge: %v / %v / %v", i, dk, mk, hk)
+					}
+				}
+				ct := c.Counters()
+				if ct.Hits != 12 || ct.Misses != 12 {
+					t.Fatalf("counters: want 12 hits / 12 misses, got %+v", ct)
+				}
+			})
+		}
+	}
+}
+
+// TestCacheHitIsPrivate proves a caller mutating a returned slice
+// cannot corrupt later hits.
+func TestCacheHitIsPrivate(t *testing.T) {
+	ctx := context.Background()
+	c, li, maps := newCached(t, bayeslsh.Cosine, bayeslsh.LSH, 0.6, 24, 16)
+	q := bayeslsh.NewVec(maps[0])
+	first, err := c.QueryContext(ctx, q, bayeslsh.QueryOptions{})
+	if err != nil || len(first) == 0 {
+		t.Fatalf("seed query: %v matches, err %v", len(first), err)
+	}
+	first[0] = bayeslsh.Match{ID: -1, Sim: -1} // vandalize the returned copy
+	again, err := c.QueryContext(ctx, q, bayeslsh.QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := li.QueryContext(ctx, q, bayeslsh.QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !harness.MatchesEqual(again, direct) {
+		t.Fatalf("mutated hit leaked into the cache: %v vs %v", again, direct)
+	}
+}
+
+// TestCacheInvalidation drives every mutation path — Add, Delete,
+// Compact, Swap — and proves the post-mutation cached answer equals the
+// direct answer (no stale serving).
+func TestCacheInvalidation(t *testing.T) {
+	ctx := context.Background()
+	c, li, maps := newCached(t, bayeslsh.Cosine, bayeslsh.LSH, 0.6, 24, 64)
+	q := bayeslsh.NewVec(maps[0])
+	check := func(step string) {
+		t.Helper()
+		direct, err := li.QueryContext(ctx, q, bayeslsh.QueryOptions{})
+		if err != nil {
+			t.Fatalf("%s: direct: %v", step, err)
+		}
+		for pass := 0; pass < 2; pass++ { // miss, then hit
+			got, err := c.QueryContext(ctx, q, bayeslsh.QueryOptions{})
+			if err != nil {
+				t.Fatalf("%s: cached: %v", step, err)
+			}
+			if !harness.MatchesEqual(direct, got) {
+				t.Fatalf("%s pass %d: cached %v, direct %v", step, pass, got, direct)
+			}
+		}
+	}
+
+	check("baseline")
+
+	// Add a duplicate of the query vector: it must appear in the fresh
+	// result (similarity 1), so stale serving is detectable.
+	id, err := c.Add(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("after add")
+
+	if !c.Delete(id) {
+		t.Fatal("delete of a live id returned false")
+	}
+	check("after delete")
+	if c.Delete(id) {
+		t.Fatal("double delete returned true")
+	}
+
+	if _, err := c.Add(q); err != nil { // leave a delta for the merge
+		t.Fatal(err)
+	}
+	if err := c.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	check("after compact")
+
+	ct := c.Counters()
+	if ct.Invalidations != 4 { // add, delete, add, compact
+		t.Fatalf("invalidations: want 4, got %+v", ct)
+	}
+
+	// Swap: the /v1/load hot-swap path. The replacement serves a
+	// different corpus, so stale entries would answer from the wrong
+	// index entirely.
+	ds2, maps2 := harness.Corpus(t, bayeslsh.Cosine, 12)
+	li2 := harness.NewLive(t, ds2, bayeslsh.Cosine, bayeslsh.LSH, 0.6)
+	old := c.Swap(li2)
+	if old != rescache.Backend(li) {
+		t.Fatal("Swap returned the wrong retired backend")
+	}
+	q2 := bayeslsh.NewVec(maps2[0])
+	direct2, err := li2.QueryContext(ctx, q2, bayeslsh.QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := c.QueryContext(ctx, q2, bayeslsh.QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !harness.MatchesEqual(direct2, got2) {
+		t.Fatalf("after swap: cached %v, direct %v", got2, direct2)
+	}
+	if n := c.Len(); n != li2.Len() {
+		t.Fatalf("after swap Len %d, want %d", n, li2.Len())
+	}
+}
+
+// TestCacheEviction proves the entry count never exceeds capacity and
+// that eviction (not invalidation) absorbs the pressure — and that
+// evicted entries recompute correctly.
+func TestCacheEviction(t *testing.T) {
+	ctx := context.Background()
+	const capacity = 8
+	c, li, maps := newCached(t, bayeslsh.Cosine, bayeslsh.LSH, 0.6, 36, capacity)
+	for round := 0; round < 2; round++ {
+		for i := range maps {
+			q := bayeslsh.NewVec(maps[i])
+			got, err := c.QueryContext(ctx, q, bayeslsh.QueryOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			direct, err := li.QueryContext(ctx, q, bayeslsh.QueryOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !harness.MatchesEqual(got, direct) {
+				t.Fatalf("round %d query %d diverged under eviction", round, i)
+			}
+			if n := c.Counters().Entries; n > capacity {
+				t.Fatalf("entries %d exceed capacity %d", n, capacity)
+			}
+		}
+	}
+	ct := c.Counters()
+	if ct.Evictions == 0 {
+		t.Fatalf("no evictions under pressure: %+v", ct)
+	}
+	if ct.Invalidations != 0 {
+		t.Fatalf("evictions leaked into invalidations: %+v", ct)
+	}
+}
+
+// TestCacheConcurrent hammers one cache from readers and a mutator
+// concurrently; under -race this is the data-race proof, and every
+// read must still equal a direct post-hoc call once writes stop.
+func TestCacheConcurrent(t *testing.T) {
+	ctx := context.Background()
+	c, li, maps := newCached(t, bayeslsh.Cosine, bayeslsh.LSH, 0.6, 36, 16)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 60; i++ {
+				q := bayeslsh.NewVec(maps[(g*7+i)%len(maps)])
+				if i%2 == 0 {
+					if _, err := c.QueryContext(ctx, q, bayeslsh.QueryOptions{}); err != nil {
+						t.Errorf("query: %v", err)
+						return
+					}
+				} else if _, err := c.TopKContext(ctx, q, 3); err != nil {
+					t.Errorf("topk: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if _, err := c.Add(bayeslsh.NewVec(maps[i])); err != nil {
+				t.Errorf("add: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	for i := 0; i < 6; i++ {
+		q := bayeslsh.NewVec(maps[i])
+		direct, err := li.QueryContext(ctx, q, bayeslsh.QueryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.QueryContext(ctx, q, bayeslsh.QueryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !harness.MatchesEqual(direct, got) {
+			t.Fatalf("post-storm query %d: cached %v, direct %v", i, got, direct)
+		}
+	}
+}
+
+// TestCacheNoGoroutines proves the cache spawns nothing: the goroutine
+// count after heavy cache traffic (hits, misses, invalidations,
+// evictions) settles back to the pre-traffic count.
+func TestCacheNoGoroutines(t *testing.T) {
+	ctx := context.Background()
+	c, _, maps := newCached(t, bayeslsh.Cosine, bayeslsh.LSH, 0.6, 24, 4)
+	before := runtime.NumGoroutine()
+	for i := 0; i < 100; i++ {
+		q := bayeslsh.NewVec(maps[i%len(maps)])
+		if _, err := c.QueryContext(ctx, q, bayeslsh.QueryOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		if i%25 == 24 {
+			if _, err := c.Add(q); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Query workers are short-lived; give the runtime a moment to
+	// retire any still winding down before comparing.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if after := runtime.NumGoroutine(); after <= before {
+			return
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutines grew: %d before, %d after", before, after)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

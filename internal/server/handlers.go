@@ -283,6 +283,24 @@ type statsResponse struct {
 	DiskBacked    bool  `json:"disk_backed,omitempty"`
 	MappedBytes   int64 `json:"mapped_bytes,omitempty"`
 	ResidentBytes int64 `json:"resident_bytes,omitempty"`
+
+	// Planner surface: the corpus statistics collected at build time
+	// and the pipeline decision. Absent when the index predates stats
+	// persistence (a zero-stats v3 open).
+	CorpusStats *bayeslsh.CorpusStats `json:"corpus_stats,omitempty"`
+	PlanRules   []string              `json:"plan_rules,omitempty"`
+
+	// Result cache counters; absent when Config.CacheSize is 0.
+	Cache *cacheStats `json:"cache,omitempty"`
+}
+
+// cacheStats is the result-cache block of /v1/stats.
+type cacheStats struct {
+	Size      int   `json:"size"`
+	Entries   int   `json:"entries"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
 }
 
 // handleStats serves GET /v1/stats.
@@ -314,6 +332,34 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.DiskBacked = m.DiskBacked
 		resp.MappedBytes = m.MappedBytes
 		resp.ResidentBytes = m.ResidentBytes
+	}
+	// Planner surface, equally optional (the cache forwards it from
+	// whatever it fronts).
+	if cs, ok := li.(interface{ CorpusStats() bayeslsh.CorpusStats }); ok {
+		if st := cs.CorpusStats(); !st.Zero() {
+			resp.CorpusStats = &st
+		}
+	}
+	var plan bayeslsh.Plan
+	switch pl := li.(type) {
+	case interface{ Plan() bayeslsh.Plan }:
+		plan = pl.Plan()
+	case interface{ PipelinePlan() bayeslsh.Plan }:
+		// The cluster router: its Plan method is the partition plan.
+		plan = pl.PipelinePlan()
+	}
+	for _, rule := range plan.Rules {
+		resp.PlanRules = append(resp.PlanRules, rule.Name+": "+rule.Detail)
+	}
+	if s.cache != nil {
+		ct := s.cache.Counters()
+		resp.Cache = &cacheStats{
+			Size:      s.cfg.CacheSize,
+			Entries:   ct.Entries,
+			Hits:      ct.Hits,
+			Misses:    ct.Misses,
+			Evictions: ct.Evictions,
+		}
 	}
 	writeJSON(w, resp)
 }
@@ -386,8 +432,15 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "load: %v", err)
 		return
 	}
-	old := s.idx.Swap(&next)
-	(*old).Close()
+	if s.cache != nil {
+		// The cache stays in place across the swap — it swaps its
+		// backend internally, which also invalidates every cached
+		// result, so no pre-swap response can be served post-swap.
+		s.cache.Swap(next).Close()
+	} else {
+		old := s.idx.Swap(&next)
+		(*old).Close()
+	}
 	st := next.Stats()
 	writeJSON(w, loadResponse{Loaded: req.Path, Live: st.Live, NextID: st.NextID})
 }

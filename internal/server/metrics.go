@@ -113,6 +113,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "apss_request_duration_seconds_count{route=%q} %d\n", name, rm.durN.Load())
 	}
 
+	if s.cache != nil {
+		ct := s.cache.Counters()
+		fmt.Fprintf(w, "# TYPE apss_cache_hits_total counter\n")
+		fmt.Fprintf(w, "apss_cache_hits_total %d\n", ct.Hits)
+		fmt.Fprintf(w, "# TYPE apss_cache_misses_total counter\n")
+		fmt.Fprintf(w, "apss_cache_misses_total %d\n", ct.Misses)
+		fmt.Fprintf(w, "# TYPE apss_cache_evictions_total counter\n")
+		fmt.Fprintf(w, "apss_cache_evictions_total %d\n", ct.Evictions)
+		fmt.Fprintf(w, "# TYPE apss_cache_invalidations_total counter\n")
+		fmt.Fprintf(w, "apss_cache_invalidations_total %d\n", ct.Invalidations)
+		fmt.Fprintf(w, "# TYPE apss_cache_entries gauge\n")
+		fmt.Fprintf(w, "apss_cache_entries %d\n", ct.Entries)
+	}
+
 	st := s.index().Stats()
 	fmt.Fprintf(w, "# TYPE apss_live_vectors gauge\n")
 	fmt.Fprintf(w, "apss_live_vectors %d\n", st.Live)

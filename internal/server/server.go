@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"bayeslsh"
+	"bayeslsh/internal/rescache"
 )
 
 // Config carries the serving knobs; the zero value selects the
@@ -70,6 +71,12 @@ type Config struct {
 	// after a graceful Shutdown has finished the in-flight requests —
 	// the final consistent cut of a terminating server.
 	DrainSave string
+	// CacheSize, when positive, fronts the index with a result cache
+	// (internal/rescache) of that many entries: /v1/query and /v1/topk
+	// responses are memoized by query hash and params, invalidated on
+	// every mutation, with hit/miss/eviction counters in /metrics. A
+	// cache hit is byte-identical to a miss. 0 disables caching.
+	CacheSize int
 	// Loader, when non-nil, enables POST /v1/load: it turns a
 	// server-local path into a fresh index, which the server swaps in
 	// atomically (hot reload; the retired index is Closed — in-flight
@@ -123,7 +130,10 @@ type Serveable interface {
 	Close()
 }
 
-var _ Serveable = (*bayeslsh.LiveIndex)(nil)
+var (
+	_ Serveable = (*bayeslsh.LiveIndex)(nil)
+	_ Serveable = (*rescache.Cache)(nil)
+)
 
 // Server serves one Serveable index over HTTP. Construct with New,
 // attach Handler to any http.Server or call Serve, stop with
@@ -146,6 +156,12 @@ type Server struct {
 	slots    chan struct{} // admission gate; nil when disabled
 	met      *metrics
 
+	// cache is the result cache fronting the index when
+	// Config.CacheSize is positive (in that case idx holds the cache
+	// itself, and /v1/load swaps through it so the swap invalidates).
+	// nil when caching is disabled.
+	cache *rescache.Cache
+
 	// testHook, when non-nil, runs inside every admitted /v1/ request
 	// after the gate and before the handler — the seam the lifecycle
 	// tests use to hold requests in flight deterministically.
@@ -159,6 +175,10 @@ func New(idx Serveable, cfg Config) *Server {
 		cfg: cfg,
 		mux: http.NewServeMux(),
 		met: newMetrics(),
+	}
+	if cfg.CacheSize > 0 {
+		s.cache = rescache.New(idx, cfg.CacheSize)
+		idx = s.cache
 	}
 	s.idx.Store(&idx)
 	if cfg.MaxInFlight > 0 {

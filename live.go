@@ -244,6 +244,14 @@ func (li *LiveIndex) Threshold() float64 { return li.opts.Threshold }
 // Options returns the resolved search options.
 func (li *LiveIndex) Options() Options { return li.opts }
 
+// CorpusStats returns the planner's corpus statistics of the current
+// base segment. A compaction rebuilds the base over the merged corpus,
+// so the stats track the live corpus merge by merge.
+func (li *LiveIndex) CorpusStats() CorpusStats { return li.gen.Load().base.CorpusStats() }
+
+// Plan returns the base segment's pipeline decision (see Index.Plan).
+func (li *LiveIndex) Plan() Plan { return li.gen.Load().base.Plan() }
+
 // Dim returns the feature-space dimensionality the index was built
 // over — the exclusive upper bound Add enforces on ingest features.
 func (li *LiveIndex) Dim() int { return li.dim }

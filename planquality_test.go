@@ -1,0 +1,100 @@
+package bayeslsh_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"bayeslsh"
+	"bayeslsh/internal/harness"
+)
+
+// The planner quality gate: on every corpus profile × measure ×
+// threshold cell, the pipeline AutoPipeline picks must not be
+// meaningfully slower than the best pipeline for that cell. "Not
+// meaningfully" is a 25% relative margin plus a small absolute grace,
+// because at CI corpus sizes the fastest pipelines finish in tens of
+// milliseconds and scheduler noise would otherwise gate the build on
+// coin flips. The gate still catches real misplans — choosing
+// BruteForce on a large sparse corpus, or AllPairs at a threshold
+// where hashing prunes 100× — which cost multiples, not percents.
+
+// qualityGrace absorbs timer and scheduler noise on the 1-CPU CI
+// runner; a misplanned cell overshoots by far more than this.
+const qualityGrace = 75 * time.Millisecond
+
+// bestOf times one pipeline's full self-join, fresh engine per run so
+// no candidate inherits another's hash stores, and keeps the fastest
+// of reps runs.
+func bestOf(tb testing.TB, ds *bayeslsh.Dataset, m bayeslsh.Measure, alg bayeslsh.Algorithm, threshold float64, reps int) time.Duration {
+	tb.Helper()
+	best := time.Duration(1<<63 - 1)
+	for r := 0; r < reps; r++ {
+		eng, err := bayeslsh.NewEngine(ds, m, bayeslsh.EngineConfig{Seed: 7, Parallelism: 2})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		start := time.Now()
+		if _, err := eng.Search(bayeslsh.Options{Algorithm: alg, Threshold: threshold}); err != nil {
+			tb.Fatalf("%v: %v", alg, err)
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// TestPlannerQuality is the CI gate. Candidates are every exact
+// pipeline the measure supports plus BruteForce; LSHApprox is
+// excluded because it trades recall for speed — beating it is not a
+// planning failure.
+func TestPlannerQuality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing harness; skipped under -short")
+	}
+	for _, p := range harness.Profiles() {
+		spec := p.Spec
+		spec.N = 1000 // enough corpus for timing signal over the grace margin
+		prof := harness.Profile{Name: p.Name, Spec: spec}
+		for _, cell := range planCells {
+			t.Run(fmt.Sprintf("%s/%v/t=%.2f", p.Name, cell.measure, cell.threshold), func(t *testing.T) {
+				ds := harness.ProfileDataset(t, prof, cell.measure)
+				plan := bayeslsh.ChoosePlan(ds.CorpusStats(), bayeslsh.PlanQuery{
+					Measure: cell.measure, Threshold: cell.threshold,
+				})
+				chosen := bayeslsh.Algorithm(plan.Pipeline)
+
+				candidates := []bayeslsh.Algorithm{bayeslsh.BruteForce}
+				for _, a := range bayeslsh.Algorithms(cell.measure) {
+					if a != bayeslsh.LSHApprox {
+						candidates = append(candidates, a)
+					}
+				}
+
+				times := make(map[bayeslsh.Algorithm]time.Duration, len(candidates))
+				best := time.Duration(1<<63 - 1)
+				for _, a := range candidates {
+					d := bestOf(t, ds, cell.measure, a, cell.threshold, 2)
+					times[a] = d
+					if d < best {
+						best = d
+					}
+				}
+				planned, ok := times[chosen]
+				if !ok {
+					t.Fatalf("planner chose %v, which is not a candidate pipeline", chosen)
+				}
+
+				limit := best + best/4 + qualityGrace
+				if planned > limit {
+					for _, a := range candidates {
+						t.Logf("  %-18v %v", a, times[a])
+					}
+					t.Fatalf("planned %v took %v, best %v within %v; limit %v exceeded",
+						chosen, planned, best, qualityGrace, limit)
+				}
+			})
+		}
+	}
+}

@@ -24,6 +24,14 @@ import (
 type Options struct {
 	// Algorithm selects the pipeline.
 	Algorithm Algorithm
+	// AutoPipeline lets the engine pick Algorithm instead: the planner
+	// (internal/planner, see docs/PLANNER.md) maps the corpus statistics
+	// plus this request's measure and threshold to a concrete pipeline,
+	// then the search runs exactly as if that pipeline had been set
+	// explicitly — results are bit-identical to the explicit
+	// configuration. When set, Algorithm is ignored. Output.Algorithm,
+	// Index.Plan and LiveIndex.Plan report what was chosen.
+	AutoPipeline bool
 	// Threshold is the similarity threshold t (required, in (0, 1]).
 	Threshold float64
 
@@ -179,6 +187,9 @@ func (e *Engine) SearchContext(ctx context.Context, opts Options) (*Output, erro
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, ctxWrap(err)
+	}
+	if o.AutoPipeline {
+		o, _ = e.resolveAuto(o, false)
 	}
 	out := &Output{Algorithm: o.Algorithm, Threshold: o.Threshold}
 	hashBefore := e.hashElapsed()

@@ -13,6 +13,7 @@ import (
 
 	"bayeslsh/internal/allpairs"
 	"bayeslsh/internal/lshindex"
+	"bayeslsh/internal/planner"
 	"bayeslsh/internal/snapshot"
 	"bayeslsh/internal/stats"
 	"bayeslsh/internal/vector"
@@ -172,7 +173,31 @@ func (ix *Index) writeMeta(w *snapshot.Writer) {
 	w.I64(int64(st.BuildTime))
 	w.F64(ix.prior.Alpha)
 	w.F64(ix.prior.Beta)
+	// Corpus statistics, appended as a fixed-size 88-byte block (11
+	// fields × 8 bytes) so readMeta can detect its presence by size
+	// alone. The size matters: the v3 disk format writes two U32 fill
+	// depths after this meta block inside the same section, so a
+	// pre-stats v3 file leaves exactly 8 bytes after the prior and a
+	// stats-bearing one exactly 96 — readMeta reads the block only when
+	// ≥ 88 bytes remain, which disambiguates every (version, vintage)
+	// combination. Any future meta field must keep the same discipline:
+	// fixed size, appended after this block.
+	cs := ix.cstats
+	w.I64(int64(cs.Vectors))
+	w.I64(int64(cs.Dim))
+	w.I64(cs.Nnz)
+	w.F64(cs.AvgLen)
+	w.I64(int64(cs.MedianLen))
+	w.I64(int64(cs.P90Len))
+	w.I64(int64(cs.MaxLen))
+	w.F64(cs.LenCV)
+	w.F64(cs.Density)
+	w.F64(cs.TopDFFrac)
+	w.F64(cs.HeavyFrac)
 }
+
+// corpusStatsBytes is the encoded size of the writeMeta stats block.
+const corpusStatsBytes = 11 * 8
 
 // snapMeta is the decoded counterpart of writeMeta.
 type snapMeta struct {
@@ -181,6 +206,7 @@ type snapMeta struct {
 	opts    Options
 	stats   IndexStats
 	prior   stats.Beta
+	cstats  CorpusStats
 }
 
 // maxSnapshotHashes caps the deserialized signature budgets so a
@@ -220,6 +246,27 @@ func readMeta(r *snapshot.Reader) (snapMeta, error) {
 	}
 	m.stats.BuildTime = time.Duration(r.I64())
 	m.prior = stats.Beta{Alpha: r.F64(), Beta: r.F64()}
+	// The corpus-stats block is optional (snapshots written before the
+	// planner existed omit it) and detected by its fixed size — see
+	// writeMeta for why size, not mere presence of bytes, is the test.
+	if r.Err() == nil && r.Remaining() >= corpusStatsBytes {
+		m.cstats = CorpusStats{
+			Vectors:   int(r.I64()),
+			Dim:       int(r.I64()),
+			Nnz:       r.I64(),
+			AvgLen:    r.F64(),
+			MedianLen: int(r.I64()),
+			P90Len:    int(r.I64()),
+			MaxLen:    int(r.I64()),
+			LenCV:     r.F64(),
+			Density:   r.F64(),
+			TopDFFrac: r.F64(),
+			HeavyFrac: r.F64(),
+		}
+		if r.Err() == nil && (m.cstats.Vectors < 0 || m.cstats.Nnz < 0 || m.cstats.MaxLen < 0) {
+			return m, snapshot.Failf(r, "negative corpus stats %+v", m.cstats)
+		}
+	}
 	if err := r.Err(); err != nil {
 		return m, err
 	}
@@ -343,7 +390,14 @@ func decodeIndex(sr *snapshot.Reader) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	ix := &Index{opts: meta.opts, stats: meta.stats, prior: meta.prior}
+	ix := &Index{opts: meta.opts, stats: meta.stats, prior: meta.prior, cstats: meta.cstats}
+	ix.plan = Plan{Pipeline: planner.Pipeline(meta.opts.Algorithm)}
+	if ix.cstats.Zero() {
+		// A snapshot written before stats persistence: the corpus is
+		// already resident, so collecting now is the same O(nnz) pass a
+		// fresh build pays, and keeps old goldens fully featured.
+		ix.cstats = eng.corpusPlanner().Stats()
+	}
 	ix.eng.Store(eng)
 
 	br := sr.Section(sectBitStore)

@@ -47,6 +47,9 @@ func (e *Engine) Stream(ctx context.Context, opts Options) iter.Seq2[Result, err
 			yield(Result{}, err)
 			return
 		}
+		if o.AutoPipeline {
+			o, _ = e.resolveAuto(o, false)
+		}
 		// The consumer breaking out of the range loop must tear the
 		// pipeline down exactly like a cancellation, so the pipeline
 		// runs under a derived context that emit can cancel.
